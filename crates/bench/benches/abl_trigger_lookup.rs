@@ -1,0 +1,112 @@
+//! §3.3 ablation — trigger-list lookup implementations under a trigger
+//! storm.
+//!
+//! "The NIC needs to be able to support absorbing triggers from potentially
+//! thousands of GPU threads in quick succession, which further motivates
+//! the adoption of a lightweight trigger entry lookup." We register `M`
+//! armed entries and slam the FIFO with one write per entry arriving
+//! back-to-back, then report how long the NIC takes to drain — linear list
+//! vs. 16-way associative (when it fits) vs. hash table.
+
+use gtn_fabric::{Fabric, FabricConfig};
+use gtn_mem::{Addr, MemPool, NodeId};
+use gtn_nic::lookup::LookupKind;
+use gtn_nic::nic::{Nic, NicCommand, NicEvent, NicOutput};
+use gtn_nic::op::NetOp;
+use gtn_nic::{NicConfig, Tag};
+use gtn_sim::time::SimTime;
+use gtn_sim::Engine;
+
+fn drain_time(kind: LookupKind, entries: u64) -> Option<SimTime> {
+    if let Some(cap) = kind.capacity() {
+        if entries as usize > cap {
+            return None; // the paper's prototype caps at 16 active entries
+        }
+    }
+    let mut mem = MemPool::new(2);
+    let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), 64, "src"));
+    let dst = Addr::base(NodeId(1), mem.alloc(NodeId(1), 64, "dst"));
+    let mut fabric = Fabric::new(2, FabricConfig::default());
+    let mut nic = Nic::new(
+        NodeId(0),
+        NicConfig {
+            lookup: kind,
+            ..NicConfig::default()
+        },
+    );
+    let mut sink = Nic::new(NodeId(1), NicConfig::default());
+    let mut engine: Engine<(usize, NicEvent)> = Engine::new();
+
+    for t in 0..entries {
+        engine.schedule_at(
+            SimTime::ZERO,
+            (
+                0,
+                NicEvent::Doorbell(NicCommand::TriggeredPut {
+                    tag: Tag(t),
+                    threshold: 1,
+                    op: NetOp::Put {
+                        src,
+                        len: 64,
+                        target: NodeId(1),
+                        dst,
+                        notify: None,
+                        completion: None,
+                    },
+                }),
+            ),
+        );
+    }
+    // The storm: every tag written at (nearly) the same instant — a
+    // wavefront's worth of MMIO stores landing together.
+    for t in 0..entries {
+        engine.schedule_at(SimTime::from_us(10), (0, NicEvent::TriggerWrite(Tag(t))));
+    }
+    let mut last_fire = SimTime::ZERO;
+    engine.run(|eng, (node, ev)| {
+        let nic_ref = if node == 0 { &mut nic } else { &mut sink };
+        let before = nic_ref.triggers().fired_total();
+        for out in nic_ref.handle(eng.now(), ev, &mut mem, &mut fabric) {
+            match out {
+                NicOutput::Local { at, ev } => eng.schedule_at(at, (node, ev)),
+                NicOutput::Remote { node, at, ev } => eng.schedule_at(at, (node.index(), ev)),
+            }
+        }
+        let nic_after = if node == 0 { &nic } else { &sink };
+        if node == 0 && nic_after.triggers().fired_total() > before {
+            last_fire = eng.now();
+        }
+    });
+    assert_eq!(nic.triggers().fired_total(), entries, "all entries fired");
+    assert!(nic.errors().is_empty());
+    Some(last_fire)
+}
+
+fn main() {
+    gtn_bench::header(
+        "Ablation: trigger-list lookup under a trigger storm (S3.3)",
+        "LeBeane et al., SC'17, S3.3 (linear list vs 16-way associative vs hash)",
+    );
+    let kinds = [
+        LookupKind::LinearList,
+        LookupKind::Associative { ways: 16 },
+        LookupKind::HashTable,
+    ];
+    print!("{:<10}", "entries");
+    for k in kinds {
+        print!("{:>14}", k.name());
+    }
+    println!("   (time from storm start to last fire)");
+    for entries in [4u64, 16, 64, 256, 1024, 4096] {
+        print!("{entries:<10}");
+        for k in kinds {
+            match drain_time(k, entries) {
+                Some(t) => print!("{:>12.2}us", (t - SimTime::from_us(10)).as_us_f64()),
+                None => print!("{:>14}", "over-cap"),
+            }
+        }
+        println!();
+    }
+    println!("\nlinear drains O(n^2) under a storm; associative is flat but capped at 16;");
+    println!("hash stays near-flat at any occupancy — the S3.3 design argument.");
+}

@@ -1,0 +1,47 @@
+//! Fig. 10 — strong scaling of an 8 MB single-precision ring Allreduce,
+//! 2–32 nodes, speedup relative to the pure-CPU collective.
+//!
+//! Paper observations to reproduce: ~1.4× for the GPU strategies at small
+//! node counts; HDN decays and drops below 1.0 (slower than CPU) around
+//! 24 nodes; GPU-TN keeps its advantage through 32 nodes.
+
+use gtn_core::Strategy;
+use gtn_workloads::allreduce::{run, AllreduceParams};
+
+const ELEMS: u64 = 2 * 1024 * 1024; // 8 MB of f32
+const NODES: [u32; 11] = [2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32];
+const SEED: u64 = 0xF10;
+
+fn main() {
+    gtn_bench::header(
+        "Fig. 10: 8 MB ring Allreduce strong scaling, speedup vs CPU",
+        "LeBeane et al., SC'17, Figure 10 (HDN < 1.0 near 24 nodes; GPU-TN wins at 32)",
+    );
+    print!("{:<8}", "nodes");
+    for s in [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
+        print!("{:>10}", s.name());
+    }
+    println!("{:>14}", "CPU us");
+    for &p in &NODES {
+        let cpu = run(AllreduceParams {
+            nodes: p,
+            elems: ELEMS,
+            strategy: Strategy::Cpu,
+            seed: SEED,
+        })
+        .total;
+        print!("{p:<8}");
+        for s in [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
+            let t = run(AllreduceParams {
+                nodes: p,
+                elems: ELEMS,
+                strategy: s,
+                seed: SEED,
+            })
+            .total;
+            print!("{:>10.3}", cpu.as_ns_f64() / t.as_ns_f64());
+        }
+        println!("{:>14.1}", cpu.as_us_f64());
+    }
+    println!("\n(values are speedup relative to the CPU collective = 1.0, as the paper plots)");
+}

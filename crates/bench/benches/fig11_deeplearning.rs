@@ -1,0 +1,39 @@
+//! Fig. 11 — projected deep-learning training speedup on a cluster of 8
+//! nodes, per Table 3 workload, normalized to the CPU configuration.
+//!
+//! Paper observations to reproduce: up to ~20% over HDN and ~5% over GDS
+//! on AN4 LSTM; essentially nothing on CIFAR (4% blocked); spread tracks
+//! the blocked fraction and message sizes.
+
+use gtn_core::Strategy;
+use gtn_workloads::deeplearning::{figure11, CostTable};
+
+fn main() {
+    gtn_bench::header(
+        "Fig. 11: projected CNTK training speedup, 8 nodes, vs CPU",
+        "LeBeane et al., SC'17, Figure 11 (AN4: ~20% over HDN, ~5% over GDS)",
+    );
+    // Cost grid spanning the sampled size distributions.
+    let sizes: Vec<u64> = (12..=25).map(|e| 1u64 << e).collect(); // 4 KB .. 32 MB
+    eprintln!("building 8-node Allreduce cost table over {} sizes ...", sizes.len());
+    let table = CostTable::build(8, &sizes, 0xD1);
+    let projections = figure11(&table, 200, 0xD2);
+
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>8} {:>8} {:>16}",
+        "workload", "%blocked", "CPU", "HDN", "GDS", "GPU-TN", "GPU-TN/HDN gain"
+    );
+    for p in &projections {
+        println!(
+            "{:<14} {:>8.0}% {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>15.1}%",
+            p.name,
+            p.pct_blocked * 100.0,
+            p.of(Strategy::Cpu),
+            p.of(Strategy::Hdn),
+            p.of(Strategy::Gds),
+            p.of(Strategy::GpuTn),
+            (p.of(Strategy::GpuTn) / p.of(Strategy::Hdn) - 1.0) * 100.0,
+        );
+    }
+    println!("\n(bars normalized to CPU = 1.0, as the paper plots)");
+}

@@ -1,0 +1,40 @@
+//! Fig. 1 — kernel launch latency vs. number of queued kernel commands on
+//! three anonymized GPU scheduler profiles.
+//!
+//! Paper observations to reproduce: latencies span 3–20 µs, amortize
+//! (decline) with queue depth, and "even the best case takes 3–4 µs".
+
+use gtn_workloads::launch_study::{figure1, BATCH_SIZES};
+
+fn main() {
+    gtn_bench::header(
+        "Fig. 1: kernel launch latency vs. queued kernel commands",
+        "LeBeane et al., SC'17, Figure 1 (y: avg launch latency us, x: batch)",
+    );
+    let points = figure1();
+    print!("{:<10}", "queued");
+    for &k in &BATCH_SIZES {
+        print!("{k:>10}");
+    }
+    println!();
+    for gpu in ["GPU 1", "GPU 2", "GPU 3"] {
+        print!("{gpu:<10}");
+        for &k in &BATCH_SIZES {
+            let p = points
+                .iter()
+                .find(|p| p.gpu == gpu && p.queued == k)
+                .expect("point");
+            print!("{:>9.2}u", p.avg_latency.as_us_f64());
+        }
+        println!();
+    }
+    let min = points
+        .iter()
+        .map(|p| p.avg_latency.as_us_f64())
+        .fold(f64::INFINITY, f64::min);
+    let max = points
+        .iter()
+        .map(|p| p.avg_latency.as_us_f64())
+        .fold(0.0, f64::max);
+    println!("\nenvelope: {min:.2}–{max:.2} us   (paper: 3–20 us; best case 3–4 us)");
+}

@@ -1,0 +1,58 @@
+//! Fig. 8 — latency decomposition of the single-cache-line microbenchmark
+//! under HDN, GDS, and GPU-TN, on one absolute time scale.
+//!
+//! Paper numbers (target-side completion): HDN 4.21 µs, GDS 3.76 µs,
+//! GPU-TN 2.71 µs — GPU-TN ≈ 25% over GDS and ≈ 35% over HDN — and the
+//! qualitative phenomenon that only GPU-TN delivers before the initiator's
+//! kernel completes.
+
+use gtn_core::timeline::phase_table;
+use gtn_core::Strategy;
+use gtn_workloads::pingpong;
+
+fn main() {
+    gtn_bench::header(
+        "Fig. 8: latency decomposition, 64 B put",
+        "LeBeane et al., SC'17, Figure 8 (HDN 4.21us / GDS 3.76us / GPU-TN 2.71us)",
+    );
+    let results = pingpong::run_all();
+    let paper = [("HDN", 4.21), ("GDS", 3.76), ("GPU-TN", 2.71)];
+    println!(
+        "{:<8} {:>14} {:>12} {:>14} {:>12}",
+        "strategy", "measured_us", "paper_us", "kernel_done_us", "intra-kernel?"
+    );
+    for r in &results {
+        let paper_us = paper
+            .iter()
+            .find(|(n, _)| *n == r.strategy.name())
+            .map(|(_, v)| *v)
+            .unwrap();
+        println!(
+            "{:<8} {:>14.2} {:>12.2} {:>14.2} {:>12}",
+            r.strategy.name(),
+            r.target_completion.as_us_f64(),
+            paper_us,
+            r.initiator_kernel_done.as_us_f64(),
+            if r.delivered_intra_kernel() { "yes" } else { "no" }
+        );
+    }
+    let get = |s: Strategy| {
+        results
+            .iter()
+            .find(|r| r.strategy == s)
+            .unwrap()
+            .target_completion
+            .as_us_f64()
+    };
+    let tn = get(Strategy::GpuTn);
+    println!(
+        "\nGPU-TN improvement: {:.1}% vs GDS (paper ~25%), {:.1}% vs HDN (paper ~35%)",
+        (1.0 - tn / get(Strategy::Gds)) * 100.0,
+        (1.0 - tn / get(Strategy::Hdn)) * 100.0
+    );
+    for r in &results {
+        println!("\n--- {} phase decomposition ---", r.strategy.name());
+        print!("{}", phase_table(&r.trace));
+        println!("{}", r.trace.render_gantt(64));
+    }
+}

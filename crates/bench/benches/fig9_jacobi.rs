@@ -1,0 +1,56 @@
+//! Fig. 9 — single-iteration 2-D Jacobi relaxation over local grid sizes,
+//! speedup relative to the HDN baseline.
+//!
+//! Paper observations to reproduce: GPU-TN ≈ 10% over GDS and ≈ 20% over
+//! HDN on medium grids; CPU above 1.0 only on the smallest grids, sinking
+//! below as the grid grows; all GPU curves converge toward 1.0 at the
+//! largest sizes.
+
+use gtn_core::Strategy;
+use gtn_workloads::jacobi::{run, JacobiParams};
+
+const SIZES: [u32; 7] = [16, 32, 64, 128, 256, 512, 1024];
+const ITERS: u32 = 4;
+const SEED: u64 = 0xF19;
+
+fn main() {
+    gtn_bench::header(
+        "Fig. 9: 2D Jacobi speedup vs HDN, local N x N grids (4 nodes, 2x2)",
+        "LeBeane et al., SC'17, Figure 9 (GPU-TN up to ~10% vs GDS / ~20% vs HDN)",
+    );
+    print!("{:<8}", "N");
+    for s in Strategy::all() {
+        print!("{:>10}", s.name());
+    }
+    println!("{:>14}", "HDN us/iter");
+    for &n in &SIZES {
+        let hdn = run(JacobiParams {
+            rows: 2,
+            cols: 2,
+            n_local: n,
+            iters: ITERS,
+            strategy: Strategy::Hdn,
+            seed: SEED,
+        })
+        .per_iter;
+        print!("{n:<8}");
+        for s in Strategy::all() {
+            let t = if s == Strategy::Hdn {
+                hdn
+            } else {
+                run(JacobiParams {
+            rows: 2,
+            cols: 2,
+                    n_local: n,
+                    iters: ITERS,
+                    strategy: s,
+                    seed: SEED,
+                })
+                .per_iter
+            };
+            print!("{:>10.3}", hdn.as_ns_f64() / t.as_ns_f64());
+        }
+        println!("{:>14.2}", hdn.as_us_f64());
+    }
+    println!("\n(values are speedup relative to HDN = 1.0, as the paper plots)");
+}

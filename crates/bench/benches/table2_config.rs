@@ -1,0 +1,13 @@
+//! Table 2 — the simulation configuration, printed model-vs-paper.
+
+use gtn_core::config::ClusterConfig;
+
+fn main() {
+    gtn_bench::header(
+        "Table 2: GPU-TN simulation configuration",
+        "LeBeane et al., SC'17, Table 2",
+    );
+    let cfg = ClusterConfig::table2(8);
+    cfg.validate().expect("table2 config valid");
+    print!("{}", cfg.render_table2());
+}

@@ -1,0 +1,27 @@
+//! Table 3 — CNTK workload characteristics, plus the documented synthetic
+//! size-distribution substitution (the Stampede traces are not public).
+
+use gtn_workloads::deeplearning::Workload;
+
+fn main() {
+    gtn_bench::header(
+        "Table 3: CNTK workload description",
+        "LeBeane et al., SC'17, Table 3 (%Blocked and Reductions are the paper's values)",
+    );
+    println!(
+        "{:<14} {:<18} {:>9} {:>11} {:>14} {:>6}",
+        "name", "domain", "%blocked", "reductions", "median msg", "sigma"
+    );
+    for w in Workload::catalog() {
+        println!(
+            "{:<14} {:<18} {:>8.0}% {:>11} {:>11} KB {:>6.2}",
+            w.name,
+            w.domain,
+            w.pct_blocked * 100.0,
+            w.reductions,
+            (w.median_bytes / 1024.0).round() as u64,
+            w.sigma
+        );
+    }
+    println!("\nmedian msg / sigma: synthetic log-normal Allreduce size model (see DESIGN.md)");
+}

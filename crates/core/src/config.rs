@@ -1,0 +1,128 @@
+//! The full Table 2 configuration, aggregated.
+
+use gtn_fabric::FabricConfig;
+use gtn_gpu::GpuConfig;
+use gtn_host::HostConfig;
+use gtn_nic::NicConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes (each a CPU+GPU+NIC SoC).
+    pub n_nodes: u32,
+    /// Host CPU parameters.
+    pub host: HostConfig,
+    /// GPU parameters.
+    pub gpu: GpuConfig,
+    /// NIC parameters (including the trigger-list lookup kind).
+    pub nic: NicConfig,
+    /// Interconnect parameters.
+    pub fabric: FabricConfig,
+    /// Record the activity log (on for experiments that decompose
+    /// latencies; off for large sweeps).
+    pub log_events: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's Table 2 configuration for `n_nodes` nodes.
+    pub fn table2(n_nodes: u32) -> Self {
+        assert!(n_nodes >= 1);
+        ClusterConfig {
+            n_nodes,
+            host: HostConfig::default(),
+            gpu: GpuConfig::default(),
+            nic: NicConfig::default(),
+            fabric: FabricConfig::default(),
+            log_events: true,
+        }
+    }
+
+    /// Validate all component configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        self.host.validate()?;
+        self.gpu.validate()?;
+        self.nic.validate()?;
+        self.fabric.validate()?;
+        Ok(())
+    }
+
+    /// Render the configuration as a Table 2-style report (used by the
+    /// `table2_config` bench to print paper-vs-model side by side).
+    pub fn render_table2(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "CPU and Memory Configuration");
+        let _ = writeln!(
+            s,
+            "  Type               {} cores @ {} GHz (paper: 8 wide OOO, 4GHz, 8 cores)",
+            self.host.cores, self.host.clock_ghz
+        );
+        let _ = writeln!(s, "GPU Configuration");
+        let _ = writeln!(
+            s,
+            "  Type               {} CUs @ {} GHz (paper: 1 GHz, 24 Compute Units)",
+            self.gpu.num_cus, self.gpu.clock_ghz
+        );
+        let _ = writeln!(
+            s,
+            "  Kernel Latencies   {:?} launch / {} ns teardown (paper: 1.5us / 1.5us)",
+            self.gpu.launch, self.gpu.teardown_ns
+        );
+        let _ = writeln!(s, "Network Configuration");
+        let _ = writeln!(
+            s,
+            "  Latency            {} ns link, {} ns switch (paper: 100ns / 100ns)",
+            self.fabric.link_latency_ns, self.fabric.switch_latency_ns
+        );
+        let _ = writeln!(
+            s,
+            "  Bandwidth          {} Gbps (paper: 100 Gbps)",
+            self.fabric.link_gbps
+        );
+        let _ = writeln!(
+            s,
+            "  Topology           {:?} (paper: star, single switch)",
+            self.fabric.topology
+        );
+        let _ = writeln!(
+            s,
+            "  Trigger lookup     {} (paper prototype: <=16 active, associative)",
+            self.nic.lookup.name()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_valid_and_matches_paper_constants() {
+        let c = ClusterConfig::table2(8);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.n_nodes, 8);
+        assert_eq!(c.gpu.num_cus, 24);
+        assert_eq!(c.host.cores, 8);
+        assert_eq!(c.fabric.link_gbps, 100.0);
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let s = ClusterConfig::table2(4).render_table2();
+        for needle in ["CPU and Memory", "GPU Configuration", "Network Configuration", "100 Gbps"] {
+            assert!(s.contains(needle), "missing {needle}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn zero_nodes_invalid() {
+        let mut c = ClusterConfig::table2(1);
+        c.n_nodes = 0;
+        assert!(c.validate().is_err());
+    }
+}

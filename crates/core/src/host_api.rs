@@ -1,0 +1,190 @@
+//! The Fig. 6 host-side API.
+//!
+//! The paper's host pseudocode:
+//!
+//! ```c
+//! int rank = RdmaInit();                         // 1
+//! for (i = 0; i < N_MSGS; i++)
+//!     TrigPut(TAG + i, buf, target, thresh, ...) // 2
+//! char *trigAddr = GetTriggerAddr();             // 3
+//! LaunchKern(trigAddr, TAG, N_MSGS, buf, ...);   // 4
+//! // cleanup, more compute, ...                  // 5
+//! ```
+//!
+//! [`HostApi`] mirrors those calls one-to-one onto a [`HostProgram`]. The
+//! trigger address itself is implicit in the simulation (kernel-side
+//! [`gtn_gpu::kernel::KernelOp::TriggerStore`]s route to the local NIC), so
+//! `get_trigger_addr` exists for fidelity and documentation: it marks the
+//! point where a real runtime would extract the MMIO address to pass as a
+//! kernel argument.
+
+use gtn_gpu::KernelLaunch;
+use gtn_host::{HostOp, HostProgram};
+use gtn_mem::{Addr, NodeId};
+use gtn_nic::nic::NicCommand;
+use gtn_nic::op::{NetOp, Notify};
+use gtn_nic::Tag;
+
+/// Fluent builder for GPU-TN host programs, named after Fig. 6.
+#[derive(Debug)]
+pub struct HostApi {
+    rank: NodeId,
+    program: HostProgram,
+    posts: u32,
+    got_trigger_addr: bool,
+}
+
+impl HostApi {
+    /// Step 1 — `RdmaInit()`: bind this program to its rank. (Buffer
+    /// allocation happens against the shared [`gtn_mem::MemPool`] before
+    /// cluster construction, mirroring `malloc` + registration.)
+    pub fn rdma_init(rank: NodeId) -> Self {
+        HostApi {
+            rank,
+            program: HostProgram::new(),
+            posts: 0,
+            got_trigger_addr: false,
+        }
+    }
+
+    /// This program's rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// Step 2 — `TrigPut(tag, buf, target, thresh, ...)`: register a
+    /// triggered put with the NIC. `notify` is the target-side flag
+    /// (§4.2.5); `completion` the local-completion flag (§4.2.4).
+    #[allow(clippy::too_many_arguments)]
+    pub fn trig_put(
+        mut self,
+        tag: Tag,
+        buf: Addr,
+        len: u64,
+        target: NodeId,
+        dst: Addr,
+        thresh: u64,
+        notify: Option<Notify>,
+        completion: Option<Addr>,
+    ) -> Self {
+        self.posts += 1;
+        self.program.nic_post(NicCommand::TriggeredPut {
+            tag,
+            threshold: thresh,
+            op: NetOp::Put {
+                src: buf,
+                len,
+                target,
+                dst,
+                notify,
+                completion,
+            },
+        });
+        self
+    }
+
+    /// Step 3 — `GetTriggerAddr()`: in the simulation the trigger address
+    /// is implicit; this records that the runtime handed it to the
+    /// application (and lets tests assert API order).
+    pub fn get_trigger_addr(mut self) -> Self {
+        self.got_trigger_addr = true;
+        self
+    }
+
+    /// Step 4 — `LaunchKern(trigAddr, TAG, ...)` followed by a wait for its
+    /// completion.
+    pub fn launch_kern(mut self, launch: KernelLaunch) -> Self {
+        let label = launch.label.clone();
+        self.program.launch(launch).wait_kernel(&label);
+        self
+    }
+
+    /// Step 4 without the wait — used when the host overlaps the post with
+    /// the kernel (§4.1: "steps 2 and 4 do not need to occur in the order
+    /// presented").
+    pub fn launch_kern_async(mut self, launch: KernelLaunch) -> Self {
+        self.program.launch(launch);
+        self
+    }
+
+    /// Wait for a previously async-launched kernel.
+    pub fn wait_kern(mut self, label: &str) -> Self {
+        self.program.wait_kernel(label);
+        self
+    }
+
+    /// Step 5 — cleanup / extra computation.
+    pub fn compute(mut self, d: gtn_sim::time::SimDuration) -> Self {
+        self.program.compute(d);
+        self
+    }
+
+    /// Append an arbitrary host op (escape hatch for workloads).
+    pub fn raw(mut self, op: HostOp) -> Self {
+        self.program.push(op);
+        self
+    }
+
+    /// Number of `TrigPut` calls so far.
+    pub fn posts(&self) -> u32 {
+        self.posts
+    }
+
+    /// Finish: the executable host program.
+    pub fn build(self) -> HostProgram {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_gpu::kernel::ProgramBuilder;
+    use gtn_mem::RegionId;
+
+    #[test]
+    fn fig6_sequence_builds_expected_ops() {
+        let buf = Addr::base(NodeId(0), RegionId(0));
+        let dst = Addr::base(NodeId(1), RegionId(0));
+        let kernel = ProgramBuilder::new().build().unwrap();
+        let api = HostApi::rdma_init(NodeId(0));
+        assert_eq!(api.rank(), NodeId(0));
+        let program = api
+            .trig_put(Tag(10), buf, 64, NodeId(1), dst, 1, None, None)
+            .trig_put(Tag(11), buf, 64, NodeId(1), dst, 1, None, None)
+            .get_trigger_addr()
+            .launch_kern(KernelLaunch::new(kernel, 1, 64, "k"))
+            .compute(gtn_sim::time::SimDuration::from_ns(10))
+            .build();
+        // 2 posts + launch + wait + compute.
+        assert_eq!(program.len(), 5);
+        assert!(matches!(program.ops()[0], HostOp::NicPost(_)));
+        assert!(matches!(program.ops()[2], HostOp::LaunchKernel(_)));
+        assert!(matches!(program.ops()[3], HostOp::WaitKernel(_)));
+    }
+
+    #[test]
+    fn async_launch_allows_post_after_kernel() {
+        // §4.1 overlap: launch first, post later, wait last.
+        let buf = Addr::base(NodeId(0), RegionId(0));
+        let dst = Addr::base(NodeId(1), RegionId(0));
+        let kernel = ProgramBuilder::new().build().unwrap();
+        let program = HostApi::rdma_init(NodeId(0))
+            .launch_kern_async(KernelLaunch::new(kernel, 1, 64, "k"))
+            .trig_put(Tag(1), buf, 8, NodeId(1), dst, 1, None, None)
+            .wait_kern("k")
+            .build();
+        assert!(matches!(program.ops()[0], HostOp::LaunchKernel(_)));
+        assert!(matches!(program.ops()[1], HostOp::NicPost(_)));
+        assert!(matches!(program.ops()[2], HostOp::WaitKernel(_)));
+    }
+
+    #[test]
+    fn post_counter_tracks_trig_puts() {
+        let buf = Addr::base(NodeId(0), RegionId(0));
+        let api = HostApi::rdma_init(NodeId(0))
+            .trig_put(Tag(0), buf, 8, NodeId(0), buf, 1, None, None)
+            .trig_put(Tag(1), buf, 8, NodeId(0), buf, 2, None, None);
+        assert_eq!(api.posts(), 2);
+    }
+}

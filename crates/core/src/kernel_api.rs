@@ -1,0 +1,260 @@
+//! Messaging granularities of the kernel API (§4.2, Fig. 7).
+//!
+//! GPU-TN lets the kernel programmer pick how many trigger writes make one
+//! message: one per **work-item** (Fig. 7a), one per **work-group** after a
+//! barrier (Fig. 7b), one per **kernel** using the NIC counter as the
+//! cross-work-group synchronizer (Fig. 7c), or **mixed** shapes like one
+//! message per pair of work-items via `threshold = 2` with half as many
+//! tags (§4.2.3).
+//!
+//! [`MessagePlan`] computes, for a granularity and dispatch geometry, the
+//! matched pair the programming model requires: the NIC-side registrations
+//! `(tag, threshold)` and the kernel-side trigger ops. A plan's
+//! registrations and its kernel fragment always agree — the property test
+//! fires every plan against a trigger list and checks that exactly
+//! `n_messages` operations fire.
+
+use gtn_gpu::kernel::ProgramBuilder;
+use gtn_nic::Tag;
+use serde::{Deserialize, Serialize};
+
+/// How many trigger writes gate each message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One message per work-item (Fig. 7a): `n_wgs × items` tags,
+    /// threshold 1.
+    WorkItem,
+    /// One message per work-group (Fig. 7b): `n_wgs` tags, threshold 1,
+    /// leader store after a barrier.
+    WorkGroup,
+    /// One message per kernel (Fig. 7c): a single tag with
+    /// `threshold = n_wgs`; the NIC counter synchronizes the work-groups.
+    Kernel,
+    /// One message per `k` work-items (§4.2.3 mixed granularity):
+    /// `total_items / k` tags with `threshold = k`.
+    PerItems(u32),
+}
+
+impl Granularity {
+    /// Short name for reports.
+    pub fn name(self) -> String {
+        match self {
+            Granularity::WorkItem => "work-item".into(),
+            Granularity::WorkGroup => "work-group".into(),
+            Granularity::Kernel => "kernel".into(),
+            Granularity::PerItems(k) => format!("per-{k}-items"),
+        }
+    }
+}
+
+/// The matched NIC/kernel plan for one granularity.
+#[derive(Debug, Clone)]
+pub struct MessagePlan {
+    /// Granularity planned.
+    pub granularity: Granularity,
+    /// NIC-side registrations: `(tag, threshold)` for the host's
+    /// `TrigPut` calls (Fig. 6 step 2).
+    pub registrations: Vec<(Tag, u64)>,
+    /// Dispatch geometry the plan was computed for.
+    pub n_wgs: u32,
+    /// Work-items per work-group.
+    pub items_per_wg: u32,
+    /// First tag used (tags are `base_tag ..`).
+    pub base_tag: u64,
+}
+
+impl MessagePlan {
+    /// Build a plan.
+    ///
+    /// # Panics
+    /// Panics on degenerate geometry (zero work-groups/items) or a
+    /// [`Granularity::PerItems`] divisor that does not divide the total
+    /// item count.
+    pub fn new(granularity: Granularity, n_wgs: u32, items_per_wg: u32, base_tag: u64) -> Self {
+        assert!(n_wgs > 0 && items_per_wg > 0, "degenerate geometry");
+        let total_items = n_wgs as u64 * items_per_wg as u64;
+        let registrations: Vec<(Tag, u64)> = match granularity {
+            Granularity::WorkItem => (0..total_items).map(|i| (Tag(base_tag + i), 1)).collect(),
+            Granularity::WorkGroup => (0..n_wgs as u64)
+                .map(|i| (Tag(base_tag + i), 1))
+                .collect(),
+            Granularity::Kernel => vec![(Tag(base_tag), n_wgs as u64)],
+            Granularity::PerItems(k) => {
+                assert!(k > 0, "PerItems(0)");
+                assert_eq!(
+                    total_items % k as u64,
+                    0,
+                    "PerItems({k}) must divide total items {total_items}"
+                );
+                (0..total_items / k as u64)
+                    .map(|i| (Tag(base_tag + i), k as u64))
+                    .collect()
+            }
+        };
+        MessagePlan {
+            granularity,
+            registrations,
+            n_wgs,
+            items_per_wg,
+            base_tag,
+        }
+    }
+
+    /// Number of network messages this plan produces.
+    pub fn n_messages(&self) -> u64 {
+        self.registrations.len() as u64
+    }
+
+    /// Total trigger writes the kernel will issue.
+    pub fn n_trigger_writes(&self) -> u64 {
+        match self.granularity {
+            Granularity::WorkItem | Granularity::PerItems(_) => {
+                self.n_wgs as u64 * self.items_per_wg as u64
+            }
+            Granularity::WorkGroup | Granularity::Kernel => self.n_wgs as u64,
+        }
+    }
+
+    /// Append this plan's trigger ops to a kernel under construction. The
+    /// caller is responsible for having written the send buffer first; this
+    /// fragment begins with the §4.2.6 system-scope release fence.
+    pub fn attach_trigger_ops(&self, builder: ProgramBuilder) -> ProgramBuilder {
+        use gtn_mem::scope::{MemOrdering, MemScope};
+        let base = self.base_tag;
+        let items = self.items_per_wg;
+        let builder = builder.fence(MemScope::System, MemOrdering::Release);
+        match self.granularity {
+            Granularity::WorkItem => builder.trigger_store_each(items, move |ctx, i| {
+                Tag(base + (ctx.wg * ctx.items + i) as u64)
+            }),
+            Granularity::WorkGroup => builder
+                .barrier()
+                .trigger_store(move |ctx| Tag(base + ctx.wg as u64)),
+            Granularity::Kernel => builder
+                .barrier()
+                .trigger_store(move |_| Tag(base)),
+            Granularity::PerItems(k) => builder.trigger_store_each(items, move |ctx, i| {
+                let global_item = (ctx.wg * ctx.items + i) as u64;
+                Tag(base + global_item / k as u64)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_nic::lookup::LookupKind;
+    use gtn_nic::op::NetOp;
+    use gtn_nic::trigger::TriggerList;
+
+    fn dummy_put() -> NetOp {
+        use gtn_mem::{Addr, NodeId, RegionId};
+        NetOp::Put {
+            src: Addr::base(NodeId(0), RegionId(0)),
+            len: 8,
+            target: NodeId(1),
+            dst: Addr::base(NodeId(1), RegionId(0)),
+            notify: None,
+            completion: None,
+        }
+    }
+
+    /// Register a plan with a trigger list, replay the kernel's trigger
+    /// writes, and count fires.
+    fn fires_for(plan: &MessagePlan) -> u64 {
+        let mut list = TriggerList::new(LookupKind::HashTable);
+        for &(tag, threshold) in &plan.registrations {
+            list.register(tag, dummy_put(), threshold).unwrap();
+        }
+        // Emulate the kernel: every work-group / item writes its tag.
+        for wg in 0..plan.n_wgs {
+            match plan.granularity {
+                Granularity::WorkGroup => {
+                    list.trigger(Tag(plan.base_tag + wg as u64)).unwrap();
+                }
+                Granularity::Kernel => {
+                    list.trigger(Tag(plan.base_tag)).unwrap();
+                }
+                Granularity::WorkItem => {
+                    for i in 0..plan.items_per_wg {
+                        list.trigger(Tag(plan.base_tag + (wg * plan.items_per_wg + i) as u64))
+                            .unwrap();
+                    }
+                }
+                Granularity::PerItems(k) => {
+                    for i in 0..plan.items_per_wg {
+                        let g = (wg * plan.items_per_wg + i) as u64;
+                        list.trigger(Tag(plan.base_tag + g / k as u64)).unwrap();
+                    }
+                }
+            }
+        }
+        list.fired_total()
+    }
+
+    #[test]
+    fn work_item_plan_is_one_message_per_item() {
+        let plan = MessagePlan::new(Granularity::WorkItem, 4, 64, 100);
+        assert_eq!(plan.n_messages(), 256);
+        assert_eq!(plan.n_trigger_writes(), 256);
+        assert!(plan.registrations.iter().all(|&(_, t)| t == 1));
+        assert_eq!(fires_for(&plan), 256);
+    }
+
+    #[test]
+    fn work_group_plan_is_one_message_per_wg() {
+        let plan = MessagePlan::new(Granularity::WorkGroup, 8, 64, 0);
+        assert_eq!(plan.n_messages(), 8);
+        assert_eq!(plan.n_trigger_writes(), 8);
+        assert_eq!(fires_for(&plan), 8);
+    }
+
+    #[test]
+    fn kernel_plan_uses_the_counter_as_barrier() {
+        // Fig. 7c: one tag, threshold = number of work-groups.
+        let plan = MessagePlan::new(Granularity::Kernel, 24, 64, 7);
+        assert_eq!(plan.n_messages(), 1);
+        assert_eq!(plan.registrations, vec![(Tag(7), 24)]);
+        assert_eq!(fires_for(&plan), 1);
+    }
+
+    #[test]
+    fn pairs_plan_halves_the_tags() {
+        // §4.2.3: "send a message for every pair of work-items by setting
+        // the threshold for the operation to 2 ... and using half as many
+        // tags".
+        let item_plan = MessagePlan::new(Granularity::WorkItem, 2, 64, 0);
+        let pair_plan = MessagePlan::new(Granularity::PerItems(2), 2, 64, 0);
+        assert_eq!(pair_plan.n_messages() * 2, item_plan.n_messages());
+        assert!(pair_plan.registrations.iter().all(|&(_, t)| t == 2));
+        assert_eq!(fires_for(&pair_plan), 64);
+    }
+
+    #[test]
+    fn attached_ops_validate_under_fence_discipline() {
+        for g in [
+            Granularity::WorkItem,
+            Granularity::WorkGroup,
+            Granularity::Kernel,
+            Granularity::PerItems(4),
+        ] {
+            let plan = MessagePlan::new(g, 4, 64, 0);
+            let b = ProgramBuilder::new().func(|_, _| {});
+            let program = plan.attach_trigger_ops(b).build();
+            assert!(program.is_ok(), "{g:?}: {program:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_per_items_rejected() {
+        let _ = MessagePlan::new(Granularity::PerItems(7), 2, 64, 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Granularity::WorkItem.name(), "work-item");
+        assert_eq!(Granularity::PerItems(2).name(), "per-2-items");
+    }
+}

@@ -1,0 +1,33 @@
+//! # gtn-core — the GPU-TN programming model and cluster
+//!
+//! The paper's contribution, assembled: this crate wires the substrates
+//! (memory, fabric, NIC, GPU, host CPU) into simulated cluster nodes and
+//! exposes the GPU-TN programming model on top.
+//!
+//! - [`config`] — the Table 2 cluster configuration in one place.
+//! - [`cluster`] — the world: per-node CPU + GPU + NIC over a shared
+//!   coherent memory pool and a star fabric, with a single deterministic
+//!   event loop and an experiment-readable activity log.
+//! - [`host_api`] — the Fig. 6 host-side API: `rdma_init`, `trig_put`,
+//!   `launch_kern`, mirrored onto host programs.
+//! - [`kernel_api`] — the §4.2 kernel-side messaging granularities
+//!   (work-item / work-group / kernel / mixed) as planners that pair GPU
+//!   trigger stores with matching NIC registrations.
+//! - [`strategy`] — the four evaluated configurations (§5.1): CPU, HDN,
+//!   GDS, GPU-TN, plus the GDS kernel-boundary doorbell mechanism.
+//! - [`timeline`] — turns the cluster log into Fig. 3/Fig. 8 style latency
+//!   decompositions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod config;
+pub mod host_api;
+pub mod kernel_api;
+pub mod strategy;
+pub mod timeline;
+
+pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
+pub use config::ClusterConfig;
+pub use strategy::Strategy;

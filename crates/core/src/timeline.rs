@@ -1,0 +1,165 @@
+//! Latency decompositions from the cluster activity log (Figs. 3 and 8).
+//!
+//! The Fig. 8 microbenchmark displays, for initiator and target on one
+//! absolute time scale, the phases each networking strategy spends time in:
+//! kernel launch / execution / teardown on the initiator GPU, the CPU send
+//! (HDN only), the NIC put, and the target's wait. [`decompose_pingpong`]
+//! reconstructs those spans from the protocol moments the cluster logged.
+
+use crate::cluster::{LogKind, LogRecord};
+use crate::config::ClusterConfig;
+use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::trace::Trace;
+
+/// Extract a Fig. 8-style decomposition for a single-message experiment:
+/// `initiator` launched one kernel and sent one message to `target`.
+///
+/// Lanes produced: `initiator.GPU` (Launch / Kernel / Teardown),
+/// `initiator.NIC` (Put), `target.NIC` (Deliver), `target.Wait`.
+pub fn decompose_pingpong(
+    log: &[LogRecord],
+    initiator: u32,
+    target: u32,
+    cfg: &ClusterConfig,
+) -> Trace {
+    let mut trace = Trace::new();
+    let find = |node: u32, pred: &dyn Fn(&LogKind) -> bool| -> Option<SimTime> {
+        log.iter()
+            .find(|r| r.node == node && pred(&r.kind))
+            .map(|r| r.at)
+    };
+
+    let enqueued = find(initiator, &|k| matches!(k, LogKind::KernelEnqueued));
+    let dispatched = find(initiator, &|k| matches!(k, LogKind::KernelDispatched(_)));
+    let done = find(initiator, &|k| matches!(k, LogKind::KernelDone { .. }));
+    let teardown = SimDuration::from_ns(cfg.gpu.teardown_ns);
+
+    if let (Some(enq), Some(disp), Some(done)) = (enqueued, dispatched, done) {
+        let exec_end = done - teardown;
+        trace.span("initiator.GPU", "Launch", enq, disp);
+        trace.span("initiator.GPU", "Kernel", disp, exec_end);
+        trace.span("initiator.GPU", "Teardown", exec_end, done);
+    }
+
+    // CPU send (HDN): the doorbell that carries the payload put. Under
+    // GDS/GPU-TN the doorbell is the pre-post, which we label separately.
+    if let Some(bell) = find(initiator, &|k| matches!(k, LogKind::DoorbellRung)) {
+        let stack = SimDuration::from_ns(cfg.host.send_stack_ns);
+        let start = if bell >= SimTime::ZERO + stack {
+            bell - stack
+        } else {
+            SimTime::ZERO
+        };
+        trace.span("initiator.CPU", "Post", start, bell);
+    }
+    if let Some(trig) = find(initiator, &|k| matches!(k, LogKind::TriggerWrite(_))) {
+        trace.mark("initiator.GPU", "trigger", trig);
+    }
+
+    // NIC put: DMA completion (injection) through target commit.
+    let dma = find(initiator, &|k| matches!(k, LogKind::PutDmaDone));
+    let arrived = find(target, &|k| matches!(k, LogKind::MessageArrived));
+    let committed = find(target, &|k| matches!(k, LogKind::MessageCommitted));
+    if let (Some(dma), Some(committed)) = (dma, committed) {
+        trace.span("initiator.NIC", "Put", dma, committed);
+    }
+    if let (Some(arrived), Some(committed)) = (arrived, committed) {
+        trace.span("target.NIC", "Deliver", arrived, committed);
+        trace.span("target.CPU", "Wait", SimTime::ZERO, committed);
+    }
+    trace
+}
+
+/// Render the decomposition as Fig. 8-style rows: one line per lane/phase
+/// with absolute start and duration in microseconds.
+pub fn phase_table(trace: &Trace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {:<10} {:>10} {:>10}", "lane", "phase", "start_us", "dur_us");
+    for s in trace.spans() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:>10.3} {:>10.3}",
+            s.lane,
+            s.label,
+            s.start.as_us_f64(),
+            s.duration().as_us_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, node: u32, kind: LogKind) -> LogRecord {
+        LogRecord {
+            at: SimTime::from_ns(at_ns),
+            node,
+            kind,
+        }
+    }
+
+    fn sample_log() -> Vec<LogRecord> {
+        vec![
+            rec(150, 0, LogKind::DoorbellRung),
+            rec(300, 0, LogKind::KernelEnqueued),
+            rec(1_800, 0, LogKind::KernelDispatched(0)),
+            rec(2_250, 0, LogKind::TriggerWrite(1)),
+            rec(2_500, 0, LogKind::PutDmaDone),
+            rec(2_900, 1, LogKind::MessageArrived),
+            rec(3_000, 1, LogKind::MessageCommitted),
+            rec(
+                3_790,
+                0,
+                LogKind::KernelDone {
+                    kid: 0,
+                    label: "k".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn decomposition_builds_gpu_phases() {
+        let cfg = ClusterConfig::table2(2);
+        let t = decompose_pingpong(&sample_log(), 0, 1, &cfg);
+        let launch = t.find("initiator.GPU", "Launch").unwrap();
+        assert_eq!(launch.start, SimTime::from_ns(300));
+        assert_eq!(launch.end, SimTime::from_ns(1_800));
+        let kernel = t.find("initiator.GPU", "Kernel").unwrap();
+        assert_eq!(kernel.end, SimTime::from_ns(3_790 - 1_500));
+        let td = t.find("initiator.GPU", "Teardown").unwrap();
+        assert_eq!(td.duration(), SimDuration::from_ns(1_500));
+        let put = t.find("initiator.NIC", "Put").unwrap();
+        assert_eq!(put.start, SimTime::from_ns(2_500));
+        assert_eq!(put.end, SimTime::from_ns(3_000));
+        assert!(t.find("target.NIC", "Deliver").is_some());
+        assert!(t.find("target.CPU", "Wait").is_some());
+    }
+
+    #[test]
+    fn phase_table_lists_all_spans() {
+        let cfg = ClusterConfig::table2(2);
+        let t = decompose_pingpong(&sample_log(), 0, 1, &cfg);
+        let table = phase_table(&t);
+        for needle in ["Launch", "Kernel", "Teardown", "Put", "Deliver", "Wait"] {
+            assert!(table.contains(needle), "missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn partial_logs_degrade_gracefully() {
+        let cfg = ClusterConfig::table2(2);
+        let t = decompose_pingpong(&[], 0, 1, &cfg);
+        assert!(t.spans().is_empty());
+        let t = decompose_pingpong(
+            &[rec(100, 0, LogKind::KernelEnqueued)],
+            0,
+            1,
+            &cfg,
+        );
+        assert!(t.find("initiator.GPU", "Launch").is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Fabric configuration (Table 2, "Network Configuration").
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the interconnect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Link bandwidth, gigabits per second. Paper: 100 Gbps.
+    pub link_gbps: f64,
+    /// Per-link wire latency, nanoseconds. Paper: 100 ns.
+    pub link_latency_ns: u64,
+    /// Switch traversal latency, nanoseconds. Paper: 100 ns.
+    pub switch_latency_ns: u64,
+    /// Maximum transmission unit in bytes; messages are segmented into
+    /// packets of at most this size. InfiniBand-class fabrics use 2–4 kB.
+    pub mtu_bytes: u64,
+    /// Per-packet header/CRC overhead on the wire, bytes.
+    pub header_bytes: u64,
+    /// Interconnect shape. The paper evaluates a star (single switch).
+    pub topology: Topology,
+    /// Latency of a loopback (self-send) through the local NIC, nanoseconds.
+    pub loopback_latency_ns: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            link_gbps: 100.0,
+            link_latency_ns: 100,
+            switch_latency_ns: 100,
+            mtu_bytes: 4096,
+            header_bytes: 30, // IB-like LRH+BTH+ICRC order of magnitude
+            topology: Topology::Star,
+            loopback_latency_ns: 150,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Validate invariants; called by [`crate::Fabric::new`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_gbps <= 0.0 {
+            return Err(format!("link_gbps must be positive, got {}", self.link_gbps));
+        }
+        if self.mtu_bytes == 0 {
+            return Err("mtu_bytes must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = FabricConfig::default();
+        assert_eq!(c.link_gbps, 100.0);
+        assert_eq!(c.link_latency_ns, 100);
+        assert_eq!(c.switch_latency_ns, 100);
+        assert_eq!(c.topology, Topology::Star);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let c = FabricConfig { link_gbps: 0.0, ..FabricConfig::default() };
+        assert!(c.validate().is_err());
+        let c = FabricConfig { mtu_bytes: 0, ..FabricConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn clone_preserves_all_fields() {
+        let c = FabricConfig::default();
+        let d = c.clone();
+        assert_eq!(format!("{c:?}"), format!("{d:?}"));
+    }
+}

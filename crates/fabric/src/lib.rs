@@ -1,0 +1,25 @@
+//! # gtn-fabric — the cluster interconnect
+//!
+//! Models the Table 2 network: 100 ns link latency, 100 ns switch latency,
+//! 100 Gbps links, star topology (every node connects to a single central
+//! switch). Messages are segmented into MTU-sized packets that pipeline
+//! across hops; per-link occupancy (`busy_until`) provides FIFO ordering and
+//! bandwidth contention, which is what bends the Allreduce scaling curve of
+//! Fig. 10 once many nodes converge on the same downlink.
+//!
+//! The crate is sans-IO: [`Fabric::send_message`] advances link occupancy
+//! state and returns the computed delivery time; the NIC model schedules the
+//! corresponding arrival event on the simulation engine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod fabric;
+pub mod link;
+pub mod packet;
+pub mod topology;
+
+pub use config::FabricConfig;
+pub use fabric::{Fabric, MessageTiming};
+pub use topology::Topology;

@@ -1,0 +1,69 @@
+//! MTU segmentation.
+//!
+//! RDMA messages larger than the MTU are split into packets that pipeline
+//! across the fabric; the last packet's arrival defines message delivery.
+
+/// Sizes (payload bytes) of the packets a `bytes`-long message splits into
+/// under `mtu`. Zero-length messages still produce one (header-only) packet,
+/// matching how real NICs carry zero-byte puts and immediate-data messages.
+pub fn segment(bytes: u64, mtu: u64) -> Vec<u64> {
+    assert!(mtu > 0, "mtu must be positive");
+    if bytes == 0 {
+        return vec![0];
+    }
+    let full = bytes / mtu;
+    let rem = bytes % mtu;
+    let mut out = Vec::with_capacity((full + u64::from(rem > 0)) as usize);
+    out.extend(std::iter::repeat_n(mtu, full as usize));
+    if rem > 0 {
+        out.push(rem);
+    }
+    out
+}
+
+/// Number of packets `bytes` segments into (cheap form of [`segment`]).
+pub fn packet_count(bytes: u64, mtu: u64) -> u64 {
+    assert!(mtu > 0, "mtu must be positive");
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(mtu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple() {
+        assert_eq!(segment(8192, 4096), vec![4096, 4096]);
+        assert_eq!(packet_count(8192, 4096), 2);
+    }
+
+    #[test]
+    fn remainder_packet() {
+        assert_eq!(segment(5000, 4096), vec![4096, 904]);
+        assert_eq!(packet_count(5000, 4096), 2);
+    }
+
+    #[test]
+    fn small_message_is_one_packet() {
+        assert_eq!(segment(64, 4096), vec![64]);
+        assert_eq!(packet_count(64, 4096), 1);
+    }
+
+    #[test]
+    fn zero_bytes_is_header_only_packet() {
+        assert_eq!(segment(0, 4096), vec![0]);
+        assert_eq!(packet_count(0, 4096), 1);
+    }
+
+    #[test]
+    fn segment_conserves_bytes() {
+        for bytes in [1u64, 63, 64, 4095, 4096, 4097, 1 << 20] {
+            let total: u64 = segment(bytes, 4096).iter().sum();
+            assert_eq!(total, bytes);
+        }
+    }
+}

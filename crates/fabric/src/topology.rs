@@ -1,0 +1,86 @@
+//! Interconnect shapes and routing.
+//!
+//! The paper evaluates a star (every node hangs off one switch). A full
+//! mesh is included as an extension point for topology-sensitivity studies;
+//! the Allreduce *ring* in §5.4.1 is a logical communication pattern layered
+//! over the physical star, not a physical topology.
+
+use gtn_mem::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Physical interconnect shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// All nodes connect to a single central switch (paper's configuration).
+    Star,
+    /// Every pair of nodes has a direct link (no switch traversal).
+    FullMesh,
+}
+
+/// One hop of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// Node `src`'s uplink into the switch.
+    Uplink(NodeId),
+    /// The switch itself (adds switch latency; no serialization).
+    Switch,
+    /// The switch's downlink into node `dst`.
+    Downlink(NodeId),
+    /// A direct point-to-point link `src -> dst` (full mesh).
+    Direct(NodeId, NodeId),
+}
+
+impl Topology {
+    /// The hop sequence a packet traverses from `src` to `dst`.
+    /// `src == dst` is a loopback and returns an empty route.
+    pub fn route(self, src: NodeId, dst: NodeId) -> Vec<Hop> {
+        if src == dst {
+            return Vec::new();
+        }
+        match self {
+            Topology::Star => vec![Hop::Uplink(src), Hop::Switch, Hop::Downlink(dst)],
+            Topology::FullMesh => vec![Hop::Direct(src, dst)],
+        }
+    }
+
+    /// Number of serializing links on the route (used for store-and-forward
+    /// latency accounting).
+    pub fn serializing_hops(self, src: NodeId, dst: NodeId) -> usize {
+        self.route(src, dst)
+            .iter()
+            .filter(|h| !matches!(h, Hop::Switch))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_routes_through_switch() {
+        let r = Topology::Star.route(NodeId(0), NodeId(3));
+        assert_eq!(
+            r,
+            vec![
+                Hop::Uplink(NodeId(0)),
+                Hop::Switch,
+                Hop::Downlink(NodeId(3))
+            ]
+        );
+        assert_eq!(Topology::Star.serializing_hops(NodeId(0), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn mesh_is_direct() {
+        let r = Topology::FullMesh.route(NodeId(1), NodeId(2));
+        assert_eq!(r, vec![Hop::Direct(NodeId(1), NodeId(2))]);
+        assert_eq!(Topology::FullMesh.serializing_hops(NodeId(1), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn loopback_has_no_hops() {
+        assert!(Topology::Star.route(NodeId(5), NodeId(5)).is_empty());
+        assert!(Topology::FullMesh.route(NodeId(5), NodeId(5)).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the fabric: causality, FIFO per flow, byte
+//! conservation, and monotonicity of delivery time in message size.
+
+use gtn_fabric::{Fabric, FabricConfig, Topology};
+use gtn_mem::NodeId;
+use gtn_sim::time::SimTime;
+use proptest::prelude::*;
+
+fn star(n: usize) -> Fabric {
+    Fabric::new(n, FabricConfig::default())
+}
+
+proptest! {
+    /// Delivery never precedes injection, and last >= first.
+    #[test]
+    fn causality(
+        bytes in 0u64..(1 << 22),
+        start_ns in 0u64..10_000,
+        src in 0u32..8,
+        dst in 0u32..8,
+    ) {
+        let mut f = star(8);
+        let now = SimTime::from_ns(start_ns);
+        let t = f.send_message(now, NodeId(src), NodeId(dst), bytes);
+        prop_assert!(t.first_arrival > now);
+        prop_assert!(t.last_arrival >= t.first_arrival);
+        prop_assert!(t.packets >= 1);
+    }
+
+    /// Messages between the same pair, injected in order, are delivered in
+    /// order (no overtaking on a FIFO link path).
+    #[test]
+    fn per_flow_fifo(sizes in prop::collection::vec(1u64..100_000, 2..20)) {
+        let mut f = star(2);
+        let mut last = SimTime::ZERO;
+        let mut inject = SimTime::ZERO;
+        for &s in &sizes {
+            let t = f.send_message(inject, NodeId(0), NodeId(1), s);
+            prop_assert!(t.last_arrival > last, "overtaking detected");
+            last = t.last_arrival;
+            inject += gtn_sim::time::SimDuration::from_ns(1);
+        }
+    }
+
+    /// Bigger messages (same conditions) never arrive earlier.
+    #[test]
+    fn monotone_in_size(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
+        let (small, big) = (a.min(b), a.max(b));
+        let t_small = star(2).send_message(SimTime::ZERO, NodeId(0), NodeId(1), small);
+        let t_big = star(2).send_message(SimTime::ZERO, NodeId(0), NodeId(1), big);
+        prop_assert!(t_big.last_arrival >= t_small.last_arrival);
+    }
+
+    /// Mesh delivery is never slower than star delivery for the same
+    /// message (one fewer serializing hop and no switch).
+    #[test]
+    fn mesh_dominates_star(bytes in 0u64..(1 << 20)) {
+        let t_star = star(4).send_message(SimTime::ZERO, NodeId(0), NodeId(3), bytes);
+        let mut mesh = Fabric::new(4, FabricConfig {
+            topology: Topology::FullMesh,
+            ..FabricConfig::default()
+        });
+        let t_mesh = mesh.send_message(SimTime::ZERO, NodeId(0), NodeId(3), bytes);
+        prop_assert!(t_mesh.last_arrival <= t_star.last_arrival);
+    }
+
+    /// Downlink byte accounting equals payload plus per-packet headers.
+    #[test]
+    fn byte_conservation(msgs in prop::collection::vec(0u64..50_000, 1..10)) {
+        let mut f = star(2);
+        let cfg = f.config().clone();
+        let mut expect = 0u64;
+        for &m in &msgs {
+            let t = f.send_message(SimTime::ZERO, NodeId(0), NodeId(1), m);
+            expect += m + t.packets * cfg.header_bytes;
+        }
+        prop_assert_eq!(f.downlink_bytes(NodeId(1)), expect);
+    }
+}

@@ -1,0 +1,135 @@
+//! The GPU hardware front-end scheduler (Fig. 1).
+//!
+//! The paper opens by measuring kernel launch latency on three real GPUs as
+//! a function of how many kernel commands are queued at once: 3–20 µs, with
+//! the per-kernel cost *amortizing* as the scheduler sees deeper queues, and
+//! "even the best case takes 3–4 µs". Those overheads are the motivation
+//! for intra-kernel networking.
+//!
+//! We model a profile as a serial first-kernel cost plus a pipelined
+//! steady-state cost: with `d` commands visible, the marginal launch
+//! latency is `steady + (first − steady) / d`, so a batch of `K` kernels
+//! observes a declining average — the Fig. 1 shape. Profile constants are
+//! chosen to span the measured 3–20 µs envelope (the paper anonymizes the
+//! devices as GPU 1/2/3; so do we).
+
+use gtn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A queue-depth-dependent launch-latency profile for one GPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerProfile {
+    /// Display name ("GPU 1").
+    pub name: String,
+    /// Cost of a launch when the scheduler pipeline is cold, nanoseconds.
+    pub first_ns: f64,
+    /// Marginal cost of a launch with a deep queue, nanoseconds.
+    pub steady_ns: f64,
+}
+
+impl SchedulerProfile {
+    /// The slowest measured device: ~20 µs cold, amortizing toward ~7 µs.
+    pub fn gpu1() -> Self {
+        SchedulerProfile {
+            name: "GPU 1".into(),
+            first_ns: 20_000.0,
+            steady_ns: 7_000.0,
+        }
+    }
+
+    /// The mid device: ~12 µs cold, toward ~3.5 µs.
+    pub fn gpu2() -> Self {
+        SchedulerProfile {
+            name: "GPU 2".into(),
+            first_ns: 12_000.0,
+            steady_ns: 3_500.0,
+        }
+    }
+
+    /// The best device: ~4 µs cold, toward ~3 µs ("even the best case takes
+    /// 3–4 µs").
+    pub fn gpu3() -> Self {
+        SchedulerProfile {
+            name: "GPU 3".into(),
+            first_ns: 4_200.0,
+            steady_ns: 3_000.0,
+        }
+    }
+
+    /// All three Fig. 1 profiles.
+    pub fn all() -> Vec<SchedulerProfile> {
+        vec![Self::gpu1(), Self::gpu2(), Self::gpu3()]
+    }
+
+    /// Marginal launch latency when `depth` commands (including this one)
+    /// are visible to the scheduler.
+    pub fn latency_at_depth(&self, depth: u32) -> SimDuration {
+        let d = depth.max(1) as f64;
+        SimDuration::from_ns_f64(self.steady_ns + (self.first_ns - self.steady_ns) / d)
+    }
+
+    /// Average per-kernel launch latency over a batch of `k` kernels
+    /// presented at once — the quantity Fig. 1 plots.
+    ///
+    /// Kernel `i` of the batch sees depth `k − i`, so the average is
+    /// `steady + (first − steady)·H(k)/k` (harmonic amortization).
+    pub fn average_over_batch(&self, k: u32) -> SimDuration {
+        let k = k.max(1);
+        let total: f64 = (1..=k)
+            .map(|depth| self.latency_at_depth(depth).as_ns_f64())
+            .sum();
+        SimDuration::from_ns_f64(total / k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_span_the_paper_envelope() {
+        // "launch latencies can vary from 3 µs – 20 µs"
+        let worst = SchedulerProfile::gpu1().average_over_batch(1);
+        let best = SchedulerProfile::gpu3().average_over_batch(256);
+        assert!((worst.as_us_f64() - 20.0).abs() < 0.5, "{worst}");
+        assert!(best.as_us_f64() >= 3.0, "{best}");
+        assert!(best.as_us_f64() <= 4.0, "{best}");
+    }
+
+    #[test]
+    fn averages_decline_with_queue_depth() {
+        for p in SchedulerProfile::all() {
+            let mut prev = SimDuration::from_us(1_000);
+            for k in [1u32, 4, 16, 64, 256] {
+                let avg = p.average_over_batch(k);
+                assert!(avg < prev, "{}: avg({k}) = {avg} not declining", p.name);
+                prev = avg;
+            }
+        }
+    }
+
+    #[test]
+    fn best_case_is_3_to_4_us() {
+        // "even the best case takes 3-4us" — GPU 3 across all batch sizes.
+        let p = SchedulerProfile::gpu3();
+        for k in [1u32, 4, 16, 64, 256] {
+            let avg = p.average_over_batch(k).as_us_f64();
+            assert!((3.0..=4.3).contains(&avg), "k={k}: {avg}");
+        }
+    }
+
+    #[test]
+    fn marginal_latency_never_below_steady() {
+        for p in SchedulerProfile::all() {
+            for depth in [1u32, 2, 10, 1000] {
+                assert!(p.latency_at_depth(depth).as_ns_f64() >= p.steady_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_treated_as_one() {
+        let p = SchedulerProfile::gpu2();
+        assert_eq!(p.latency_at_depth(0), p.latency_at_depth(1));
+    }
+}

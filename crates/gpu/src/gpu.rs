@@ -1,0 +1,632 @@
+//! The GPU device state machine.
+//!
+//! Pipeline: host enqueue → front-end scheduler (launch latency, Fig. 1) →
+//! work-group dispatch across compute units (work-groups serialize per CU,
+//! run in parallel across CUs) → per-work-group program execution
+//! ([`crate::kernel::KernelOp`] sequences, including intra-kernel trigger
+//! stores and flag polls) → teardown → completion notification.
+//!
+//! Trigger stores surface as [`GpuOutput::TriggerWrite`]; the cluster glue
+//! forwards them to the local NIC with its MMIO routing delay, closing the
+//! §3.1 loop: *"the GPU notifies the NIC that the triggered put operation is
+//! ready by performing a posted write operation to the memory-mapped trigger
+//! address"*.
+
+use crate::config::GpuConfig;
+use crate::kernel::{KernelLaunch, KernelOp, WgCtx};
+use gtn_mem::MemPool;
+use gtn_nic::{DynFields, Tag};
+use gtn_sim::stats::StatSet;
+use gtn_sim::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of an enqueued kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId(pub u64);
+
+/// Events the GPU reacts to.
+#[derive(Debug)]
+pub enum GpuEvent {
+    /// The host runtime enqueued a kernel (glue applies the runtime's
+    /// dispatch cost before this event).
+    Enqueue(KernelLaunch),
+    /// The front-end scheduler finished launching: dispatch work-groups.
+    Dispatch(KernelId),
+    /// Advance one work-group's program.
+    WgStep {
+        /// The kernel.
+        kid: KernelId,
+        /// The work-group.
+        wg: u32,
+    },
+    /// Teardown finished.
+    TeardownDone(KernelId),
+}
+
+/// Follow-ups for the cluster glue.
+#[derive(Debug)]
+pub enum GpuOutput {
+    /// Schedule `ev` back on this GPU at `at`.
+    Local {
+        /// Fire time.
+        at: SimTime,
+        /// Event.
+        ev: GpuEvent,
+    },
+    /// An MMIO store of `tag` left the GPU at `at`, headed for the NIC's
+    /// trigger address.
+    TriggerWrite {
+        /// Store-visible time at the GPU boundary.
+        at: SimTime,
+        /// The tag written.
+        tag: Tag,
+    },
+    /// A dynamic trigger descriptor left the GPU (§3.4 extension).
+    TriggerWriteDyn {
+        /// Store-visible time at the GPU boundary.
+        at: SimTime,
+        /// The tag written.
+        tag: Tag,
+        /// GPU-supplied operation-field overrides.
+        fields: DynFields,
+    },
+    /// Kernel `kid` fully completed (including teardown) at `at`.
+    KernelDone {
+        /// The kernel.
+        kid: KernelId,
+        /// Completion time.
+        at: SimTime,
+        /// The launch label.
+        label: String,
+    },
+}
+
+#[derive(Debug)]
+struct WgState {
+    pc: usize,
+    done: bool,
+    /// CU this work-group was assigned to at dispatch.
+    cu: usize,
+}
+
+#[derive(Debug)]
+struct KernelRun {
+    launch: KernelLaunch,
+    wgs: Vec<WgState>,
+    remaining: u32,
+    enqueued_at: SimTime,
+    dispatched_at: SimTime,
+}
+
+/// One node's GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    kernels: HashMap<u64, KernelRun>,
+    next_kid: u64,
+    /// Front-end: when the scheduler can begin the next launch.
+    frontend_busy: SimTime,
+    /// Kernels enqueued but not yet dispatched (queue depth for Fig. 1).
+    frontend_depth: u32,
+    /// Per-CU run queues of (kernel, work-group).
+    cu_queues: Vec<VecDeque<(KernelId, u32)>>,
+    cu_busy: Vec<bool>,
+    /// Round-robin cursor so concurrent kernels spread across CUs instead
+    /// of stacking behind each other on CU 0.
+    next_cu: usize,
+    stats: StatSet,
+}
+
+impl Gpu {
+    /// A GPU with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: GpuConfig) -> Self {
+        config.validate().expect("invalid GPU config");
+        let n = config.num_cus as usize;
+        Gpu {
+            config,
+            kernels: HashMap::new(),
+            next_kid: 0,
+            frontend_busy: SimTime::ZERO,
+            frontend_depth: 0,
+            cu_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            cu_busy: vec![false; n],
+            next_cu: 0,
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Activity counters and latency histograms.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Kernels currently in flight (enqueued, running, or tearing down).
+    pub fn kernels_in_flight(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Handle one event at `now`.
+    pub fn handle(&mut self, now: SimTime, ev: GpuEvent, mem: &mut MemPool) -> Vec<GpuOutput> {
+        match ev {
+            GpuEvent::Enqueue(launch) => self.on_enqueue(now, launch),
+            GpuEvent::Dispatch(kid) => self.on_dispatch(now, kid),
+            GpuEvent::WgStep { kid, wg } => self.on_wg_step(now, kid, wg, mem),
+            GpuEvent::TeardownDone(kid) => self.on_teardown_done(now, kid),
+        }
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, launch: KernelLaunch) -> Vec<GpuOutput> {
+        let kid = KernelId(self.next_kid);
+        self.next_kid += 1;
+        self.frontend_depth += 1;
+        self.stats.inc("kernels_enqueued");
+
+        let latency = self.config.launch_latency(self.frontend_depth);
+        self.stats.record("launch_latency", latency);
+        let start = now.max(self.frontend_busy);
+        let dispatched = start + latency;
+        self.frontend_busy = dispatched;
+
+        let n_wgs = launch.n_wgs;
+        self.kernels.insert(
+            kid.0,
+            KernelRun {
+                launch,
+                wgs: (0..n_wgs)
+                    .map(|_| WgState {
+                        pc: 0,
+                        done: false,
+                        cu: 0,
+                    })
+                    .collect(),
+                remaining: n_wgs,
+                enqueued_at: now,
+                dispatched_at: SimTime::ZERO,
+            },
+        );
+        vec![GpuOutput::Local {
+            at: dispatched,
+            ev: GpuEvent::Dispatch(kid),
+        }]
+    }
+
+    fn on_dispatch(&mut self, now: SimTime, kid: KernelId) -> Vec<GpuOutput> {
+        self.frontend_depth = self.frontend_depth.saturating_sub(1);
+        let run = self.kernels.get_mut(&kid.0).expect("dispatch of unknown kernel");
+        run.dispatched_at = now;
+        self.stats
+            .record("enqueue_to_dispatch", now.since(run.enqueued_at));
+
+        let n_wgs = run.launch.n_wgs;
+        let mut out = Vec::new();
+        for wg in 0..n_wgs {
+            let cu = self.next_cu;
+            self.next_cu = (self.next_cu + 1) % self.cu_queues.len();
+            run.wgs[wg as usize].cu = cu;
+            self.cu_queues[cu].push_back((kid, wg));
+        }
+        // Kick idle CUs.
+        for cu in 0..self.cu_queues.len() {
+            if !self.cu_busy[cu] {
+                if let Some((k, wg)) = self.cu_queues[cu].pop_front() {
+                    self.cu_busy[cu] = true;
+                    out.push(GpuOutput::Local {
+                        at: now,
+                        ev: GpuEvent::WgStep { kid: k, wg },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Run one work-group forward: zero-time ops execute inline; the first
+    /// time-consuming op schedules the next step.
+    fn on_wg_step(
+        &mut self,
+        now: SimTime,
+        kid: KernelId,
+        wg: u32,
+        mem: &mut MemPool,
+    ) -> Vec<GpuOutput> {
+        let mut out = Vec::new();
+        let run = self.kernels.get_mut(&kid.0).expect("step of unknown kernel");
+        let ctx = WgCtx {
+            wg,
+            n_wgs: run.launch.n_wgs,
+            items: run.launch.items_per_wg,
+        };
+        let program = run.launch.program.clone();
+        let ops = program.ops();
+
+        loop {
+            let pc = run.wgs[wg as usize].pc;
+            if pc >= ops.len() {
+                // Work-group complete.
+                run.wgs[wg as usize].done = true;
+                run.remaining -= 1;
+                self.stats.inc("wgs_completed");
+                let cu = run.wgs[wg as usize].cu;
+                if let Some((k, next_wg)) = self.cu_queues[cu].pop_front() {
+                    out.push(GpuOutput::Local {
+                        at: now,
+                        ev: GpuEvent::WgStep { kid: k, wg: next_wg },
+                    });
+                } else {
+                    self.cu_busy[cu] = false;
+                }
+                if run.remaining == 0 {
+                    out.push(GpuOutput::Local {
+                        at: now + self.config.teardown_latency(),
+                        ev: GpuEvent::TeardownDone(kid),
+                    });
+                }
+                return out;
+            }
+
+            match &ops[pc] {
+                KernelOp::Compute(d) => {
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + *d,
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::Func(f) => {
+                    f(mem, &ctx);
+                    self.stats.inc("func_ops");
+                    run.wgs[wg as usize].pc += 1;
+                }
+                KernelOp::Fence(scope, _) => {
+                    let d = self.config.fences.cost(*scope);
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + d,
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::Barrier => {
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + SimDuration::from_ns(self.config.barrier_ns),
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::TriggerStore { tag, .. } => {
+                    let t = tag(&ctx);
+                    let issue = SimDuration::from_ns(self.config.trigger_store_ns);
+                    self.stats.inc("trigger_stores");
+                    out.push(GpuOutput::TriggerWrite { at: now + issue, tag: t });
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + issue,
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::TriggerStoreDyn { tag, fields, .. } => {
+                    let t = tag(&ctx);
+                    let f = fields(&ctx);
+                    // Wider MMIO transaction + divergence: scale the issue
+                    // cost by the descriptor size in 8 B lanes.
+                    let lanes = f.wire_bytes().div_ceil(8);
+                    let issue =
+                        SimDuration::from_ns(self.config.trigger_store_ns).times(lanes.max(1));
+                    self.stats.inc("trigger_stores_dyn");
+                    out.push(GpuOutput::TriggerWriteDyn {
+                        at: now + issue,
+                        tag: t,
+                        fields: f,
+                    });
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + issue,
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::TriggerStoreEach { count, tag, .. } => {
+                    let issue = SimDuration::from_ns(self.config.trigger_store_ns);
+                    for i in 0..*count {
+                        let t = tag(&ctx, i);
+                        self.stats.inc("trigger_stores");
+                        out.push(GpuOutput::TriggerWrite {
+                            at: now + issue.times(u64::from(i) + 1),
+                            tag: t,
+                        });
+                    }
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + issue.times(u64::from(*count)),
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::AtomicStore { addr, value, .. } => {
+                    let a = addr(&ctx);
+                    mem.write_u64(a, *value);
+                    self.stats.inc("atomic_stores");
+                    run.wgs[wg as usize].pc += 1;
+                    out.push(GpuOutput::Local {
+                        at: now + SimDuration::from_ns(self.config.trigger_store_ns),
+                        ev: GpuEvent::WgStep { kid, wg },
+                    });
+                    return out;
+                }
+                KernelOp::Poll { addr, at_least, .. } => {
+                    let a = addr(&ctx);
+                    if mem.read_u64(a) >= *at_least {
+                        self.stats.inc("poll_hits");
+                        run.wgs[wg as usize].pc += 1;
+                        // Fall through: continue executing at `now` (the
+                        // acquire cost is the fence the program encodes, or
+                        // folded into the poll interval).
+                    } else {
+                        self.stats.inc("poll_retries");
+                        out.push(GpuOutput::Local {
+                            at: now + SimDuration::from_ns(self.config.poll_interval_ns),
+                            ev: GpuEvent::WgStep { kid, wg },
+                        });
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_teardown_done(&mut self, now: SimTime, kid: KernelId) -> Vec<GpuOutput> {
+        let run = self.kernels.remove(&kid.0).expect("teardown of unknown kernel");
+        self.stats.inc("kernels_completed");
+        self.stats
+            .record("kernel_total", now.since(run.enqueued_at));
+        vec![GpuOutput::KernelDone {
+            kid,
+            at: now,
+            label: run.launch.label,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LaunchModel;
+    use crate::frontend::SchedulerProfile;
+    use crate::kernel::ProgramBuilder;
+    use gtn_mem::scope::{MemOrdering, MemScope};
+    use gtn_mem::{Addr, NodeId};
+    use gtn_sim::Engine;
+
+    /// Drive a GPU through a real engine, collecting trigger writes and
+    /// completions.
+    struct Harness {
+        gpu: Gpu,
+        mem: MemPool,
+        engine: Engine<GpuEvent>,
+        triggers: Vec<(SimTime, Tag)>,
+        done: Vec<(SimTime, String)>,
+    }
+
+    impl Harness {
+        fn new(config: GpuConfig) -> Self {
+            Harness {
+                gpu: Gpu::new(config),
+                mem: MemPool::new(1),
+                engine: Engine::new(),
+                triggers: Vec::new(),
+                done: Vec::new(),
+            }
+        }
+
+        fn enqueue_at(&mut self, at: SimTime, launch: KernelLaunch) {
+            self.engine.schedule_at(at, GpuEvent::Enqueue(launch));
+        }
+
+        fn run(&mut self) -> SimTime {
+            let gpu = &mut self.gpu;
+            let mem = &mut self.mem;
+            let triggers = &mut self.triggers;
+            let done = &mut self.done;
+            self.engine.run(|eng, ev| {
+                for out in gpu.handle(eng.now(), ev, mem) {
+                    match out {
+                        GpuOutput::Local { at, ev } => eng.schedule_at(at, ev),
+                        GpuOutput::TriggerWrite { at, tag }
+                        | GpuOutput::TriggerWriteDyn { at, tag, .. } => {
+                            triggers.push((at, tag))
+                        }
+                        GpuOutput::KernelDone { at, label, .. } => done.push((at, label)),
+                    }
+                }
+            });
+            self.engine.now()
+        }
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_plus_teardown() {
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::empty("k"));
+        h.run();
+        assert_eq!(h.done.len(), 1);
+        // 1.5 us launch + 0 exec + 1.5 us teardown = 3.0 us.
+        assert_eq!(h.done[0].0, SimTime::from_ns(3_000));
+        assert_eq!(h.done[0].1, "k");
+    }
+
+    #[test]
+    fn compute_phase_extends_kernel() {
+        let p = ProgramBuilder::new()
+            .compute(SimDuration::from_ns(430))
+            .build()
+            .unwrap();
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 1, 64, "vec"));
+        h.run();
+        assert_eq!(h.done[0].0, SimTime::from_ns(3_430));
+    }
+
+    #[test]
+    fn trigger_store_fires_mid_kernel_before_teardown() {
+        let p = ProgramBuilder::new()
+            .compute(SimDuration::from_ns(300))
+            .func(|_, _| {})
+            .fence(MemScope::System, MemOrdering::Release)
+            .trigger_store(|_| Tag(7))
+            .compute(SimDuration::from_ns(500)) // post-trigger work
+            .build()
+            .unwrap();
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 1, 64, "k"));
+        h.run();
+        assert_eq!(h.triggers.len(), 1);
+        let (t, tag) = h.triggers[0];
+        assert_eq!(tag, Tag(7));
+        // Trigger leaves at launch(1500) + compute(300) + fence(50) +
+        // store(10) = 1860 ns — well before kernel completion.
+        assert_eq!(t, SimTime::from_ns(1_860));
+        let done = h.done[0].0;
+        assert_eq!(done, SimTime::from_ns(1_860 + 500 + 1_500));
+        assert!(t < done, "intra-kernel: trigger precedes completion");
+    }
+
+    #[test]
+    fn wgs_parallel_across_cus_serial_within() {
+        // 48 WGs on 24 CUs, each 100 ns: two serial rounds.
+        let p = ProgramBuilder::new()
+            .compute(SimDuration::from_ns(100))
+            .build()
+            .unwrap();
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 48, 64, "k"));
+        h.run();
+        assert_eq!(h.done[0].0, SimTime::from_ns(1_500 + 200 + 1_500));
+        // 24 WGs: one round.
+        let p = ProgramBuilder::new()
+            .compute(SimDuration::from_ns(100))
+            .build()
+            .unwrap();
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 24, 64, "k"));
+        h.run();
+        assert_eq!(h.done[0].0, SimTime::from_ns(1_500 + 100 + 1_500));
+    }
+
+    #[test]
+    fn poll_blocks_until_flag_set() {
+        let flag_region = {
+            let mut h = Harness::new(GpuConfig::default());
+            let r = h.mem.alloc(NodeId(0), 8, "flag");
+            let flag = Addr::base(NodeId(0), r);
+            let p = ProgramBuilder::new()
+                .poll(move |_| flag, 1)
+                .compute(SimDuration::from_ns(100))
+                .build()
+                .unwrap();
+            h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 1, 64, "poller"));
+            // Set the flag externally at 5 us via an engine event... the
+            // harness lacks external events, so set it pre-armed through a
+            // second kernel's Func.
+            let setter = ProgramBuilder::new()
+                .compute(SimDuration::from_ns(2_000))
+                .func(move |mem, _| mem.write_u64(flag, 1))
+                .fence(MemScope::System, MemOrdering::Release)
+                .build()
+                .unwrap();
+            h.enqueue_at(SimTime::from_ns(10), KernelLaunch::new(setter, 1, 64, "setter"));
+            h.run();
+            let poller_done = h.done.iter().find(|(_, l)| l == "poller").unwrap().0;
+            let setter_done = h.done.iter().find(|(_, l)| l == "setter").unwrap().0;
+            assert!(h.gpu.stats().counter("poll_retries") > 10);
+            assert_eq!(h.gpu.stats().counter("poll_hits"), 1);
+            (poller_done, setter_done)
+        };
+        let (poller_done, _) = flag_region;
+        // The flag is written by the setter's Func, which runs after the
+        // setter's 2 us compute; the poller then needs ~100 ns compute +
+        // teardown. It must finish well after its own minimum 3.1 us.
+        assert!(poller_done > SimTime::from_ns(4_000), "{poller_done}");
+    }
+
+    #[test]
+    fn work_item_trigger_stores_emit_per_item() {
+        let p = ProgramBuilder::new()
+            .func(|_, _| {})
+            .fence(MemScope::System, MemOrdering::Release)
+            .trigger_store_each(8, |ctx, i| Tag((ctx.wg * 8 + i) as u64))
+            .build()
+            .unwrap();
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 2, 8, "wi"));
+        h.run();
+        assert_eq!(h.triggers.len(), 16);
+        let tags: Vec<u64> = h.triggers.iter().map(|(_, t)| t.0).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        // Stores from one WG are spaced by the issue cost.
+        let (t0, _) = h.triggers[0];
+        let (t1, _) = h.triggers[1];
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn profile_launch_latency_depends_on_queue_depth() {
+        let cfg = GpuConfig {
+            launch: LaunchModel::Profile(SchedulerProfile::gpu1()),
+            ..GpuConfig::default()
+        };
+        // Enqueue 4 kernels at once: marginal latencies 20, 13.5, ~11.3,
+        // ~10.25 us — average well under the cold 20 us.
+        let mut h = Harness::new(cfg);
+        for i in 0..4 {
+            h.enqueue_at(SimTime::ZERO, KernelLaunch::empty(&format!("k{i}")));
+        }
+        h.run();
+        assert_eq!(h.done.len(), 4);
+        let hist = h.gpu.stats().histogram("launch_latency").unwrap();
+        assert_eq!(hist.count(), 4);
+        let avg = hist.mean().as_us_f64();
+        let expect = SchedulerProfile::gpu1().average_over_batch(4).as_us_f64();
+        assert!((avg - expect).abs() < 0.01, "avg {avg} expect {expect}");
+    }
+
+    #[test]
+    fn atomic_store_publishes_flag() {
+        let mut h = Harness::new(GpuConfig::default());
+        let r = h.mem.alloc(NodeId(0), 8, "flag");
+        let flag = Addr::base(NodeId(0), r);
+        let p = ProgramBuilder::new()
+            .atomic_store(move |_| flag, 42)
+            .build()
+            .unwrap();
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::new(p, 1, 1, "k"));
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 42);
+    }
+
+    #[test]
+    fn back_to_back_kernels_serialize_through_frontend() {
+        let mut h = Harness::new(GpuConfig::default());
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::empty("a"));
+        h.enqueue_at(SimTime::ZERO, KernelLaunch::empty("b"));
+        h.run();
+        let a = h.done.iter().find(|(_, l)| l == "a").unwrap().0;
+        let b = h.done.iter().find(|(_, l)| l == "b").unwrap().0;
+        // Second kernel's launch begins after the first's launch completes.
+        assert_eq!(a, SimTime::from_ns(3_000));
+        assert_eq!(b, SimTime::from_ns(4_500));
+        assert_eq!(h.gpu.kernels_in_flight(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gtn-gpu — the GPU device model
+//!
+//! An event-level model of the Table 2 GPU (1 GHz, 24 compute units, 64-lane
+//! wavefronts, 1.5 µs kernel launch + 1.5 µs teardown) with the pieces the
+//! paper's evaluation exercises:
+//!
+//! - [`frontend`] — the hardware scheduler whose launch latencies motivate
+//!   the whole paper (Fig. 1): per-kernel dispatch cost as a function of how
+//!   many kernel commands are queued at once, with three device profiles.
+//! - [`kernel`] — a kernel-op DSL (§4.2 / Fig. 7): compute phases,
+//!   work-group barriers, scoped fences and atomics, **trigger stores** to
+//!   the NIC's memory-mapped trigger address at work-item / work-group /
+//!   kernel / mixed granularity, flag polling for intra-kernel
+//!   synchronization, and functional data operations against simulated
+//!   memory. Programs are validated against the §4.2.6 fence discipline
+//!   before launch.
+//! - [`gpu`] — the device state machine: front-end queue, work-group
+//!   dispatch across CUs (work-groups serialize per CU, parallel across
+//!   CUs), per-work-group program execution, kernel teardown.
+//!
+//! Like every substrate here, the GPU is sans-IO: [`gpu::Gpu::handle`]
+//! consumes [`gpu::GpuEvent`]s and returns [`gpu::GpuOutput`]s (follow-up
+//! events, MMIO trigger writes toward the NIC, kernel-completion
+//! notifications) for the cluster glue to route.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod frontend;
+pub mod gpu;
+pub mod kernel;
+
+pub use config::GpuConfig;
+pub use frontend::SchedulerProfile;
+pub use gpu::{Gpu, GpuEvent, GpuOutput, KernelId};
+pub use kernel::{KernelLaunch, KernelOp, KernelProgram, WgCtx};

@@ -1,0 +1,130 @@
+//! Property tests for the GPU device model: every dispatched work-group
+//! completes exactly once, kernel completion follows the slowest
+//! work-group, trigger emission counts match the program, and runs are
+//! deterministic.
+
+use gtn_gpu::config::GpuConfig;
+use gtn_gpu::kernel::{KernelLaunch, ProgramBuilder};
+use gtn_gpu::{Gpu, GpuEvent, GpuOutput};
+use gtn_mem::scope::{MemOrdering, MemScope};
+use gtn_mem::MemPool;
+use gtn_nic::Tag;
+use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::Engine;
+use proptest::prelude::*;
+
+struct Run {
+    triggers: Vec<(SimTime, Tag)>,
+    done: Vec<(SimTime, String)>,
+    wgs_completed: u64,
+    end: SimTime,
+}
+
+fn drive(kernels: Vec<KernelLaunch>) -> Run {
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut mem = MemPool::new(1);
+    let mut engine: Engine<GpuEvent> = Engine::new();
+    for (i, k) in kernels.into_iter().enumerate() {
+        engine.schedule_at(SimTime::from_ns(i as u64), GpuEvent::Enqueue(k));
+    }
+    let mut triggers = Vec::new();
+    let mut done = Vec::new();
+    engine.run(|eng, ev| {
+        for out in gpu.handle(eng.now(), ev, &mut mem) {
+            match out {
+                GpuOutput::Local { at, ev } => eng.schedule_at(at, ev),
+                GpuOutput::TriggerWrite { at, tag }
+                | GpuOutput::TriggerWriteDyn { at, tag, .. } => triggers.push((at, tag)),
+                GpuOutput::KernelDone { at, label, .. } => done.push((at, label)),
+            }
+        }
+    });
+    Run {
+        triggers,
+        done,
+        wgs_completed: gpu.stats().counter("wgs_completed"),
+        end: engine.now(),
+    }
+}
+
+fn arb_kernel(idx: usize) -> impl Strategy<Value = KernelLaunch> {
+    (1u32..40, 1u32..5, 0u64..2_000, 0u32..4).prop_map(move |(wgs, phases, ns, trig)| {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..phases {
+            b = b.compute(SimDuration::from_ns(ns));
+        }
+        if trig > 0 {
+            b = b.fence(MemScope::System, MemOrdering::Release);
+            for t in 0..trig {
+                b = b.trigger_store(move |ctx| Tag((ctx.wg * 16 + t) as u64));
+            }
+        }
+        KernelLaunch::new(b.build().expect("valid"), wgs, 64, &format!("k{idx}"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every kernel completes exactly once; every work-group completes;
+    /// every trigger store is emitted exactly (wgs × per-wg stores) times.
+    #[test]
+    fn conservation_of_work(kernels in prop::collection::vec((1u32..40, 1u32..5, 0u64..2_000, 0u32..4), 1..6)) {
+        let launches: Vec<KernelLaunch> = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, &(wgs, phases, ns, trig))| {
+                let mut b = ProgramBuilder::new();
+                for _ in 0..phases {
+                    b = b.compute(SimDuration::from_ns(ns));
+                }
+                if trig > 0 {
+                    b = b.fence(MemScope::System, MemOrdering::Release);
+                    for t in 0..trig {
+                        b = b.trigger_store(move |ctx| Tag((ctx.wg * 16 + t) as u64));
+                    }
+                }
+                KernelLaunch::new(b.build().unwrap(), wgs, 64, &format!("k{i}"))
+            })
+            .collect();
+        let expect_wgs: u64 = kernels.iter().map(|&(w, ..)| w as u64).sum();
+        let expect_triggers: u64 = kernels
+            .iter()
+            .map(|&(w, _, _, t)| w as u64 * t as u64)
+            .sum();
+        let run = drive(launches);
+        prop_assert_eq!(run.done.len(), kernels.len());
+        prop_assert_eq!(run.wgs_completed, expect_wgs);
+        prop_assert_eq!(run.triggers.len() as u64, expect_triggers);
+        // Labels unique and all present.
+        let mut labels: Vec<&str> = run.done.iter().map(|(_, l)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len(), kernels.len());
+    }
+
+    /// Kernel completion is never earlier than launch + exec-of-slowest-wg
+    /// + teardown, and every trigger precedes its kernel's completion.
+    #[test]
+    fn completion_bounds(k in arb_kernel(0)) {
+        let min_end = SimTime::ZERO
+            + SimDuration::from_ns(1_500) // launch
+            + SimDuration::from_ns(1_500); // teardown
+        let run = drive(vec![k]);
+        prop_assert_eq!(run.done.len(), 1);
+        prop_assert!(run.done[0].0 >= min_end);
+        for &(t, _) in &run.triggers {
+            prop_assert!(t < run.done[0].0, "trigger after kernel done");
+        }
+    }
+
+    /// Same launches, same outcome: the GPU model is deterministic.
+    #[test]
+    fn deterministic(k in arb_kernel(0), k2 in arb_kernel(1)) {
+        let a = drive(vec![k.clone(), k2.clone()]);
+        let b = drive(vec![k, k2]);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.triggers, b.triggers);
+        prop_assert_eq!(a.done, b.done);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gtn-host — the host CPU and its communication runtimes
+//!
+//! Everything the paper's evaluation runs *on the CPU side*:
+//!
+//! - [`config`] — the Table 2 CPU (8 wide OOO cores at 4 GHz) distilled into
+//!   runtime-call and throughput costs: the per-message network-stack time
+//!   that HDN pays on the critical path, the kernel-dispatch cost, the
+//!   cheaper "partial network stack" of posting a pre-built triggered
+//!   operation (Table 1).
+//! - [`compute`] — an OpenMP-like parallel compute model for the CPU
+//!   baseline of Figs. 9–11.
+//! - [`program`] — a host-op DSL and CPU state machine: host code is a
+//!   sequence of [`program::HostOp`]s (compute, kernel launches, kernel
+//!   waits, NIC posts, flag polls, functional memory effects) executed
+//!   serially with simulated costs. Strategies in `gtn-core` are host
+//!   programs.
+//! - [`mpi`] — a two-sided eager-protocol messaging layer (mailbox regions +
+//!   arrival flags over one-sided NIC puts), used by the HDN and CPU
+//!   configurations.
+//! - [`nbc`] — libNBC-style non-blocking collective schedules (§5.4.1):
+//!   collectives are compiled to rounds of send/recv/reduce subtasks; the
+//!   ring Allreduce generator drives Fig. 10.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compute;
+pub mod config;
+pub mod mpi;
+pub mod nbc;
+pub mod program;
+
+pub use config::HostConfig;
+pub use program::{Cpu, CpuEvent, CpuOutput, HostOp, HostProgram};

@@ -1,0 +1,250 @@
+//! libNBC-style non-blocking collective schedules (§5.4.1).
+//!
+//! "When a collective application is called from the application, libNBC
+//! creates a schedule of subtasks that completely define all operations and
+//! dependencies" — and that schedule shape "maps perfectly to the triggered
+//! operation semantics in GPU-TN". This module is that schedule generator:
+//! collectives compile to [`Round`]s of send / recv / reduce subtasks, which
+//! the strategy layer lowers to host programs (CPU/HDN), pre-posted
+//! operations plus kernel-boundary doorbells (GDS), or pre-registered
+//! triggered puts driven from a single persistent kernel (GPU-TN).
+//!
+//! The generator implemented here is the ring Allreduce of Fig. 2/Fig. 10:
+//! a reduce-scatter phase followed by an allgather phase, `2(P−1)` rounds
+//! total, each moving `N/P` elements to the ring successor.
+
+use serde::{Deserialize, Serialize};
+
+/// One subtask of a schedule round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NbcOp {
+    /// Send `chunk` (by index) to `peer`.
+    Send {
+        /// Destination rank.
+        peer: u32,
+        /// Chunk index within the vector.
+        chunk: u32,
+    },
+    /// Receive `chunk` from `peer` into the staging area.
+    Recv {
+        /// Source rank.
+        peer: u32,
+        /// Chunk index within the vector.
+        chunk: u32,
+    },
+    /// Combine the received copy of `chunk` into the local vector
+    /// (the user-specified binary op; `+` in the evaluation).
+    Reduce {
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// Overwrite the local copy of `chunk` with the received (already fully
+    /// reduced) copy — the allgather phase's commit.
+    Replace {
+        /// Chunk index.
+        chunk: u32,
+    },
+}
+
+/// A set of subtasks that may proceed once the previous round completed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Round(pub Vec<NbcOp>);
+
+/// A complete collective schedule for one rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Rank this schedule belongs to.
+    pub rank: u32,
+    /// Participating ranks.
+    pub n_ranks: u32,
+    /// The rounds, in dependency order.
+    pub rounds: Vec<Round>,
+}
+
+/// Element range `[offset, offset+len)` of chunk `c` when `total` elements
+/// are split across `p` chunks (remainder spread over the leading chunks).
+pub fn chunk_range(c: u32, total: u64, p: u32) -> (u64, u64) {
+    let p64 = p as u64;
+    let c64 = c as u64;
+    let base = total / p64;
+    let rem = total % p64;
+    let len = base + u64::from(c64 < rem);
+    let offset = c64 * base + c64.min(rem);
+    (offset, len)
+}
+
+/// The ring Allreduce schedule for `rank` of `n_ranks`.
+///
+/// Reduce-scatter rounds `r = 0..P−1`: rank `i` sends chunk `(i − r) mod P`
+/// to `(i+1) mod P` and receives+reduces chunk `(i − r − 1) mod P`.
+/// Allgather rounds: rank `i` sends chunk `(i + 1 − r) mod P` and
+/// receives+replaces chunk `(i − r) mod P`.
+pub fn ring_allreduce(rank: u32, n_ranks: u32) -> Schedule {
+    assert!(n_ranks >= 2, "allreduce needs at least 2 ranks");
+    assert!(rank < n_ranks);
+    let p = n_ranks;
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    let md = |x: i64| ((x % p as i64 + p as i64) % p as i64) as u32;
+
+    let mut rounds = Vec::with_capacity(2 * (p as usize - 1));
+    for r in 0..p - 1 {
+        let send_chunk = md(rank as i64 - r as i64);
+        let recv_chunk = md(rank as i64 - r as i64 - 1);
+        rounds.push(Round(vec![
+            NbcOp::Send {
+                peer: next,
+                chunk: send_chunk,
+            },
+            NbcOp::Recv {
+                peer: prev,
+                chunk: recv_chunk,
+            },
+            NbcOp::Reduce { chunk: recv_chunk },
+        ]));
+    }
+    for r in 0..p - 1 {
+        let send_chunk = md(rank as i64 + 1 - r as i64);
+        let recv_chunk = md(rank as i64 - r as i64);
+        rounds.push(Round(vec![
+            NbcOp::Send {
+                peer: next,
+                chunk: send_chunk,
+            },
+            NbcOp::Recv {
+                peer: prev,
+                chunk: recv_chunk,
+            },
+            NbcOp::Replace { chunk: recv_chunk },
+        ]));
+    }
+    Schedule {
+        rank,
+        n_ranks,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn chunk_ranges_partition_the_vector() {
+        for (total, p) in [(100u64, 4u32), (7, 3), (8 * 1024 * 1024 / 4, 32), (5, 8)] {
+            let mut covered = 0u64;
+            let mut next_offset = 0u64;
+            for c in 0..p {
+                let (off, len) = chunk_range(c, total, p);
+                assert_eq!(off, next_offset, "chunks contiguous");
+                next_offset = off + len;
+                covered += len;
+            }
+            assert_eq!(covered, total, "total={total} p={p}");
+        }
+    }
+
+    #[test]
+    fn schedule_has_2p_minus_2_rounds() {
+        for p in [2u32, 3, 8, 32] {
+            let s = ring_allreduce(0, p);
+            assert_eq!(s.rounds.len(), 2 * (p as usize - 1));
+        }
+    }
+
+    /// Symbolic execution: track, per rank and chunk, the set of ranks whose
+    /// contribution is folded in. After the whole schedule every rank must
+    /// hold every chunk with contributions from every rank.
+    #[test]
+    fn symbolic_replay_produces_full_reduction_everywhere() {
+        for p in [2u32, 3, 4, 5, 8, 16] {
+            let schedules: Vec<Schedule> = (0..p).map(|r| ring_allreduce(r, p)).collect();
+            // state[rank][chunk] = contributor set
+            let mut state: Vec<Vec<BTreeSet<u32>>> = (0..p)
+                .map(|r| (0..p).map(|_| BTreeSet::from([r])).collect())
+                .collect();
+            let n_rounds = schedules[0].rounds.len();
+            for round in 0..n_rounds {
+                // Gather all sends of this round first (rounds are
+                // lock-step).
+                let mut in_flight: Vec<(u32, u32, BTreeSet<u32>)> = Vec::new(); // (to, chunk, set)
+                for s in &schedules {
+                    for op in &s.rounds[round].0 {
+                        if let NbcOp::Send { peer, chunk } = op {
+                            in_flight.push((*peer, *chunk, state[s.rank as usize][*chunk as usize].clone()));
+                        }
+                    }
+                }
+                for s in &schedules {
+                    for op in &s.rounds[round].0 {
+                        match op {
+                            NbcOp::Recv { peer, chunk } => {
+                                // Must exist exactly one matching in-flight message.
+                                let matches: Vec<_> = in_flight
+                                    .iter()
+                                    .filter(|(to, c, _)| *to == s.rank && c == chunk)
+                                    .collect();
+                                assert_eq!(
+                                    matches.len(),
+                                    1,
+                                    "p={p} round={round} rank={} chunk={chunk} peer={peer}",
+                                    s.rank
+                                );
+                            }
+                            NbcOp::Reduce { chunk } => {
+                                let (_, _, set) = in_flight
+                                    .iter()
+                                    .find(|(to, c, _)| *to == s.rank && c == chunk)
+                                    .unwrap()
+                                    .clone();
+                                state[s.rank as usize][*chunk as usize].extend(set);
+                            }
+                            NbcOp::Replace { chunk } => {
+                                let (_, _, set) = in_flight
+                                    .iter()
+                                    .find(|(to, c, _)| *to == s.rank && c == chunk)
+                                    .unwrap()
+                                    .clone();
+                                state[s.rank as usize][*chunk as usize] = set;
+                            }
+                            NbcOp::Send { .. } => {}
+                        }
+                    }
+                }
+            }
+            let full: BTreeSet<u32> = (0..p).collect();
+            for r in 0..p {
+                for c in 0..p {
+                    assert_eq!(
+                        state[r as usize][c as usize], full,
+                        "p={p} rank={r} chunk={c} incomplete"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sends_go_to_ring_successor_only() {
+        let p = 8;
+        for r in 0..p {
+            let s = ring_allreduce(r, p);
+            for round in &s.rounds {
+                for op in &round.0 {
+                    match op {
+                        NbcOp::Send { peer, .. } => assert_eq!(*peer, (r + 1) % p),
+                        NbcOp::Recv { peer, .. } => assert_eq!(*peer, (r + p - 1) % p),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn single_rank_rejected() {
+        let _ = ring_allreduce(0, 1);
+    }
+}

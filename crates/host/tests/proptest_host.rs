@@ -1,0 +1,85 @@
+//! Property tests for the host CPU: program execution is deterministic,
+//! conserves every op, and accumulates compute time exactly.
+
+use gtn_host::{Cpu, CpuEvent, CpuOutput, HostConfig, HostProgram};
+use gtn_mem::MemPool;
+use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::Engine;
+use proptest::prelude::*;
+
+fn drive(program: HostProgram) -> (Option<SimTime>, u64, u64) {
+    let mut cpu = Cpu::new(HostConfig::default(), program);
+    let mut mem = MemPool::new(1);
+    let mut engine: Engine<CpuEvent> = Engine::new();
+    engine.schedule_at(SimTime::ZERO, CpuEvent::Step);
+    let mut finished = None;
+    let mut doorbells = 0u64;
+    engine.run(|eng, ev| {
+        for out in cpu.handle(eng.now(), ev, &mut mem) {
+            match out {
+                CpuOutput::Local { at, ev } => eng.schedule_at(at, ev),
+                CpuOutput::Doorbell { .. } => doorbells += 1,
+                CpuOutput::Finished { at } => finished = Some(at),
+                _ => {}
+            }
+        }
+    });
+    let computes = cpu.stats().counter("compute_phases");
+    (finished, doorbells, computes)
+}
+
+proptest! {
+    /// A pure-compute program finishes at exactly the sum of its phases.
+    #[test]
+    fn compute_time_is_exact(durs in prop::collection::vec(0u64..100_000, 1..50)) {
+        let mut p = HostProgram::new();
+        for &d in &durs {
+            p.compute(SimDuration::from_ns(d));
+        }
+        let (finished, _, computes) = drive(p);
+        let total: u64 = durs.iter().sum();
+        prop_assert_eq!(finished, Some(SimTime::from_ns(total)));
+        prop_assert_eq!(computes, durs.len() as u64);
+    }
+
+    /// Execution is deterministic under any program shape.
+    #[test]
+    fn deterministic(durs in prop::collection::vec(0u64..10_000, 1..30)) {
+        let build = || {
+            let mut p = HostProgram::new();
+            for &d in &durs {
+                p.compute(SimDuration::from_ns(d));
+                p.func(|_| {});
+            }
+            p
+        };
+        prop_assert_eq!(drive(build()), drive(build()));
+    }
+
+    /// Waiting on an already-completed kernel never blocks; waiting on a
+    /// missing one always does (deadlock-freedom is precisely scoped).
+    #[test]
+    fn wait_semantics(pre_done in any::<bool>()) {
+        let mut p = HostProgram::new();
+        p.wait_kernel("k");
+        let mut cpu = Cpu::new(HostConfig::default(), p);
+        let mut mem = MemPool::new(1);
+        let mut engine: Engine<CpuEvent> = Engine::new();
+        if pre_done {
+            engine.schedule_at(SimTime::ZERO, CpuEvent::KernelDone("k".into()));
+        }
+        engine.schedule_at(SimTime::from_ns(1), CpuEvent::Step);
+        let mut finished = false;
+        engine.run(|eng, ev| {
+            for out in cpu.handle(eng.now(), ev, &mut mem) {
+                match out {
+                    CpuOutput::Local { at, ev } => eng.schedule_at(at, ev),
+                    CpuOutput::Finished { .. } => finished = true,
+                    _ => {}
+                }
+            }
+        });
+        prop_assert_eq!(finished, pre_done);
+        prop_assert_eq!(cpu.is_finished(), pre_done);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cluster-wide addressing.
+//!
+//! Every agent in the simulated cluster — host CPU, GPU compute units, and
+//! the NIC's DMA engine — names memory the same way: a node, a region within
+//! that node, and a byte offset. Regions are the unit of allocation (a send
+//! buffer, a Jacobi tile, a completion-flag array), mirroring how an RDMA
+//! runtime registers discrete memory regions with the NIC.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (rank) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an allocated region within one node's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// A byte address: `(node, region, offset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Owning node.
+    pub node: NodeId,
+    /// Region within the node.
+    pub region: RegionId,
+    /// Byte offset into the region.
+    pub offset: u64,
+}
+
+impl NodeId {
+    /// Zero-based index, for indexing per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Addr {
+    /// Construct an address at the start of `region` on `node`.
+    pub fn base(node: NodeId, region: RegionId) -> Addr {
+        Addr {
+            node,
+            region,
+            offset: 0,
+        }
+    }
+
+    /// This address advanced by `bytes`.
+    pub fn offset_by(self, bytes: u64) -> Addr {
+        Addr {
+            offset: self.offset.checked_add(bytes).expect("address overflow"),
+            ..self
+        }
+    }
+
+    /// The address of element `i` assuming `size`-byte elements.
+    pub fn element(self, i: u64, size: u64) -> Addr {
+        self.offset_by(i.checked_mul(size).expect("address overflow"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:r{}+{:#x}", self.node, self.region.0, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_compose() {
+        let a = Addr::base(NodeId(2), RegionId(5));
+        assert_eq!(a.offset, 0);
+        let b = a.offset_by(64).offset_by(8);
+        assert_eq!(b.offset, 72);
+        assert_eq!(b.node, NodeId(2));
+        let c = a.element(10, 4);
+        assert_eq!(c.offset, 40);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let a = Addr::base(NodeId(1), RegionId(3)).offset_by(255);
+        assert_eq!(a.to_string(), "n1:r3+0xff");
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow")]
+    fn overflow_panics() {
+        let _ = Addr::base(NodeId(0), RegionId(0))
+            .offset_by(u64::MAX)
+            .offset_by(1);
+    }
+}

@@ -1,0 +1,191 @@
+//! First-order memory access cost model derived from Table 2.
+//!
+//! The paper's simulation is cycle-level; ours is event-level, so we distill
+//! the cache hierarchy into effective per-access and per-byte costs that the
+//! CPU and GPU compute models consume. The constants below are the Table 2
+//! values verbatim; the *effective* costs blend them with a hit-rate
+//! assumption appropriate to the streaming workloads in the evaluation
+//! (stencils and reductions sweep their footprint with high spatial
+//! locality, so line-granular L2/DRAM traffic dominates).
+
+use gtn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One cache level: size, line, associativity, and load-to-use latency in
+/// cycles of the owning clock.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Access latency in clock cycles.
+    pub latency_cycles: u64,
+}
+
+/// A memory hierarchy owned by an agent with clock `clock_ghz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemHierarchy {
+    /// Clock of the agent issuing accesses, GHz.
+    pub clock_ghz: f64,
+    /// Cache levels, innermost first.
+    pub levels: Vec<CacheLevel>,
+    /// DRAM access latency, nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Aggregate DRAM bandwidth available to this agent, GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Assumed hit fraction at each level for streaming sweeps, innermost
+    /// first; the remainder reaches DRAM.
+    pub stream_hit_rates: Vec<f64>,
+}
+
+impl MemHierarchy {
+    /// The Table 2 CPU-side hierarchy: 64 K L1 (2 cyc), 2 MB L2 (4 cyc),
+    /// 16 MB L3 (20 cyc) at 4 GHz; DDR4 8-channel ≈ 136 GB/s.
+    pub fn table2_cpu() -> Self {
+        MemHierarchy {
+            clock_ghz: 4.0,
+            levels: vec![
+                CacheLevel {
+                    size_bytes: 64 << 10,
+                    line_bytes: 64,
+                    ways: 2,
+                    latency_cycles: 2,
+                },
+                CacheLevel {
+                    size_bytes: 2 << 20,
+                    line_bytes: 64,
+                    ways: 8,
+                    latency_cycles: 4,
+                },
+                CacheLevel {
+                    size_bytes: 16 << 20,
+                    line_bytes: 64,
+                    ways: 16,
+                    latency_cycles: 20,
+                },
+            ],
+            dram_latency_ns: 60.0,
+            dram_bandwidth_gbps: 136.0,
+            stream_hit_rates: vec![0.60, 0.25, 0.10],
+        }
+    }
+
+    /// The Table 2 GPU-side hierarchy: 16 kB D-cache (25 cyc), 768 kB L2
+    /// (150 cyc) at 1 GHz, sharing the same DDR4 system memory.
+    pub fn table2_gpu() -> Self {
+        MemHierarchy {
+            clock_ghz: 1.0,
+            levels: vec![
+                CacheLevel {
+                    size_bytes: 16 << 10,
+                    line_bytes: 64,
+                    ways: 16,
+                    latency_cycles: 25,
+                },
+                CacheLevel {
+                    size_bytes: 768 << 10,
+                    line_bytes: 64,
+                    ways: 16,
+                    latency_cycles: 150,
+                },
+            ],
+            dram_latency_ns: 60.0,
+            dram_bandwidth_gbps: 136.0,
+            stream_hit_rates: vec![0.50, 0.35],
+        }
+    }
+
+    /// Latency of a single dependent access that hits at `level` (0-based),
+    /// or DRAM if `level >= levels.len()`.
+    pub fn hit_latency(&self, level: usize) -> SimDuration {
+        match self.levels.get(level) {
+            Some(l) => SimDuration::from_cycles(l.latency_cycles, self.clock_ghz),
+            None => SimDuration::from_ns_f64(self.dram_latency_ns),
+        }
+    }
+
+    /// Expected latency of one dependent access under the streaming hit-rate
+    /// assumption.
+    pub fn expected_access_latency(&self) -> SimDuration {
+        debug_assert_eq!(self.stream_hit_rates.len(), self.levels.len());
+        let mut ns = 0.0;
+        let mut remaining = 1.0;
+        for (i, &hr) in self.stream_hit_rates.iter().enumerate() {
+            ns += remaining * hr * self.hit_latency(i).as_ns_f64();
+            remaining *= 1.0 - hr;
+        }
+        ns += remaining * self.dram_latency_ns;
+        SimDuration::from_ns_f64(ns)
+    }
+
+    /// Time for a throughput-bound sweep of `bytes` (bandwidth term only;
+    /// callers add compute and latency terms).
+    pub fn sweep_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns_f64(bytes as f64 / self.dram_bandwidth_gbps)
+    }
+
+    /// Number of cache lines touched by a `bytes`-long access at the
+    /// innermost line size.
+    pub fn lines_for(&self, bytes: u64) -> u64 {
+        let line = self.levels.first().map(|l| l.line_bytes).unwrap_or(64);
+        bytes.div_ceil(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants_match_paper() {
+        let cpu = MemHierarchy::table2_cpu();
+        assert_eq!(cpu.levels.len(), 3);
+        assert_eq!(cpu.levels[0].size_bytes, 64 * 1024);
+        assert_eq!(cpu.levels[0].latency_cycles, 2);
+        assert_eq!(cpu.levels[2].size_bytes, 16 * 1024 * 1024);
+        assert_eq!(cpu.levels[2].ways, 16);
+        let gpu = MemHierarchy::table2_gpu();
+        assert_eq!(gpu.levels[0].latency_cycles, 25);
+        assert_eq!(gpu.levels[1].latency_cycles, 150);
+        assert_eq!(gpu.clock_ghz, 1.0);
+    }
+
+    #[test]
+    fn hit_latency_respects_clock() {
+        let cpu = MemHierarchy::table2_cpu();
+        // 2 cycles at 4 GHz = 0.5 ns.
+        assert_eq!(cpu.hit_latency(0), SimDuration::from_ps(500));
+        // Past the last level: DRAM.
+        assert_eq!(cpu.hit_latency(9), SimDuration::from_ns(60));
+    }
+
+    #[test]
+    fn expected_latency_is_between_l1_and_dram() {
+        for h in [MemHierarchy::table2_cpu(), MemHierarchy::table2_gpu()] {
+            let e = h.expected_access_latency();
+            assert!(e > h.hit_latency(0), "{e}");
+            assert!(e < SimDuration::from_ns_f64(h.dram_latency_ns), "{e}");
+        }
+    }
+
+    #[test]
+    fn sweep_time_scales_linearly() {
+        let h = MemHierarchy::table2_cpu();
+        let t1 = h.sweep_time(1 << 20);
+        let t2 = h.sweep_time(2 << 20);
+        // Within 1 ps of exact doubling (from_ns_f64 rounds independently).
+        assert!(t2.as_ps().abs_diff(2 * t1.as_ps()) <= 1);
+    }
+
+    #[test]
+    fn lines_round_up() {
+        let h = MemHierarchy::table2_cpu();
+        assert_eq!(h.lines_for(1), 1);
+        assert_eq!(h.lines_for(64), 1);
+        assert_eq!(h.lines_for(65), 2);
+        assert_eq!(h.lines_for(0), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gtn-mem — simulated coherent shared memory
+//!
+//! The paper evaluates GPU-TN on a high-performance SoC where "the CPU and
+//! GPU share system memory and are coherent" (§5.1), and where the NIC reads
+//! send buffers and writes completion flags directly in that memory. This
+//! crate is that substrate:
+//!
+//! - [`addr`] — node/region/offset addressing shared by every agent (CPU,
+//!   GPU, NIC) in the cluster.
+//! - [`pool`] — the backing store: per-node allocatable regions holding real
+//!   bytes. Workloads compute on actual data (Jacobi grids converge,
+//!   Allreduce sums are exact), which is what gives the test suite teeth.
+//! - [`view`] — typed access helpers (f32 slices, u64 flags).
+//! - [`scope`] — the GPU *scoped memory model* of §4.2.6: scopes
+//!   (work-group / device / system), orderings (acquire / release), fence
+//!   cost model, and a static fence-discipline checker for kernel programs.
+//! - [`latency`] — first-order access-cost model derived from the Table 2
+//!   cache hierarchy, consumed by the GPU/CPU compute-cost models.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod latency;
+pub mod pool;
+pub mod scope;
+pub mod view;
+
+pub use addr::{Addr, NodeId, RegionId};
+pub use pool::{MemError, MemPool};
+pub use scope::{MemOrdering, MemScope};

@@ -1,0 +1,339 @@
+//! The GPU scoped memory model (§4.2.6).
+//!
+//! Modern GPUs are relaxed: stores are visible within a work-group by
+//! default, and making them visible to another agent (the NIC!) requires an
+//! explicit fence or atomic at a wider *scope*. The paper calls out two
+//! obligations for a correct GPU-TN kernel:
+//!
+//! 1. the store to the trigger address must be a **system-scope atomic
+//!    store** (so it bypasses the GPU caches and reaches the NIC), and
+//! 2. the send-buffer writes must be made visible **before** that store via
+//!    a **system-scope release** fence; symmetrically, reading data the NIC
+//!    deposited requires a **system-scope acquire**.
+//!
+//! We model this two ways: a *cost model* (fences at wider scopes are more
+//! expensive, feeding the GPU timing model) and a *static checker* that
+//! validates kernel programs against the discipline above — the simulator's
+//! analogue of the correctness bugs GPU Native Networking suffered under
+//! relaxed memory ([8] in the paper).
+
+use gtn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Visibility scope of a fence or atomic access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemScope {
+    /// Visible within the issuing work-group (the OpenCL default).
+    WorkGroup,
+    /// Visible to the whole GPU device.
+    Device,
+    /// Visible to every agent sharing memory: CPU, other devices, and —
+    /// critically for GPU-TN — the NIC
+    /// (`memory_scope_all_svm_devices` in OpenCL 2.0 terms).
+    System,
+}
+
+/// Ordering constraint of a fence or atomic access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemOrdering {
+    /// No ordering; visibility only.
+    Relaxed,
+    /// Subsequent reads observe prior writes of the releasing agent.
+    Acquire,
+    /// Prior writes become visible before the fence/store.
+    Release,
+    /// Both directions.
+    AcqRel,
+}
+
+impl MemOrdering {
+    /// Does this ordering include release semantics?
+    pub fn releases(self) -> bool {
+        matches!(self, MemOrdering::Release | MemOrdering::AcqRel)
+    }
+
+    /// Does this ordering include acquire semantics?
+    pub fn acquires(self) -> bool {
+        matches!(self, MemOrdering::Acquire | MemOrdering::AcqRel)
+    }
+}
+
+/// Latency cost of fences per scope, for the GPU timing model. Wider scopes
+/// flush/invalidate deeper cache levels; defaults are first-order values
+/// consistent with the Table 2 GPU cache latencies (L1 25 cyc, L2 150 cyc at
+/// 1 GHz).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FenceCosts {
+    /// Work-group scope fence (LDS-level).
+    pub workgroup_ns: f64,
+    /// Device scope fence (flush to GPU L2).
+    pub device_ns: f64,
+    /// System scope fence (flush past L2 to the coherent fabric).
+    pub system_ns: f64,
+}
+
+impl Default for FenceCosts {
+    fn default() -> Self {
+        FenceCosts {
+            workgroup_ns: 10.0,
+            device_ns: 50.0,
+            system_ns: 150.0,
+        }
+    }
+}
+
+impl FenceCosts {
+    /// Duration of a fence at `scope`.
+    pub fn cost(&self, scope: MemScope) -> SimDuration {
+        let ns = match scope {
+            MemScope::WorkGroup => self.workgroup_ns,
+            MemScope::Device => self.device_ns,
+            MemScope::System => self.system_ns,
+        };
+        SimDuration::from_ns_f64(ns)
+    }
+}
+
+/// Abstracted memory-model-relevant operations of a kernel program, in
+/// program order for one work-item. The GPU kernel DSL lowers to this for
+/// validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopedOp {
+    /// A plain store to global memory (e.g. filling the send buffer).
+    GlobalWrite,
+    /// A plain load from global memory.
+    GlobalRead,
+    /// An explicit fence.
+    Fence(MemScope, MemOrdering),
+    /// An atomic store at the given scope/ordering (e.g. to the trigger
+    /// address).
+    AtomicStore(MemScope, MemOrdering),
+    /// An atomic load at the given scope/ordering (e.g. polling a flag the
+    /// NIC sets).
+    AtomicLoad(MemScope, MemOrdering),
+    /// A store to the NIC's memory-mapped trigger address. Must itself be
+    /// system scope (modelled as carrying its scope/ordering).
+    TriggerStore(MemScope, MemOrdering),
+    /// Work-group execution barrier (also a work-group-scope fence).
+    Barrier,
+}
+
+/// A violation of the §4.2.6 discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeViolation {
+    /// The trigger store was not a system-scope access, so it may be
+    /// swallowed by the GPU caches and never reach the NIC.
+    TriggerNotSystemScope {
+        /// Index of the offending op.
+        at: usize,
+    },
+    /// Buffer writes were not released to system scope before the trigger
+    /// store: the NIC may DMA stale data.
+    UnreleasedWritesBeforeTrigger {
+        /// Index of the trigger store.
+        at: usize,
+    },
+    /// Data deposited by the NIC was read without a system-scope acquire
+    /// after the observing atomic load.
+    UnacquiredReadAfterPoll {
+        /// Index of the offending read.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ScopeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeViolation::TriggerNotSystemScope { at } => {
+                write!(f, "op {at}: trigger store must be a system-scope atomic")
+            }
+            ScopeViolation::UnreleasedWritesBeforeTrigger { at } => write!(
+                f,
+                "op {at}: global writes not released at system scope before trigger store"
+            ),
+            ScopeViolation::UnacquiredReadAfterPoll { at } => write!(
+                f,
+                "op {at}: global read of NIC-deposited data without system-scope acquire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScopeViolation {}
+
+/// Validate one work-item's op stream against the GPU-TN fence discipline.
+///
+/// The checker is conservative in exactly the way a real relaxed machine is
+/// unforgiving: it tracks (a) whether any [`ScopedOp::GlobalWrite`] is still
+/// unreleased at system scope, and (b) whether a system-scope poll
+/// ([`ScopedOp::AtomicLoad`]) has been followed by an acquire before
+/// subsequent [`ScopedOp::GlobalRead`]s.
+pub fn check_fence_discipline(ops: &[ScopedOp]) -> Result<(), ScopeViolation> {
+    let mut dirty_writes = false; // global writes not yet system-released
+    let mut pending_acquire = false; // polled a flag, haven't acquired yet
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            ScopedOp::GlobalWrite => dirty_writes = true,
+            ScopedOp::GlobalRead => {
+                if pending_acquire {
+                    return Err(ScopeViolation::UnacquiredReadAfterPoll { at: i });
+                }
+            }
+            ScopedOp::Fence(scope, ord) => {
+                if scope == MemScope::System && ord.releases() {
+                    dirty_writes = false;
+                }
+                if scope == MemScope::System && ord.acquires() {
+                    pending_acquire = false;
+                }
+            }
+            ScopedOp::AtomicStore(scope, ord) => {
+                if scope == MemScope::System && ord.releases() {
+                    dirty_writes = false;
+                }
+            }
+            ScopedOp::AtomicLoad(scope, ord) => {
+                if scope == MemScope::System {
+                    if ord.acquires() {
+                        pending_acquire = false;
+                    } else {
+                        // Saw the flag flip, but later plain reads are not
+                        // ordered after it.
+                        pending_acquire = true;
+                    }
+                }
+            }
+            ScopedOp::TriggerStore(scope, ord) => {
+                if scope != MemScope::System {
+                    return Err(ScopeViolation::TriggerNotSystemScope { at: i });
+                }
+                // A release trigger store itself publishes prior writes.
+                if dirty_writes && !ord.releases() {
+                    return Err(ScopeViolation::UnreleasedWritesBeforeTrigger { at: i });
+                }
+                dirty_writes = false;
+            }
+            ScopedOp::Barrier => {
+                // Work-group barrier: execution sync only at WG scope; it
+                // does not publish writes to the NIC.
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MemOrdering::*;
+    use MemScope::*;
+    use ScopedOp::*;
+
+    #[test]
+    fn figure7a_work_item_kernel_is_valid() {
+        // buffer = ...; atomic_work_item_fence(system, release);
+        // atomic_store_explicit(trigAddr, tag, system);
+        let ops = [
+            GlobalWrite,
+            Fence(System, Release),
+            TriggerStore(System, Relaxed),
+        ];
+        assert_eq!(check_fence_discipline(&ops), Ok(()));
+    }
+
+    #[test]
+    fn figure7b_work_group_kernel_is_valid() {
+        let ops = [
+            GlobalWrite,
+            Fence(System, Release),
+            Barrier,
+            TriggerStore(System, Relaxed),
+        ];
+        assert_eq!(check_fence_discipline(&ops), Ok(()));
+    }
+
+    #[test]
+    fn release_trigger_store_publishes_by_itself() {
+        let ops = [GlobalWrite, TriggerStore(System, Release)];
+        assert_eq!(check_fence_discipline(&ops), Ok(()));
+    }
+
+    #[test]
+    fn missing_release_is_caught() {
+        let ops = [GlobalWrite, TriggerStore(System, Relaxed)];
+        assert_eq!(
+            check_fence_discipline(&ops),
+            Err(ScopeViolation::UnreleasedWritesBeforeTrigger { at: 1 })
+        );
+    }
+
+    #[test]
+    fn workgroup_fence_does_not_publish_to_nic() {
+        let ops = [
+            GlobalWrite,
+            Fence(WorkGroup, Release),
+            TriggerStore(System, Relaxed),
+        ];
+        assert!(matches!(
+            check_fence_discipline(&ops),
+            Err(ScopeViolation::UnreleasedWritesBeforeTrigger { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_alone_does_not_publish() {
+        let ops = [GlobalWrite, Barrier, TriggerStore(System, Relaxed)];
+        assert!(check_fence_discipline(&ops).is_err());
+    }
+
+    #[test]
+    fn non_system_trigger_store_is_caught() {
+        let ops = [TriggerStore(Device, Release)];
+        assert_eq!(
+            check_fence_discipline(&ops),
+            Err(ScopeViolation::TriggerNotSystemScope { at: 0 })
+        );
+    }
+
+    #[test]
+    fn poll_then_read_needs_acquire() {
+        // Poll a completion flag with a relaxed load, then read the data:
+        // invalid. With an acquire load (or a later acquire fence): valid.
+        let bad = [AtomicLoad(System, Relaxed), GlobalRead];
+        assert_eq!(
+            check_fence_discipline(&bad),
+            Err(ScopeViolation::UnacquiredReadAfterPoll { at: 1 })
+        );
+        let good = [AtomicLoad(System, Acquire), GlobalRead];
+        assert_eq!(check_fence_discipline(&good), Ok(()));
+        let fenced = [
+            AtomicLoad(System, Relaxed),
+            Fence(System, Acquire),
+            GlobalRead,
+        ];
+        assert_eq!(check_fence_discipline(&fenced), Ok(()));
+    }
+
+    #[test]
+    fn orderings_classify() {
+        assert!(Release.releases() && !Release.acquires());
+        assert!(Acquire.acquires() && !Acquire.releases());
+        assert!(AcqRel.releases() && AcqRel.acquires());
+        assert!(!Relaxed.releases() && !Relaxed.acquires());
+    }
+
+    #[test]
+    fn fence_costs_widen_with_scope() {
+        let c = FenceCosts::default();
+        assert!(c.cost(System) > c.cost(Device));
+        assert!(c.cost(Device) > c.cost(WorkGroup));
+    }
+
+    #[test]
+    fn scopes_are_ordered() {
+        assert!(MemScope::WorkGroup < MemScope::Device);
+        assert!(MemScope::Device < MemScope::System);
+    }
+}

@@ -1,0 +1,93 @@
+//! NIC timing configuration.
+//!
+//! First-order costs of each stage of the NIC pipeline. Defaults are
+//! calibrated so the Fig. 8 microbenchmark decomposition reproduces the
+//! paper's 2.71 µs (GPU-TN) / 3.76 µs (GDS) / 4.21 µs (HDN) target-side
+//! completion times; see EXPERIMENTS.md for the calibration trace.
+
+use crate::lookup::LookupKind;
+use serde::{Deserialize, Serialize};
+
+/// Timing and structural parameters of one NIC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Host doorbell -> command visible at NIC, nanoseconds (SoC fabric
+    /// write, not PCIe).
+    pub doorbell_ns: u64,
+    /// Command-processor occupancy per host command, nanoseconds.
+    pub cmd_process_ns: u64,
+    /// GPU MMIO store -> trigger FIFO entry, nanoseconds (§3.1 step 3).
+    pub trigger_route_ns: u64,
+    /// DMA engine setup per operation, nanoseconds.
+    pub dma_setup_ns: u64,
+    /// DMA streaming bandwidth from local memory, GB/s (shares the DDR4
+    /// channels of Table 2).
+    pub dma_gbps: f64,
+    /// Target-side processing of an arrived message before payload bytes are
+    /// visible in memory, nanoseconds.
+    pub rx_process_ns: u64,
+    /// Cost of the NIC writing a completion/notification flag, nanoseconds.
+    pub flag_write_ns: u64,
+    /// Trigger-list lookup implementation (§3.3).
+    pub lookup: LookupKind,
+    /// Surcharge for parsing a *dynamic* trigger descriptor (§3.4
+    /// extension): the write carries operation fields, not just a tag.
+    pub dyn_match_extra_ns: u64,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            doorbell_ns: 100,
+            cmd_process_ns: 100,
+            trigger_route_ns: 150,
+            dma_setup_ns: 100,
+            dma_gbps: 136.0,
+            rx_process_ns: 100,
+            flag_write_ns: 50,
+            // The paper's prototype needs <= 16 simultaneous entries, so it
+            // adopts the associative lookup (§3.3); that is our default too.
+            lookup: LookupKind::Associative { ways: 16 },
+            dyn_match_extra_ns: 20,
+        }
+    }
+}
+
+impl NicConfig {
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dma_gbps <= 0.0 {
+            return Err(format!("dma_gbps must be positive, got {}", self.dma_gbps));
+        }
+        if let LookupKind::Associative { ways: 0 } = self.lookup {
+            return Err("associative lookup needs at least one way".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_associative_16() {
+        let c = NicConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.lookup, LookupKind::Associative { ways: 16 });
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let c = NicConfig {
+            dma_gbps: -1.0,
+            ..NicConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = NicConfig {
+            lookup: LookupKind::Associative { ways: 0 },
+            ..NicConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

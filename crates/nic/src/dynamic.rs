@@ -1,0 +1,202 @@
+//! Dynamic communication (§3.4) — the paper's future-work extension,
+//! implemented.
+//!
+//! Base GPU-TN is deliberately static: "buffer locations, message sizes,
+//! target nodes, and other important networking metadata are predetermined
+//! on the CPU". §3.4 sketches the extension: *"Instead of merely writing a
+//! tag to the NIC's trigger address, the GPU could contribute more fields
+//! dynamically, such as the input buffer pointer or target node
+//! identifier"* — at the cost of extra GPU-side control-flow divergence.
+//!
+//! [`DynFields`] is that contribution: a small descriptor the GPU stores
+//! alongside the tag. The CPU still registers a *template* operation
+//! (keeping the serial command-construction work off the GPU); at fire
+//! time the NIC patches the template with whatever fields the GPU
+//! supplied. Costs are modelled accordingly: a descriptor write is a wider
+//! MMIO transaction and the NIC pays a parse surcharge per dynamic match
+//! (see [`crate::NicConfig::dyn_match_extra_ns`]).
+
+use crate::op::NetOp;
+use gtn_mem::{Addr, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Fields the GPU may override at trigger time. `None` keeps the CPU's
+/// template value.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DynFields {
+    /// Override the destination node.
+    pub target: Option<NodeId>,
+    /// Override the local source buffer.
+    pub src: Option<Addr>,
+    /// Override the remote destination address.
+    pub dst: Option<Addr>,
+    /// Override the payload length.
+    pub len: Option<u64>,
+}
+
+impl DynFields {
+    /// The empty override set (a plain static trigger).
+    pub const NONE: DynFields = DynFields {
+        target: None,
+        src: None,
+        dst: None,
+        len: None,
+    };
+
+    /// True if no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.target.is_none() && self.src.is_none() && self.dst.is_none() && self.len.is_none()
+    }
+
+    /// Merge `later` over `self`: later writes win field-wise. This is the
+    /// semantics for threshold > 1 entries — each contributing write may
+    /// refine the descriptor, the last write of each field sticks.
+    pub fn merge(&mut self, later: DynFields) {
+        if later.target.is_some() {
+            self.target = later.target;
+        }
+        if later.src.is_some() {
+            self.src = later.src;
+        }
+        if later.dst.is_some() {
+            self.dst = later.dst;
+        }
+        if later.len.is_some() {
+            self.len = later.len;
+        }
+    }
+
+    /// Patch a template operation with these overrides. Gets keep their
+    /// template shape: the dynamic extension targets puts (the §3.4
+    /// examples are "input buffer pointer or target node identifier" of an
+    /// outbound message).
+    pub fn apply(&self, op: &mut NetOp) {
+        if self.is_empty() {
+            return;
+        }
+        if let NetOp::Put {
+            src,
+            len,
+            target,
+            dst,
+            ..
+        } = op
+        {
+            if let Some(t) = self.target {
+                *target = t;
+            }
+            if let Some(s) = self.src {
+                *src = s;
+            }
+            if let Some(d) = self.dst {
+                *dst = d;
+            }
+            if let Some(l) = self.len {
+                *len = l;
+            }
+        }
+    }
+
+    /// Size of the MMIO descriptor the GPU writes for these fields, bytes.
+    /// A static trigger is a single 8 B store; each supplied field adds a
+    /// lane of the descriptor.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 8 * (u64::from(self.target.is_some())
+            + u64::from(self.src.is_some())
+            + u64::from(self.dst.is_some())
+            + u64::from(self.len.is_some()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_mem::RegionId;
+
+    fn put() -> NetOp {
+        NetOp::Put {
+            src: Addr::base(NodeId(0), RegionId(0)),
+            len: 64,
+            target: NodeId(1),
+            dst: Addr::base(NodeId(1), RegionId(0)),
+            notify: None,
+            completion: None,
+        }
+    }
+
+    #[test]
+    fn none_is_empty_and_noop() {
+        let mut op = put();
+        let before = op.clone();
+        DynFields::NONE.apply(&mut op);
+        assert_eq!(op, before);
+        assert!(DynFields::NONE.is_empty());
+        assert_eq!(DynFields::NONE.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn apply_overrides_selected_fields() {
+        let mut op = put();
+        let f = DynFields {
+            target: Some(NodeId(3)),
+            len: Some(16),
+            ..DynFields::NONE
+        };
+        assert!(!f.is_empty());
+        f.apply(&mut op);
+        match op {
+            NetOp::Put { target, len, src, .. } => {
+                assert_eq!(target, NodeId(3));
+                assert_eq!(len, 16);
+                assert_eq!(src, Addr::base(NodeId(0), RegionId(0)), "untouched");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn merge_later_wins_fieldwise() {
+        let mut a = DynFields {
+            target: Some(NodeId(1)),
+            len: Some(8),
+            ..DynFields::NONE
+        };
+        a.merge(DynFields {
+            target: Some(NodeId(2)),
+            dst: Some(Addr::base(NodeId(2), RegionId(1))),
+            ..DynFields::NONE
+        });
+        assert_eq!(a.target, Some(NodeId(2)), "later write wins");
+        assert_eq!(a.len, Some(8), "unmentioned field survives");
+        assert!(a.dst.is_some());
+    }
+
+    #[test]
+    fn gets_are_not_patched() {
+        let mut op = NetOp::Get {
+            src: Addr::base(NodeId(1), RegionId(0)),
+            len: 64,
+            target: NodeId(1),
+            dst: Addr::base(NodeId(0), RegionId(0)),
+            completion: None,
+        };
+        let before = op.clone();
+        DynFields {
+            target: Some(NodeId(5)),
+            ..DynFields::NONE
+        }
+        .apply(&mut op);
+        assert_eq!(op, before);
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_fields() {
+        let f = DynFields {
+            target: Some(NodeId(0)),
+            src: Some(Addr::base(NodeId(0), RegionId(0))),
+            dst: Some(Addr::base(NodeId(0), RegionId(0))),
+            len: Some(1),
+        };
+        assert_eq!(f.wire_bytes(), 40);
+    }
+}

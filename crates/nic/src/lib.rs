@@ -1,0 +1,44 @@
+//! # gtn-nic — RDMA NIC with the GPU-TN triggered-operation extension
+//!
+//! This crate is the paper's contribution in silicon form: a
+//! Portals-4-style one-sided RDMA NIC (§2.2) extended with the *trigger
+//! list* hardware of §3 —
+//!
+//! - **Trigger entries** carry a network operation, a *tag*, a *counter*,
+//!   and a *threshold* ([`trigger::TriggerEntry`]).
+//! - The GPU activates entries by storing a tag to the NIC's memory-mapped
+//!   **trigger address**; writes land in a FIFO the NIC drains, matching
+//!   tags against the trigger list and bumping counters
+//!   ([`nic::Nic`], [`nic::NicEvent::TriggerWrite`]).
+//! - When `counter >= threshold` the pre-built operation fires (§3.1).
+//! - **Relaxed synchronization** (§3.2): a write that matches no entry
+//!   allocates a counter-only entry, so the GPU may trigger operations the
+//!   CPU has not posted yet; the late post fires immediately if the counter
+//!   already reached the threshold.
+//! - Three trigger-list **lookup implementations** (§3.3) — linear list,
+//!   16-way associative, hash — share functional behaviour but differ in
+//!   per-match cost and capacity ([`lookup::LookupKind`]), feeding the
+//!   ablation bench.
+//!
+//! The NIC is a sans-IO state machine: [`nic::Nic::handle`] consumes a
+//! [`nic::NicEvent`], mutates simulated memory / fabric occupancy, and
+//! returns follow-up events for the cluster glue to schedule (locally or on
+//! a remote node's NIC).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod cq;
+pub mod dynamic;
+pub mod lookup;
+pub mod nic;
+pub mod op;
+pub mod trigger;
+
+pub use config::NicConfig;
+pub use dynamic::DynFields;
+pub use lookup::LookupKind;
+pub use nic::{Nic, NicEvent, NicOutput};
+pub use op::{NetOp, OpId, Tag};
+pub use trigger::{TriggerError, TriggerList};

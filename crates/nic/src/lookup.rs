@@ -1,0 +1,102 @@
+//! Trigger-list lookup implementations (§3.3).
+//!
+//! The paper discusses three ways the NIC can find a trigger entry when a
+//! tag write pops out of the FIFO: traversing a linked list (the Portals 4
+//! baseline, cheap to build but O(n) per match), a small associative
+//! structure (constant time, bounded capacity — the paper's prototype caps
+//! at 16 active entries), and a hash table (near-constant time, unbounded).
+//!
+//! All three are functionally identical; they differ in **per-match cost**
+//! and **capacity**, which is exactly what the `abl_trigger_lookup` bench
+//! measures under trigger storms from thousands of GPU threads.
+
+use gtn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware lookup the NIC implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupKind {
+    /// Walk the trigger list linearly (Portals-4-style linked list).
+    LinearList,
+    /// Fully-associative match over at most `ways` simultaneously active
+    /// entries (the paper's prototype: `ways = 16`).
+    Associative {
+        /// Maximum simultaneously active trigger entries.
+        ways: u32,
+    },
+    /// Hash-table lookup; unbounded capacity, small constant cost.
+    HashTable,
+}
+
+impl LookupKind {
+    /// Capacity limit on simultaneously active entries, if any.
+    pub fn capacity(self) -> Option<usize> {
+        match self {
+            LookupKind::Associative { ways } => Some(ways as usize),
+            _ => None,
+        }
+    }
+
+    /// Time for one tag match against a list of `active` entries.
+    ///
+    /// Costs are first-order hardware estimates: the linear walk pays a
+    /// per-entry pointer chase through NIC-local memory (~2 ns/entry), the
+    /// associative lookup is a single-cycle CAM probe, and the hash path
+    /// pays one hashed index plus a probe.
+    pub fn match_cost(self, active: usize) -> SimDuration {
+        match self {
+            LookupKind::LinearList => {
+                SimDuration::from_ns(4) + SimDuration::from_ns(2).times(active as u64)
+            }
+            LookupKind::Associative { .. } => SimDuration::from_ns(4),
+            LookupKind::HashTable => SimDuration::from_ns(8),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LookupKind::LinearList => "linear",
+            LookupKind::Associative { .. } => "associative",
+            LookupKind::HashTable => "hash",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities() {
+        assert_eq!(LookupKind::LinearList.capacity(), None);
+        assert_eq!(LookupKind::Associative { ways: 16 }.capacity(), Some(16));
+        assert_eq!(LookupKind::HashTable.capacity(), None);
+    }
+
+    #[test]
+    fn linear_cost_grows_with_list() {
+        let l = LookupKind::LinearList;
+        assert!(l.match_cost(100) > l.match_cost(1));
+        assert_eq!(l.match_cost(0), SimDuration::from_ns(4));
+        assert_eq!(l.match_cost(10), SimDuration::from_ns(24));
+    }
+
+    #[test]
+    fn associative_and_hash_are_flat() {
+        let a = LookupKind::Associative { ways: 16 };
+        let h = LookupKind::HashTable;
+        assert_eq!(a.match_cost(1), a.match_cost(16));
+        assert_eq!(h.match_cost(1), h.match_cost(10_000));
+        // CAM beats hash beats long linear walks.
+        assert!(a.match_cost(16) < h.match_cost(16));
+        assert!(h.match_cost(100) < LookupKind::LinearList.match_cost(100));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LookupKind::LinearList.name(), "linear");
+        assert_eq!(LookupKind::Associative { ways: 4 }.name(), "associative");
+        assert_eq!(LookupKind::HashTable.name(), "hash");
+    }
+}

@@ -1,0 +1,169 @@
+//! Network operation descriptors: the one-sided put/get vocabulary of §2.2,
+//! plus the trigger-entry metadata fields of §3.1 ("description of the
+//! network operation and all the metadata required to execute that
+//! operation, such as a pointer to the memory resident send buffer, length,
+//! target id, etc.").
+
+use gtn_mem::{Addr, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a trigger entry (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(pub u64);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// Identifier of an in-flight NIC operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+/// Target-side notification: after the payload lands, the target NIC
+/// fetch-adds `add` to `flag` (PGAS-style polling target, §4.2.5) and —
+/// optionally — performs a **chained trigger write** to its own trigger
+/// list (`chain`). Chaining is the Portals-4 counter mechanism the paper
+/// builds on (Underwood et al. [40]): arrivals can progress a sequence of
+/// pre-registered operations entirely on the NIC, with no CPU or GPU on
+/// the path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Notify {
+    /// Flag address on the target node.
+    pub flag: Addr,
+    /// Value to add to the flag (fetch-add, so flags can count arrivals).
+    pub add: u64,
+    /// Tag to write to the *receiving* NIC's trigger list after the
+    /// payload commits (counter chaining, [40]).
+    pub chain: Option<Tag>,
+}
+
+impl Notify {
+    /// Plain arrival counting: fetch-add 1 to `flag`, no chaining.
+    pub fn count(flag: Addr) -> Notify {
+        Notify {
+            flag,
+            add: 1,
+            chain: None,
+        }
+    }
+
+    /// Arrival counting plus a chained trigger write of `tag` on the
+    /// receiving NIC.
+    pub fn count_then_trigger(flag: Addr, tag: Tag) -> Notify {
+        Notify {
+            flag,
+            add: 1,
+            chain: Some(tag),
+        }
+    }
+}
+
+/// A one-sided network operation, fully described up front so the NIC can
+/// execute it without host involvement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetOp {
+    /// Write `len` bytes from local `src` to `dst` on `target`.
+    Put {
+        /// Local send buffer.
+        src: Addr,
+        /// Payload length in bytes.
+        len: u64,
+        /// Destination node.
+        target: NodeId,
+        /// Destination address on `target`.
+        dst: Addr,
+        /// Optional target-side notification (§4.2.5).
+        notify: Option<Notify>,
+        /// Optional initiator-side local-completion flag: fetch-add 1 when
+        /// the send buffer is safe to reuse (§4.2.4).
+        completion: Option<Addr>,
+    },
+    /// Read `len` bytes from `src` on `target` into local `dst`.
+    Get {
+        /// Remote source address on `target`.
+        src: Addr,
+        /// Payload length in bytes.
+        len: u64,
+        /// Node owning `src`.
+        target: NodeId,
+        /// Local destination buffer.
+        dst: Addr,
+        /// Local-completion flag: fetch-add 1 when the data has arrived
+        /// (§4.2.4: "for gets, completion defines when the data has been
+        /// received from the target").
+        completion: Option<Addr>,
+    },
+}
+
+impl NetOp {
+    /// The node this operation communicates with.
+    pub fn target(&self) -> NodeId {
+        match self {
+            NetOp::Put { target, .. } | NetOp::Get { target, .. } => *target,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            NetOp::Put { len, .. } | NetOp::Get { len, .. } => *len,
+        }
+    }
+
+    /// True if the payload is empty (flag-only message).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short display form for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetOp::Put { .. } => "put",
+            NetOp::Get { .. } => "get",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_mem::RegionId;
+
+    fn addr(n: u32) -> Addr {
+        Addr::base(NodeId(n), RegionId(0))
+    }
+
+    #[test]
+    fn accessors() {
+        let p = NetOp::Put {
+            src: addr(0),
+            len: 64,
+            target: NodeId(1),
+            dst: addr(1),
+            notify: None,
+            completion: None,
+        };
+        assert_eq!(p.target(), NodeId(1));
+        assert_eq!(p.len(), 64);
+        assert!(!p.is_empty());
+        assert_eq!(p.kind(), "put");
+
+        let g = NetOp::Get {
+            src: addr(1),
+            len: 0,
+            target: NodeId(1),
+            dst: addr(0),
+            completion: None,
+        };
+        assert!(g.is_empty());
+        assert_eq!(g.kind(), "get");
+    }
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(Tag(7).to_string(), "tag7");
+    }
+}

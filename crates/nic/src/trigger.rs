@@ -1,0 +1,425 @@
+//! The trigger list: tag-matched counters gating pre-registered operations.
+//!
+//! This module implements the semantics of §3.1 (tag / counter / threshold
+//! matching) and §3.2 (relaxed synchronization — GPU triggers may precede
+//! the CPU post). It is pure state: the [`crate::nic::Nic`] wraps it with
+//! FIFO timing and DMA/fabric effects, so every matching rule is unit- and
+//! property-testable here in isolation.
+
+use crate::dynamic::DynFields;
+use crate::lookup::LookupKind;
+use crate::op::{NetOp, Tag};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One trigger entry (§3.1): "Network Operation, Tag, Counter, Threshold".
+///
+/// Under relaxed synchronization the operation and threshold may be absent:
+/// the entry then only accumulates counts until the CPU's post arrives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerEntry {
+    /// Unique identifier for this entry.
+    pub tag: Tag,
+    /// Number of matching trigger-address writes collected so far.
+    pub counter: u64,
+    /// Writes to collect before initiating the operation; `None` until the
+    /// CPU registers the operation (§3.2).
+    pub threshold: Option<u64>,
+    /// The pre-built network operation; `None` until registered.
+    pub op: Option<NetOp>,
+    /// Field overrides accumulated from dynamic trigger writes (§3.4
+    /// extension); applied to `op` at fire time.
+    pub overrides: DynFields,
+}
+
+impl TriggerEntry {
+    /// True if the entry is armed (has an operation) and its counter has
+    /// reached the threshold.
+    fn ready(&self) -> bool {
+        match (self.threshold, &self.op) {
+            (Some(t), Some(_)) => self.counter >= t,
+            _ => false,
+        }
+    }
+}
+
+/// A trigger entry whose condition has been met: the NIC should now execute
+/// `op`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fired {
+    /// Tag of the entry that fired.
+    pub tag: Tag,
+    /// Counter value at fire time.
+    pub counter: u64,
+    /// The operation to execute.
+    pub op: NetOp,
+}
+
+/// Registration/trigger failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriggerError {
+    /// An armed entry with this tag already exists; tags identify entries
+    /// uniquely (§3.1).
+    DuplicateTag(Tag),
+    /// The associative lookup is full: the paper's prototype supports at
+    /// most 16 simultaneously active entries (§3.3).
+    CapacityExceeded {
+        /// The lookup's capacity.
+        capacity: usize,
+        /// The tag that could not be inserted.
+        tag: Tag,
+    },
+    /// A registration supplied a zero threshold, which would make the
+    /// operation fire before any trigger — use a direct post instead.
+    ZeroThreshold(Tag),
+}
+
+impl fmt::Display for TriggerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerError::DuplicateTag(t) => write!(f, "trigger entry {t} already armed"),
+            TriggerError::CapacityExceeded { capacity, tag } => write!(
+                f,
+                "trigger list full ({capacity} entries) inserting {tag}; \
+                 use LinearList/HashTable lookup or retire entries first"
+            ),
+            TriggerError::ZeroThreshold(t) => {
+                write!(f, "{t}: threshold must be >= 1 (use a direct post)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TriggerError {}
+
+/// The NIC's list of registered trigger entries.
+///
+/// Functionally a map from tag to entry regardless of [`LookupKind`]; the
+/// lookup kind contributes the per-match *cost* (consumed by the NIC's FIFO
+/// drain loop) and the *capacity* constraint.
+#[derive(Debug)]
+pub struct TriggerList {
+    entries: HashMap<u64, TriggerEntry>,
+    kind: LookupKind,
+    fired_total: u64,
+    early_allocations: u64,
+}
+
+impl TriggerList {
+    /// An empty list using `kind` for lookups.
+    pub fn new(kind: LookupKind) -> Self {
+        TriggerList {
+            entries: HashMap::new(),
+            kind,
+            fired_total: 0,
+            early_allocations: 0,
+        }
+    }
+
+    /// Number of simultaneously active entries.
+    pub fn active(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total operations fired since construction.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Entries allocated by GPU writes before the CPU post (relaxed-sync
+    /// path, §3.2).
+    pub fn early_allocations(&self) -> u64 {
+        self.early_allocations
+    }
+
+    /// The lookup implementation in use.
+    pub fn lookup_kind(&self) -> LookupKind {
+        self.kind
+    }
+
+    /// Cost of one tag match at the current occupancy.
+    pub fn match_cost(&self) -> gtn_sim::time::SimDuration {
+        self.kind.match_cost(self.active())
+    }
+
+    /// Borrow an entry (tests and diagnostics).
+    pub fn entry(&self, tag: Tag) -> Option<&TriggerEntry> {
+        self.entries.get(&tag.0)
+    }
+
+    fn check_capacity(&self, tag: Tag) -> Result<(), TriggerError> {
+        if let Some(cap) = self.kind.capacity() {
+            if self.entries.len() >= cap {
+                return Err(TriggerError::CapacityExceeded { capacity: cap, tag });
+            }
+        }
+        Ok(())
+    }
+
+    /// CPU-side registration of a triggered operation (§3.1 step 1 /
+    /// Fig. 6 `TrigPut`).
+    ///
+    /// If a counter-only entry for `tag` already exists (the GPU triggered
+    /// early — §3.2), the operation attaches to the existing counter; if
+    /// that counter has already reached `threshold`, the operation fires
+    /// immediately and `Ok(Some(Fired))` is returned.
+    pub fn register(
+        &mut self,
+        tag: Tag,
+        op: NetOp,
+        threshold: u64,
+    ) -> Result<Option<Fired>, TriggerError> {
+        if threshold == 0 {
+            return Err(TriggerError::ZeroThreshold(tag));
+        }
+        match self.entries.get_mut(&tag.0) {
+            Some(e) if e.op.is_some() => Err(TriggerError::DuplicateTag(tag)),
+            Some(e) => {
+                // §3.2: "the new triggered operation is associated with the
+                // existing counter. If the counter value is already greater
+                // than or equal to the threshold, the network operation is
+                // executed immediately."
+                e.threshold = Some(threshold);
+                e.op = Some(op);
+                if e.ready() {
+                    let fired = self.take_fired(tag);
+                    Ok(Some(fired))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => {
+                self.check_capacity(tag)?;
+                self.entries.insert(
+                    tag.0,
+                    TriggerEntry {
+                        tag,
+                        counter: 0,
+                        threshold: Some(threshold),
+                        op: Some(op),
+                        overrides: DynFields::NONE,
+                    },
+                );
+                Ok(None)
+            }
+        }
+    }
+
+    /// A tag write popped out of the trigger FIFO (§3.1 step 3).
+    ///
+    /// Increments the matching entry's counter, allocating a counter-only
+    /// entry if the tag is unknown (§3.2). Returns the fired operation if
+    /// the threshold is met.
+    pub fn trigger(&mut self, tag: Tag) -> Result<Option<Fired>, TriggerError> {
+        self.trigger_dyn(tag, DynFields::NONE)
+    }
+
+    /// A *dynamic* tag write (§3.4 extension): like [`TriggerList::trigger`]
+    /// but carrying field overrides that are merged into the entry and
+    /// applied to the template operation at fire time. Later writes win
+    /// field-wise.
+    pub fn trigger_dyn(
+        &mut self,
+        tag: Tag,
+        fields: DynFields,
+    ) -> Result<Option<Fired>, TriggerError> {
+        match self.entries.get_mut(&tag.0) {
+            Some(e) => {
+                e.counter += 1;
+                e.overrides.merge(fields);
+                if e.ready() {
+                    Ok(Some(self.take_fired(tag)))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => {
+                // §3.2: "the NIC allocates a trigger entry for this tag
+                // without a corresponding network operation or threshold."
+                self.check_capacity(tag)?;
+                self.early_allocations += 1;
+                self.entries.insert(
+                    tag.0,
+                    TriggerEntry {
+                        tag,
+                        counter: 1,
+                        threshold: None,
+                        op: None,
+                        overrides: fields,
+                    },
+                );
+                Ok(None)
+            }
+        }
+    }
+
+    /// Remove a ready entry and produce its `Fired` record. Entries are
+    /// one-shot: a fired tag leaves the list (re-triggering the same tag
+    /// later allocates a fresh counter-only entry).
+    fn take_fired(&mut self, tag: Tag) -> Fired {
+        let e = self.entries.remove(&tag.0).expect("ready entry exists");
+        self.fired_total += 1;
+        let mut op = e.op.expect("ready entry has op");
+        e.overrides.apply(&mut op);
+        Fired {
+            tag,
+            counter: e.counter,
+            op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_mem::{Addr, NodeId, RegionId};
+
+    fn put() -> NetOp {
+        NetOp::Put {
+            src: Addr::base(NodeId(0), RegionId(0)),
+            len: 64,
+            target: NodeId(1),
+            dst: Addr::base(NodeId(1), RegionId(0)),
+            notify: None,
+            completion: None,
+        }
+    }
+
+    fn list() -> TriggerList {
+        TriggerList::new(LookupKind::Associative { ways: 16 })
+    }
+
+    #[test]
+    fn threshold_one_fires_on_first_trigger() {
+        let mut l = list();
+        assert_eq!(l.register(Tag(1), put(), 1), Ok(None));
+        let fired = l.trigger(Tag(1)).unwrap().expect("fires");
+        assert_eq!(fired.tag, Tag(1));
+        assert_eq!(fired.counter, 1);
+        assert_eq!(l.active(), 0, "entries are one-shot");
+        assert_eq!(l.fired_total(), 1);
+    }
+
+    #[test]
+    fn threshold_n_counts_writes() {
+        let mut l = list();
+        l.register(Tag(5), put(), 3).unwrap();
+        assert_eq!(l.trigger(Tag(5)).unwrap(), None);
+        assert_eq!(l.trigger(Tag(5)).unwrap(), None);
+        let fired = l.trigger(Tag(5)).unwrap().expect("third write fires");
+        assert_eq!(fired.counter, 3);
+    }
+
+    #[test]
+    fn relaxed_sync_trigger_before_post() {
+        // §3.2 scenario: GPU triggers twice, then the CPU posts with
+        // threshold 2 -> fires immediately at registration.
+        let mut l = list();
+        assert_eq!(l.trigger(Tag(9)).unwrap(), None);
+        assert_eq!(l.trigger(Tag(9)).unwrap(), None);
+        assert_eq!(l.early_allocations(), 1);
+        assert_eq!(l.entry(Tag(9)).unwrap().counter, 2);
+        assert_eq!(l.entry(Tag(9)).unwrap().op, None);
+        let fired = l.register(Tag(9), put(), 2).unwrap().expect("fires at post");
+        assert_eq!(fired.counter, 2);
+        assert_eq!(l.active(), 0);
+    }
+
+    #[test]
+    fn relaxed_sync_partial_count_waits_for_remaining_triggers() {
+        let mut l = list();
+        l.trigger(Tag(9)).unwrap();
+        assert_eq!(l.register(Tag(9), put(), 3).unwrap(), None, "1 of 3");
+        assert_eq!(l.trigger(Tag(9)).unwrap(), None, "2 of 3");
+        assert!(l.trigger(Tag(9)).unwrap().is_some(), "3 of 3 fires");
+    }
+
+    #[test]
+    fn counter_overshoot_fires_once_at_post() {
+        let mut l = list();
+        for _ in 0..10 {
+            l.trigger(Tag(2)).unwrap();
+        }
+        let fired = l.register(Tag(2), put(), 4).unwrap().expect("fires");
+        assert_eq!(fired.counter, 10, "counter may exceed threshold");
+        assert_eq!(l.fired_total(), 1);
+    }
+
+    #[test]
+    fn duplicate_armed_tag_rejected() {
+        let mut l = list();
+        l.register(Tag(1), put(), 1).unwrap();
+        assert_eq!(
+            l.register(Tag(1), put(), 1),
+            Err(TriggerError::DuplicateTag(Tag(1)))
+        );
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let mut l = list();
+        assert_eq!(
+            l.register(Tag(1), put(), 0),
+            Err(TriggerError::ZeroThreshold(Tag(1)))
+        );
+    }
+
+    #[test]
+    fn associative_capacity_enforced_for_posts_and_early_triggers() {
+        let mut l = TriggerList::new(LookupKind::Associative { ways: 2 });
+        l.register(Tag(1), put(), 1).unwrap();
+        l.register(Tag(2), put(), 1).unwrap();
+        assert!(matches!(
+            l.register(Tag(3), put(), 1),
+            Err(TriggerError::CapacityExceeded { capacity: 2, .. })
+        ));
+        assert!(matches!(
+            l.trigger(Tag(4)),
+            Err(TriggerError::CapacityExceeded { .. })
+        ));
+        // Firing an entry frees a slot.
+        l.trigger(Tag(1)).unwrap().expect("fires");
+        assert!(l.register(Tag(3), put(), 1).is_ok());
+    }
+
+    #[test]
+    fn unbounded_lookups_accept_many_entries() {
+        for kind in [LookupKind::LinearList, LookupKind::HashTable] {
+            let mut l = TriggerList::new(kind);
+            for i in 0..1000 {
+                l.register(Tag(i), put(), 1).unwrap();
+            }
+            assert_eq!(l.active(), 1000);
+            assert!(l.match_cost() >= kind.match_cost(0));
+        }
+    }
+
+    #[test]
+    fn retrigger_after_fire_allocates_fresh_counter_entry() {
+        let mut l = list();
+        l.register(Tag(1), put(), 1).unwrap();
+        l.trigger(Tag(1)).unwrap().expect("fires");
+        // Late/extra write: becomes an early allocation for a future post.
+        assert_eq!(l.trigger(Tag(1)).unwrap(), None);
+        assert_eq!(l.entry(Tag(1)).unwrap().counter, 1);
+        assert_eq!(l.entry(Tag(1)).unwrap().op, None);
+    }
+
+    #[test]
+    fn mixed_granularity_pairs_example() {
+        // §4.2.3: one message per *pair* of work-items — threshold 2, half
+        // as many tags. Simulate 8 work-items over 4 tags.
+        let mut l = list();
+        for t in 0..4 {
+            l.register(Tag(t), put(), 2).unwrap();
+        }
+        let mut fired = 0;
+        for wi in 0..8u64 {
+            if l.trigger(Tag(wi / 2)).unwrap().is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 4);
+        assert_eq!(l.active(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Tests for the §3.4 dynamic-communication extension at the trigger-list
+//! and NIC level: GPU-supplied field overrides patch the CPU's template
+//! operation at fire time, compose with thresholds, and work through the
+//! relaxed-sync path.
+
+use gtn_fabric::{Fabric, FabricConfig};
+use gtn_mem::{Addr, MemPool, NodeId, RegionId};
+use gtn_nic::dynamic::DynFields;
+use gtn_nic::lookup::LookupKind;
+use gtn_nic::nic::{Nic, NicCommand, NicEvent, NicOutput};
+use gtn_nic::op::{NetOp, Notify, Tag};
+use gtn_nic::trigger::TriggerList;
+use gtn_nic::NicConfig;
+use gtn_sim::time::SimTime;
+use gtn_sim::Engine;
+
+fn template(target: NodeId) -> NetOp {
+    NetOp::Put {
+        src: Addr::base(NodeId(0), RegionId(0)),
+        len: 64,
+        target,
+        dst: Addr::base(target, RegionId(0)),
+        notify: None,
+        completion: None,
+    }
+}
+
+#[test]
+fn dynamic_write_patches_target_at_fire() {
+    let mut list = TriggerList::new(LookupKind::HashTable);
+    list.register(Tag(1), template(NodeId(1)), 1).unwrap();
+    let fired = list
+        .trigger_dyn(
+            Tag(1),
+            DynFields {
+                target: Some(NodeId(3)),
+                len: Some(16),
+                ..DynFields::NONE
+            },
+        )
+        .unwrap()
+        .expect("fires");
+    assert_eq!(fired.op.target(), NodeId(3));
+    assert_eq!(fired.op.len(), 16);
+}
+
+#[test]
+fn static_write_leaves_template_untouched() {
+    let mut list = TriggerList::new(LookupKind::HashTable);
+    list.register(Tag(1), template(NodeId(1)), 1).unwrap();
+    let fired = list.trigger(Tag(1)).unwrap().expect("fires");
+    assert_eq!(fired.op.target(), NodeId(1));
+    assert_eq!(fired.op.len(), 64);
+}
+
+#[test]
+fn threshold_merges_descriptors_last_write_wins() {
+    let mut list = TriggerList::new(LookupKind::HashTable);
+    list.register(Tag(7), template(NodeId(1)), 3).unwrap();
+    list.trigger_dyn(
+        Tag(7),
+        DynFields {
+            target: Some(NodeId(2)),
+            ..DynFields::NONE
+        },
+    )
+    .unwrap();
+    list.trigger_dyn(
+        Tag(7),
+        DynFields {
+            len: Some(8),
+            ..DynFields::NONE
+        },
+    )
+    .unwrap();
+    let fired = list
+        .trigger_dyn(
+            Tag(7),
+            DynFields {
+                target: Some(NodeId(4)),
+                ..DynFields::NONE
+            },
+        )
+        .unwrap()
+        .expect("third write fires");
+    assert_eq!(fired.op.target(), NodeId(4), "last target wins");
+    assert_eq!(fired.op.len(), 8, "len from the middle write survives");
+}
+
+#[test]
+fn relaxed_sync_preserves_early_dynamic_fields() {
+    // GPU triggers dynamically before the CPU post (§3.2 + §3.4 combined).
+    let mut list = TriggerList::new(LookupKind::HashTable);
+    list.trigger_dyn(
+        Tag(9),
+        DynFields {
+            target: Some(NodeId(5)),
+            ..DynFields::NONE
+        },
+    )
+    .unwrap();
+    let fired = list
+        .register(Tag(9), template(NodeId(1)), 1)
+        .unwrap()
+        .expect("fires at post");
+    assert_eq!(fired.op.target(), NodeId(5), "early descriptor applied");
+}
+
+/// End-to-end through the NIC state machine: a dynamic write steers the
+/// payload to a runtime-chosen node.
+#[test]
+fn nic_delivers_to_dynamic_target() {
+    let n = 4;
+    let mut mem = MemPool::new(n);
+    let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), 64, "src"));
+    let mut dsts = Vec::new();
+    let mut flags = Vec::new();
+    for node in 1..n as u32 {
+        dsts.push(Addr::base(NodeId(node), mem.alloc(NodeId(node), 64, "dst")));
+        flags.push(Addr::base(NodeId(node), mem.alloc(NodeId(node), 8, "flag")));
+    }
+    mem.write(src, &[0x7E; 64]);
+    let mut fabric = Fabric::new(n, FabricConfig::default());
+    let mut nics: Vec<Nic> = (0..n as u32)
+        .map(|i| {
+            Nic::new(
+                NodeId(i),
+                NicConfig {
+                    lookup: LookupKind::HashTable,
+                    ..NicConfig::default()
+                },
+            )
+        })
+        .collect();
+    let mut engine: Engine<(usize, NicEvent)> = Engine::new();
+
+    // CPU template points at node 1; the "GPU" overrides to node 3.
+    engine.schedule_at(
+        SimTime::ZERO,
+        (
+            0,
+            NicEvent::Doorbell(NicCommand::TriggeredPut {
+                tag: Tag(0),
+                threshold: 1,
+                op: NetOp::Put {
+                    src,
+                    len: 64,
+                    target: NodeId(1),
+                    dst: dsts[0],
+                    notify: Some(Notify {
+                        flag: flags[0],
+                        add: 1,
+                chain: None,
+            }),
+                    completion: None,
+                },
+            }),
+        ),
+    );
+    engine.schedule_at(
+        SimTime::from_us(1),
+        (
+            0,
+            NicEvent::TriggerWriteDyn(
+                Tag(0),
+                DynFields {
+                    target: Some(NodeId(3)),
+                    dst: Some(dsts[2]),
+                    ..DynFields::NONE
+                },
+            ),
+        ),
+    );
+    engine.run(|eng, (node, ev)| {
+        for out in nics[node].handle(eng.now(), ev, &mut mem, &mut fabric) {
+            match out {
+                NicOutput::Local { at, ev } => eng.schedule_at(at, (node, ev)),
+                NicOutput::Remote { node, at, ev } => eng.schedule_at(at, (node.index(), ev)),
+            }
+        }
+    });
+    assert_eq!(mem.read(dsts[2], 64), &[0x7E; 64], "payload at node 3");
+    assert_eq!(mem.read(dsts[0], 64), &[0u8; 64], "node 1 untouched");
+    assert_eq!(nics[0].stats().counter("trigger_writes_dyn"), 1);
+    assert_eq!(nics[3].stats().counter("rx_messages"), 1);
+    assert_eq!(nics[1].stats().counter("rx_messages"), 0);
+}
+
+#[test]
+fn dynamic_match_costs_more_than_static() {
+    // The FIFO drain charges the descriptor-parse surcharge.
+    let cfg = NicConfig::default();
+    let mut nic = Nic::new(NodeId(0), cfg.clone());
+    let mut mem = MemPool::new(2);
+    let mut fabric = Fabric::new(2, FabricConfig::default());
+    // One static and one dynamic write; compare FifoDrain schedule times.
+    let outs = nic.handle(
+        SimTime::ZERO,
+        NicEvent::TriggerWrite(Tag(1)),
+        &mut mem,
+        &mut fabric,
+    );
+    let static_at = match &outs[0] {
+        NicOutput::Local { at, .. } => *at,
+        other => panic!("{other:?}"),
+    };
+    let mut nic2 = Nic::new(NodeId(0), cfg);
+    let outs = nic2.handle(
+        SimTime::ZERO,
+        NicEvent::TriggerWriteDyn(
+            Tag(1),
+            DynFields {
+                target: Some(NodeId(1)),
+                ..DynFields::NONE
+            },
+        ),
+        &mut mem,
+        &mut fabric,
+    );
+    let dyn_at = match &outs[0] {
+        NicOutput::Local { at, .. } => *at,
+        other => panic!("{other:?}"),
+    };
+    assert!(dyn_at > static_at, "dyn {dyn_at} vs static {static_at}");
+}

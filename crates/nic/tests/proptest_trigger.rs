@@ -1,0 +1,144 @@
+//! Property tests for the §3.1/§3.2 trigger semantics: under **any**
+//! interleaving of CPU posts and GPU trigger writes, each registered
+//! operation fires exactly once, exactly when its counter first reaches the
+//! threshold — the core correctness claim of the GPU-TN NIC extension.
+
+use gtn_mem::{Addr, NodeId, RegionId};
+use gtn_nic::lookup::LookupKind;
+use gtn_nic::op::{NetOp, Tag};
+use gtn_nic::trigger::TriggerList;
+use proptest::prelude::*;
+
+fn dummy_put() -> NetOp {
+    NetOp::Put {
+        src: Addr::base(NodeId(0), RegionId(0)),
+        len: 8,
+        target: NodeId(1),
+        dst: Addr::base(NodeId(1), RegionId(0)),
+        notify: None,
+        completion: None,
+    }
+}
+
+/// One step of an interleaving.
+#[derive(Debug, Clone)]
+enum Step {
+    /// CPU posts (tag_idx, threshold).
+    Post(usize, u64),
+    /// GPU writes tag_idx to the trigger address.
+    Trigger(usize),
+}
+
+fn steps(n_tags: usize) -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (0..n_tags, 1u64..6).prop_map(|(t, th)| Step::Post(t, th)),
+        (0..n_tags).prop_map(Step::Trigger),
+    ];
+    prop::collection::vec(step, 1..120)
+}
+
+proptest! {
+    /// Replaying any interleaving against a reference model: an op fires
+    /// exactly once, at the first instant (post or trigger) where an armed
+    /// entry's counter >= threshold.
+    #[test]
+    fn fires_exactly_once_at_threshold(script in steps(6)) {
+        for kind in [LookupKind::LinearList, LookupKind::HashTable] {
+            let mut list = TriggerList::new(kind);
+            // Reference: per-tag (counter, threshold if armed, fired count).
+            let mut counter = [0u64; 6];
+            let mut armed: Vec<Option<u64>> = vec![None; 6];
+            let mut fired = [0u32; 6];
+
+            for step in &script {
+                match *step {
+                    Step::Post(t, th) => {
+                        let res = list.register(Tag(t as u64), dummy_put(), th);
+                        if armed[t].is_some() {
+                            prop_assert!(res.is_err(), "duplicate armed tag must be rejected");
+                            continue;
+                        }
+                        armed[t] = Some(th);
+                        let r = res.unwrap();
+                        if counter[t] >= th {
+                            prop_assert!(r.is_some(), "late post over met counter fires");
+                            prop_assert_eq!(r.unwrap().counter, counter[t]);
+                            fired[t] += 1;
+                            counter[t] = 0;
+                            armed[t] = None;
+                        } else {
+                            prop_assert!(r.is_none());
+                        }
+                    }
+                    Step::Trigger(t) => {
+                        let r = list.trigger(Tag(t as u64)).unwrap();
+                        counter[t] += 1;
+                        match armed[t] {
+                            Some(th) if counter[t] >= th => {
+                                prop_assert!(r.is_some(), "threshold met must fire");
+                                prop_assert_eq!(r.unwrap().counter, counter[t]);
+                                fired[t] += 1;
+                                counter[t] = 0;
+                                armed[t] = None;
+                            }
+                            _ => prop_assert!(r.is_none(), "must not fire early"),
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(list.fired_total(), fired.iter().map(|&f| f as u64).sum::<u64>());
+        }
+    }
+
+    /// The lookup implementation never changes *functional* outcomes, only
+    /// cost/capacity: linear and hash agree on every script.
+    #[test]
+    fn lookup_kinds_agree_functionally(script in steps(4)) {
+        let run = |kind: LookupKind| {
+            let mut list = TriggerList::new(kind);
+            let mut log = Vec::new();
+            for step in &script {
+                let r = match *step {
+                    Step::Post(t, th) => list
+                        .register(Tag(t as u64), dummy_put(), th)
+                        .map(|o| o.map(|f| (f.tag, f.counter)))
+                        .map_err(|_| ()),
+                    Step::Trigger(t) => list
+                        .trigger(Tag(t as u64))
+                        .map(|o| o.map(|f| (f.tag, f.counter)))
+                        .map_err(|_| ()),
+                };
+                log.push(r);
+            }
+            (log, list.fired_total(), list.active())
+        };
+        prop_assert_eq!(run(LookupKind::LinearList), run(LookupKind::HashTable));
+    }
+
+    /// With a big-enough associative lookup, capacity never bites and the
+    /// behaviour matches the unbounded kinds.
+    #[test]
+    fn associative_with_headroom_matches(script in steps(4)) {
+        let run = |kind: LookupKind| {
+            let mut list = TriggerList::new(kind);
+            let mut log = Vec::new();
+            for step in &script {
+                let r = match *step {
+                    Step::Post(t, th) => list
+                        .register(Tag(t as u64), dummy_put(), th)
+                        .map(|o| o.is_some())
+                        .map_err(|_| ()),
+                    Step::Trigger(t) => {
+                        list.trigger(Tag(t as u64)).map(|o| o.is_some()).map_err(|_| ())
+                    }
+                };
+                log.push(r);
+            }
+            log
+        };
+        prop_assert_eq!(
+            run(LookupKind::Associative { ways: 16 }),
+            run(LookupKind::HashTable)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every stochastic choice in the workspace (workload data, gradient sizes
+//! for the deep-learning projection, jitter in ablation studies) draws from a
+//! [`SimRng`] created from an explicit seed, so any figure in EXPERIMENTS.md
+//! can be regenerated bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small, fast, explicitly-seeded RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Deterministic RNG from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream, e.g. one per node, so adding a
+    /// node does not perturb the streams of existing nodes.
+    pub fn fork(&self, stream: u64) -> Self {
+        // SplitMix64 finalizer over (base, stream): cheap, well-distributed.
+        let mut z = self.base_seed().wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seeded(z ^ (z >> 31))
+    }
+
+    fn base_seed(&self) -> u64 {
+        // SmallRng is not introspectable; clone and draw one value as a
+        // stream identity. The clone leaves `self` untouched.
+        self.inner.clone().gen()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index into empty collection");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Approximately log-normally distributed positive value with the given
+    /// median and multiplicative spread (`sigma` in natural-log space).
+    ///
+    /// Used to synthesize Allreduce message-size distributions for the
+    /// deep-learning projection (Table 3 substitution).
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        // Box–Muller from two uniforms.
+        let u1: f64 = self.unit_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        median * (sigma * z).exp()
+    }
+
+    /// Fill a slice with uniform values in `[lo, hi)`.
+    pub fn fill_f32(&mut self, out: &mut [f32], lo: f32, hi: f32) {
+        for v in out {
+            *v = self.range_f32(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let same = (0..64).filter(|_| a.range_u64(0, 1 << 32) == b.range_u64(0, 1 << 32)).count();
+        assert!(same < 4, "streams suspiciously correlated");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let root = SimRng::seeded(7);
+        let mut a1 = root.fork(1);
+        let mut a2 = root.fork(1);
+        let mut b = root.fork(2);
+        assert_eq!(a1.range_u64(0, u64::MAX / 2), a2.range_u64(0, u64::MAX / 2));
+        // Fork 2 diverges from fork 1.
+        let mut a3 = root.fork(1);
+        let x = a3.range_u64(0, u64::MAX / 2);
+        let y = b.range_u64(0, u64::MAX / 2);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_sane_median() {
+        let mut r = SimRng::seeded(99);
+        let mut vals: Vec<f64> = (0..2001).map(|_| r.lognormal(1000.0, 0.5)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!((median / 1000.0 - 1.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::seeded(3);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

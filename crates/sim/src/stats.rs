@@ -1,0 +1,286 @@
+//! Lightweight statistics: counters, scalar gauges, and latency histograms.
+//!
+//! The evaluation harness reports means and tail percentiles of simulated
+//! latencies (Fig. 8's decomposition, the launch-latency study of Fig. 1),
+//! so the histogram keeps exact samples up to a bound and switches to
+//! reservoir sampling beyond it — percentile error stays negligible at the
+//! sample counts these experiments produce.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Exact-then-reservoir sample set over durations.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    samples: Vec<SimDuration>,
+    /// Total observations, including those not retained.
+    count: u64,
+    sum_ps: u128,
+    min: SimDuration,
+    max: SimDuration,
+    cap: usize,
+    rng: SimRng,
+}
+
+impl DurationHistogram {
+    /// Default retained-sample bound.
+    pub const DEFAULT_CAP: usize = 65_536;
+
+    /// New histogram with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// New histogram retaining at most `cap` samples exactly (reservoir
+    /// thereafter).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "histogram capacity must be positive");
+        DurationHistogram {
+            samples: Vec::new(),
+            count: 0,
+            sum_ps: 0,
+            min: SimDuration::from_ps(u64::MAX),
+            max: SimDuration::ZERO,
+            cap,
+            rng: SimRng::seeded(0xDEC0DE),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        self.count += 1;
+        self.sum_ps += d.as_ps() as u128;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        if self.samples.len() < self.cap {
+            self.samples.push(d);
+        } else {
+            // Vitter's Algorithm R.
+            let j = self.rng.range_u64(0, self.count) as usize;
+            if j < self.cap {
+                self.samples[j] = d;
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_ps((self.sum_ps / self.count as u128) as u64)
+    }
+
+    /// Smallest observation, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Percentile in `[0, 100]` over retained samples (nearest-rank).
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Convenience: the median.
+    pub fn median(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for DurationHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// A named bundle of counters and histograms, used by components to publish
+/// their internal activity (trigger matches, packets injected, polls retried)
+/// to the harness without coupling to it.
+#[derive(Debug, Default)]
+pub struct StatSet {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, DurationHistogram>,
+}
+
+impl StatSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump counter `name` by one (creating it on first use).
+    pub fn inc(&mut self, name: &'static str) {
+        self.counters.entry(name).or_default().inc();
+    }
+
+    /// Bump counter `name` by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.entry(name).or_default().add(n);
+    }
+
+    /// Read counter `name` (zero if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Record a duration sample under `name`.
+    pub fn record(&mut self, name: &'static str, d: SimDuration) {
+        self.histograms.entry(name).or_default().record(d);
+    }
+
+    /// Read histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&DurationHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order (deterministic for reports).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, v.get()))
+    }
+
+    /// Merge another set into this one (counters add; histogram samples
+    /// append via re-recording of retained samples).
+    pub fn absorb(&mut self, other: &StatSet) {
+        for (k, v) in &other.counters {
+            self.counters.entry(k).or_default().add(v.get());
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k).or_default();
+            for &s in &h.samples {
+                mine.record(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let mut h = DurationHistogram::new();
+        for ns in [10u64, 20, 30, 40, 50] {
+            h.record(SimDuration::from_ns(ns));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), SimDuration::from_ns(30));
+        assert_eq!(h.min(), SimDuration::from_ns(10));
+        assert_eq!(h.max(), SimDuration::from_ns(50));
+        assert_eq!(h.median(), SimDuration::from_ns(30));
+        assert_eq!(h.percentile(0.0), SimDuration::from_ns(10));
+        assert_eq!(h.percentile(100.0), SimDuration::from_ns(50));
+    }
+
+    #[test]
+    fn histogram_reservoir_keeps_totals_exact() {
+        let mut h = DurationHistogram::with_capacity(64);
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_ns(i));
+        }
+        assert_eq!(h.count(), 10_000);
+        // Mean of 1..=10000 ns is 5000.5 ns; sum is exact regardless of
+        // reservoir eviction.
+        assert_eq!(h.mean().as_ps(), 5_000_500);
+        assert_eq!(h.max(), SimDuration::from_ns(10_000));
+        assert_eq!(h.min(), SimDuration::from_ns(1));
+        // Median estimate from the reservoir should land mid-range.
+        let med = h.median().as_ns_f64();
+        assert!((2_000.0..8_000.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.median(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn statset_counters_and_merge() {
+        let mut a = StatSet::new();
+        a.inc("puts");
+        a.add("bytes", 64);
+        a.record("latency", SimDuration::from_ns(100));
+        let mut b = StatSet::new();
+        b.inc("puts");
+        b.record("latency", SimDuration::from_ns(300));
+        a.absorb(&b);
+        assert_eq!(a.counter("puts"), 2);
+        assert_eq!(a.counter("bytes"), 64);
+        assert_eq!(a.counter("missing"), 0);
+        let h = a.histogram("latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimDuration::from_ns(200));
+        let names: Vec<_> = a.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["bytes", "puts"], "deterministic order");
+    }
+}

@@ -1,0 +1,285 @@
+//! Timeline tracing: labelled spans per actor lane.
+//!
+//! The paper communicates its core result through control-flow timelines
+//! (Fig. 3) and a latency decomposition (Fig. 8). Components open spans
+//! ("Kernel Launch", "Put", "Wait") on named lanes ("CPU", "GPU", "NIC");
+//! the harness extracts per-phase durations and renders an ASCII Gantt chart
+//! directly comparable to the figures.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A closed interval of activity on one lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Lane name, e.g. `"initiator.GPU"`.
+    pub lane: String,
+    /// Phase label, e.g. `"Kernel Launch"`.
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant (`>= start`).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Handle to a span that has been opened but not yet closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenSpan(usize);
+
+/// An append-only trace of spans and instantaneous marks.
+#[derive(Debug, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+    open: Vec<(String, String, SimTime)>,
+    /// Instantaneous labelled points (e.g. "doorbell rung").
+    marks: Vec<(String, String, SimTime)>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn new() -> Self {
+        Trace {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A disabled trace: all operations are cheap no-ops. Large sweeps (the
+    /// 32-node Allreduce scaling study) run with tracing off.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span on `lane` with `label` starting now.
+    pub fn begin(&mut self, lane: &str, label: &str, now: SimTime) -> OpenSpan {
+        if !self.enabled {
+            return OpenSpan(usize::MAX);
+        }
+        self.open.push((lane.to_owned(), label.to_owned(), now));
+        OpenSpan(self.open.len() - 1)
+    }
+
+    /// Close a previously opened span at instant `now`.
+    pub fn end(&mut self, handle: OpenSpan, now: SimTime) {
+        if !self.enabled || handle.0 == usize::MAX {
+            return;
+        }
+        let (lane, label, start) = self.open[handle.0].clone();
+        debug_assert!(now >= start, "span ends before it starts");
+        self.spans.push(Span {
+            lane,
+            label,
+            start,
+            end: now,
+        });
+    }
+
+    /// Record a complete span in one call.
+    pub fn span(&mut self, lane: &str, label: &str, start: SimTime, end: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(end >= start);
+        self.spans.push(Span {
+            lane: lane.to_owned(),
+            label: label.to_owned(),
+            start,
+            end,
+        });
+    }
+
+    /// Record an instantaneous mark.
+    pub fn mark(&mut self, lane: &str, label: &str, at: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.marks.push((lane.to_owned(), label.to_owned(), at));
+    }
+
+    /// All closed spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All marks, in recording order.
+    pub fn marks(&self) -> &[(String, String, SimTime)] {
+        &self.marks
+    }
+
+    /// Total duration attributed to `label` on `lane`.
+    pub fn total(&self, lane: &str, label: &str) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane && s.label == label)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// First span matching `(lane, label)`, if any.
+    pub fn find(&self, lane: &str, label: &str) -> Option<&Span> {
+        self.spans
+            .iter()
+            .find(|s| s.lane == lane && s.label == label)
+    }
+
+    /// Latest end time across all spans and marks (the trace horizon).
+    pub fn horizon(&self) -> SimTime {
+        let span_max = self.spans.iter().map(|s| s.end).max();
+        let mark_max = self.marks.iter().map(|m| m.2).max();
+        span_max
+            .into_iter()
+            .chain(mark_max)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Render an ASCII Gantt chart `width` characters wide, lanes sorted by
+    /// name, directly comparable to the paper's Fig. 3 / Fig. 8 layout.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(20);
+        let horizon = self.horizon();
+        if horizon == SimTime::ZERO {
+            return String::from("(empty trace)\n");
+        }
+        let scale = width as f64 / horizon.as_ps() as f64;
+        let col = |t: SimTime| ((t.as_ps() as f64 * scale) as usize).min(width);
+
+        let mut lanes: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+        for s in &self.spans {
+            lanes.entry(&s.lane).or_default().push(s);
+        }
+        let name_w = lanes.keys().map(|k| k.len()).max().unwrap_or(4).max(4);
+
+        let mut out = String::new();
+        for (lane, mut spans) in lanes {
+            spans.sort_by_key(|s| (s.start, s.end));
+            let mut row = vec![b' '; width + 1];
+            for s in &spans {
+                let (a, b) = (col(s.start), col(s.end));
+                let fill = initial(&s.label);
+                if b > a {
+                    for c in &mut row[a..b] {
+                        *c = fill;
+                    }
+                    row[a] = b'|';
+                } else {
+                    row[a.min(width)] = b'|';
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{lane:<name_w$} [{}]",
+                String::from_utf8_lossy(&row[..width])
+            );
+            // Legend line: phases in time order.
+            let mut legend = String::new();
+            for s in &spans {
+                let _ = write!(
+                    legend,
+                    "  {}={} @{:.2}us +{:.2}us",
+                    initial(&s.label) as char,
+                    s.label,
+                    s.start.as_us_f64(),
+                    s.duration().as_us_f64()
+                );
+            }
+            if !legend.is_empty() {
+                let _ = writeln!(out, "{:name_w$} {}", "", legend.trim_start());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:name_w$} 0{:>w$}",
+            "",
+            format!("{:.2}us", horizon.as_us_f64()),
+            w = width
+        );
+        out
+    }
+}
+
+/// First alphanumeric character of a label, lowercased, as the bar fill.
+fn initial(label: &str) -> u8 {
+    label
+        .bytes()
+        .find(u8::is_ascii_alphanumeric)
+        .map(|b| b.to_ascii_lowercase())
+        .unwrap_or(b'#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn spans_record_and_aggregate() {
+        let mut tr = Trace::new();
+        let h = tr.begin("GPU", "Kernel", t(0));
+        tr.end(h, t(100));
+        tr.span("GPU", "Kernel", t(200), t(250));
+        tr.span("CPU", "Send", t(100), t(130));
+        assert_eq!(tr.spans().len(), 3);
+        assert_eq!(tr.total("GPU", "Kernel"), SimDuration::from_ns(150));
+        assert_eq!(tr.total("CPU", "Send"), SimDuration::from_ns(30));
+        assert_eq!(tr.total("CPU", "Recv"), SimDuration::ZERO);
+        assert_eq!(tr.find("CPU", "Send").unwrap().start, t(100));
+        assert_eq!(tr.horizon(), t(250));
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut tr = Trace::disabled();
+        let h = tr.begin("GPU", "Kernel", t(0));
+        tr.end(h, t(100));
+        tr.mark("NIC", "doorbell", t(5));
+        assert!(tr.spans().is_empty());
+        assert!(tr.marks().is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn gantt_renders_all_lanes() {
+        let mut tr = Trace::new();
+        tr.span("init.CPU", "Launch", t(0), t(1500));
+        tr.span("init.GPU", "Kernel", t(1500), t(2000));
+        tr.span("init.NIC", "Put", t(1900), t(2600));
+        let g = tr.render_gantt(60);
+        assert!(g.contains("init.CPU"), "{g}");
+        assert!(g.contains("init.GPU"), "{g}");
+        assert!(g.contains("init.NIC"), "{g}");
+        assert!(g.contains("l=Launch"), "{g}");
+        assert!(g.contains("us"), "{g}");
+    }
+
+    #[test]
+    fn gantt_of_empty_trace() {
+        let tr = Trace::new();
+        assert_eq!(tr.render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn marks_and_horizon() {
+        let mut tr = Trace::new();
+        tr.mark("NIC", "trigger", t(777));
+        assert_eq!(tr.horizon(), t(777));
+        assert_eq!(tr.marks().len(), 1);
+    }
+}

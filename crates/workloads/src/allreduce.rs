@@ -1,0 +1,486 @@
+//! Ring Allreduce (Fig. 2, Fig. 10, §5.4.1).
+//!
+//! The libNBC-style schedule ([`gtn_host::nbc::ring_allreduce`]) runs
+//! `2(P−1)` rounds: a reduce-scatter phase (each round sends a vector chunk
+//! to the ring successor, receives one from the predecessor, and folds it
+//! in) followed by an allgather phase (fully-reduced chunks circulate).
+//!
+//! Strategy mapping, exactly as §5.4.1 describes:
+//! - **CPU** — sends/recvs via the eager MPI layer, reductions on the CPU.
+//! - **HDN** — same messaging; each reduction is its own GPU kernel, so
+//!   every round pays the kernel boundary.
+//! - **GDS** — puts are pre-registered; a kernel per round whose boundary
+//!   doorbell launches the next round's send.
+//! - **GPU-TN** — "the entire collective operation is performed from
+//!   within a single GPU kernel. The GPU kernel polls on a memory location
+//!   to know when an adjacent node has contributed data for the reduction
+//!   ... and triggers the GPU to send data for the next phase."
+//!
+//! Results are verified against the exact ring-order chain sum (bit-exact
+//! f32), and all nodes must agree.
+
+use gtn_core::cluster::Cluster;
+use gtn_core::config::ClusterConfig;
+use gtn_core::Strategy;
+use gtn_gpu::kernel::ProgramBuilder;
+use gtn_gpu::KernelLaunch;
+use gtn_host::compute::CpuCompute;
+use gtn_host::mpi::MpiWorld;
+use gtn_host::nbc::chunk_range;
+use gtn_host::HostProgram;
+use gtn_mem::latency::MemHierarchy;
+use gtn_mem::scope::{MemOrdering, MemScope};
+use gtn_mem::{Addr, MemPool, NodeId};
+use gtn_nic::lookup::LookupKind;
+use gtn_nic::nic::NicCommand;
+use gtn_nic::op::{NetOp, Notify};
+use gtn_nic::Tag;
+use gtn_sim::rng::SimRng;
+use gtn_sim::time::{SimDuration, SimTime};
+
+/// Staging slots for in-flight reduce-scatter chunks (ring flow control).
+const STAGE_SLOTS: u64 = 4;
+
+/// Parameters of one Allreduce run.
+#[derive(Debug, Clone, Copy)]
+pub struct AllreduceParams {
+    /// Participating nodes (Fig. 10 sweeps 2..=32).
+    pub nodes: u32,
+    /// Elements of the f32 vector (Fig. 10: 8 MB = 2 Mi elements).
+    pub elems: u64,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Seed for the input vectors.
+    pub seed: u64,
+}
+
+/// Result of one run.
+#[derive(Debug)]
+pub struct AllreduceResult {
+    /// Node count echoed.
+    pub nodes: u32,
+    /// Strategy echoed.
+    pub strategy: Strategy,
+    /// Completion time of the slowest node (the Fig. 10 quantity).
+    pub total: SimTime,
+    /// Final vector of node 0 (all nodes are asserted identical).
+    pub result: Vec<f32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeBufs {
+    vec: Addr,
+    stage: Addr,
+    stage_slot_bytes: u64,
+    flag: Addr,
+    comp: Addr,
+}
+
+/// Deterministic input element `j` of rank `i`.
+fn input_value(seed: u64, rank: u32, j: u64) -> f32 {
+    let mut rng = SimRng::seeded(seed ^ ((rank as u64) << 40) ^ j);
+    rng.range_f32(-1.0, 1.0)
+}
+
+/// Exact expected result: for chunk `c`, the partial starts at rank `c`
+/// and folds ranks `c+1, c+2, …` in ring order (`acc = v_j + acc`),
+/// matching the distributed arithmetic bit-for-bit.
+pub fn reference(nodes: u32, elems: u64, seed: u64) -> Vec<f32> {
+    let p = nodes;
+    let mut out = vec![0f32; elems as usize];
+    for c in 0..p {
+        let (off, len) = chunk_range(c, elems, p);
+        for j in off..off + len {
+            let mut acc = input_value(seed, c, j);
+            for step in 1..p {
+                let rank = (c + step) % p;
+                acc += input_value(seed, rank, j);
+            }
+            out[j as usize] = acc;
+        }
+    }
+    out
+}
+
+/// GPU time to fold one chunk (`dst += src`): ~12 B/element of traffic on
+/// the shared DDR4.
+fn gpu_reduce_time(elems: u64) -> SimDuration {
+    MemHierarchy::table2_gpu().sweep_time(12 * elems) + SimDuration::from_ns(200)
+}
+
+/// CPU time to fold one chunk. Calibrated to ~80 GB/s effective — well
+/// below the 136 GB/s channel peak, because the MPI-side reduction is a
+/// read-modify-write chain over cold eager-buffer data (this constant
+/// places the Fig. 10 HDN/CPU crossover near the paper's ~24 nodes; see
+/// EXPERIMENTS.md).
+fn cpu_reduce_time(cpu: &CpuCompute, elems: u64) -> SimDuration {
+    SimDuration::from_ns_f64(12.0 * elems as f64 / 80.0) + cpu.fork_join()
+}
+
+/// Run one configuration.
+pub fn run(params: AllreduceParams) -> AllreduceResult {
+    let p = params.nodes;
+    assert!(p >= 2, "allreduce needs at least 2 nodes");
+    assert!(params.elems >= p as u64, "fewer elements than chunks");
+
+    let mut config = ClusterConfig::table2(p);
+    config.log_events = false;
+    config.nic.lookup = LookupKind::HashTable;
+    // Chunk flights are tens to hundreds of microseconds; a 500 ns poll
+    // quantum is invisible in the results and keeps event counts sane on
+    // the 32-node sweep.
+    config.gpu.poll_interval_ns = 500;
+    config.host.poll_interval_ns = 500;
+
+    let max_chunk = (0..p).map(|c| chunk_range(c, params.elems, p).1).max().unwrap();
+    let chunk_bytes = max_chunk * 4;
+
+    let mut mem = MemPool::new(p as usize);
+    let bufs: Vec<NodeBufs> = (0..p)
+        .map(|node| {
+            let id = NodeId(node);
+            let b = NodeBufs {
+                vec: Addr::base(id, mem.alloc(id, params.elems * 4, "ar.vec")),
+                stage: Addr::base(id, mem.alloc(id, chunk_bytes * STAGE_SLOTS, "ar.stage")),
+                stage_slot_bytes: chunk_bytes,
+                flag: Addr::base(id, mem.alloc(id, 8, "ar.flag")),
+                comp: Addr::base(id, mem.alloc(id, 8, "ar.comp")),
+            };
+            // Fill the input vector.
+            let vals: Vec<f32> = (0..params.elems)
+                .map(|j| input_value(params.seed, node, j))
+                .collect();
+            mem.write_f32s(b.vec, &vals);
+            b
+        })
+        .collect();
+
+    let mut mpi = matches!(params.strategy, Strategy::Cpu | Strategy::Hdn)
+        .then(|| MpiWorld::new(&mut mem, p, chunk_bytes));
+    let cpu_model = CpuCompute::new(config.host.clone());
+
+    let rounds = 2 * (p - 1);
+    let md = |x: i64| ((x % p as i64 + p as i64) % p as i64) as u32;
+
+    let mut programs = Vec::with_capacity(p as usize);
+    let mut gds_hooks: Vec<(u32, String, Tag)> = Vec::new();
+
+    for node in 0..p {
+        let i = node as i64;
+        let b = bufs[node as usize];
+        let next = (node + 1) % p;
+        let prev = (node + p - 1) % p;
+        let nb = bufs[next as usize];
+
+        // Per-round geometry, same for every strategy.
+        //   RS round r (0..P-1):  send (i−r), recv (i−r−1) → reduce.
+        //   AG round r' (0..P-1): send (i+1−r'), recv (i−r') → in place.
+        let round_info = |r: u32| -> RoundInfo {
+            if r < p - 1 {
+                let send_chunk = md(i - r as i64);
+                let recv_chunk = md(i - r as i64 - 1);
+                RoundInfo {
+                    send_chunk,
+                    recv_chunk,
+                    reduce: true,
+                }
+            } else {
+                let rp = (r - (p - 1)) as i64;
+                RoundInfo {
+                    send_chunk: md(i + 1 - rp),
+                    recv_chunk: md(i - rp),
+                    reduce: false,
+                }
+            }
+        };
+
+        // Where does round r's put land on the *receiver* (`next`'s view
+        // with its own indices)? The receiver (i+1) computes the same
+        // round structure; its recv chunk equals our send chunk, so:
+        let put_for_round = |r: u32, completion: bool| -> NetOp {
+            let info = round_info(r);
+            let (off, len) = chunk_range(info.send_chunk, params.elems, p);
+            let dst = if r < p - 1 {
+                nb.stage.offset_by((r as u64 % STAGE_SLOTS) * nb.stage_slot_bytes)
+            } else {
+                nb.vec.offset_by(off * 4)
+            };
+            NetOp::Put {
+                src: b.vec.offset_by(off * 4),
+                len: len * 4,
+                target: NodeId(next),
+                dst,
+                notify: Some(Notify {
+                    flag: nb.flag,
+                    add: 1,
+                chain: None,
+            }),
+                completion: completion.then_some(b.comp),
+            }
+        };
+
+        let reduce_fn = move |mem: &mut MemPool, chunk: u32, slot: u64, elems: u64, p: u32| {
+            let (off, len) = chunk_range(chunk, elems, p);
+            let stage = b.stage.offset_by(slot * b.stage_slot_bytes);
+            // acc_new = local + incoming (matches `reference`).
+            mem.zip_f32s(b.vec.offset_by(off * 4), stage, len as usize, |local, incoming| {
+                local + incoming
+            })
+            .expect("reduce in bounds");
+        };
+
+        let mut prog = HostProgram::new();
+        match params.strategy {
+            Strategy::Cpu | Strategy::Hdn => {
+                let mpi = mpi.as_mut().expect("mpi world");
+                for r in 0..rounds {
+                    let info = round_info(r);
+                    let (soff, slen) = chunk_range(info.send_chunk, params.elems, p);
+                    let (roff, rlen) = chunk_range(info.recv_chunk, params.elems, p);
+                    prog.extend(mpi.send_ops(
+                        NodeId(node),
+                        NodeId(next),
+                        b.vec.offset_by(soff * 4),
+                        slen * 4,
+                    ));
+                    if info.reduce {
+                        // Receive into staging slot 0, then fold.
+                        prog.extend(mpi.recv_ops(
+                            &config.host,
+                            NodeId(prev),
+                            NodeId(node),
+                            b.stage,
+                            rlen * 4,
+                        ));
+                        let chunk = info.recv_chunk;
+                        let elems = params.elems;
+                        if params.strategy == Strategy::Cpu {
+                            prog.compute(cpu_reduce_time(&cpu_model, rlen));
+                            prog.func(move |mem| reduce_fn(mem, chunk, 0, elems, p));
+                        } else {
+                            let label = format!("red{r}");
+                            let kernel = ProgramBuilder::new()
+                                .compute(gpu_reduce_time(rlen))
+                                .func(move |mem, _| reduce_fn(mem, chunk, 0, elems, p))
+                                .build()
+                                .expect("valid kernel");
+                            prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                            prog.wait_kernel(&label);
+                        }
+                    } else {
+                        // Allgather: receive straight into place.
+                        prog.extend(mpi.recv_ops(
+                            &config.host,
+                            NodeId(prev),
+                            NodeId(node),
+                            b.vec.offset_by(roff * 4),
+                            rlen * 4,
+                        ));
+                        if params.strategy == Strategy::Hdn {
+                            // §5.4.1/§5.3: HDN "exits the kernel and
+                            // returns to the host ... after every round" —
+                            // the GPU re-enters a (trivial) kernel each
+                            // allgather round too, paying the boundary.
+                            let label = format!("fwd{r}");
+                            let kernel = ProgramBuilder::new()
+                                .compute(SimDuration::from_ns(100))
+                                .build()
+                                .expect("valid kernel");
+                            prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                            prog.wait_kernel(&label);
+                        }
+                    }
+                }
+            }
+            Strategy::Gds => {
+                // Round 0's send moves initial data: CPU posts it directly.
+                prog.nic_post(NicCommand::Put(put_for_round(0, false)));
+                for r in 0..rounds {
+                    let info = round_info(r);
+                    // Pre-post the next round's send; it fires at this
+                    // round's kernel boundary.
+                    if r + 1 < rounds {
+                        prog.nic_post(NicCommand::TriggeredPut {
+                            tag: Tag((r + 1) as u64),
+                            threshold: 1,
+                            op: put_for_round(r + 1, false),
+                        });
+                    }
+                    prog.poll(b.flag, (r + 1) as u64);
+                    let label = format!("k{r}");
+                    let elems = params.elems;
+                    let (_, rlen) = chunk_range(info.recv_chunk, params.elems, p);
+                    let kernel = if info.reduce {
+                        let chunk = info.recv_chunk;
+                        let slot = r as u64 % STAGE_SLOTS;
+                        ProgramBuilder::new()
+                            .compute(gpu_reduce_time(rlen))
+                            .func(move |mem, _| reduce_fn(mem, chunk, slot, elems, p))
+                            .fence(MemScope::System, MemOrdering::Release)
+                            .build()
+                            .expect("valid kernel")
+                    } else {
+                        // Allgather: payload landed in place; the kernel
+                        // exists to give the next send its boundary.
+                        ProgramBuilder::new()
+                            .compute(SimDuration::from_ns(100))
+                            .build()
+                            .expect("valid kernel")
+                    };
+                    prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                    prog.wait_kernel(&label);
+                    if r + 1 < rounds {
+                        gds_hooks.push((node, label, Tag((r + 1) as u64)));
+                    }
+                }
+            }
+            Strategy::GpuTn => {
+                // One persistent kernel for the whole collective.
+                let mut builder = ProgramBuilder::new();
+                for r in 0..rounds {
+                    let info = round_info(r);
+                    let elems = params.elems;
+                    let (_, rlen) = chunk_range(info.recv_chunk, params.elems, p);
+                    builder = builder
+                        .fence(MemScope::System, MemOrdering::Release)
+                        .trigger_store(move |_| Tag(r as u64))
+                        .poll(move |_| b.flag, (r + 1) as u64);
+                    if info.reduce {
+                        let chunk = info.recv_chunk;
+                        let slot = r as u64 % STAGE_SLOTS;
+                        builder = builder
+                            .compute(gpu_reduce_time(rlen))
+                            .func(move |mem, _| reduce_fn(mem, chunk, slot, elems, p));
+                    }
+                }
+                let kernel = builder.build().expect("valid persistent kernel");
+                prog.launch(KernelLaunch::new(kernel, 1, 64, "persistent"));
+                // Just-in-time posting throttled by local completions.
+                for r in 0..rounds {
+                    prog.nic_post(NicCommand::TriggeredPut {
+                        tag: Tag(r as u64),
+                        threshold: 1,
+                        op: put_for_round(r, true),
+                    });
+                    prog.poll(b.comp, (r + 1) as u64);
+                }
+                prog.wait_kernel("persistent");
+            }
+        }
+        programs.push(prog);
+    }
+
+    let mut cluster = Cluster::new(config, mem, programs);
+    for (node, label, tag) in gds_hooks {
+        cluster.gds_doorbell_on_done(node, &label, tag);
+    }
+    let result = cluster.run();
+    assert!(
+        result.completed,
+        "allreduce {:?} P={} deadlocked: {result:?}",
+        params.strategy, params.nodes
+    );
+
+    // All nodes must agree; return node 0's vector.
+    let v0 = cluster.mem().read_f32s(bufs[0].vec, params.elems as usize);
+    for node in 1..p {
+        let v = cluster
+            .mem()
+            .read_f32s(bufs[node as usize].vec, params.elems as usize);
+        assert_eq!(v, v0, "node {node} disagrees with node 0");
+    }
+
+    AllreduceResult {
+        nodes: p,
+        strategy: params.strategy,
+        total: result.makespan,
+        result: v0,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RoundInfo {
+    send_chunk: u32,
+    recv_chunk: u32,
+    reduce: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(strategy: Strategy, nodes: u32, elems: u64) -> AllreduceParams {
+        AllreduceParams {
+            nodes,
+            elems,
+            strategy,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn all_strategies_produce_the_exact_ring_sum() {
+        let expect = reference(4, 4096, 0xBEEF);
+        for strategy in Strategy::all() {
+            let r = run(params(strategy, 4, 4096));
+            assert_eq!(r.result, expect, "{strategy} wrong reduction");
+        }
+    }
+
+    #[test]
+    fn odd_node_counts_and_ragged_chunks_work() {
+        // 5 nodes, 1001 elements: chunks of 201/200/200/200/200.
+        let expect = reference(5, 1001, 1);
+        for strategy in [Strategy::Hdn, Strategy::GpuTn] {
+            let r = run(AllreduceParams {
+                nodes: 5,
+                elems: 1001,
+                strategy,
+                seed: 1,
+            });
+            assert_eq!(r.result, expect, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn two_node_minimum_works() {
+        let expect = reference(2, 512, 3);
+        let r = run(AllreduceParams {
+            nodes: 2,
+            elems: 512,
+            strategy: Strategy::GpuTn,
+            seed: 3,
+        });
+        assert_eq!(r.result, expect);
+    }
+
+    #[test]
+    fn gputn_scales_better_than_hdn() {
+        // Strong scaling at a small vector (compressed version of the
+        // Fig. 10 effect): as nodes grow, HDN's per-round kernel overheads
+        // bite and GPU-TN's advantage widens.
+        let elems = 64 * 1024; // 256 kB
+        let ratio = |p: u32| {
+            let hdn = run(params(Strategy::Hdn, p, elems)).total.as_us_f64();
+            let tn = run(params(Strategy::GpuTn, p, elems)).total.as_us_f64();
+            hdn / tn
+        };
+        let small = ratio(2);
+        let large = ratio(8);
+        assert!(large > small, "advantage should widen: P=2 {small}, P=8 {large}");
+        assert!(large > 1.0);
+    }
+
+    #[test]
+    fn hdn_eventually_loses_to_cpu_while_gputn_does_not() {
+        // The Fig. 10 crossover, compressed: with many nodes and small
+        // chunks, HDN's kernel-boundary overhead drops it below the CPU
+        // baseline; GPU-TN stays ahead.
+        let elems = 32 * 1024; // small chunks at P=16
+        let cpu = run(params(Strategy::Cpu, 16, elems)).total.as_us_f64();
+        let hdn = run(params(Strategy::Hdn, 16, elems)).total.as_us_f64();
+        let tn = run(params(Strategy::GpuTn, 16, elems)).total.as_us_f64();
+        assert!(hdn > cpu, "HDN {hdn} should fall below CPU {cpu} at scale");
+        assert!(tn < cpu, "GPU-TN {tn} should stay ahead of CPU {cpu}");
+    }
+}

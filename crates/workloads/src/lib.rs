@@ -1,0 +1,28 @@
+//! # gtn-workloads — the paper's evaluation suite
+//!
+//! One module per experiment family, each driving full clusters through
+//! [`gtn_core::Cluster`] and verifying *functional* results (payload bytes,
+//! stencil values, reduction sums) alongside the timing measurements the
+//! figures report:
+//!
+//! - [`launch_study`] — Fig. 1: kernel launch latency vs. queued commands
+//!   on three GPU scheduler profiles.
+//! - [`pingpong`] — Fig. 8: single-message latency decomposition for HDN,
+//!   GDS, and GPU-TN, including the intra-kernel early-delivery phenomenon.
+//! - [`jacobi`] — Fig. 9: 2-D Jacobi relaxation on a 2×2 node decomposition
+//!   with halo exchange, all four strategies, verified against a sequential
+//!   reference sweep.
+//! - [`allreduce`] — Fig. 10: 8 MB ring Allreduce strong scaling, 2–32
+//!   nodes, verified against the exact elementwise sum.
+//! - [`deeplearning`] — Table 3 + Fig. 11: the six CNTK workloads as
+//!   Allreduce-characteristic models, projected with the paper's
+//!   methodology over simulated collective times.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allreduce;
+pub mod deeplearning;
+pub mod jacobi;
+pub mod launch_study;
+pub mod pingpong;

@@ -1,0 +1,129 @@
+//! Dynamic communication (§3.4 future-work extension) in action: a kernel
+//! inspects its data and picks the **destination node at runtime**,
+//! something base GPU-TN cannot express because all networking metadata is
+//! fixed by the CPU.
+//!
+//! Scenario: node 0 classifies 4 work-group results; each work-group ships
+//! its result to the node responsible for its value range — a dynamic
+//! scatter. The CPU registers *template* puts; the kernel's dynamic
+//! trigger stores override the target (and destination buffer) per
+//! work-group.
+//!
+//! Run with: `cargo run --example dynamic_scatter`
+
+use gpu_tn::core::cluster::Cluster;
+use gpu_tn::core::config::ClusterConfig;
+use gpu_tn::gpu::kernel::ProgramBuilder;
+use gpu_tn::gpu::KernelLaunch;
+use gpu_tn::host::HostProgram;
+use gpu_tn::mem::scope::{MemOrdering, MemScope};
+use gpu_tn::mem::{Addr, MemPool, NodeId};
+use gpu_tn::nic::dynamic::DynFields;
+use gpu_tn::nic::lookup::LookupKind;
+use gpu_tn::nic::nic::NicCommand;
+use gpu_tn::nic::op::{NetOp, Notify};
+use gpu_tn::nic::Tag;
+use gpu_tn::sim::time::SimDuration;
+
+const WGS: u32 = 4;
+const CHUNK: u64 = 64;
+
+fn main() {
+    let mut config = ClusterConfig::table2(4);
+    config.nic.lookup = LookupKind::HashTable;
+
+    let mut mem = MemPool::new(4);
+    let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), CHUNK * WGS as u64, "results"));
+    // One landing buffer + flag per potential destination.
+    let mut dsts = Vec::new();
+    let mut flags = Vec::new();
+    for node in 1..4u32 {
+        dsts.push(Addr::base(
+            NodeId(node),
+            mem.alloc(NodeId(node), CHUNK * WGS as u64, "landing"),
+        ));
+        flags.push(Addr::base(NodeId(node), mem.alloc(NodeId(node), 8, "flag")));
+    }
+    let dsts_k = dsts.clone();
+
+    // Work-group w produces a value whose "class" (w * 7 % 3) decides the
+    // destination node 1..=3 — known only at kernel runtime.
+    let class_of = |wg: u32| (wg * 7) % 3;
+
+    let kernel = ProgramBuilder::new()
+        .compute(SimDuration::from_ns(400))
+        .func(move |mem, ctx| {
+            let fill = (ctx.wg + 1) as u8;
+            mem.write(src.offset_by(ctx.wg as u64 * CHUNK), &[fill; CHUNK as usize]);
+        })
+        .fence(MemScope::System, MemOrdering::Release)
+        .barrier()
+        .trigger_store_dyn(
+            |ctx| Tag(ctx.wg as u64),
+            move |ctx| {
+                let class = class_of(ctx.wg) as usize;
+                DynFields {
+                    target: Some(NodeId(class as u32 + 1)),
+                    src: Some(src.offset_by(ctx.wg as u64 * CHUNK)),
+                    dst: Some(dsts_k[class].offset_by(ctx.wg as u64 * CHUNK)),
+                    len: None,
+                }
+            },
+        )
+        .build()
+        .expect("valid dynamic kernel");
+
+    // The CPU registers templates: it knows message size and count, but
+    // points them at a placeholder target the GPU will override.
+    let mut p0 = HostProgram::new();
+    for wg in 0..WGS {
+        p0.nic_post(NicCommand::TriggeredPut {
+            tag: Tag(wg as u64),
+            threshold: 1,
+            op: NetOp::Put {
+                src,
+                len: CHUNK,
+                target: NodeId(1), // placeholder
+                dst: dsts[0],
+                notify: Some(Notify {
+                    flag: flags[0], // patched implicitly via dst-node flag below
+                    add: 1,
+                chain: None,
+            }),
+                completion: None,
+            },
+        });
+    }
+    p0.launch(KernelLaunch::new(kernel, WGS, 64, "scatter"));
+    p0.wait_kernel("scatter");
+
+    // Receivers are passive PGAS targets here (§4.2.5): delivery is
+    // verified after the run drains. (The template's notify flag still
+    // points at node 1; a production runtime would carry the flag in the
+    // dynamic descriptor too — `DynFields` covers the §3.4 fields the
+    // paper names.)
+    let mut programs = vec![p0];
+    for _ in 1..4u32 {
+        programs.push(HostProgram::new());
+    }
+
+    let mut cluster = Cluster::new(config, mem, programs);
+    let result = cluster.run();
+    assert!(result.completed);
+
+    println!("dynamic scatter complete at {}\n", result.makespan);
+    for wg in 0..WGS {
+        let class = class_of(wg) as usize;
+        let landing = dsts[class].offset_by(wg as u64 * CHUNK);
+        let got = cluster.mem().read(landing, CHUNK)[0];
+        println!(
+            "work-group {wg}: class {class} -> node {} : chunk[0] = {got} (expect {})",
+            class + 1,
+            wg + 1
+        );
+        assert_eq!(got, (wg + 1) as u8, "payload routed to the wrong node");
+    }
+    println!("\nThe CPU registered 4 template puts; the kernel picked each target at");
+    println!("runtime via dynamic trigger descriptors — the §3.4 extension the paper");
+    println!("left as future work.");
+}

@@ -1,0 +1,60 @@
+//! Distributed 2-D Jacobi relaxation on a 2×2 GPU cluster (the Fig. 9
+//! workload), run under all four networking strategies with functional
+//! verification against the sequential reference.
+//!
+//! Run with: `cargo run --release --example jacobi_cluster [N] [iters]`
+
+use gpu_tn::core::Strategy;
+use gpu_tn::workloads::jacobi::{reference, run, JacobiParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args
+        .next()
+        .map(|s| s.parse().expect("N must be an integer"))
+        .unwrap_or(64);
+    let iters: u32 = args
+        .next()
+        .map(|s| s.parse().expect("iters must be an integer"))
+        .unwrap_or(5);
+    let seed = 0xD00D;
+
+    println!("2-D Jacobi: 4 nodes (2x2), {n}x{n} local grid, {iters} iterations\n");
+    let expect = reference(2, 2, n, iters, seed);
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>10}",
+        "strategy", "total_us", "us/iter", "vs HDN", "verified"
+    );
+    let hdn_per_iter = run(JacobiParams {
+            rows: 2,
+            cols: 2,
+        n_local: n,
+        iters,
+        strategy: Strategy::Hdn,
+        seed,
+    })
+    .per_iter;
+    for strategy in Strategy::all() {
+        let r = run(JacobiParams {
+            rows: 2,
+            cols: 2,
+            n_local: n,
+            iters,
+            strategy,
+            seed,
+        });
+        let ok = r.interiors == expect;
+        println!(
+            "{:<8} {:>14.2} {:>14.2} {:>12.3} {:>10}",
+            strategy.name(),
+            r.total.as_us_f64(),
+            r.per_iter.as_us_f64(),
+            hdn_per_iter.as_ns_f64() / r.per_iter.as_ns_f64(),
+            if ok { "bit-exact" } else { "MISMATCH" }
+        );
+        assert!(ok, "{strategy} diverged from the sequential reference");
+    }
+    println!("\nEvery strategy computed the identical stencil — only the communication");
+    println!("path differs. GPU-TN runs the whole thing in one persistent kernel.");
+}

@@ -1,0 +1,65 @@
+//! Cross-crate integration: the four networking strategies on the
+//! single-message microbenchmark, checked through the `gpu-tn` facade the
+//! way a downstream user would drive it.
+
+use gpu_tn::core::Strategy;
+use gpu_tn::workloads::pingpong;
+
+#[test]
+fn strategy_ordering_matches_figure8() {
+    let results = pingpong::run_all();
+    let t = |s: Strategy| {
+        results
+            .iter()
+            .find(|r| r.strategy == s)
+            .unwrap()
+            .target_completion
+    };
+    assert!(t(Strategy::GpuTn) < t(Strategy::Gds));
+    assert!(t(Strategy::Gds) < t(Strategy::Hdn));
+}
+
+#[test]
+fn intra_kernel_delivery_is_unique_to_gputn() {
+    for r in pingpong::run_all() {
+        assert_eq!(
+            r.delivered_intra_kernel(),
+            r.strategy == Strategy::GpuTn,
+            "{}",
+            r.strategy
+        );
+    }
+}
+
+#[test]
+fn decompositions_cover_initiator_and_target() {
+    for r in pingpong::run_all() {
+        assert!(r.trace.find("initiator.GPU", "Kernel").is_some(), "{}", r.strategy);
+        assert!(r.trace.find("initiator.NIC", "Put").is_some(), "{}", r.strategy);
+        assert!(r.trace.find("target.NIC", "Deliver").is_some(), "{}", r.strategy);
+        // Phases never overlap incorrectly: launch < kernel < teardown.
+        let launch = r.trace.find("initiator.GPU", "Launch").unwrap();
+        let kernel = r.trace.find("initiator.GPU", "Kernel").unwrap();
+        let teardown = r.trace.find("initiator.GPU", "Teardown").unwrap();
+        assert!(launch.end <= kernel.start);
+        assert!(kernel.end <= teardown.start);
+    }
+}
+
+#[test]
+fn gputn_headline_improvements_hold() {
+    let results = pingpong::run_all();
+    let t = |s: Strategy| {
+        results
+            .iter()
+            .find(|r| r.strategy == s)
+            .unwrap()
+            .target_completion
+            .as_us_f64()
+    };
+    let tn = t(Strategy::GpuTn);
+    // Paper: ~25% over GDS, ~35% over HDN; we accept the band the shape
+    // argument needs.
+    assert!((0.15..0.45).contains(&(1.0 - tn / t(Strategy::Gds))));
+    assert!((0.25..0.50).contains(&(1.0 - tn / t(Strategy::Hdn))));
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: full workloads through the facade, verifying
+//! functional results (the simulator computes real data) and the paper's
+//! qualitative orderings.
+
+use gpu_tn::core::Strategy;
+use gpu_tn::workloads::{allreduce, jacobi};
+
+#[test]
+fn jacobi_all_strategies_agree_with_reference() {
+    let expect = jacobi::reference(2, 2, 12, 2, 99);
+    for strategy in Strategy::all() {
+        let r = jacobi::run(jacobi::JacobiParams {
+            rows: 2,
+            cols: 2,
+            n_local: 12,
+            iters: 2,
+            strategy,
+            seed: 99,
+        });
+        assert_eq!(r.interiors, expect, "{strategy}");
+    }
+}
+
+#[test]
+fn jacobi_gputn_is_fastest_gpu_strategy() {
+    let time = |s: Strategy| {
+        jacobi::run(jacobi::JacobiParams {
+            rows: 2,
+            cols: 2,
+            n_local: 48,
+            iters: 3,
+            strategy: s,
+            seed: 5,
+        })
+        .per_iter
+    };
+    let hdn = time(Strategy::Hdn);
+    let gds = time(Strategy::Gds);
+    let tn = time(Strategy::GpuTn);
+    assert!(tn < gds && gds < hdn, "tn={tn} gds={gds} hdn={hdn}");
+}
+
+#[test]
+fn allreduce_all_strategies_compute_the_exact_sum() {
+    let expect = allreduce::reference(3, 600, 11);
+    for strategy in Strategy::all() {
+        let r = allreduce::run(allreduce::AllreduceParams {
+            nodes: 3,
+            elems: 600,
+            strategy,
+            seed: 11,
+        });
+        assert_eq!(r.result, expect, "{strategy}");
+    }
+}
+
+#[test]
+fn allreduce_fig10_shape_compressed() {
+    // Strong scaling at a fixed small payload: HDN's advantage over CPU
+    // decays with node count while GPU-TN's holds (the Fig. 10 shape).
+    let speedup = |s: Strategy, p: u32| {
+        let cpu = allreduce::run(allreduce::AllreduceParams {
+            nodes: p,
+            elems: 128 * 1024,
+            strategy: Strategy::Cpu,
+            seed: 2,
+        })
+        .total;
+        let t = allreduce::run(allreduce::AllreduceParams {
+            nodes: p,
+            elems: 128 * 1024,
+            strategy: s,
+            seed: 2,
+        })
+        .total;
+        cpu.as_ns_f64() / t.as_ns_f64()
+    };
+    let hdn_small = speedup(Strategy::Hdn, 2);
+    let hdn_large = speedup(Strategy::Hdn, 12);
+    assert!(hdn_large < hdn_small, "HDN decays: {hdn_small} -> {hdn_large}");
+    let tn_large = speedup(Strategy::GpuTn, 12);
+    assert!(tn_large > hdn_large, "GPU-TN holds: {tn_large} vs {hdn_large}");
+    assert!(tn_large > 1.0);
+}
+
+#[test]
+fn nic_trigger_lists_stay_clean_across_workloads() {
+    // After a complete GPU-TN run every registered trigger fired: no
+    // leaked entries, no errors — on every node.
+    let p = 4;
+    let r = allreduce::run(allreduce::AllreduceParams {
+        nodes: p,
+        elems: 4096,
+        strategy: Strategy::GpuTn,
+        seed: 8,
+    });
+    assert_eq!(r.nodes, p);
+    // (The run itself asserts completion; trigger hygiene is checked in
+    // the workload via deadlock-freedom. Here we re-verify the result.)
+    assert_eq!(r.result, allreduce::reference(p, 4096, 8));
+}

@@ -1,0 +1,65 @@
+//! Workspace-level property tests: functional invariants of the full
+//! stack under randomized geometry.
+
+use gpu_tn::core::Strategy;
+use gpu_tn::workloads::{allreduce, jacobi};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (nodes, elems) geometry yields the exact ring-order sum, and
+    /// every strategy agrees — including ragged chunk splits.
+    #[test]
+    fn allreduce_is_exact_for_any_geometry(
+        nodes in 2u32..7,
+        elems in 64u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let expect = allreduce::reference(nodes, elems, seed);
+        for strategy in [Strategy::Hdn, Strategy::GpuTn] {
+            let r = allreduce::run(allreduce::AllreduceParams {
+                nodes,
+                elems,
+                strategy,
+                seed,
+            });
+            prop_assert_eq!(&r.result, &expect, "{} P={} n={}", strategy, nodes, elems);
+        }
+    }
+
+    /// The distributed Jacobi equals the sequential global sweep for any
+    /// grid size / iteration count / seed (bit-exact f32).
+    #[test]
+    fn jacobi_matches_reference_for_any_grid(
+        n in 4u32..24,
+        iters in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let expect = jacobi::reference(2, 2, n, iters, seed);
+        let r = jacobi::run(jacobi::JacobiParams {
+            rows: 2,
+            cols: 2,
+            n_local: n,
+            iters,
+            strategy: Strategy::GpuTn,
+            seed,
+        });
+        prop_assert_eq!(r.interiors, expect);
+    }
+
+    /// Simulated time is deterministic: same parameters, same makespan.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>()) {
+        let go = || {
+            allreduce::run(allreduce::AllreduceParams {
+                nodes: 3,
+                elems: 512,
+                strategy: Strategy::GpuTn,
+                seed,
+            })
+            .total
+        };
+        prop_assert_eq!(go(), go());
+    }
+}
