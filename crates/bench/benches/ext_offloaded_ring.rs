@@ -96,10 +96,7 @@ fn relay(nodes: usize, mode: ModeKind) -> SimTime {
     // when node k's flag commits, schedule node k's trigger write later.
     let mut done_flags = vec![false; nodes];
     let mut final_time = SimTime::ZERO;
-    loop {
-        let Some((now, (node, ev))) = engine.step() else {
-            break;
-        };
+    while let Some((now, (node, ev))) = engine.step() {
         for out in nics[node].handle(now, ev, &mut mem, &mut fabric) {
             match out {
                 NicOutput::Local { at, ev } => engine.schedule_at(at, (node, ev)),

@@ -1,9 +1,11 @@
-//! Criterion microbenchmarks of the simulator's hot paths: event calendar
+//! Wall-clock microbenchmarks of the simulator's hot paths: event calendar
 //! throughput, NIC trigger matching, and fabric occupancy math. These are
-//! implementation benchmarks (wall-clock), not figure reproductions — they
-//! guard the simulator's own performance so the 32-node sweeps stay fast.
+//! implementation benchmarks, not figure reproductions — they guard the
+//! simulator's own performance so the 32-node sweeps stay fast.
+//!
+//! Self-contained timing harness (median of `REPS` runs) instead of
+//! criterion, so the bench builds in offline environments.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gtn_fabric::{Fabric, FabricConfig};
 use gtn_mem::{Addr, NodeId, RegionId};
 use gtn_nic::lookup::LookupKind;
@@ -12,24 +14,45 @@ use gtn_nic::trigger::TriggerList;
 use gtn_sim::time::{SimDuration, SimTime};
 use gtn_sim::Engine;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine/schedule_pop_10k", |b| {
-        b.iter_batched(
-            Engine::<u64>::new,
-            |mut eng| {
-                for i in 0..10_000u64 {
-                    eng.schedule_at(SimTime::from_ns(i * 7 % 5_000), i);
-                }
-                let mut acc = 0u64;
-                eng.run(|_, v| acc = acc.wrapping_add(v));
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("engine/self_rescheduling_chain_10k", |b| {
-        b.iter(|| {
+const REPS: usize = 15;
+
+/// Median wall-clock of `REPS` runs of `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(mut f: F) -> u128 {
+    // One warmup run to fault in code and allocator state.
+    f();
+    let mut samples: Vec<u128> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, ns: u128) {
+    println!("{name:<44} {:>12.3} ms", ns as f64 / 1e6);
+}
+
+fn bench_engine() {
+    report(
+        "engine/schedule_pop_10k",
+        median_ns(|| {
+            let mut eng = Engine::<u64>::new();
+            for i in 0..10_000u64 {
+                eng.schedule_at(SimTime::from_ns(i * 7 % 5_000), i);
+            }
+            let mut acc = 0u64;
+            eng.run(|_, v| acc = acc.wrapping_add(v));
+            black_box(acc);
+        }),
+    );
+    report(
+        "engine/self_rescheduling_chain_10k",
+        median_ns(|| {
             let mut eng: Engine<u32> = Engine::new();
             eng.schedule_at(SimTime::ZERO, 10_000);
             eng.run(|e, n| {
@@ -37,12 +60,12 @@ fn bench_engine(c: &mut Criterion) {
                     e.schedule_after(SimDuration::from_ns(1), n - 1);
                 }
             });
-            black_box(eng.events_processed())
-        });
-    });
+            black_box(eng.events_processed());
+        }),
+    );
 }
 
-fn bench_trigger_list(c: &mut Criterion) {
+fn bench_trigger_list() {
     let put = NetOp::Put {
         src: Addr::base(NodeId(0), RegionId(0)),
         len: 64,
@@ -52,48 +75,44 @@ fn bench_trigger_list(c: &mut Criterion) {
         completion: None,
     };
     for kind in [LookupKind::LinearList, LookupKind::HashTable] {
-        c.bench_function(&format!("trigger_list/{}_1k_fires", kind.name()), |b| {
-            b.iter_batched(
-                || {
-                    let mut l = TriggerList::new(kind);
-                    for t in 0..1_000 {
-                        l.register(Tag(t), put.clone(), 1).unwrap();
-                    }
-                    l
-                },
-                |mut l| {
-                    for t in 0..1_000 {
-                        black_box(l.trigger(Tag(t)).unwrap());
-                    }
-                    black_box(l.fired_total())
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        report(
+            &format!("trigger_list/{}_1k_fires", kind.name()),
+            median_ns(|| {
+                let mut l = TriggerList::new(kind);
+                for t in 0..1_000 {
+                    l.register(Tag(t), put.clone(), 1).unwrap();
+                }
+                for t in 0..1_000 {
+                    black_box(l.trigger(Tag(t)).unwrap());
+                }
+                black_box(l.fired_total());
+            }),
+        );
     }
 }
 
-fn bench_fabric(c: &mut Criterion) {
-    c.bench_function("fabric/send_1k_msgs_8_nodes", |b| {
-        b.iter_batched(
-            || Fabric::new(8, FabricConfig::default()),
-            |mut f| {
-                let mut t = SimTime::ZERO;
-                for i in 0..1_000u32 {
-                    let m = f.send_message(
-                        t,
-                        NodeId(i % 8),
-                        NodeId((i + 3) % 8),
-                        4096,
-                    );
-                    t = t.max(m.last_arrival - SimDuration::from_ns(50));
-                }
-                black_box(f.messages_sent())
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_fabric() {
+    report(
+        "fabric/send_1k_msgs_8_nodes",
+        median_ns(|| {
+            let mut f = Fabric::new(8, FabricConfig::default());
+            let mut t = SimTime::ZERO;
+            for i in 0..1_000u32 {
+                let m = f.send_message(t, NodeId(i % 8), NodeId((i + 3) % 8), 4096);
+                t = t.max(m.last_arrival - SimDuration::from_ns(50));
+            }
+            black_box(f.messages_sent());
+        }),
+    );
 }
 
-criterion_group!(benches, bench_engine, bench_trigger_list, bench_fabric);
-criterion_main!(benches);
+fn main() {
+    gtn_bench::header(
+        "sim_engine — simulator hot-path microbenchmarks",
+        "implementation guardrail (no paper figure)",
+    );
+    println!("median of {REPS} runs per row\n");
+    bench_engine();
+    bench_trigger_list();
+    bench_fabric();
+}

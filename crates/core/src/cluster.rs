@@ -11,11 +11,12 @@
 //! Fig. 8 latency decomposition and several integration tests read that log.
 
 use crate::config::ClusterConfig;
+use crate::stall::{BlockedOn, NodeStall, StallReason, StallReport};
 use gtn_fabric::Fabric;
 use gtn_gpu::{Gpu, GpuEvent, GpuOutput};
-use gtn_host::{Cpu, CpuEvent, CpuOutput, HostProgram};
+use gtn_host::{Cpu, CpuEvent, CpuOutput, HostOp, HostProgram};
 use gtn_mem::{MemPool, NodeId};
-use gtn_nic::nic::{Nic, NicEvent, NicOutput};
+use gtn_nic::nic::{Nic, NicEvent, NicNote, NicOutput};
 use gtn_nic::Tag;
 use gtn_sim::engine::RunOutcome;
 use gtn_sim::time::{SimDuration, SimTime};
@@ -65,6 +66,33 @@ pub enum LogKind {
     MessageCommitted,
     /// This node's host program ran to completion.
     CpuFinished,
+    /// The fault plan dropped an attempt of tracked message `seq`.
+    MessageDropped {
+        /// ARQ sequence number.
+        seq: u64,
+    },
+    /// An attempt of tracked message `seq` was corrupted in flight and
+    /// discarded by the receiver.
+    MessageCorrupted {
+        /// ARQ sequence number.
+        seq: u64,
+    },
+    /// A retry timer expired and attempt `attempt` of `seq` was sent.
+    Retransmitted {
+        /// ARQ sequence number.
+        seq: u64,
+        /// Send attempt just made (2 = first retransmit).
+        attempt: u32,
+    },
+    /// Message `seq` was abandoned after exhausting its retry budget.
+    DeliveryFailed {
+        /// ARQ sequence number.
+        seq: u64,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// The NIC rejected a trigger registration (rendered error).
+    TriggerRejected(String),
 }
 
 /// Outcome of a cluster run.
@@ -79,16 +107,23 @@ pub struct ClusterResult {
     pub completed: bool,
     /// Total events processed.
     pub events: u64,
+    /// Structured diagnosis when `completed` is false: who is stuck, on
+    /// what, and what the NICs were still doing. `None` iff completed.
+    pub stall: Option<StallReport>,
 }
 
 impl ClusterResult {
     /// Makespan, asserting completion (panics with diagnostics otherwise).
     pub fn expect_completed(&self) -> SimTime {
-        assert!(
-            self.completed,
-            "cluster deadlocked: finish_times = {:?}",
-            self.finish_times
-        );
+        if !self.completed {
+            match &self.stall {
+                Some(report) => panic!("cluster did not complete\n{report}"),
+                None => panic!(
+                    "cluster did not complete: finish_times = {:?}",
+                    self.finish_times
+                ),
+            }
+        }
         self.makespan
     }
 }
@@ -225,17 +260,35 @@ impl Cluster {
 
     /// Run to completion (calendar drain). Returns per-node finish times
     /// and whether every host program completed.
+    ///
+    /// A stall watchdog supervises the loop: every dispatched event is
+    /// classified as *progress* (a CPU pc moved, a GPU retired an op, any
+    /// NIC activity) or an *idle poll retry*. Once
+    /// `config.stall_timeout_ns` of simulated time passes without progress,
+    /// the run is declared livelocked and aborted with a [`StallReport`]
+    /// instead of spinning until the absolute event cap.
     pub fn run(&mut self) -> ClusterResult {
         // The engine and the component vectors are disjoint fields, but the
         // handler closure needs `&mut self`-ish access to all of them, so we
         // drive the loop manually via `step`.
+        let horizon = SimDuration::from_ns(self.config.stall_timeout_ns);
+        let mut last_progress = SimTime::ZERO;
+        let mut abort: Option<StallReason> = None;
         loop {
             let Some((now, ev)) = self.engine.step() else {
-                break;
+                break; // calendar drained: completion or deadlock
             };
-            self.dispatch(now, ev);
+            if self.dispatch(now, ev) {
+                last_progress = now;
+            } else if now.since(last_progress) > horizon {
+                abort = Some(StallReason::Livelock {
+                    idle_ns: now.since(last_progress).as_ns_f64() as u64,
+                });
+                break;
+            }
             if self.engine.events_processed() >= 400_000_000 {
-                break; // livelock guard; surfaces as completed=false
+                abort = Some(StallReason::EventCap); // absolute backstop
+                break;
             }
         }
         let completed = self.finish_times.iter().all(Option::is_some);
@@ -246,31 +299,88 @@ impl Cluster {
             .copied()
             .max()
             .unwrap_or(SimTime::ZERO);
+        let stall = if completed {
+            None
+        } else {
+            Some(self.stall_report(abort.unwrap_or(StallReason::Deadlock)))
+        };
         ClusterResult {
             finish_times: self.finish_times.clone(),
             makespan,
             completed,
             events: self.engine.events_processed(),
+            stall,
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
+    /// Diagnose every unfinished node (see [`StallReport`]).
+    fn stall_report(&self, reason: StallReason) -> StallReport {
+        let nodes = (0..self.config.n_nodes)
+            .filter(|&n| self.finish_times[n as usize].is_none())
+            .map(|n| {
+                let cpu = &self.cpus[n as usize];
+                let blocked_on = if let Some(label) = cpu.waiting_on() {
+                    BlockedOn::Kernel { label: label.to_owned() }
+                } else {
+                    match cpu.current_op() {
+                        Some(HostOp::Poll { addr, at_least }) => BlockedOn::Poll {
+                            addr: *addr,
+                            at_least: *at_least,
+                            current: self.mem.read_u64(*addr),
+                        },
+                        Some(op) => BlockedOn::Op { desc: format!("{op:?}") },
+                        None => BlockedOn::Op { desc: "<program end>".into() },
+                    }
+                };
+                let nic = &self.nics[n as usize];
+                NodeStall {
+                    node: n,
+                    blocked_on,
+                    pc: cpu.pc(),
+                    program_len: cpu.program_len(),
+                    kernels_in_flight: self.gpus[n as usize].kernels_in_flight(),
+                    pending_triggers: nic.triggers().pending_entries(),
+                    in_flight_retries: nic.pending_retries(),
+                    delivery_failures: nic.delivery_failures().to_vec(),
+                }
+            })
+            .collect();
+        let tail = self.log.len().saturating_sub(16);
+        StallReport {
+            at: self.engine.now(),
+            reason,
+            nodes,
+            recent: self.log[tail..].to_vec(),
+        }
+    }
+
+    /// Dispatch one event; returns true if it made progress (anything
+    /// beyond re-checking a still-unsatisfied poll).
+    fn dispatch(&mut self, now: SimTime, ev: Event) -> bool {
         match ev {
             Event::Cpu(n, ev) => {
-                let outs = self.cpus[n as usize].handle(now, ev, &mut self.mem);
+                let i = n as usize;
+                let before = (self.cpus[i].pc(), self.cpus[i].is_finished());
+                let outs = self.cpus[i].handle(now, ev, &mut self.mem);
+                let progress = (self.cpus[i].pc(), self.cpus[i].is_finished()) != before;
                 for out in outs {
                     self.route_cpu(n, out);
                 }
+                progress
             }
             Event::Gpu(n, ev) => {
                 // Log the protocol-relevant internal transitions.
                 if let GpuEvent::Dispatch(kid) = &ev {
                     self.record(now, n, LogKind::KernelDispatched(kid.0));
                 }
-                let outs = self.gpus[n as usize].handle(now, ev, &mut self.mem);
+                let i = n as usize;
+                let idle_before = self.gpus[i].idle_polls();
+                let outs = self.gpus[i].handle(now, ev, &mut self.mem);
+                let progress = self.gpus[i].idle_polls() == idle_before;
                 for out in outs {
                     self.route_gpu(n, out);
                 }
+                progress
             }
             Event::Nic(n, ev) => {
                 match &ev {
@@ -284,7 +394,35 @@ impl Cluster {
                 for out in outs {
                     self.route_nic(n, out);
                 }
+                self.drain_nic_notes(n);
+                // NIC activity is always progress: it is bounded (retry
+                // budgets exhaust; nothing in the NIC self-perpetuates
+                // indefinitely) and usually exactly what pollers wait on.
+                true
             }
+        }
+    }
+
+    /// Fold the NIC's fault/reliability journal into the activity log.
+    /// Drained unconditionally so the journal never grows unbounded.
+    fn drain_nic_notes(&mut self, n: u32) {
+        let notes = self.nics[n as usize].take_notes();
+        if !self.config.log_events {
+            return;
+        }
+        for (at, note) in notes {
+            let kind = match note {
+                NicNote::MessageDropped { seq, .. } => LogKind::MessageDropped { seq },
+                NicNote::MessageCorrupted { seq, .. } => LogKind::MessageCorrupted { seq },
+                NicNote::Retransmitted { seq, attempt, .. } => {
+                    LogKind::Retransmitted { seq, attempt }
+                }
+                NicNote::DeliveryFailed { seq, attempts, .. } => {
+                    LogKind::DeliveryFailed { seq, attempts }
+                }
+                NicNote::TriggerRejected(e) => LogKind::TriggerRejected(e.to_string()),
+            };
+            self.log.push(LogRecord { at, node: n, kind });
         }
     }
 
@@ -548,7 +686,62 @@ mod tests {
         let result = cluster.run();
         assert!(!result.completed);
         assert_eq!(result.finish_times, vec![None]);
+        let report = result.stall.as_ref().expect("stall report for deadlock");
+        assert_eq!(report.reason, crate::stall::StallReason::Deadlock);
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(
+            report.nodes[0].blocked_on,
+            crate::stall::BlockedOn::Kernel { label: "ghost".into() }
+        );
         let _ = flag;
+    }
+
+    #[test]
+    fn livelock_polling_is_caught_by_watchdog() {
+        let mut config = ClusterConfig::table2(1);
+        config.stall_timeout_ns = 100_000; // fast test: 100 us of spinning
+        let mut mem = MemPool::new(1);
+        let flag = Addr::base(NodeId(0), mem.alloc(NodeId(0), 8, "never"));
+        let mut p0 = HostProgram::new();
+        // Poll a flag nobody ever sets: the CPU reschedules itself forever,
+        // so the calendar never drains — only the watchdog can end this.
+        p0.poll(flag, 1);
+        let mut cluster = Cluster::new(config, mem, vec![p0]);
+        let result = cluster.run();
+        assert!(!result.completed);
+        let report = result.stall.as_ref().expect("stall report for livelock");
+        assert!(
+            matches!(report.reason, crate::stall::StallReason::Livelock { .. }),
+            "{:?}",
+            report.reason
+        );
+        assert_eq!(report.nodes.len(), 1);
+        match report.nodes[0].blocked_on {
+            crate::stall::BlockedOn::Poll { at_least, current, .. } => {
+                assert_eq!(at_least, 1);
+                assert_eq!(current, 0);
+            }
+            ref other => panic!("expected Poll, got {other:?}"),
+        }
+        // Orders of magnitude below the 400M-event backstop.
+        assert!(result.events < 100_000, "{}", result.events);
+        // And the rendering names the essentials.
+        let text = report.to_string();
+        assert!(text.contains("livelock"), "{text}");
+        assert!(text.contains("node 0"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster did not complete")]
+    fn expect_completed_panics_with_report() {
+        let mut config = ClusterConfig::table2(1);
+        config.stall_timeout_ns = 100_000;
+        let mut mem = MemPool::new(1);
+        let flag = Addr::base(NodeId(0), mem.alloc(NodeId(0), 8, "never"));
+        let mut p0 = HostProgram::new();
+        p0.poll(flag, 1);
+        let mut cluster = Cluster::new(config, mem, vec![p0]);
+        cluster.run().expect_completed();
     }
 
     #[test]

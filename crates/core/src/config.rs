@@ -22,6 +22,14 @@ pub struct ClusterConfig {
     /// Record the activity log (on for experiments that decompose
     /// latencies; off for large sweeps).
     pub log_events: bool,
+    /// Stall watchdog horizon, simulated nanoseconds: if this much
+    /// simulated time passes with every dispatched event classified as an
+    /// idle poll retry (no CPU pc movement, no GPU op retired, no NIC
+    /// activity), the run is declared stalled and a
+    /// [`crate::cluster::StallReport`] is produced instead of spinning to
+    /// the event cap. Must comfortably exceed the longest legitimate gap
+    /// between progress events (compute phases, retransmit timeouts).
+    pub stall_timeout_ns: u64,
 }
 
 impl ClusterConfig {
@@ -35,6 +43,10 @@ impl ClusterConfig {
             nic: NicConfig::default(),
             fabric: FabricConfig::default(),
             log_events: true,
+            // 50 ms of simulated dead air: >10x the largest retransmit
+            // timeout an 8 MiB transfer can back off to, so the watchdog
+            // never fires on a run that is still (slowly) making progress.
+            stall_timeout_ns: 50_000_000,
         }
     }
 
@@ -47,6 +59,9 @@ impl ClusterConfig {
         self.gpu.validate()?;
         self.nic.validate()?;
         self.fabric.validate()?;
+        if self.stall_timeout_ns == 0 {
+            return Err("stall_timeout_ns must be nonzero (watchdog would fire instantly)".into());
+        }
         Ok(())
     }
 

@@ -13,6 +13,8 @@
 //! - [`kernel_api`] — the §4.2 kernel-side messaging granularities
 //!   (work-item / work-group / kernel / mixed) as planners that pair GPU
 //!   trigger stores with matching NIC registrations.
+//! - [`stall`] — structured diagnostics for runs that wedge: which nodes
+//!   are stuck, on what, and what their NICs were still retrying.
 //! - [`strategy`] — the four evaluated configurations (§5.1): CPU, HDN,
 //!   GDS, GPU-TN, plus the GDS kernel-boundary doorbell mechanism.
 //! - [`timeline`] — turns the cluster log into Fig. 3/Fig. 8 style latency
@@ -25,9 +27,11 @@ pub mod cluster;
 pub mod config;
 pub mod host_api;
 pub mod kernel_api;
+pub mod stall;
 pub mod strategy;
 pub mod timeline;
 
 pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
 pub use config::ClusterConfig;
+pub use stall::{BlockedOn, NodeStall, StallReason, StallReport};
 pub use strategy::Strategy;

@@ -1,0 +1,223 @@
+//! Structured stall diagnostics.
+//!
+//! A cluster run that does not complete used to surface as a bare
+//! `completed = false` plus raw finish times — fine for a test assertion,
+//! useless for figuring out *why* four nodes are wedged. [`StallReport`]
+//! names every stuck node, what it is blocked on (the polled flag and its
+//! current value, the awaited kernel), the NIC-side state that explains the
+//! wedge (pending trigger entries that never fired, in-flight retransmits,
+//! messages abandoned after retry exhaustion), and the tail of the activity
+//! log. [`crate::cluster::ClusterResult::expect_completed`] renders it in
+//! the panic message, so a hung integration test reads like a diagnosis
+//! instead of a core dump.
+
+use crate::cluster::LogRecord;
+use gtn_mem::{Addr, NodeId};
+use gtn_nic::reliability::DeliveryFailure;
+use gtn_nic::Tag;
+use gtn_sim::time::SimTime;
+use std::fmt;
+
+/// Why the run loop gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallReason {
+    /// The event calendar drained with unfinished host programs: a classic
+    /// deadlock (e.g. a wait on a kernel nobody launches, a blocked CPU
+    /// whose wake-up message was abandoned).
+    Deadlock,
+    /// The watchdog fired: `idle_ns` simulated nanoseconds elapsed in which
+    /// every dispatched event was an idle poll retry — a livelock (spinning
+    /// CPUs/GPUs with nothing in flight that could ever satisfy them).
+    Livelock {
+        /// Simulated ns of pure spinning before the watchdog tripped.
+        idle_ns: u64,
+    },
+    /// The absolute event-count backstop tripped first (should only happen
+    /// with a watchdog horizon far above the default).
+    EventCap,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallReason::Deadlock => write!(f, "deadlock (event calendar drained)"),
+            StallReason::Livelock { idle_ns } => {
+                write!(f, "livelock ({idle_ns} ns of idle polling with nothing in flight)")
+            }
+            StallReason::EventCap => write!(f, "event-count backstop reached"),
+        }
+    }
+}
+
+/// What a stuck node's host program is blocked on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockedOn {
+    /// Spinning on a flag that never reached the wake threshold.
+    Poll {
+        /// The polled address.
+        addr: Addr,
+        /// Wake condition.
+        at_least: u64,
+        /// The flag's value at stall time — the gap to `at_least` says how
+        /// much of the protocol never happened.
+        current: u64,
+    },
+    /// Blocked in `WaitKernel` on a kernel that never completed.
+    Kernel {
+        /// The awaited launch label.
+        label: String,
+    },
+    /// Stuck at some other op (rendered via its Debug form).
+    Op {
+        /// Debug rendering of the current host op.
+        desc: String,
+    },
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Poll { addr, at_least, current } => {
+                write!(f, "poll on {addr:?} (needs >= {at_least}, currently {current})")
+            }
+            BlockedOn::Kernel { label } => write!(f, "wait for kernel {label:?}"),
+            BlockedOn::Op { desc } => write!(f, "host op {desc}"),
+        }
+    }
+}
+
+/// One stuck node's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStall {
+    /// The node.
+    pub node: u32,
+    /// What its host program is blocked on.
+    pub blocked_on: BlockedOn,
+    /// Program counter at stall time.
+    pub pc: usize,
+    /// Total ops in the host program.
+    pub program_len: usize,
+    /// Kernels still in flight on this node's GPU.
+    pub kernels_in_flight: usize,
+    /// Trigger-list entries never consumed: `(tag, counter, threshold,
+    /// armed)`. An armed entry whose counter sits below threshold is a
+    /// trigger write that never arrived.
+    pub pending_triggers: Vec<(Tag, u64, Option<u64>, bool)>,
+    /// Messages this node's NIC is still retrying: `(seq, target,
+    /// attempts)`.
+    pub in_flight_retries: Vec<(u64, NodeId, u32)>,
+    /// Messages abandoned after retry exhaustion — usually the smoking gun.
+    pub delivery_failures: Vec<DeliveryFailure>,
+}
+
+impl fmt::Display for NodeStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  node {}: blocked on {} (pc {}/{}, {} kernel(s) in flight)",
+            self.node, self.blocked_on, self.pc, self.program_len, self.kernels_in_flight
+        )?;
+        for (tag, counter, threshold, armed) in &self.pending_triggers {
+            writeln!(
+                f,
+                "    pending trigger {tag}: counter {counter}, threshold {threshold:?}, armed {armed}"
+            )?;
+        }
+        for (seq, target, attempts) in &self.in_flight_retries {
+            writeln!(f, "    in-flight retry: seq {seq} -> {target:?}, {attempts} attempt(s)")?;
+        }
+        for fail in &self.delivery_failures {
+            writeln!(
+                f,
+                "    ABANDONED: seq {} -> {:?} after {} attempts ({} B) at {}",
+                fail.seq, fail.target, fail.attempts, fail.bytes, fail.at
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Full diagnosis of a run that did not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Simulated time the run gave up.
+    pub at: SimTime,
+    /// Why the loop stopped.
+    pub reason: StallReason,
+    /// Every node whose host program did not finish.
+    pub nodes: Vec<NodeStall>,
+    /// Tail of the activity log (empty when `log_events` is off).
+    pub recent: Vec<LogRecord>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stalled at {}: {}", self.at, self.reason)?;
+        writeln!(f, "{} node(s) stuck:", self.nodes.len())?;
+        for node in &self.nodes {
+            write!(f, "{node}")?;
+        }
+        if self.recent.is_empty() {
+            writeln!(f, "  (activity log disabled; enable log_events for a trace tail)")?;
+        } else {
+            writeln!(f, "  last {} activity records:", self.recent.len())?;
+            for r in &self.recent {
+                writeln!(f, "    {} node {} {:?}", r.at, r.node, r.kind)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_mem::RegionId;
+
+    #[test]
+    fn report_renders_every_section() {
+        let report = StallReport {
+            at: SimTime::from_us(42),
+            reason: StallReason::Livelock { idle_ns: 1_000_000 },
+            nodes: vec![NodeStall {
+                node: 1,
+                blocked_on: BlockedOn::Poll {
+                    addr: Addr::base(NodeId(1), RegionId(3)),
+                    at_least: 4,
+                    current: 3,
+                },
+                pc: 7,
+                program_len: 9,
+                kernels_in_flight: 1,
+                pending_triggers: vec![(Tag(5), 0, Some(1), true)],
+                in_flight_retries: vec![(12, NodeId(0), 3)],
+                delivery_failures: vec![DeliveryFailure {
+                    at: SimTime::from_us(40),
+                    seq: 11,
+                    target: NodeId(0),
+                    attempts: 9,
+                    bytes: 64,
+                }],
+            }],
+            recent: Vec::new(),
+        };
+        let s = report.to_string();
+        for needle in [
+            "livelock",
+            "node 1",
+            "needs >= 4, currently 3",
+            "pending trigger",
+            "in-flight retry: seq 12",
+            "ABANDONED: seq 11",
+            "log disabled",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn deadlock_reason_renders() {
+        assert!(StallReason::Deadlock.to_string().contains("drained"));
+        assert!(StallReason::EventCap.to_string().contains("backstop"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Fabric configuration (Table 2, "Network Configuration").
 
+use crate::faults::FaultConfig;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +22,9 @@ pub struct FabricConfig {
     pub topology: Topology,
     /// Latency of a loopback (self-send) through the local NIC, nanoseconds.
     pub loopback_latency_ns: u64,
+    /// Fault-injection plan; [`FaultConfig::none`] (the default) disables
+    /// injection and leaves the lossless path untouched.
+    pub faults: FaultConfig,
 }
 
 impl Default for FabricConfig {
@@ -33,6 +37,7 @@ impl Default for FabricConfig {
             header_bytes: 30, // IB-like LRH+BTH+ICRC order of magnitude
             topology: Topology::Star,
             loopback_latency_ns: 150,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -46,7 +51,7 @@ impl FabricConfig {
         if self.mtu_bytes == 0 {
             return Err("mtu_bytes must be nonzero".into());
         }
-        Ok(())
+        self.faults.validate()
     }
 }
 

@@ -9,6 +9,7 @@
 //! latency per packet.
 
 use crate::config::FabricConfig;
+use crate::faults::{Delivery, FaultPlan};
 use crate::link::Link;
 use crate::packet::segment;
 use crate::topology::{Hop, Topology};
@@ -38,6 +39,7 @@ pub struct Fabric {
     /// Full mesh: direct[src][dst].
     direct: Vec<Vec<Link>>,
     messages_sent: u64,
+    faults: FaultPlan,
 }
 
 impl Fabric {
@@ -64,6 +66,7 @@ impl Fabric {
                     .collect(),
             ),
         };
+        let faults = FaultPlan::new(config.faults.clone());
         Fabric {
             config,
             n_nodes,
@@ -71,6 +74,7 @@ impl Fabric {
             downlinks,
             direct,
             messages_sent: 0,
+            faults,
         }
     }
 
@@ -155,6 +159,33 @@ impl Fabric {
             last_arrival,
             packets: n_packets,
         }
+    }
+
+    /// Like [`Fabric::send_message`], but additionally judges the message
+    /// against the configured fault plan. The links are charged either way
+    /// (a dropped packet still occupied the wire up to the point of loss;
+    /// modelling full occupancy is a conservative simplification), so
+    /// contention behaviour matches the lossless fabric exactly. Loopback
+    /// never faults: it does not cross the fabric.
+    pub fn send_message_faulty(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (MessageTiming, Delivery) {
+        let timing = self.send_message(now, src, dst, bytes);
+        if src == dst {
+            return (timing, Delivery::Delivered);
+        }
+        let verdict = self.faults.judge(now, src, dst, timing.packets);
+        (timing, verdict)
+    }
+
+    /// Fault counters (`drops`, `packets_dropped`, `outage_drops`,
+    /// `corruptions`, `messages_judged`). Empty with faults disabled.
+    pub fn fault_stats(&self) -> &gtn_sim::stats::StatSet {
+        self.faults.stats()
     }
 
     /// Bytes carried per downlink (diagnostics; indexes by node).

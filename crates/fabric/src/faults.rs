@@ -1,0 +1,327 @@
+//! Deterministic fault injection: packet loss, message corruption, and
+//! transient link outages.
+//!
+//! Every fault decision draws from [`SimRng`] streams forked from a single
+//! seed, so a run with the same seed (and the same event order, which the
+//! discrete-event engine guarantees) injects *exactly* the same faults.
+//! With [`FaultConfig::none`] (the default) the plan draws nothing and
+//! touches no state, so the lossless path is bit-identical to a build that
+//! has never heard of faults.
+//!
+//! The plan judges at *message* granularity on top of the fabric's packet
+//! segmentation: a message is dropped if any of its packets is lost (i.i.d.
+//! per-packet Bernoulli) or if its send time falls inside a scheduled outage
+//! window of the directed `src → dst` pair. Corruption is a per-message
+//! Bernoulli; a corrupted message still arrives (and still occupies the
+//! links) but its payload must not be committed by the receiver — the NIC's
+//! reliability layer treats it like a loss and waits for the retransmit.
+
+use std::collections::HashMap;
+
+use gtn_mem::NodeId;
+use gtn_sim::rng::SimRng;
+use gtn_sim::stats::StatSet;
+use gtn_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection parameters. All-zero (see [`FaultConfig::none`]) disables
+/// injection entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the fault streams. Independent of workload seeds so the
+    /// same traffic can be replayed under different fault draws.
+    pub seed: u64,
+    /// Per-packet i.i.d. loss probability in `[0, 1)`.
+    pub packet_loss: f64,
+    /// Per-message corruption probability in `[0, 1)`. Corrupted messages
+    /// arrive on time but carry an invalid payload.
+    pub message_corruption: f64,
+    /// Mean time between outage onsets per directed link pair, ns.
+    /// Zero disables outages.
+    pub outage_mtbf_ns: u64,
+    /// Duration of each outage window, ns.
+    pub outage_duration_ns: u64,
+    /// Horizon over which outage windows are pre-generated, ns. Messages
+    /// sent past the horizon see no outages. Must be nonzero when
+    /// `outage_mtbf_ns` is nonzero.
+    pub outage_horizon_ns: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all; the plan becomes a no-op.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            packet_loss: 0.0,
+            message_corruption: 0.0,
+            outage_mtbf_ns: 0,
+            outage_duration_ns: 0,
+            outage_horizon_ns: 0,
+        }
+    }
+
+    /// Uniform packet loss at probability `p`, seeded.
+    pub fn loss(seed: u64, p: f64) -> Self {
+        FaultConfig {
+            seed,
+            packet_loss: p,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// True when no fault class is enabled (the default).
+    pub fn is_none(&self) -> bool {
+        self.packet_loss == 0.0 && self.message_corruption == 0.0 && self.outage_mtbf_ns == 0
+    }
+
+    /// Validate invariants; called by [`crate::Fabric::new`].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.packet_loss) {
+            return Err(format!("packet_loss must be in [0,1], got {}", self.packet_loss));
+        }
+        if !(0.0..=1.0).contains(&self.message_corruption) {
+            return Err(format!(
+                "message_corruption must be in [0,1], got {}",
+                self.message_corruption
+            ));
+        }
+        if self.outage_mtbf_ns > 0 && (self.outage_duration_ns == 0 || self.outage_horizon_ns == 0)
+        {
+            return Err("outages need nonzero outage_duration_ns and outage_horizon_ns".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Verdict for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Arrives intact.
+    Delivered,
+    /// Arrives on time but the payload is garbage; must not be committed.
+    Corrupted,
+    /// Never arrives (packet loss or outage window).
+    Dropped,
+}
+
+/// The seeded fault plan. Owned by [`crate::Fabric`]; judged per message via
+/// [`crate::Fabric::send_message_faulty`].
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    packet_rng: SimRng,
+    message_rng: SimRng,
+    outage_root: SimRng,
+    /// Outage windows per directed pair, generated lazily and cached so a
+    /// pair's schedule does not depend on which other pairs ever talk.
+    outages: HashMap<(u32, u32), Vec<(SimTime, SimTime)>>,
+    stats: StatSet,
+}
+
+impl FaultPlan {
+    /// Build a plan from its configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        let root = SimRng::seeded(config.seed);
+        FaultPlan {
+            packet_rng: root.fork(1),
+            message_rng: root.fork(2),
+            outage_root: root.fork(3),
+            config,
+            outages: HashMap::new(),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Fault counters: `drops`, `packets_dropped`, `outage_drops`,
+    /// `corruptions`, `messages_judged`.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Judge one non-loopback message of `packets` packets sent at `now`.
+    /// With faults disabled this draws nothing and mutates nothing.
+    pub fn judge(&mut self, now: SimTime, src: NodeId, dst: NodeId, packets: u64) -> Delivery {
+        if self.config.is_none() {
+            return Delivery::Delivered;
+        }
+        self.stats.inc("messages_judged");
+
+        if self.config.outage_mtbf_ns > 0 && self.in_outage(now, src, dst) {
+            self.stats.inc("drops");
+            self.stats.inc("outage_drops");
+            return Delivery::Dropped;
+        }
+
+        if self.config.packet_loss > 0.0 {
+            let mut lost = 0u64;
+            for _ in 0..packets {
+                if self.packet_rng.unit_f64() < self.config.packet_loss {
+                    lost += 1;
+                }
+            }
+            if lost > 0 {
+                self.stats.inc("drops");
+                self.stats.add("packets_dropped", lost);
+                return Delivery::Dropped;
+            }
+        }
+
+        if self.config.message_corruption > 0.0
+            && self.message_rng.unit_f64() < self.config.message_corruption
+        {
+            self.stats.inc("corruptions");
+            return Delivery::Corrupted;
+        }
+
+        Delivery::Delivered
+    }
+
+    fn in_outage(&mut self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        let key = (src.0, dst.0);
+        let config = &self.config;
+        let windows = self.outages.entry(key).or_insert_with(|| {
+            // Poisson onsets: exponential gaps with mean `outage_mtbf_ns`,
+            // from a per-pair stream so schedules are pair-independent.
+            let stream = ((key.0 as u64) << 32) | key.1 as u64;
+            let mut rng = self.outage_root.fork(stream);
+            let mut windows = Vec::new();
+            let mut t_ns = 0u64;
+            loop {
+                let u = rng.unit_f64();
+                let gap = (-(1.0 - u).ln() * config.outage_mtbf_ns as f64).max(1.0);
+                t_ns = t_ns.saturating_add(gap as u64);
+                if t_ns >= config.outage_horizon_ns {
+                    break;
+                }
+                windows.push((
+                    SimTime::from_ns(t_ns),
+                    SimTime::from_ns(t_ns + config.outage_duration_ns),
+                ));
+                t_ns += config.outage_duration_ns;
+            }
+            windows
+        });
+        windows.iter().any(|&(start, end)| now >= start && now < end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judge_n(plan: &mut FaultPlan, n: usize) -> Vec<Delivery> {
+        (0..n)
+            .map(|i| {
+                plan.judge(
+                    SimTime::from_ns(i as u64 * 500),
+                    NodeId(0),
+                    NodeId(1),
+                    4,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disabled_plan_never_faults_and_never_counts() {
+        let mut plan = FaultPlan::new(FaultConfig::none());
+        assert!(judge_n(&mut plan, 1000).iter().all(|&d| d == Delivery::Delivered));
+        assert_eq!(plan.stats().counters().count(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let cfg = FaultConfig {
+            seed: 42,
+            packet_loss: 0.05,
+            message_corruption: 0.02,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultPlan::new(cfg.clone());
+        let mut b = FaultPlan::new(cfg);
+        assert_eq!(judge_n(&mut a, 2000), judge_n(&mut b, 2000));
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let mut plan = FaultPlan::new(FaultConfig::loss(7, 0.01));
+        let verdicts = judge_n(&mut plan, 10_000);
+        let dropped = verdicts.iter().filter(|&&d| d == Delivery::Dropped).count();
+        // 4 packets/message at 1%: P(drop) ≈ 3.94%. Allow wide slack.
+        assert!((200..=600).contains(&dropped), "dropped {dropped}");
+        assert_eq!(plan.stats().counter("drops"), dropped as u64);
+        assert!(plan.stats().counter("packets_dropped") >= dropped as u64);
+    }
+
+    #[test]
+    fn corruption_and_loss_are_separate_verdicts() {
+        let cfg = FaultConfig {
+            seed: 3,
+            message_corruption: 0.5,
+            ..FaultConfig::none()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let verdicts = judge_n(&mut plan, 1000);
+        let corrupted = verdicts.iter().filter(|&&d| d == Delivery::Corrupted).count();
+        assert!((350..=650).contains(&corrupted), "corrupted {corrupted}");
+        assert_eq!(plan.stats().counter("drops"), 0);
+        assert_eq!(plan.stats().counter("corruptions"), corrupted as u64);
+    }
+
+    #[test]
+    fn outage_windows_drop_everything_inside_them() {
+        let cfg = FaultConfig {
+            seed: 11,
+            outage_mtbf_ns: 10_000,
+            outage_duration_ns: 2_000,
+            outage_horizon_ns: 1_000_000,
+            ..FaultConfig::none()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let mut dropped = 0;
+        for i in 0..10_000u64 {
+            if plan.judge(SimTime::from_ns(i * 100), NodeId(0), NodeId(1), 1)
+                == Delivery::Dropped
+            {
+                dropped += 1;
+            }
+        }
+        // ~1/6 duty cycle (2 µs outage per ~12 µs period) over 1 ms probed.
+        assert!(dropped > 500, "dropped {dropped}");
+        assert_eq!(plan.stats().counter("outage_drops"), dropped);
+        // A different pair has an independent schedule but also sees drops.
+        let d2 = (0..10_000u64)
+            .filter(|i| {
+                plan.judge(SimTime::from_ns(i * 100), NodeId(1), NodeId(0), 1)
+                    == Delivery::Dropped
+            })
+            .count();
+        assert!(d2 > 500, "reverse pair dropped {d2}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        // 1.0 is legal (a dead link, used to test retry exhaustion)...
+        assert!(FaultConfig { packet_loss: 1.0, ..FaultConfig::none() }.validate().is_ok());
+        // ...but beyond-certainty and negative probabilities are not.
+        assert!(FaultConfig { packet_loss: 1.1, ..FaultConfig::none() }.validate().is_err());
+        assert!(FaultConfig { packet_loss: -0.1, ..FaultConfig::none() }.validate().is_err());
+        assert!(FaultConfig { message_corruption: 1.5, ..FaultConfig::none() }
+            .validate()
+            .is_err());
+        assert!(FaultConfig { outage_mtbf_ns: 10, ..FaultConfig::none() }.validate().is_err());
+        assert!(FaultConfig::none().validate().is_ok());
+        assert!(FaultConfig::loss(1, 0.01).validate().is_ok());
+    }
+}

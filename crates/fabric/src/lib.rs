@@ -16,10 +16,12 @@
 
 pub mod config;
 pub mod fabric;
+pub mod faults;
 pub mod link;
 pub mod packet;
 pub mod topology;
 
 pub use config::FabricConfig;
 pub use fabric::{Fabric, MessageTiming};
+pub use faults::{Delivery, FaultConfig, FaultPlan};
 pub use topology::Topology;

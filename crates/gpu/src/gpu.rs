@@ -114,6 +114,11 @@ pub struct Gpu {
     /// Round-robin cursor so concurrent kernels spread across CUs instead
     /// of stacking behind each other on CU 0.
     next_cu: usize,
+    /// Monotonic count of work-group steps that did *nothing* but re-check
+    /// a still-unsatisfied poll. The cluster's stall watchdog compares this
+    /// across dispatches: a GPU whose only activity is idle polls is not
+    /// making progress.
+    idle_polls: u64,
     stats: StatSet,
 }
 
@@ -134,8 +139,14 @@ impl Gpu {
             cu_queues: (0..n).map(|_| VecDeque::new()).collect(),
             cu_busy: vec![false; n],
             next_cu: 0,
+            idle_polls: 0,
             stats: StatSet::new(),
         }
+    }
+
+    /// Work-group steps that only re-checked an unsatisfied poll.
+    pub fn idle_polls(&self) -> u64 {
+        self.idle_polls
     }
 
     /// The active configuration.
@@ -246,6 +257,7 @@ impl Gpu {
         };
         let program = run.launch.program.clone();
         let ops = program.ops();
+        let entry_pc = run.wgs[wg as usize].pc;
 
         loop {
             let pc = run.wgs[wg as usize].pc;
@@ -374,6 +386,11 @@ impl Gpu {
                         // folded into the poll interval).
                     } else {
                         self.stats.inc("poll_retries");
+                        // A step that advanced nothing before missing the
+                        // poll is pure spinning — count it for the watchdog.
+                        if run.wgs[wg as usize].pc == entry_pc {
+                            self.idle_polls += 1;
+                        }
                         out.push(GpuOutput::Local {
                             at: now + SimDuration::from_ns(self.config.poll_interval_ns),
                             ev: GpuEvent::WgStep { kid, wg },

@@ -239,6 +239,27 @@ impl Cpu {
         self.finished
     }
 
+    /// Program counter: index of the op currently executing or blocked.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Total ops in the program.
+    pub fn program_len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// The kernel label this CPU is blocked on, if any.
+    pub fn waiting_on(&self) -> Option<&str> {
+        self.waiting_on.as_deref()
+    }
+
+    /// The op at the current program counter (None once finished). Stall
+    /// diagnostics render this to say what a stuck node was doing.
+    pub fn current_op(&self) -> Option<&HostOp> {
+        self.program.ops().get(self.pc)
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> &StatSet {
         &self.stats

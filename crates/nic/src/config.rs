@@ -6,6 +6,7 @@
 //! completion times; see EXPERIMENTS.md for the calibration trace.
 
 use crate::lookup::LookupKind;
+use crate::reliability::ReliabilityConfig;
 use serde::{Deserialize, Serialize};
 
 /// Timing and structural parameters of one NIC.
@@ -33,6 +34,9 @@ pub struct NicConfig {
     /// Surcharge for parsing a *dynamic* trigger descriptor (§3.4
     /// extension): the write carries operation fields, not just a tag.
     pub dyn_match_extra_ns: u64,
+    /// End-to-end ARQ layer (sequence numbers, ACKs, retransmits).
+    /// Disabled by default; required when the fabric injects faults.
+    pub reliability: ReliabilityConfig,
 }
 
 impl Default for NicConfig {
@@ -49,6 +53,7 @@ impl Default for NicConfig {
             // adopts the associative lookup (§3.3); that is our default too.
             lookup: LookupKind::Associative { ways: 16 },
             dyn_match_extra_ns: 20,
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -62,7 +67,7 @@ impl NicConfig {
         if let LookupKind::Associative { ways: 0 } = self.lookup {
             return Err("associative lookup needs at least one way".into());
         }
-        Ok(())
+        self.reliability.validate()
     }
 }
 

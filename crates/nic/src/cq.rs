@@ -22,6 +22,11 @@ pub enum CqKind {
     SendComplete = 1,
     /// A message's payload was committed to local memory.
     RecvComplete = 2,
+    /// An operation failed permanently — the reliability layer exhausted
+    /// its retry budget. `tag` carries the sequence number of the
+    /// abandoned message. Without this entry a lost message would be a
+    /// silent hang; with it, pollers can surface the failure.
+    Error = 3,
 }
 
 /// One decoded completion entry.
@@ -106,6 +111,7 @@ impl CqDesc {
         let kind = match mem.read_u64(slot) {
             1 => CqKind::SendComplete,
             2 => CqKind::RecvComplete,
+            3 => CqKind::Error,
             other => panic!("corrupt CQ entry kind {other}"),
         };
         CqEntry {

@@ -34,11 +34,13 @@ pub mod dynamic;
 pub mod lookup;
 pub mod nic;
 pub mod op;
+pub mod reliability;
 pub mod trigger;
 
 pub use config::NicConfig;
 pub use dynamic::DynFields;
 pub use lookup::LookupKind;
-pub use nic::{Nic, NicEvent, NicOutput};
+pub use nic::{Nic, NicEvent, NicNote, NicOutput};
 pub use op::{NetOp, OpId, Tag};
+pub use reliability::{DeliveryFailure, ReliabilityConfig};
 pub use trigger::{TriggerError, TriggerList};

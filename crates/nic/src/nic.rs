@@ -31,9 +31,10 @@ use crate::config::NicConfig;
 use crate::cq::{CqDesc, CqKind};
 use crate::dynamic::DynFields;
 use crate::op::{NetOp, Notify, OpId, Tag};
+use crate::reliability::{Accept, DeliveryFailure, Reliability, TimerVerdict};
 use crate::trigger::{TriggerError, TriggerList};
 use bytes::Bytes;
-use gtn_fabric::Fabric;
+use gtn_fabric::{Delivery, Fabric};
 use gtn_mem::{Addr, MemPool, NodeId};
 use gtn_sim::stats::StatSet;
 use gtn_sim::time::{SimDuration, SimTime};
@@ -63,6 +64,13 @@ pub enum NicCommand {
 pub struct RxMessage {
     /// Initiating node.
     pub origin: NodeId,
+    /// Sequence number assigned by the origin's reliability layer; `None`
+    /// when ARQ is disabled or the message is not tracked (loopback, ACKs).
+    pub seq: Option<u64>,
+    /// True when the fault plan corrupted this message in flight: it
+    /// arrives on time but the receiver must discard it (a real NIC's CRC
+    /// check fails) and wait for the retransmit.
+    pub corrupt: bool,
     /// What arrived.
     pub kind: RxKind,
 }
@@ -91,6 +99,12 @@ pub enum RxKind {
         /// Completion flag on the requesting node.
         reply_notify: Option<Notify>,
     },
+    /// Acknowledgement of a tracked message: the receiver committed (or
+    /// had already committed) sequence `seq` from this ACK's destination.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 /// Events the NIC reacts to.
@@ -115,6 +129,59 @@ pub enum NicEvent {
     RxArrive(RxMessage),
     /// Receive processing finished: commit payload and flags.
     RxDone(RxMessage),
+    /// A retransmit timer set when sequence `seq` toward `target` was sent
+    /// for the `attempt`-th time expired. Stale timers (message since
+    /// ACKed, or a newer attempt outstanding) are ignored.
+    RetryTimer {
+        /// Destination node of the guarded message (sequence spaces are
+        /// per directed pair).
+        target: NodeId,
+        /// Tracked sequence number.
+        seq: u64,
+        /// The send attempt this timer guards (1 = original send).
+        attempt: u32,
+    },
+}
+
+/// Out-of-band journal records describing fault and reliability activity.
+/// The cluster glue drains these with [`Nic::take_notes`] and folds them
+/// into its activity log; standalone users may ignore them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NicNote {
+    /// The fault plan dropped this attempt of a tracked message.
+    MessageDropped {
+        /// Tracked sequence number.
+        seq: u64,
+        /// Destination node.
+        target: NodeId,
+    },
+    /// The fault plan corrupted this attempt; it arrives but is discarded.
+    MessageCorrupted {
+        /// Tracked sequence number.
+        seq: u64,
+        /// Destination node.
+        target: NodeId,
+    },
+    /// A retry timer expired and the message was retransmitted.
+    Retransmitted {
+        /// Tracked sequence number.
+        seq: u64,
+        /// Send attempt just made (2 = first retransmit).
+        attempt: u32,
+        /// Destination node.
+        target: NodeId,
+    },
+    /// The retry budget is exhausted; delivery abandoned permanently.
+    DeliveryFailed {
+        /// Tracked sequence number.
+        seq: u64,
+        /// Destination it never confirmably reached.
+        target: NodeId,
+        /// Total sends attempted.
+        attempts: u32,
+    },
+    /// A trigger registration or tag write was rejected.
+    TriggerRejected(TriggerError),
 }
 
 /// Follow-up events for the glue to schedule.
@@ -160,6 +227,10 @@ pub struct Nic {
     /// Optional memory-resident completion queue (the conventional
     /// notification channel GPU-TN's flags replace; see [`crate::cq`]).
     cq: Option<CqDesc>,
+    /// ARQ state (sequence numbers, unacked messages, receive dedupe).
+    rel: Reliability<RxMessage>,
+    /// Journal of fault/reliability activity, drained by the cluster glue.
+    notes: Vec<(SimTime, NicNote)>,
 }
 
 impl Nic {
@@ -170,6 +241,7 @@ impl Nic {
     pub fn new(node: NodeId, config: NicConfig) -> Self {
         config.validate().expect("invalid NIC config");
         let triggers = TriggerList::new(config.lookup);
+        let rel = Reliability::new(config.reliability.clone());
         Nic {
             node,
             config,
@@ -183,6 +255,8 @@ impl Nic {
             stats: StatSet::new(),
             errors: Vec::new(),
             cq: None,
+            rel,
+            notes: Vec::new(),
         }
     }
 
@@ -219,6 +293,26 @@ impl Nic {
         &self.errors
     }
 
+    /// Drain the fault/reliability journal accumulated since the last call.
+    pub fn take_notes(&mut self) -> Vec<(SimTime, NicNote)> {
+        std::mem::take(&mut self.notes)
+    }
+
+    /// Messages sent but not yet acknowledged: `(seq, target, attempts)`.
+    /// Nonzero entries in a quiescent cluster mean someone is retrying.
+    pub fn pending_retries(&self) -> Vec<(u64, NodeId, u32)> {
+        self.rel.pending()
+    }
+
+    /// Messages abandoned after exhausting the retry budget.
+    pub fn delivery_failures(&self) -> &[DeliveryFailure] {
+        self.rel.failures()
+    }
+
+    fn note(&mut self, at: SimTime, note: NicNote) {
+        self.notes.push((at, note));
+    }
+
     /// Delay the glue should apply between a host doorbell store and the
     /// [`NicEvent::Doorbell`] event.
     pub fn doorbell_delay(&self) -> SimDuration {
@@ -249,6 +343,11 @@ impl Nic {
             NicEvent::DmaReadDone(op) => self.on_dma_done(now, op, mem, fabric),
             NicEvent::RxArrive(msg) => self.on_rx_arrive(now, msg),
             NicEvent::RxDone(msg) => self.on_rx_done(now, msg, mem, fabric),
+            NicEvent::RetryTimer {
+                target,
+                seq,
+                attempt,
+            } => self.on_retry_timer(now, target, seq, attempt, mem, fabric),
         }
     }
 
@@ -288,6 +387,7 @@ impl Nic {
                     }
                     Ok(None) => Vec::new(),
                     Err(e) => {
+                        self.note(now, NicNote::TriggerRejected(e.clone()));
                         self.errors.push((now, e));
                         self.stats.inc("trigger_errors");
                         Vec::new()
@@ -346,6 +446,7 @@ impl Nic {
             }
             Ok(None) => Vec::new(),
             Err(e) => {
+                self.note(now, NicNote::TriggerRejected(e.clone()));
                 self.errors.push((now, e));
                 self.stats.inc("trigger_errors");
                 Vec::new()
@@ -401,9 +502,10 @@ impl Nic {
                 self.stats.inc("gets_sent");
                 // A get request is a small control message; payload flows
                 // back as a put from the target.
-                let timing = fabric.send_message(now, self.node, target, 16);
                 let msg = RxMessage {
                     origin: self.node,
+                    seq: None,
+                    corrupt: false,
                     kind: RxKind::GetRequest {
                         src,
                         len,
@@ -411,11 +513,148 @@ impl Nic {
                         reply_notify: completion.map(|flag| Notify { flag, add: 1, chain: None }),
                     },
                 };
+                self.send_remote(now, target, 16, msg, fabric)
+            }
+        }
+    }
+
+    /// Ship a non-loopback message to `target`, through the ARQ layer when
+    /// it is enabled (sequence number, fault judgement, retry timer); the
+    /// lossless path is the seed model's, unchanged.
+    fn send_remote(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        bytes: u64,
+        mut msg: RxMessage,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        if !self.rel.enabled() {
+            let timing = fabric.send_message(now, self.node, target, bytes);
+            return vec![NicOutput::Remote {
+                node: target,
+                at: timing.last_arrival,
+                ev: NicEvent::RxArrive(msg),
+            }];
+        }
+        let seq = self.rel.alloc_seq(target);
+        msg.seq = Some(seq);
+        self.rel.hold(seq, target, bytes, msg.clone());
+        let mut out = self.transmit_tracked(now, target, bytes, msg, fabric);
+        out.push(NicOutput::Local {
+            at: now + self.config.reliability.rto(1, bytes),
+            ev: NicEvent::RetryTimer {
+                target,
+                seq,
+                attempt: 1,
+            },
+        });
+        out
+    }
+
+    /// One wire attempt of a tracked message: charge the fabric, judge the
+    /// fault plan, and schedule the arrival (or not).
+    fn transmit_tracked(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        bytes: u64,
+        mut msg: RxMessage,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        let (timing, verdict) = fabric.send_message_faulty(now, self.node, target, bytes);
+        let seq = msg.seq.expect("tracked messages carry a sequence");
+        match verdict {
+            Delivery::Dropped => {
+                self.stats.inc("tx_dropped");
+                self.note(now, NicNote::MessageDropped { seq, target });
+                Vec::new()
+            }
+            Delivery::Corrupted => {
+                msg.corrupt = true;
+                self.stats.inc("tx_corrupted");
+                self.note(now, NicNote::MessageCorrupted { seq, target });
                 vec![NicOutput::Remote {
                     node: target,
                     at: timing.last_arrival,
                     ev: NicEvent::RxArrive(msg),
                 }]
+            }
+            Delivery::Delivered => vec![NicOutput::Remote {
+                node: target,
+                at: timing.last_arrival,
+                ev: NicEvent::RxArrive(msg),
+            }],
+        }
+    }
+
+    /// Acknowledge sequence `seq` back to `to`. ACKs are fire-and-forget:
+    /// a lost ACK just means the origin retransmits and we re-ACK.
+    fn send_ack(&mut self, now: SimTime, to: NodeId, seq: u64, fabric: &mut Fabric) -> Vec<NicOutput> {
+        let bytes = self.config.reliability.ack_bytes;
+        let (timing, verdict) = fabric.send_message_faulty(now, self.node, to, bytes);
+        self.stats.inc("acks_tx");
+        if verdict != Delivery::Delivered {
+            self.stats.inc("acks_lost");
+            return Vec::new();
+        }
+        vec![NicOutput::Remote {
+            node: to,
+            at: timing.last_arrival,
+            ev: NicEvent::RxArrive(RxMessage {
+                origin: self.node,
+                seq: None,
+                corrupt: false,
+                kind: RxKind::Ack { seq },
+            }),
+        }]
+    }
+
+    fn on_retry_timer(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        seq: u64,
+        attempt: u32,
+        mem: &mut MemPool,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        let decision = match self.rel.timer_fired(now, target, seq, attempt) {
+            TimerVerdict::Stale => return Vec::new(),
+            TimerVerdict::Retransmit(p) => Ok((p.target, p.bytes, p.msg.clone(), p.attempts)),
+            TimerVerdict::Exhausted(f) => Err(f),
+        };
+        match decision {
+            Ok((target, bytes, msg, attempts)) => {
+                self.stats.inc("timeouts");
+                self.stats.inc("retransmits");
+                self.note(now, NicNote::Retransmitted { seq, attempt: attempts, target });
+                let mut out = self.transmit_tracked(now, target, bytes, msg, fabric);
+                out.push(NicOutput::Local {
+                    at: now + self.config.reliability.rto(attempts, bytes),
+                    ev: NicEvent::RetryTimer {
+                        target,
+                        seq,
+                        attempt: attempts,
+                    },
+                });
+                out
+            }
+            Err(failure) => {
+                self.stats.inc("exhausted_retries");
+                if let Some(cq) = self.cq {
+                    cq.push(mem, CqKind::Error, failure.seq, failure.bytes, now);
+                    self.stats.inc("cq_entries");
+                }
+                self.note(
+                    now,
+                    NicNote::DeliveryFailed {
+                        seq,
+                        target: failure.target,
+                        attempts: failure.attempts,
+                    },
+                );
+                Vec::new()
             }
         }
     }
@@ -455,9 +694,10 @@ impl Nic {
         }
         self.stats.inc("puts_injected");
         self.stats.add("bytes_tx", len);
-        let timing = fabric.send_message(now, self.node, target, len);
         let msg = RxMessage {
             origin: self.node,
+            seq: None,
+            corrupt: false,
             kind: RxKind::Put {
                 dst,
                 payload,
@@ -465,26 +705,43 @@ impl Nic {
             },
         };
         if target == self.node {
+            // Loopback never crosses the fabric and never faults.
+            let timing = fabric.send_message(now, self.node, target, len);
             vec![NicOutput::Local {
                 at: timing.last_arrival,
                 ev: NicEvent::RxArrive(msg),
             }]
         } else {
-            vec![NicOutput::Remote {
-                node: target,
-                at: timing.last_arrival,
-                ev: NicEvent::RxArrive(msg),
-            }]
+            self.send_remote(now, target, len, msg, fabric)
         }
     }
 
     // ---- target side ------------------------------------------------------
 
     fn on_rx_arrive(&mut self, now: SimTime, msg: RxMessage) -> Vec<NicOutput> {
+        if let RxKind::Ack { seq } = msg.kind {
+            // Sender side: retire the pending message. The ACK's origin is
+            // the node that committed it — the key into our per-target
+            // sequence space. Stale ACKs (already retired by an earlier
+            // duplicate's ACK) are harmless.
+            if self.rel.ack(msg.origin, seq) {
+                self.stats.inc("acks_rx");
+            } else {
+                self.stats.inc("acks_stale");
+            }
+            return Vec::new();
+        }
+        if msg.corrupt {
+            // CRC failure: discard without ACK; the origin's retry timer
+            // will replay the message.
+            self.stats.inc("rx_corrupt_discarded");
+            return Vec::new();
+        }
         self.stats.inc("rx_messages");
         let payload_len = match &msg.kind {
             RxKind::Put { payload, .. } => payload.len() as u64,
             RxKind::GetRequest { .. } => 0,
+            RxKind::Ack { .. } => unreachable!("ACKs are handled above"),
         };
         // Payload commit cost: fixed processing plus the memory-write time.
         let done = now
@@ -497,6 +754,51 @@ impl Nic {
     }
 
     fn on_rx_done(
+        &mut self,
+        now: SimTime,
+        msg: RxMessage,
+        mem: &mut MemPool,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        let mut outputs = Vec::new();
+        if let Some(seq) = msg.seq {
+            // ACK every arrival — a duplicate means the origin missed the
+            // first ACK — but commit strictly in per-origin sequence order,
+            // so a retransmit that lands late can never clobber fresher
+            // data or fire a notify for the wrong payload.
+            let origin = msg.origin;
+            outputs.extend(self.send_ack(now, origin, seq, fabric));
+            match self.rel.accept(origin, seq, msg) {
+                Accept::Duplicate => {
+                    // The payload was already committed (or is already
+                    // parked) and any notify / chained trigger already ran
+                    // or will run exactly once. Trigger entries are
+                    // one-shot (§3.1): a retransmit replays the wire
+                    // operation, never the trigger match.
+                    self.stats.inc("rx_duplicates");
+                }
+                Accept::Held => {
+                    // Ahead of the expected sequence: parked until the gap
+                    // fills. The origin's retry timer is re-sending the
+                    // missing message.
+                    self.stats.inc("rx_held");
+                }
+                Accept::Deliver(run) => {
+                    for m in run {
+                        let out = self.commit_rx(now, m, mem, fabric);
+                        outputs.extend(out);
+                    }
+                }
+            }
+            return outputs;
+        }
+        outputs.extend(self.commit_rx(now, msg, mem, fabric));
+        outputs
+    }
+
+    /// Commit one received message's effects: payload write, CQ entry,
+    /// notify flag, chained trigger, or get service.
+    fn commit_rx(
         &mut self,
         now: SimTime,
         msg: RxMessage,
@@ -553,6 +855,7 @@ impl Nic {
                 };
                 self.exec_op(now, reply, mem, fabric)
             }
+            RxKind::Ack { .. } => unreachable!("ACKs never reach RxDone"),
         }
     }
 }
@@ -573,12 +876,18 @@ mod tests {
 
     impl Harness {
         fn new(n: usize) -> Self {
+            Self::new_with(n, NicConfig::default(), FabricConfig::default())
+        }
+
+        /// Harness with explicit configs (reliability / fault-injection
+        /// tests).
+        fn new_with(n: usize, nic: NicConfig, fabric: FabricConfig) -> Self {
             Harness {
                 nics: (0..n)
-                    .map(|i| Nic::new(NodeId(i as u32), NicConfig::default()))
+                    .map(|i| Nic::new(NodeId(i as u32), nic.clone()))
                     .collect(),
                 mem: MemPool::new(n),
-                fabric: Fabric::new(n, FabricConfig::default()),
+                fabric: Fabric::new(n, fabric),
                 engine: Engine::new(),
             }
         }
@@ -833,5 +1142,100 @@ mod tests {
         );
         h.run();
         assert_eq!(h.mem.read(dst, 32), &[3; 32]);
+    }
+
+    fn reliable_nic(max_retries: u32) -> NicConfig {
+        NicConfig {
+            reliability: crate::reliability::ReliabilityConfig {
+                max_retries,
+                ..crate::reliability::ReliabilityConfig::on()
+            },
+            ..NicConfig::default()
+        }
+    }
+
+    fn lossy_fabric(seed: u64, loss: f64) -> FabricConfig {
+        FabricConfig {
+            faults: gtn_fabric::FaultConfig::loss(seed, loss),
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossy_triggered_put_retransmits_until_delivered() {
+        // Heavy seeded loss: the ARQ layer must carry the put through, and
+        // the trigger entry must fire exactly once — retransmits replay the
+        // wire op, they never re-arm the (one-shot, §3.1) trigger match.
+        let mut h = Harness::new_with(2, reliable_nic(8), lossy_fabric(12, 0.4));
+        let (src, dst, comp, flag) = put(&mut h, 64);
+        h.mem.write(src, &[0x5A; 64]);
+        h.doorbell(
+            0,
+            NicCommand::TriggeredPut {
+                tag: Tag(3),
+                threshold: 1,
+                op: put_op(src, dst, 64, comp, flag),
+            },
+        );
+        h.run(); // register the entry first, then fire it
+        h.trigger(0, Tag(3));
+        h.run();
+        assert_eq!(h.mem.read(dst, 64), &[0x5A; 64]);
+        assert_eq!(h.mem.read_u64(flag), 1, "notify exactly once despite duplicates");
+        assert_eq!(h.nics[0].stats().counter("fired_at_trigger"), 1, "one-shot");
+        assert!(
+            h.nics[0].stats().counter("retransmits") > 0,
+            "seed 12 at 40% loss must force at least one retransmit"
+        );
+        assert!(h.nics[0].delivery_failures().is_empty());
+        assert!(h.nics[0].pending_retries().is_empty(), "everything acked");
+    }
+
+    #[test]
+    fn dead_link_exhausts_retries_and_posts_cq_error() {
+        // 100% loss: no attempt can succeed. The send must not hang —
+        // after 1 + max_retries attempts the NIC abandons the message,
+        // records a DeliveryFailure, and posts a CqKind::Error completion.
+        let mut h = Harness::new_with(2, reliable_nic(3), lossy_fabric(1, 1.0));
+        let (src, dst, comp, flag) = put(&mut h, 64);
+        let cq = CqDesc::alloc(&mut h.mem, NodeId(0), 8);
+        h.nics[0].attach_cq(cq);
+        h.mem.write(src, &[1; 64]);
+        h.doorbell(0, NicCommand::Put(put_op(src, dst, 64, comp, flag)));
+        h.run();
+
+        assert_eq!(h.mem.read_u64(flag), 0, "nothing ever delivered");
+        let failures = h.nics[0].delivery_failures().to_vec();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 4, "1 original + 3 retries");
+        assert_eq!(failures[0].target, NodeId(1));
+        assert_eq!(h.nics[0].stats().counter("exhausted_retries"), 1);
+        assert!(h.nics[0].pending_retries().is_empty(), "nothing left in flight");
+        let entries = cq.drain_from(&h.mem, 0);
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.kind == CqKind::Error && e.tag == failures[0].seq),
+            "CQ must carry the error completion: {entries:?}"
+        );
+    }
+
+    #[test]
+    fn reliability_off_matches_lossless_wire_exactly() {
+        // Faults configured but the ARQ layer disabled: the NIC never
+        // routes through the faulty path, so timing and stats are identical
+        // to a run with no faults at all (the seed's exact behavior).
+        let run_one = |fabric: FabricConfig| {
+            let mut h = Harness::new_with(2, NicConfig::default(), fabric);
+            let (src, dst, comp, flag) = put(&mut h, 256);
+            h.mem.write(src, &[9; 256]);
+            h.doorbell(0, NicCommand::Put(put_op(src, dst, 256, comp, flag)));
+            let end = h.run();
+            (end, h.mem.read(dst, 256).to_vec())
+        };
+        let (end_clean, data_clean) = run_one(FabricConfig::default());
+        let (end_faulty, data_faulty) = run_one(lossy_fabric(42, 0.9));
+        assert_eq!(end_clean, end_faulty, "disabled ARQ must not consult the fault plan");
+        assert_eq!(data_clean, data_faulty);
     }
 }

@@ -103,6 +103,9 @@ pub struct TriggerList {
     kind: LookupKind,
     fired_total: u64,
     early_allocations: u64,
+    rejected_capacity: u64,
+    rejected_duplicate: u64,
+    rejected_zero_threshold: u64,
 }
 
 impl TriggerList {
@@ -113,6 +116,9 @@ impl TriggerList {
             kind,
             fired_total: 0,
             early_allocations: 0,
+            rejected_capacity: 0,
+            rejected_duplicate: 0,
+            rejected_zero_threshold: 0,
         }
     }
 
@@ -147,9 +153,38 @@ impl TriggerList {
         self.entries.get(&tag.0)
     }
 
-    fn check_capacity(&self, tag: Tag) -> Result<(), TriggerError> {
+    /// Rejected registrations and writes, by cause:
+    /// `(capacity_exceeded, duplicate_tag, zero_threshold)`.
+    pub fn rejections(&self) -> (u64, u64, u64) {
+        (
+            self.rejected_capacity,
+            self.rejected_duplicate,
+            self.rejected_zero_threshold,
+        )
+    }
+
+    /// Total rejected registrations and writes.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_capacity + self.rejected_duplicate + self.rejected_zero_threshold
+    }
+
+    /// Snapshot of the still-pending entries for diagnostics, sorted by
+    /// tag: `(tag, counter, threshold, armed)`. A stalled node's list shows
+    /// exactly which matches it is still waiting for.
+    pub fn pending_entries(&self) -> Vec<(Tag, u64, Option<u64>, bool)> {
+        let mut v: Vec<_> = self
+            .entries
+            .values()
+            .map(|e| (e.tag, e.counter, e.threshold, e.op.is_some()))
+            .collect();
+        v.sort_unstable_by_key(|&(tag, ..)| tag.0);
+        v
+    }
+
+    fn check_capacity(&mut self, tag: Tag) -> Result<(), TriggerError> {
         if let Some(cap) = self.kind.capacity() {
             if self.entries.len() >= cap {
+                self.rejected_capacity += 1;
                 return Err(TriggerError::CapacityExceeded { capacity: cap, tag });
             }
         }
@@ -170,10 +205,14 @@ impl TriggerList {
         threshold: u64,
     ) -> Result<Option<Fired>, TriggerError> {
         if threshold == 0 {
+            self.rejected_zero_threshold += 1;
             return Err(TriggerError::ZeroThreshold(tag));
         }
         match self.entries.get_mut(&tag.0) {
-            Some(e) if e.op.is_some() => Err(TriggerError::DuplicateTag(tag)),
+            Some(e) if e.op.is_some() => {
+                self.rejected_duplicate += 1;
+                Err(TriggerError::DuplicateTag(tag))
+            }
             Some(e) => {
                 // §3.2: "the new triggered operation is associated with the
                 // existing counter. If the counter value is already greater

@@ -120,16 +120,31 @@ pub struct JacobiResult {
     pub per_iter: SimDuration,
     /// Final interior values per node, row-major `n_local × n_local`.
     pub interiors: Vec<Vec<f32>>,
+    /// Total retransmissions across all NICs (zero unless the run enabled
+    /// the reliability layer and the fabric dropped something).
+    pub retransmits: u64,
+    /// Messages abandoned after retry exhaustion, across all NICs. A
+    /// completed run should always report zero.
+    pub delivery_failures: u64,
 }
 
 /// Per-node memory layout: ghosted grid, scratch, and per-direction
 /// send/stage/flag buffers.
+///
+/// Stage buffers are *double-buffered* by arrival parity: with the one-sided
+/// strategies (GDS, GPU-TN) a neighbour's next halo put can land while this
+/// node is still scattering the previous one — the flag-poll dependency
+/// chain only guarantees that arrivals **two** apart never overlap, so two
+/// slots per direction make the reuse race-free under any timing skew
+/// (e.g. a retransmit delaying one neighbour while another runs ahead).
+/// The MPI strategies copy out synchronously at recv time and only ever use
+/// slot 0.
 #[derive(Debug, Clone)]
 struct NodeBufs {
     grid: Addr,
     scratch: Addr,
     send: [Addr; 4],
-    stage: [Addr; 4],
+    stage: [[Addr; 2]; 4],
     flag: [Addr; 4],
     comp: Addr,
 }
@@ -150,10 +165,10 @@ fn alloc_node(mem: &mut MemPool, node: u32, n: u64) -> NodeBufs {
         edge(mem, id, n, "jacobi.send_e"),
     ];
     let stage = [
-        edge(mem, id, n, "jacobi.stage_n"),
-        edge(mem, id, n, "jacobi.stage_s"),
-        edge(mem, id, n, "jacobi.stage_w"),
-        edge(mem, id, n, "jacobi.stage_e"),
+        [edge(mem, id, n, "jacobi.stage_n0"), edge(mem, id, n, "jacobi.stage_n1")],
+        [edge(mem, id, n, "jacobi.stage_s0"), edge(mem, id, n, "jacobi.stage_s1")],
+        [edge(mem, id, n, "jacobi.stage_w0"), edge(mem, id, n, "jacobi.stage_w1")],
+        [edge(mem, id, n, "jacobi.stage_e0"), edge(mem, id, n, "jacobi.stage_e1")],
     ];
     let flag = [
         flag8(mem, id, "jacobi.flag_n"),
@@ -242,20 +257,21 @@ fn pack_dir(mem: &mut MemPool, b: &NodeBufs, dir: Dir, n: u64) {
     }
 }
 
-/// Scatter the halo that arrived *from* `dir` into the ghost ring.
-fn scatter_dir(mem: &mut MemPool, b: &NodeBufs, dir: Dir, n: u64) {
+/// Scatter the halo that arrived *from* `dir` (staged in parity `slot`)
+/// into the ghost ring.
+fn scatter_dir(mem: &mut MemPool, b: &NodeBufs, dir: Dir, slot: usize, n: u64) {
     match dir {
         Dir::North | Dir::South => {
             let row = if dir == Dir::North { 0 } else { n + 1 };
             for col in 1..=n {
-                let v = mem.read_f32(b.stage[dir as usize].offset_by((col - 1) * 4));
+                let v = mem.read_f32(b.stage[dir as usize][slot].offset_by((col - 1) * 4));
                 mem.write_f32(b.grid.offset_by(gidx(n, row, col)), v);
             }
         }
         Dir::West | Dir::East => {
             let col = if dir == Dir::West { 0 } else { n + 1 };
             for row in 1..=n {
-                let v = mem.read_f32(b.stage[dir as usize].offset_by((row - 1) * 4));
+                let v = mem.read_f32(b.stage[dir as usize][slot].offset_by((row - 1) * 4));
                 mem.write_f32(b.grid.offset_by(gidx(n, row, col)), v);
             }
         }
@@ -278,14 +294,23 @@ fn edge_time(n: u64, k: u64) -> SimDuration {
     SimDuration::from_ns(100) + MemHierarchy::table2_gpu().sweep_time(k * 4 * n)
 }
 
-/// The put a node issues toward `dir` each exchange.
-fn put_for(b: &NodeBufs, peer_bufs: &NodeBufs, dir: Dir, peer: u32, n: u64, comp: Option<Addr>) -> NetOp {
+/// The put a node issues toward `dir` each exchange, landing in the peer's
+/// parity-`slot` stage buffer.
+fn put_for(
+    b: &NodeBufs,
+    peer_bufs: &NodeBufs,
+    dir: Dir,
+    peer: u32,
+    slot: usize,
+    n: u64,
+    comp: Option<Addr>,
+) -> NetOp {
     let from = dir.opposite() as usize;
     NetOp::Put {
         src: b.send[dir as usize],
         len: n * 4,
         target: NodeId(peer),
-        dst: peer_bufs.stage[from],
+        dst: peer_bufs.stage[from][slot],
         notify: Some(Notify {
             flag: peer_bufs.flag[from],
             add: 1,
@@ -295,8 +320,19 @@ fn put_for(b: &NodeBufs, peer_bufs: &NodeBufs, dir: Dir, peer: u32, n: u64, comp
     }
 }
 
-/// Run one configuration.
+/// Run one configuration with the default (lossless) cluster config.
 pub fn run(params: JacobiParams) -> JacobiResult {
+    run_with_config(params, |_| {})
+}
+
+/// Run one configuration, applying `mutate` to the cluster config after the
+/// workload's defaults are set. The fault-tolerance studies use this to
+/// inject seeded loss and enable the NIC reliability layer without
+/// disturbing the lossless default path.
+pub fn run_with_config(
+    params: JacobiParams,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> JacobiResult {
     let n = params.n_local as u64;
     let nodes = params.nodes();
     assert!(n >= 2, "grid too small");
@@ -309,6 +345,7 @@ pub fn run(params: JacobiParams) -> JacobiResult {
     // tags; the hash lookup removes the associative capacity ceiling
     // (§3.3) without changing functional behaviour.
     config.nic.lookup = LookupKind::HashTable;
+    mutate(&mut config);
 
     let mut mem = MemPool::new(nodes as usize);
     let bufs: Vec<NodeBufs> = (0..nodes).map(|nd| alloc_node(&mut mem, nd, n)).collect();
@@ -364,14 +401,14 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                             &config.host,
                             NodeId(peer),
                             NodeId(node),
-                            b.stage[dir as usize],
+                            b.stage[dir as usize][0],
                             n * 4,
                         ));
                     }
                     p.compute(edge_time(n, deg));
                     for &(dir, _) in &nbrs {
                         let bb = b.clone();
-                        p.func(move |mem| scatter_dir(mem, &bb, dir, n));
+                        p.func(move |mem| scatter_dir(mem, &bb, dir, 0, n));
                     }
                     if params.strategy == Strategy::Cpu {
                         p.compute(cpu_sweep_time(&cpu_model, n));
@@ -391,12 +428,22 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                 }
             }
             Strategy::Gds => {
+                // Arrival a lands in stage slot a % 2; the put the k{iter}
+                // doorbell fires is arrival iter + 1 at the peer.
                 let post = |p: &mut HostProgram, iter: u32| {
                     for &(dir, peer) in &nbrs {
                         p.nic_post(NicCommand::TriggeredPut {
                             tag: tag_of(iter, dir),
                             threshold: 1,
-                            op: put_for(&b, &bufs[peer as usize], dir, peer, n, None),
+                            op: put_for(
+                                &b,
+                                &bufs[peer as usize],
+                                dir,
+                                peer,
+                                ((iter + 1) % 2) as usize,
+                                n,
+                                None,
+                            ),
                         });
                     }
                 };
@@ -408,11 +455,13 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                     p.func(move |mem| pack_dir(mem, &bb, dir, n));
                 }
                 for &(dir, peer) in &nbrs {
+                    // The initial exchange is arrival 1 -> slot 1.
                     p.nic_post(NicCommand::Put(put_for(
                         &b,
                         &bufs[peer as usize],
                         dir,
                         peer,
+                        1,
                         n,
                         None,
                     )));
@@ -429,10 +478,12 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                     let kernel = {
                         let bb = b.clone();
                         let nb2 = nbrs.clone();
+                        // k{iter} consumes arrival `iter` from slot iter % 2.
+                        let slot = (iter % 2) as usize;
                         let mut builder = ProgramBuilder::new().compute(edge_time(n, deg)).func(
                             move |mem, _| {
                                 for &(dir, _) in &nb2 {
-                                    scatter_dir(mem, &bb, dir, n);
+                                    scatter_dir(mem, &bb, dir, slot, n);
                                 }
                             },
                         );
@@ -489,11 +540,14 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                     }
                     let bb = b.clone();
                     let nb2 = nbrs.clone();
+                    // Kernel-iteration `iter` consumes arrival iter + 1,
+                    // staged in slot (iter + 1) % 2.
+                    let slot = ((iter + 1) % 2) as usize;
                     builder = builder
                         .compute(edge_time(n, deg))
                         .func(move |mem, _| {
                             for &(dir, _) in &nb2 {
-                                scatter_dir(mem, &bb, dir, n);
+                                scatter_dir(mem, &bb, dir, slot, n);
                             }
                         });
                     let bb = b.clone();
@@ -509,7 +563,15 @@ pub fn run(params: JacobiParams) -> JacobiResult {
                         p.nic_post(NicCommand::TriggeredPut {
                             tag: tag_of(iter, dir),
                             threshold: 1,
-                            op: put_for(&b, &bufs[peer as usize], dir, peer, n, Some(b.comp)),
+                            op: put_for(
+                                &b,
+                                &bufs[peer as usize],
+                                dir,
+                                peer,
+                                ((iter + 1) % 2) as usize,
+                                n,
+                                Some(b.comp),
+                            ),
                         });
                     }
                     p.poll(b.comp, deg * (iter as u64 + 1));
@@ -543,12 +605,20 @@ pub fn run(params: JacobiParams) -> JacobiResult {
             out
         })
         .collect();
+    let retransmits = (0..nodes)
+        .map(|nd| cluster.nic(nd).stats().counter("retransmits"))
+        .sum();
+    let delivery_failures = (0..nodes)
+        .map(|nd| cluster.nic(nd).delivery_failures().len() as u64)
+        .sum();
     JacobiResult {
         n_local: params.n_local,
         strategy: params.strategy,
         total: result.makespan,
         per_iter: SimDuration::from_ps(result.makespan.as_ps() / params.iters as u64),
         interiors,
+        retransmits,
+        delivery_failures,
     }
 }
 
@@ -698,6 +768,28 @@ mod tests {
         assert!(
             large < small * 1.8,
             "weak scaling should stay near-flat: {small} -> {large}"
+        );
+    }
+
+    /// 1% seeded packet loss with the ARQ layer on: all four strategies
+    /// must still complete and match the sequential reference bit-exactly,
+    /// with the loss absorbed by retransmission (never by exhaustion).
+    #[test]
+    fn one_percent_loss_still_bitexact_under_all_strategies() {
+        let expect = reference(2, 2, 8, 3, 0xA11CE);
+        let mut total_retransmits = 0;
+        for strategy in Strategy::all() {
+            let r = run_with_config(params(strategy, 8, 3), |config| {
+                config.fabric.faults = gtn_fabric::FaultConfig::loss(2, 0.01);
+                config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+            });
+            assert_eq!(r.interiors, expect, "{strategy} diverged under 1% loss");
+            assert_eq!(r.delivery_failures, 0, "{strategy} exhausted a retry budget");
+            total_retransmits += r.retransmits;
+        }
+        assert!(
+            total_retransmits > 0,
+            "seeded 1% loss must force at least one retransmit across the four runs"
         );
     }
 

@@ -1,0 +1,66 @@
+//! End-to-end fault-tolerance properties: whatever seeded loss the fabric
+//! draws (below certainty) and whichever strategy runs, Jacobi with the
+//! ARQ layer on completes with the *same bits* as the lossless run — loss
+//! may only cost time — and the whole lossy run is replay-deterministic.
+
+use gtn_core::Strategy;
+use gtn_fabric::FaultConfig;
+use gtn_nic::reliability::ReliabilityConfig;
+use gtn_workloads::jacobi::{run, run_with_config, JacobiParams};
+use proptest::prelude::*;
+
+fn params(strategy: Strategy, n_local: u32) -> JacobiParams {
+    JacobiParams::square4(n_local, 2, strategy, 0xA11CE)
+}
+
+fn strategy_from(ix: u8) -> Strategy {
+    Strategy::all()[ix as usize % 4]
+}
+
+proptest! {
+    // Each case is four full cluster runs; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Seeded loss below certainty plus a sufficient retry budget never
+    /// changes the answer, only the clock: interiors match the lossless
+    /// run bit-for-bit, nothing exhausts its budget.
+    #[test]
+    fn lossy_runs_are_bitexact_with_lossless(
+        strategy_ix in 0u8..4,
+        fault_seed in 0u64..10_000,
+        loss_milli in 1u64..200,
+        n_local in 4u32..9,
+    ) {
+        let strategy = strategy_from(strategy_ix);
+        let baseline = run(params(strategy, n_local));
+        let lossy = run_with_config(params(strategy, n_local), |config| {
+            config.fabric.faults = FaultConfig::loss(fault_seed, loss_milli as f64 / 1000.0);
+            config.nic.reliability = ReliabilityConfig::on();
+            config.nic.reliability.max_retries = 16;
+        });
+        prop_assert_eq!(lossy.delivery_failures, 0, "retry budget exhausted");
+        prop_assert_eq!(&lossy.interiors, &baseline.interiors, "loss changed the answer");
+        prop_assert!(lossy.total >= baseline.total, "loss cannot speed a run up");
+    }
+
+    /// The same fault seed replays the same run exactly: same retransmit
+    /// count, same makespan, same bits.
+    #[test]
+    fn lossy_runs_are_replay_deterministic(
+        strategy_ix in 0u8..4,
+        fault_seed in 0u64..10_000,
+        loss_milli in 1u64..200,
+    ) {
+        let strategy = strategy_from(strategy_ix);
+        let go = || run_with_config(params(strategy, 6), |config| {
+            config.fabric.faults = FaultConfig::loss(fault_seed, loss_milli as f64 / 1000.0);
+            config.nic.reliability = ReliabilityConfig::on();
+            config.nic.reliability.max_retries = 16;
+        });
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.retransmits, b.retransmits);
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(&a.interiors, &b.interiors);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the tiny slice of `bytes` this workspace uses: an
+//! immutable, cheaply-cloneable byte buffer. The NIC snapshots put payloads
+//! into `Bytes` at DMA time and hands clones to in-flight messages (and,
+//! with the reliability layer, to retransmit state), so cheap clones
+//! matter; `Arc<[u8]>` gives exactly that.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Wrap a static slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(16) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.data.len() > 16 {
+            write!(f, "..{} bytes", self.data.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (no code path serializes anything), so the
+//! traits are markers and the derives (see `serde_derive`) expand to
+//! nothing. If a future PR actually needs serialization it should vendor
+//! the real crates instead of extending this shim.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
