@@ -74,7 +74,10 @@ fn main() {
     for n in [1u64, 8, 64, 256] {
         let f = run(n, false).as_us_f64();
         let c = run(n, true).as_us_f64();
-        println!("{n:<10} {f:>12.2} {c:>12.2} {:>13.1}%", (c / f - 1.0) * 100.0);
+        println!(
+            "{n:<10} {f:>12.2} {c:>12.2} {:>13.1}%",
+            (c / f - 1.0) * 100.0
+        );
     }
     println!("\nthe flag is one fetch-add and one poll regardless of N; the CQ pays a");
     println!("per-entry decode walk — §4.2.4's motivation, quantified.");

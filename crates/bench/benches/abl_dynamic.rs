@@ -81,7 +81,11 @@ fn run(mode: Mode, n_msgs: u64) -> SimTime {
                 len: 64,
                 target: NodeId(1),
                 dst: dst.offset_by(i * 64),
-                notify: Some(Notify { flag, add: 1, chain: None }),
+                notify: Some(Notify {
+                    flag,
+                    add: 1,
+                    chain: None,
+                }),
                 completion: None,
             },
         });
@@ -94,7 +98,10 @@ fn run(mode: Mode, n_msgs: u64) -> SimTime {
     let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
     let r = cluster.run();
     assert!(r.completed);
-    assert_eq!(cluster.mem().read(dst.offset_by(64 * (n_msgs - 1)), 64), &[1; 64]);
+    assert_eq!(
+        cluster.mem().read(dst.offset_by(64 * (n_msgs - 1)), 64),
+        &[1; 64]
+    );
     r.makespan
 }
 

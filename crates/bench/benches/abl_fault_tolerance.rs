@@ -35,7 +35,10 @@ fn cell(strategy: Strategy, loss: f64) -> (f64, u64, u64) {
             }
         },
     );
-    assert_eq!(r.delivery_failures, 0, "{strategy} exhausted a retry budget");
+    assert_eq!(
+        r.delivery_failures, 0,
+        "{strategy} exhausted a retry budget"
+    );
     (r.per_iter.as_us_f64(), r.retransmits, r.delivery_failures)
 }
 

@@ -57,7 +57,11 @@ fn run(gran: Granularity) -> (SimTime, u64, u64) {
                 len: msg_bytes,
                 target: NodeId(1),
                 dst: dst.offset_by(off),
-                notify: Some(Notify { flag, add: 1, chain: None }),
+                notify: Some(Notify {
+                    flag,
+                    add: 1,
+                    chain: None,
+                }),
                 completion: None,
             },
         });
@@ -71,7 +75,11 @@ fn run(gran: Granularity) -> (SimTime, u64, u64) {
     let r = cluster.run();
     assert!(r.completed, "{gran:?} deadlocked");
     let expect: Vec<u8> = (0..TOTAL_BYTES).map(|i| i as u8).collect();
-    assert_eq!(cluster.mem().read(dst, TOTAL_BYTES), &expect[..], "{gran:?}");
+    assert_eq!(
+        cluster.mem().read(dst, TOTAL_BYTES),
+        &expect[..],
+        "{gran:?}"
+    );
     let writes = cluster.nic(0).stats().counter("trigger_writes");
     (r.makespan, n_msgs, writes)
 }

@@ -55,7 +55,11 @@ fn run(n_msgs: u64, relaxed: bool) -> (SimTime, u64) {
                     len: 64,
                     target: NodeId(1),
                     dst: dst.offset_by(i * 64),
-                    notify: Some(Notify { flag, add: 1, chain: None }),
+                    notify: Some(Notify {
+                        flag,
+                        add: 1,
+                        chain: None,
+                    }),
                     completion: None,
                 },
             });
@@ -78,7 +82,10 @@ fn run(n_msgs: u64, relaxed: bool) -> (SimTime, u64) {
     assert!(r.completed);
     // Verify every payload landed intact.
     for i in 0..n_msgs {
-        assert_eq!(cluster.mem().read(dst.offset_by(i * 64), 64), &[i as u8; 64]);
+        assert_eq!(
+            cluster.mem().read(dst.offset_by(i * 64), 64),
+            &[i as u8; 64]
+        );
     }
     (r.makespan, cluster.nic(0).triggers().early_allocations())
 }

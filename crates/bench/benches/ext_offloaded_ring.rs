@@ -118,7 +118,10 @@ fn relay(nodes: usize, mode: ModeKind) -> SimTime {
         }
     }
     assert!(done_flags[nodes - 1], "relay did not complete");
-    assert_eq!(mem.read(bufs[nodes - 1], PAYLOAD), &vec![7u8; PAYLOAD as usize][..]);
+    assert_eq!(
+        mem.read(bufs[nodes - 1], PAYLOAD),
+        &vec![7u8; PAYLOAD as usize][..]
+    );
     final_time
 }
 
@@ -135,10 +138,7 @@ fn main() {
         let c = relay(nodes, ModeKind::Chained).as_us_f64();
         let h = relay(nodes, ModeKind::HostForwarded).as_us_f64();
         let k = relay(nodes, ModeKind::KernelBoundary).as_us_f64();
-        println!(
-            "{nodes:<8} {c:>12.2} {h:>16.2} {k:>18.2} {:>13.2}x",
-            k / c
-        );
+        println!("{nodes:<8} {c:>12.2} {h:>16.2} {k:>18.2} {:>13.2}x", k / c);
     }
     println!("\nchained relays progress at pure NIC+wire speed; every hop of software");
     println!("(host poll+post, or a kernel boundary) adds its latency x (P-1).");

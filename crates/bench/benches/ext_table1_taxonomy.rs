@@ -28,7 +28,11 @@ fn main() {
             f.name(),
             if f.gpu_triggered() { "yes" } else { "no" },
             if f.intra_kernel() { "yes" } else { "no" },
-            if f.cpu_on_critical_path() { "yes" } else { "no" },
+            if f.cpu_on_critical_path() {
+                "yes"
+            } else {
+                "no"
+            },
             r.target_completion.as_us_f64(),
             (r.target_completion.as_us_f64() / tn - 1.0) * 100.0
         );

@@ -4,12 +4,18 @@
 //! Paper observations to reproduce: ~1.4× for the GPU strategies at small
 //! node counts; HDN decays and drops below 1.0 (slower than CPU) around
 //! 24 nodes; GPU-TN keeps its advantage through 32 nodes.
+//!
+//! Emits `BENCH_fig10_allreduce.json`. `GTN_BENCH_SMOKE` shrinks the vector
+//! to 256 kB and the sweep to three node counts for CI.
 
+use gtn_bench::report::{self, obj, s, Json};
 use gtn_core::Strategy;
-use gtn_workloads::allreduce::{run, AllreduceParams};
+use gtn_workloads::allreduce::{run, AllreduceParams, AllreduceResult};
 
 const ELEMS: u64 = 2 * 1024 * 1024; // 8 MB of f32
 const NODES: [u32; 11] = [2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32];
+const SMOKE_ELEMS: u64 = 64 * 1024; // 256 kB
+const SMOKE_NODES: [u32; 3] = [2, 5, 8];
 const SEED: u64 = 0xF10;
 
 fn main() {
@@ -17,31 +23,80 @@ fn main() {
         "Fig. 10: 8 MB ring Allreduce strong scaling, speedup vs CPU",
         "LeBeane et al., SC'17, Figure 10 (HDN < 1.0 near 24 nodes; GPU-TN wins at 32)",
     );
+    let (elems, nodes): (u64, &[u32]) = if report::smoke() {
+        (SMOKE_ELEMS, &SMOKE_NODES)
+    } else {
+        (ELEMS, &NODES)
+    };
     print!("{:<8}", "nodes");
     for s in [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
         print!("{:>10}", s.name());
     }
     println!("{:>14}", "CPU us");
-    for &p in &NODES {
-        let cpu = run(AllreduceParams {
-            nodes: p,
-            elems: ELEMS,
-            strategy: Strategy::Cpu,
-            seed: SEED,
-        })
-        .total;
-        print!("{p:<8}");
-        for s in [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
-            let t = run(AllreduceParams {
-                nodes: p,
-                elems: ELEMS,
-                strategy: s,
-                seed: SEED,
+
+    let mut points: Vec<AllreduceResult> = Vec::new();
+    for &p in nodes {
+        let results: Vec<AllreduceResult> = Strategy::all()
+            .into_iter()
+            .map(|strategy| {
+                run(AllreduceParams {
+                    nodes: p,
+                    elems,
+                    strategy,
+                    seed: SEED,
+                })
             })
+            .collect();
+        let cpu = results
+            .iter()
+            .find(|r| r.strategy == Strategy::Cpu)
+            .expect("CPU run")
             .total;
-            print!("{:>10.3}", cpu.as_ns_f64() / t.as_ns_f64());
+        print!("{p:<8}");
+        for r in &results {
+            if r.strategy == Strategy::Cpu {
+                continue;
+            }
+            print!("{:>10.3}", cpu.as_ns_f64() / r.total.as_ns_f64());
         }
         println!("{:>14.1}", cpu.as_us_f64());
+        points.extend(results);
     }
     println!("\n(values are speedup relative to the CPU collective = 1.0, as the paper plots)");
+
+    let json = obj(vec![
+        ("bench", s("fig10_allreduce")),
+        (
+            "workload",
+            obj(vec![
+                ("elems", Json::U64(elems)),
+                ("bytes", Json::U64(elems * 4)),
+                ("seed", Json::U64(SEED)),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("nodes", Json::U64(r.nodes as u64)),
+                            ("strategy", s(r.strategy.name())),
+                            ("total_ps", Json::U64(r.total.as_ps())),
+                            (
+                                "retransmits",
+                                Json::U64(r.stats.counter_across("nic", "retransmits")),
+                            ),
+                            (
+                                "fabric_messages",
+                                Json::U64(r.stats.counter("fabric", "messages_sent")),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    report::write("fig10_allreduce", &json);
 }

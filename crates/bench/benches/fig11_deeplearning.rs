@@ -15,7 +15,10 @@ fn main() {
     );
     // Cost grid spanning the sampled size distributions.
     let sizes: Vec<u64> = (12..=25).map(|e| 1u64 << e).collect(); // 4 KB .. 32 MB
-    eprintln!("building 8-node Allreduce cost table over {} sizes ...", sizes.len());
+    eprintln!(
+        "building 8-node Allreduce cost table over {} sizes ...",
+        sizes.len()
+    );
     let table = CostTable::build(8, &sizes, 0xD1);
     let projections = figure11(&table, 200, 0xD2);
 

@@ -3,7 +3,10 @@
 //!
 //! Paper observations to reproduce: latencies span 3–20 µs, amortize
 //! (decline) with queue depth, and "even the best case takes 3–4 µs".
+//!
+//! Emits `BENCH_fig1_launch.json` with mean/p50/p99 per point.
 
+use gtn_bench::report::{self, obj, s, Json};
 use gtn_workloads::launch_study::{figure1, BATCH_SIZES};
 
 fn main() {
@@ -37,4 +40,30 @@ fn main() {
         .map(|p| p.avg_latency.as_us_f64())
         .fold(0.0, f64::max);
     println!("\nenvelope: {min:.2}–{max:.2} us   (paper: 3–20 us; best case 3–4 us)");
+
+    let json = obj(vec![
+        ("bench", s("fig1_launch")),
+        (
+            "batch_sizes",
+            Json::Arr(BATCH_SIZES.iter().map(|&k| Json::U64(k as u64)).collect()),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("gpu", s(&p.gpu)),
+                            ("queued", Json::U64(p.queued as u64)),
+                            ("mean_ps", Json::U64(p.avg_latency.as_ps())),
+                            ("p50_ps", Json::U64(p.p50_latency.as_ps())),
+                            ("p99_ps", Json::U64(p.p99_latency.as_ps())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    report::write("fig1_launch", &json);
 }

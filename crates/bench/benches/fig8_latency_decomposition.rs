@@ -1,11 +1,16 @@
 //! Fig. 8 — latency decomposition of the single-cache-line microbenchmark
-//! under HDN, GDS, and GPU-TN, on one absolute time scale.
+//! under CPU, HDN, GDS, and GPU-TN, on one absolute time scale.
 //!
 //! Paper numbers (target-side completion): HDN 4.21 µs, GDS 3.76 µs,
 //! GPU-TN 2.71 µs — GPU-TN ≈ 25% over GDS and ≈ 35% over HDN — and the
 //! qualitative phenomenon that only GPU-TN delivers before the initiator's
 //! kernel completes.
+//!
+//! Emits `BENCH_fig8_pingpong.json` (per-strategy stage decomposition in
+//! picoseconds) and `BENCH_fig8_pingpong.trace.json` (Chrome trace of the
+//! GPU-TN run, loadable in `chrome://tracing` / Perfetto).
 
+use gtn_bench::report::{self, obj, s, stages, Json};
 use gtn_core::timeline::phase_table;
 use gtn_core::Strategy;
 use gtn_workloads::pingpong;
@@ -15,7 +20,7 @@ fn main() {
         "Fig. 8: latency decomposition, 64 B put",
         "LeBeane et al., SC'17, Figure 8 (HDN 4.21us / GDS 3.76us / GPU-TN 2.71us)",
     );
-    let results = pingpong::run_all();
+    let results: Vec<_> = Strategy::all().into_iter().map(pingpong::run_any).collect();
     let paper = [("HDN", 4.21), ("GDS", 3.76), ("GPU-TN", 2.71)];
     println!(
         "{:<8} {:>14} {:>12} {:>14} {:>12}",
@@ -25,15 +30,19 @@ fn main() {
         let paper_us = paper
             .iter()
             .find(|(n, _)| *n == r.strategy.name())
-            .map(|(_, v)| *v)
-            .unwrap();
+            .map(|(_, v)| format!("{v:.2}"))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<8} {:>14.2} {:>12.2} {:>14.2} {:>12}",
+            "{:<8} {:>14.2} {:>12} {:>14.2} {:>12}",
             r.strategy.name(),
             r.target_completion.as_us_f64(),
             paper_us,
             r.initiator_kernel_done.as_us_f64(),
-            if r.delivered_intra_kernel() { "yes" } else { "no" }
+            if r.delivered_intra_kernel() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     let get = |s: Strategy| {
@@ -55,4 +64,48 @@ fn main() {
         print!("{}", phase_table(&r.trace));
         println!("{}", r.trace.render_gantt(64));
     }
+
+    let strategies = results
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("strategy", s(r.strategy.name())),
+                (
+                    "target_completion_ps",
+                    Json::U64(r.target_completion.as_ps()),
+                ),
+                (
+                    "initiator_kernel_done_ps",
+                    Json::U64(r.initiator_kernel_done.as_ps()),
+                ),
+                ("intra_kernel", Json::Bool(r.delivered_intra_kernel())),
+                ("stages_ps", stages(&r.stages)),
+                (
+                    "retransmits",
+                    Json::U64(r.stats.counter_across("nic", "retransmits")),
+                ),
+            ])
+        })
+        .collect();
+    let json = obj(vec![
+        ("bench", s("fig8_pingpong")),
+        (
+            "workload",
+            obj(vec![
+                ("message_bytes", Json::U64(64)),
+                ("nodes", Json::U64(2)),
+            ]),
+        ),
+        ("strategies", Json::Arr(strategies)),
+    ]);
+    report::write("fig8_pingpong", &json);
+
+    let traced = results
+        .iter()
+        .find(|r| r.strategy == Strategy::GpuTn)
+        .expect("GPU-TN result");
+    report::write_text(
+        "BENCH_fig8_pingpong.trace.json",
+        &traced.trace.to_chrome_json(),
+    );
 }

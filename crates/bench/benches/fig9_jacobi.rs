@@ -5,11 +5,16 @@
 //! HDN on medium grids; CPU above 1.0 only on the smallest grids, sinking
 //! below as the grid grows; all GPU curves converge toward 1.0 at the
 //! largest sizes.
+//!
+//! Emits `BENCH_fig9_jacobi.json`. `GTN_BENCH_SMOKE` shrinks the sweep to
+//! two grid sizes for CI.
 
+use gtn_bench::report::{self, obj, s, Json};
 use gtn_core::Strategy;
-use gtn_workloads::jacobi::{run, JacobiParams};
+use gtn_workloads::jacobi::{run, JacobiParams, JacobiResult};
 
 const SIZES: [u32; 7] = [16, 32, 64, 128, 256, 512, 1024];
+const SMOKE_SIZES: [u32; 2] = [16, 64];
 const ITERS: u32 = 4;
 const SEED: u64 = 0xF19;
 
@@ -18,39 +23,74 @@ fn main() {
         "Fig. 9: 2D Jacobi speedup vs HDN, local N x N grids (4 nodes, 2x2)",
         "LeBeane et al., SC'17, Figure 9 (GPU-TN up to ~10% vs GDS / ~20% vs HDN)",
     );
+    let sizes: &[u32] = if report::smoke() {
+        &SMOKE_SIZES
+    } else {
+        &SIZES
+    };
     print!("{:<8}", "N");
     for s in Strategy::all() {
         print!("{:>10}", s.name());
     }
     println!("{:>14}", "HDN us/iter");
-    for &n in &SIZES {
-        let hdn = run(JacobiParams {
-            rows: 2,
-            cols: 2,
-            n_local: n,
-            iters: ITERS,
-            strategy: Strategy::Hdn,
-            seed: SEED,
-        })
-        .per_iter;
-        print!("{n:<8}");
-        for s in Strategy::all() {
-            let t = if s == Strategy::Hdn {
-                hdn
-            } else {
+
+    let mut points: Vec<JacobiResult> = Vec::new();
+    for &n in sizes {
+        let results: Vec<JacobiResult> = Strategy::all()
+            .into_iter()
+            .map(|strategy| {
                 run(JacobiParams {
-            rows: 2,
-            cols: 2,
+                    rows: 2,
+                    cols: 2,
                     n_local: n,
                     iters: ITERS,
-                    strategy: s,
+                    strategy,
                     seed: SEED,
                 })
-                .per_iter
-            };
-            print!("{:>10.3}", hdn.as_ns_f64() / t.as_ns_f64());
+            })
+            .collect();
+        let hdn = results
+            .iter()
+            .find(|r| r.strategy == Strategy::Hdn)
+            .expect("HDN run")
+            .per_iter;
+        print!("{n:<8}");
+        for r in &results {
+            print!("{:>10.3}", hdn.as_ns_f64() / r.per_iter.as_ns_f64());
         }
         println!("{:>14.2}", hdn.as_us_f64());
+        points.extend(results);
     }
     println!("\n(values are speedup relative to HDN = 1.0, as the paper plots)");
+
+    let json = obj(vec![
+        ("bench", s("fig9_jacobi")),
+        (
+            "workload",
+            obj(vec![
+                ("rows", Json::U64(2)),
+                ("cols", Json::U64(2)),
+                ("iters", Json::U64(ITERS as u64)),
+                ("seed", Json::U64(SEED)),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("n_local", Json::U64(r.n_local as u64)),
+                            ("strategy", s(r.strategy.name())),
+                            ("per_iter_ps", Json::U64(r.per_iter.as_ps())),
+                            ("total_ps", Json::U64(r.total.as_ps())),
+                            ("retransmits", Json::U64(r.retransmits)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    report::write("fig9_jacobi", &json);
 }

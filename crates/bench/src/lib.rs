@@ -19,9 +19,14 @@
 //! | `abl_granularity` | §4.2 ablation — messaging granularities |
 //! | `sim_engine` | criterion microbenchmarks of the simulator itself |
 
+pub mod report;
+
 /// Print a standard bench header.
 pub fn header(title: &str, paper_ref: &str) {
     println!("\n=== {title} ===");
     println!("reproduces: {paper_ref}");
     println!("{}", "-".repeat(72));
+    if report::smoke() {
+        println!("(GTN_BENCH_SMOKE set: reduced sweep)");
+    }
 }

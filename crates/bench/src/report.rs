@@ -1,0 +1,206 @@
+//! Machine-readable benchmark reports.
+//!
+//! Each figure bench writes a `BENCH_<name>.json` next to its console
+//! table so experiment tracking (and the CI artifact) can diff runs
+//! without scraping stdout. The JSON is hand-rolled (the workspace is
+//! offline; the vendored `serde` is marker-only) and deliberately
+//! restricted to strings, booleans, and **integer** numbers — latencies
+//! are picosecond counts — so same-seed runs serialize byte-identically.
+
+use gtn_sim::stats::DurationHistogram;
+use gtn_sim::time::SimDuration;
+use std::fs;
+use std::path::PathBuf;
+
+/// A JSON value. No floats on purpose: every quantity a report carries is
+/// an integer (ps, counts) or text, which keeps output bit-reproducible.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Unsigned integer.
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; fields render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Object from `(key, value)` pairs, preserving order.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// String value.
+pub fn s(v: impl Into<String>) -> Json {
+    Json::Str(v.into())
+}
+
+/// Duration as integer picoseconds.
+pub fn ps(d: SimDuration) -> Json {
+    Json::U64(d.as_ps())
+}
+
+/// Histogram summary: exact count/mean/min/max plus sampled percentiles,
+/// all in picoseconds.
+pub fn hist(h: &DurationHistogram) -> Json {
+    obj(vec![
+        ("count", Json::U64(h.count())),
+        ("mean_ps", ps(h.mean())),
+        ("p50_ps", ps(h.percentile(50.0))),
+        ("p99_ps", ps(h.percentile(99.0))),
+        ("min_ps", ps(h.min())),
+        ("max_ps", ps(h.max())),
+    ])
+}
+
+/// A stage decomposition (`timeline::stage_breakdown` output) as an object
+/// keyed by stage name, values in picoseconds, pipeline order preserved.
+pub fn stages(stages: &[(&'static str, SimDuration)]) -> Json {
+    Json::Obj(stages.iter().map(|&(n, d)| (n.to_owned(), ps(d))).collect())
+}
+
+impl Json {
+    /// Render as pretty-printed JSON (2-space indent, `\n` line ends).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::Str(v) => escape_into(v, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(v: &str, out: &mut String) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// True when `GTN_BENCH_SMOKE` is set: benches shrink their sweeps to a
+/// seconds-scale subset so CI can exercise the full path on every push.
+pub fn smoke() -> bool {
+    std::env::var_os("GTN_BENCH_SMOKE").is_some()
+}
+
+/// Where reports land: `$GTN_BENCH_DIR`, or `target/bench-reports`.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("GTN_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bench-reports"))
+}
+
+/// Write `BENCH_<name>.json` into [`out_dir`] and echo the path.
+pub fn write(name: &str, value: &Json) -> PathBuf {
+    write_text(&format!("BENCH_{name}.json"), &value.render())
+}
+
+/// Write an arbitrary report file (e.g. a Chrome trace) into [`out_dir`].
+pub fn write_text(file_name: &str, contents: &str) -> PathBuf {
+    let dir = out_dir();
+    fs::create_dir_all(&dir).expect("create bench report dir");
+    let path = dir.join(file_name);
+    fs::write(&path, contents).expect("write bench report");
+    println!("wrote {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_escaped() {
+        let v = obj(vec![
+            ("name", s("say \"hi\"\n")),
+            ("n_ps", ps(SimDuration::from_ns(3))),
+            ("ok", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+            ("list", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        let r = v.render();
+        assert!(r.contains("\"say \\\"hi\\\"\\n\""), "{r}");
+        assert!(r.contains("\"n_ps\": 3000"), "{r}");
+        assert!(r.contains("\"empty\": []"), "{r}");
+        assert_eq!(r, v.render());
+        assert!(r.ends_with("}\n"));
+    }
+
+    #[test]
+    fn hist_summary_quotes_exact_aggregates() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_ns(100));
+        h.record(SimDuration::from_ns(300));
+        let r = hist(&h).render();
+        assert!(r.contains("\"count\": 2"), "{r}");
+        assert!(r.contains("\"mean_ps\": 200000"), "{r}");
+        assert!(r.contains("\"min_ps\": 100000"), "{r}");
+        assert!(r.contains("\"max_ps\": 300000"), "{r}");
+    }
+
+    #[test]
+    fn stage_object_preserves_pipeline_order() {
+        let v = stages(&[
+            ("post", SimDuration::from_ns(1)),
+            ("wire", SimDuration::from_ns(2)),
+        ]);
+        let r = v.render();
+        assert!(r.find("post").unwrap() < r.find("wire").unwrap(), "{r}");
+    }
+}

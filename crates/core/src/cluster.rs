@@ -11,6 +11,7 @@
 //! Fig. 8 latency decomposition and several integration tests read that log.
 
 use crate::config::ClusterConfig;
+use crate::observe::ClusterStats;
 use crate::stall::{BlockedOn, NodeStall, StallReason, StallReport};
 use gtn_fabric::Fabric;
 use gtn_gpu::{Gpu, GpuEvent, GpuOutput};
@@ -19,6 +20,7 @@ use gtn_mem::{MemPool, NodeId};
 use gtn_nic::nic::{Nic, NicEvent, NicNote, NicOutput};
 use gtn_nic::Tag;
 use gtn_sim::engine::RunOutcome;
+use gtn_sim::stats::StatSet;
 use gtn_sim::time::{SimDuration, SimTime};
 use gtn_sim::Engine;
 use std::collections::HashMap;
@@ -247,6 +249,31 @@ impl Cluster {
         &self.log
     }
 
+    /// Snapshot every component's stats into a namespaced registry:
+    /// `node{N}.cpu` / `node{N}.gpu` / `node{N}.nic` per node, `fabric`
+    /// for the interconnect's fault counters, and `engine` for run
+    /// counters (`events_processed`, `clamped_past_events`, pending).
+    /// Deterministic: namespaces and their contents iterate in name order.
+    pub fn collect_stats(&self) -> ClusterStats {
+        let mut out = ClusterStats::new();
+        for n in 0..self.config.n_nodes {
+            let i = n as usize;
+            out.insert(&format!("node{n}.cpu"), self.cpus[i].stats());
+            out.insert(&format!("node{n}.gpu"), self.gpus[i].stats());
+            out.insert(&format!("node{n}.nic"), self.nics[i].stats());
+        }
+        let mut fabric = StatSet::new();
+        fabric.absorb(self.fabric.fault_stats());
+        fabric.add("messages_sent", self.fabric.messages_sent());
+        out.insert("fabric", &fabric);
+        let mut engine = StatSet::new();
+        engine.add("events_processed", self.engine.events_processed());
+        engine.add("clamped_past_events", self.engine.clamped_past_events());
+        engine.add("events_pending", self.engine.pending() as u64);
+        out.insert("engine", &engine);
+        out
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
@@ -320,7 +347,9 @@ impl Cluster {
             .map(|n| {
                 let cpu = &self.cpus[n as usize];
                 let blocked_on = if let Some(label) = cpu.waiting_on() {
-                    BlockedOn::Kernel { label: label.to_owned() }
+                    BlockedOn::Kernel {
+                        label: label.to_owned(),
+                    }
                 } else {
                     match cpu.current_op() {
                         Some(HostOp::Poll { addr, at_least }) => BlockedOn::Poll {
@@ -328,8 +357,12 @@ impl Cluster {
                             at_least: *at_least,
                             current: self.mem.read_u64(*addr),
                         },
-                        Some(op) => BlockedOn::Op { desc: format!("{op:?}") },
-                        None => BlockedOn::Op { desc: "<program end>".into() },
+                        Some(op) => BlockedOn::Op {
+                            desc: format!("{op:?}"),
+                        },
+                        None => BlockedOn::Op {
+                            desc: "<program end>".into(),
+                        },
                     }
                 };
                 let nic = &self.nics[n as usize];
@@ -350,6 +383,7 @@ impl Cluster {
             at: self.engine.now(),
             reason,
             nodes,
+            clamped_past_events: self.engine.clamped_past_events(),
             recent: self.log[tail..].to_vec(),
         }
     }
@@ -389,8 +423,7 @@ impl Cluster {
                     NicEvent::RxDone(_) => self.record(now, n, LogKind::MessageCommitted),
                     _ => {}
                 }
-                let outs =
-                    self.nics[n as usize].handle(now, ev, &mut self.mem, &mut self.fabric);
+                let outs = self.nics[n as usize].handle(now, ev, &mut self.mem, &mut self.fabric);
                 for out in outs {
                     self.route_nic(n, out);
                 }
@@ -564,7 +597,11 @@ mod tests {
                 len: 64,
                 target: NodeId(1),
                 dst,
-                notify: Some(Notify { flag, add: 1, chain: None }),
+                notify: Some(Notify {
+                    flag,
+                    add: 1,
+                    chain: None,
+                }),
                 completion: Some(comp),
             },
         })
@@ -574,11 +611,7 @@ mod tests {
         let mut p1 = HostProgram::new();
         p1.poll(flag, 1);
 
-        (
-            Cluster::new(config, mem, vec![p0, p1]),
-            dst,
-            flag,
-        )
+        (Cluster::new(config, mem, vec![p0, p1]), dst, flag)
     }
 
     #[test]
@@ -588,7 +621,11 @@ mod tests {
         assert!(result.completed, "{result:?}");
         assert_eq!(cluster.mem().read(dst, 64), &[0x42; 64]);
         assert_eq!(cluster.mem().read_u64(flag), 1);
-        assert!(result.makespan < SimTime::from_us(10), "{}", result.makespan);
+        assert!(
+            result.makespan < SimTime::from_us(10),
+            "{}",
+            result.makespan
+        );
         assert_eq!(cluster.nic(0).stats().counter("fired_at_trigger"), 1);
     }
 
@@ -641,7 +678,11 @@ mod tests {
                 len: 64,
                 target: NodeId(1),
                 dst,
-                notify: Some(Notify { flag, add: 1, chain: None }),
+                notify: Some(Notify {
+                    flag,
+                    add: 1,
+                    chain: None,
+                }),
                 completion: None,
             },
         })
@@ -691,7 +732,9 @@ mod tests {
         assert_eq!(report.nodes.len(), 1);
         assert_eq!(
             report.nodes[0].blocked_on,
-            crate::stall::BlockedOn::Kernel { label: "ghost".into() }
+            crate::stall::BlockedOn::Kernel {
+                label: "ghost".into()
+            }
         );
         let _ = flag;
     }
@@ -717,7 +760,9 @@ mod tests {
         );
         assert_eq!(report.nodes.len(), 1);
         match report.nodes[0].blocked_on {
-            crate::stall::BlockedOn::Poll { at_least, current, .. } => {
+            crate::stall::BlockedOn::Poll {
+                at_least, current, ..
+            } => {
                 assert_eq!(at_least, 1);
                 assert_eq!(current, 0);
             }
@@ -742,6 +787,54 @@ mod tests {
         p0.poll(flag, 1);
         let mut cluster = Cluster::new(config, mem, vec![p0]);
         cluster.run().expect_completed();
+    }
+
+    #[test]
+    fn collect_stats_namespaces_every_component() {
+        let (mut cluster, _, _) = gputn_ping();
+        cluster.run();
+        let stats = cluster.collect_stats();
+        let names: Vec<&str> = stats.namespaces().collect();
+        assert_eq!(
+            names,
+            vec![
+                "engine",
+                "fabric",
+                "node0.cpu",
+                "node0.gpu",
+                "node0.nic",
+                "node1.cpu",
+                "node1.gpu",
+                "node1.nic",
+            ]
+        );
+        assert_eq!(stats.counter("node0.nic", "fired_at_trigger"), 1);
+        assert_eq!(stats.counter("engine", "clamped_past_events"), 0);
+        assert!(stats.counter("engine", "events_processed") > 0);
+        // Stage histograms flow through: initiator injected, target committed.
+        assert!(stats
+            .get("node0.nic")
+            .unwrap()
+            .histogram("stage_injection")
+            .is_some());
+        assert!(stats
+            .get("node1.nic")
+            .unwrap()
+            .histogram("stage_commit")
+            .is_some());
+        // Cross-node merge sees both sides' wire stage.
+        let nic = stats.merged("nic");
+        assert_eq!(nic.histogram("stage_wire").unwrap().count(), 1);
+        // Target CPU's poll wait (the CQ-poll stage).
+        assert_eq!(
+            stats
+                .get("node1.cpu")
+                .unwrap()
+                .histogram("poll_wait")
+                .unwrap()
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -785,7 +878,11 @@ mod tests {
                     len: 64,
                     target: NodeId(1),
                     dst,
-                    notify: Some(Notify { flag, add: 1, chain: None }),
+                    notify: Some(Notify {
+                        flag,
+                        add: 1,
+                        chain: None,
+                    }),
                     completion: None,
                 },
             })

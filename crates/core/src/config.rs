@@ -129,7 +129,12 @@ mod tests {
     #[test]
     fn render_mentions_all_sections() {
         let s = ClusterConfig::table2(4).render_table2();
-        for needle in ["CPU and Memory", "GPU Configuration", "Network Configuration", "100 Gbps"] {
+        for needle in [
+            "CPU and Memory",
+            "GPU Configuration",
+            "Network Configuration",
+            "100 Gbps",
+        ] {
             assert!(s.contains(needle), "missing {needle}:\n{s}");
         }
     }

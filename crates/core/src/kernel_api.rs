@@ -75,9 +75,7 @@ impl MessagePlan {
         let total_items = n_wgs as u64 * items_per_wg as u64;
         let registrations: Vec<(Tag, u64)> = match granularity {
             Granularity::WorkItem => (0..total_items).map(|i| (Tag(base_tag + i), 1)).collect(),
-            Granularity::WorkGroup => (0..n_wgs as u64)
-                .map(|i| (Tag(base_tag + i), 1))
-                .collect(),
+            Granularity::WorkGroup => (0..n_wgs as u64).map(|i| (Tag(base_tag + i), 1)).collect(),
             Granularity::Kernel => vec![(Tag(base_tag), n_wgs as u64)],
             Granularity::PerItems(k) => {
                 assert!(k > 0, "PerItems(0)");
@@ -130,9 +128,7 @@ impl MessagePlan {
             Granularity::WorkGroup => builder
                 .barrier()
                 .trigger_store(move |ctx| Tag(base + ctx.wg as u64)),
-            Granularity::Kernel => builder
-                .barrier()
-                .trigger_store(move |_| Tag(base)),
+            Granularity::Kernel => builder.barrier().trigger_store(move |_| Tag(base)),
             Granularity::PerItems(k) => builder.trigger_store_each(items, move |ctx, i| {
                 let global_item = (ctx.wg * ctx.items + i) as u64;
                 Tag(base + global_item / k as u64)

@@ -13,6 +13,9 @@
 //! - [`kernel_api`] — the §4.2 kernel-side messaging granularities
 //!   (work-item / work-group / kernel / mixed) as planners that pair GPU
 //!   trigger stores with matching NIC registrations.
+//! - [`observe`] — the namespaced stats registry
+//!   ([`observe::ClusterStats`]) that snapshots every component's counters
+//!   and stage-latency histograms for reports.
 //! - [`stall`] — structured diagnostics for runs that wedge: which nodes
 //!   are stuck, on what, and what their NICs were still retrying.
 //! - [`strategy`] — the four evaluated configurations (§5.1): CPU, HDN,
@@ -27,11 +30,13 @@ pub mod cluster;
 pub mod config;
 pub mod host_api;
 pub mod kernel_api;
+pub mod observe;
 pub mod stall;
 pub mod strategy;
 pub mod timeline;
 
 pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
 pub use config::ClusterConfig;
+pub use observe::ClusterStats;
 pub use stall::{BlockedOn, NodeStall, StallReason, StallReport};
 pub use strategy::Strategy;

@@ -1,0 +1,170 @@
+//! Cluster-wide stats registry: every component's [`StatSet`], namespaced
+//! and aggregated deterministically.
+//!
+//! [`crate::cluster::Cluster::collect_stats`] snapshots each node's CPU,
+//! GPU, and NIC stats plus the fabric's fault counters and the engine's
+//! run counters into one [`ClusterStats`], keyed `node{N}.cpu`,
+//! `node{N}.gpu`, `node{N}.nic`, `fabric`, and `engine`. Namespaces
+//! iterate in name order (BTreeMap), so rendered reports and the
+//! `BENCH_*.json` files built from them are byte-identical across
+//! same-seed runs. Cross-node aggregation ([`ClusterStats::merged`])
+//! relies on the exact histogram merge — `count`/`mean`/`min`/`max` stay
+//! exact no matter how many per-node reservoirs evicted.
+
+use gtn_sim::stats::StatSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Namespaced snapshot of every component's stats.
+#[derive(Debug, Default, Clone)]
+pub struct ClusterStats {
+    sets: BTreeMap<String, StatSet>,
+}
+
+impl ClusterStats {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or merge into) namespace `ns`.
+    pub fn insert(&mut self, ns: &str, set: &StatSet) {
+        self.sets.entry(ns.to_owned()).or_default().absorb(set);
+    }
+
+    /// The stats under `ns`, if that namespace exists.
+    pub fn get(&self, ns: &str) -> Option<&StatSet> {
+        self.sets.get(ns)
+    }
+
+    /// Namespaces in name order.
+    pub fn namespaces(&self) -> impl Iterator<Item = &str> + '_ {
+        self.sets.keys().map(String::as_str)
+    }
+
+    /// Iterate `(namespace, stats)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StatSet)> + '_ {
+        self.sets.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counter `name` under `ns` (zero when either is absent).
+    pub fn counter(&self, ns: &str, name: &str) -> u64 {
+        self.sets.get(ns).map_or(0, |s| s.counter(name))
+    }
+
+    /// Sum of counter `name` across every namespace whose key ends with
+    /// `.{suffix}` (e.g. every node's `nic`).
+    pub fn counter_across(&self, suffix: &str, name: &str) -> u64 {
+        self.component(suffix).map(|(_, s)| s.counter(name)).sum()
+    }
+
+    /// Merge every namespace ending in `.{suffix}` into one [`StatSet`]:
+    /// counters add, histograms merge exactly. This is how per-stage NIC
+    /// latencies become a cluster-wide Fig. 8 decomposition.
+    pub fn merged(&self, suffix: &str) -> StatSet {
+        let mut out = StatSet::new();
+        for (_, set) in self.component(suffix) {
+            out.absorb(set);
+        }
+        out
+    }
+
+    fn component<'a>(
+        &'a self,
+        suffix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a StatSet)> + 'a {
+        self.sets
+            .iter()
+            .filter(move |(k, _)| k.as_str() == suffix || k.ends_with(&format!(".{suffix}")))
+            .map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    /// Deterministic multi-line rendering: namespaces, then counters and
+    /// histograms, all in name order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (ns, set) in &self.sets {
+            let mut wrote_header = false;
+            let mut header = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                if !wrote_header {
+                    wrote_header = true;
+                    writeln!(f, "[{ns}]")?;
+                }
+                Ok(())
+            };
+            for (name, v) in set.counters() {
+                header(f)?;
+                writeln!(f, "  {name} = {v}")?;
+            }
+            for (name, h) in set.histograms() {
+                header(f)?;
+                writeln!(f, "  {name}: {h}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_sim::time::SimDuration;
+
+    fn set_with(counter: u64, ns: Option<u64>) -> StatSet {
+        let mut s = StatSet::new();
+        s.add("ops", counter);
+        if let Some(n) = ns {
+            s.record("lat", SimDuration::from_ns(n));
+        }
+        s
+    }
+
+    #[test]
+    fn namespaces_iterate_sorted_and_lookup_works() {
+        let mut cs = ClusterStats::new();
+        cs.insert("node1.nic", &set_with(2, None));
+        cs.insert("node0.nic", &set_with(1, None));
+        cs.insert("fabric", &set_with(7, None));
+        let names: Vec<&str> = cs.namespaces().collect();
+        assert_eq!(names, vec!["fabric", "node0.nic", "node1.nic"]);
+        assert_eq!(cs.counter("node0.nic", "ops"), 1);
+        assert_eq!(cs.counter("missing", "ops"), 0);
+    }
+
+    #[test]
+    fn merged_aggregates_across_nodes_exactly() {
+        let mut cs = ClusterStats::new();
+        cs.insert("node0.nic", &set_with(1, Some(100)));
+        cs.insert("node1.nic", &set_with(2, Some(300)));
+        cs.insert("node0.cpu", &set_with(50, None)); // different component
+        let nic = cs.merged("nic");
+        assert_eq!(nic.counter("ops"), 3);
+        let h = nic.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimDuration::from_ns(200));
+        assert_eq!(cs.counter_across("nic", "ops"), 3);
+        assert_eq!(cs.counter_across("cpu", "ops"), 50);
+    }
+
+    #[test]
+    fn display_is_deterministic_and_grouped() {
+        let mut cs = ClusterStats::new();
+        cs.insert("b", &set_with(1, Some(10)));
+        cs.insert("a", &set_with(2, None));
+        let s = cs.to_string();
+        let a_pos = s.find("[a]").unwrap();
+        let b_pos = s.find("[b]").unwrap();
+        assert!(a_pos < b_pos, "{s}");
+        assert!(s.contains("ops = 2"), "{s}");
+        assert_eq!(s, cs.to_string());
+    }
+
+    #[test]
+    fn insert_merges_repeated_namespaces() {
+        let mut cs = ClusterStats::new();
+        cs.insert("engine", &set_with(1, None));
+        cs.insert("engine", &set_with(4, None));
+        assert_eq!(cs.counter("engine", "ops"), 5);
+    }
+}

@@ -42,7 +42,10 @@ impl fmt::Display for StallReason {
         match self {
             StallReason::Deadlock => write!(f, "deadlock (event calendar drained)"),
             StallReason::Livelock { idle_ns } => {
-                write!(f, "livelock ({idle_ns} ns of idle polling with nothing in flight)")
+                write!(
+                    f,
+                    "livelock ({idle_ns} ns of idle polling with nothing in flight)"
+                )
             }
             StallReason::EventCap => write!(f, "event-count backstop reached"),
         }
@@ -77,8 +80,15 @@ pub enum BlockedOn {
 impl fmt::Display for BlockedOn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BlockedOn::Poll { addr, at_least, current } => {
-                write!(f, "poll on {addr:?} (needs >= {at_least}, currently {current})")
+            BlockedOn::Poll {
+                addr,
+                at_least,
+                current,
+            } => {
+                write!(
+                    f,
+                    "poll on {addr:?} (needs >= {at_least}, currently {current})"
+                )
             }
             BlockedOn::Kernel { label } => write!(f, "wait for kernel {label:?}"),
             BlockedOn::Op { desc } => write!(f, "host op {desc}"),
@@ -124,7 +134,10 @@ impl fmt::Display for NodeStall {
             )?;
         }
         for (seq, target, attempts) in &self.in_flight_retries {
-            writeln!(f, "    in-flight retry: seq {seq} -> {target:?}, {attempts} attempt(s)")?;
+            writeln!(
+                f,
+                "    in-flight retry: seq {seq} -> {target:?}, {attempts} attempt(s)"
+            )?;
         }
         for fail in &self.delivery_failures {
             writeln!(
@@ -146,6 +159,11 @@ pub struct StallReport {
     pub reason: StallReason,
     /// Every node whose host program did not finish.
     pub nodes: Vec<NodeStall>,
+    /// Events the engine clamped because a component scheduled them in the
+    /// past (release builds only; debug builds assert). Nonzero means some
+    /// component computed a retro-causal delay — a likely cause of the
+    /// stall itself.
+    pub clamped_past_events: u64,
     /// Tail of the activity log (empty when `log_events` is off).
     pub recent: Vec<LogRecord>,
 }
@@ -153,12 +171,22 @@ pub struct StallReport {
 impl fmt::Display for StallReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "stalled at {}: {}", self.at, self.reason)?;
+        if self.clamped_past_events > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} event(s) scheduled in the past (clamped to now) — component bug",
+                self.clamped_past_events
+            )?;
+        }
         writeln!(f, "{} node(s) stuck:", self.nodes.len())?;
         for node in &self.nodes {
             write!(f, "{node}")?;
         }
         if self.recent.is_empty() {
-            writeln!(f, "  (activity log disabled; enable log_events for a trace tail)")?;
+            writeln!(
+                f,
+                "  (activity log disabled; enable log_events for a trace tail)"
+            )?;
         } else {
             writeln!(f, "  last {} activity records:", self.recent.len())?;
             for r in &self.recent {
@@ -199,11 +227,13 @@ mod tests {
                     bytes: 64,
                 }],
             }],
+            clamped_past_events: 2,
             recent: Vec::new(),
         };
         let s = report.to_string();
         for needle in [
             "livelock",
+            "2 event(s) scheduled in the past",
             "node 1",
             "needs >= 4, currently 3",
             "pending trigger",

@@ -63,6 +63,11 @@ pub fn decompose_pingpong(
     if let (Some(dma), Some(committed)) = (dma, committed) {
         trace.span("initiator.NIC", "Put", dma, committed);
     }
+    if let (Some(dma), Some(arrived)) = (dma, arrived) {
+        // The interconnect's share of the put, as its own lane so the
+        // Chrome export separates NIC processing from wire time.
+        trace.span("fabric", "Wire", dma, arrived);
+    }
     if let (Some(arrived), Some(committed)) = (arrived, committed) {
         trace.span("target.NIC", "Deliver", arrived, committed);
         trace.span("target.CPU", "Wait", SimTime::ZERO, committed);
@@ -70,12 +75,92 @@ pub fn decompose_pingpong(
     trace
 }
 
+/// The Fig. 8 stage names, in pipeline order. Every decomposition reported
+/// by [`stage_breakdown`] (and the `stages` object of `BENCH_*.json`) uses
+/// exactly these keys; see EXPERIMENTS.md for their definitions.
+pub const STAGE_NAMES: [&str; 6] = [
+    "post",
+    "trigger_wait",
+    "injection",
+    "wire",
+    "commit",
+    "cq_poll",
+];
+
+/// Decompose a single-message experiment into per-stage durations from the
+/// activity log milestones:
+///
+/// - `post` — experiment start to the initiator's NIC doorbell (host
+///   send/post stack; under the CPU strategy this includes the kernel the
+///   send waits behind).
+/// - `trigger_wait` — doorbell to the last trigger write on the initiator
+///   (time the armed entry waited for the GPU; zero for untriggered sends).
+/// - `injection` — trigger (or doorbell) to DMA-read completion: command
+///   processing, trigger-list match, and payload DMA.
+/// - `wire` — injection to last-packet arrival at the target NIC.
+/// - `commit` — arrival to payload + flags visible in target memory.
+/// - `cq_poll` — commit to the target host program observing it.
+///
+/// Stages whose milestones are missing from the log report zero. Returns
+/// `(stage, duration)` pairs in [`STAGE_NAMES`] order.
+pub fn stage_breakdown(
+    log: &[LogRecord],
+    initiator: u32,
+    target: u32,
+) -> Vec<(&'static str, SimDuration)> {
+    let find = |node: u32, pred: &dyn Fn(&LogKind) -> bool| -> Option<SimTime> {
+        log.iter()
+            .find(|r| r.node == node && pred(&r.kind))
+            .map(|r| r.at)
+    };
+    // Last trigger write: GPU-TN fires mid-kernel after the pre-post's own
+    // registration; the final write is the one that met the threshold.
+    let trig = log
+        .iter()
+        .filter(|r| r.node == initiator && matches!(r.kind, LogKind::TriggerWrite(_)))
+        .map(|r| r.at)
+        .max();
+    let bell = find(initiator, &|k| matches!(k, LogKind::DoorbellRung));
+    let inject = find(initiator, &|k| matches!(k, LogKind::PutDmaDone));
+    let arrive = find(target, &|k| matches!(k, LogKind::MessageArrived));
+    let commit = find(target, &|k| matches!(k, LogKind::MessageCommitted));
+    let finish = find(target, &|k| matches!(k, LogKind::CpuFinished));
+
+    // Gap between two optional milestones, zero when either is missing or
+    // the log's ordering surprises us (e.g. a doorbell after the trigger
+    // under relaxed sync).
+    let gap = |a: Option<SimTime>, b: Option<SimTime>| -> SimDuration {
+        match (a, b) {
+            (Some(a), Some(b)) if b >= a => b - a,
+            _ => SimDuration::ZERO,
+        }
+    };
+    let start = Some(SimTime::ZERO);
+    // The injection stage begins at whichever enabling action came last.
+    let armed = match (bell, trig) {
+        (Some(b), Some(t)) => Some(b.max(t)),
+        (b, t) => b.or(t),
+    };
+    vec![
+        ("post", gap(start, bell)),
+        ("trigger_wait", gap(bell, trig)),
+        ("injection", gap(armed, inject)),
+        ("wire", gap(inject, arrive)),
+        ("commit", gap(arrive, commit)),
+        ("cq_poll", gap(commit, finish)),
+    ]
+}
+
 /// Render the decomposition as Fig. 8-style rows: one line per lane/phase
 /// with absolute start and duration in microseconds.
 pub fn phase_table(trace: &Trace) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<16} {:<10} {:>10} {:>10}", "lane", "phase", "start_us", "dur_us");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:>10} {:>10}",
+        "lane", "phase", "start_us", "dur_us"
+    );
     for s in trace.spans() {
         let _ = writeln!(
             out,
@@ -150,16 +235,52 @@ mod tests {
     }
 
     #[test]
+    fn stage_breakdown_covers_the_pipeline() {
+        let mut log = sample_log();
+        log.push(rec(3_200, 1, LogKind::CpuFinished));
+        let stages = stage_breakdown(&log, 0, 1);
+        let names: Vec<&str> = stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, STAGE_NAMES.to_vec());
+        let get = |name: &str| {
+            stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .unwrap()
+        };
+        assert_eq!(get("post"), SimDuration::from_ns(150));
+        assert_eq!(get("trigger_wait"), SimDuration::from_ns(2_250 - 150));
+        assert_eq!(get("injection"), SimDuration::from_ns(2_500 - 2_250));
+        assert_eq!(get("wire"), SimDuration::from_ns(400));
+        assert_eq!(get("commit"), SimDuration::from_ns(100));
+        assert_eq!(get("cq_poll"), SimDuration::from_ns(200));
+        // The stages tile the end-to-end path exactly.
+        let total: SimDuration = stages.iter().map(|(_, d)| *d).sum();
+        assert_eq!(total, SimDuration::from_ns(3_200));
+    }
+
+    #[test]
+    fn stage_breakdown_of_empty_log_is_all_zero() {
+        let stages = stage_breakdown(&[], 0, 1);
+        assert_eq!(stages.len(), STAGE_NAMES.len());
+        assert!(stages.iter().all(|(_, d)| *d == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn decomposition_includes_fabric_wire_lane() {
+        let cfg = ClusterConfig::table2(2);
+        let t = decompose_pingpong(&sample_log(), 0, 1, &cfg);
+        let wire = t.find("fabric", "Wire").unwrap();
+        assert_eq!(wire.start, SimTime::from_ns(2_500));
+        assert_eq!(wire.end, SimTime::from_ns(2_900));
+    }
+
+    #[test]
     fn partial_logs_degrade_gracefully() {
         let cfg = ClusterConfig::table2(2);
         let t = decompose_pingpong(&[], 0, 1, &cfg);
         assert!(t.spans().is_empty());
-        let t = decompose_pingpong(
-            &[rec(100, 0, LogKind::KernelEnqueued)],
-            0,
-            1,
-            &cfg,
-        );
+        let t = decompose_pingpong(&[rec(100, 0, LogKind::KernelEnqueued)], 0, 1, &cfg);
         assert!(t.find("initiator.GPU", "Launch").is_none());
     }
 }

@@ -46,7 +46,10 @@ impl FabricConfig {
     /// Validate invariants; called by [`crate::Fabric::new`].
     pub fn validate(&self) -> Result<(), String> {
         if self.link_gbps <= 0.0 {
-            return Err(format!("link_gbps must be positive, got {}", self.link_gbps));
+            return Err(format!(
+                "link_gbps must be positive, got {}",
+                self.link_gbps
+            ));
         }
         if self.mtu_bytes == 0 {
             return Err("mtu_bytes must be nonzero".into());
@@ -71,9 +74,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let c = FabricConfig { link_gbps: 0.0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            link_gbps: 0.0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = FabricConfig { mtu_bytes: 0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            mtu_bytes: 0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

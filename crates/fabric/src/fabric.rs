@@ -192,7 +192,11 @@ impl Fabric {
     pub fn downlink_bytes(&self, node: NodeId) -> u64 {
         match self.config.topology {
             Topology::Star => self.downlinks[node.index()].bytes_carried(),
-            Topology::FullMesh => self.direct.iter().map(|row| row[node.index()].bytes_carried()).sum(),
+            Topology::FullMesh => self
+                .direct
+                .iter()
+                .map(|row| row[node.index()].bytes_carried())
+                .sum(),
         }
     }
 }

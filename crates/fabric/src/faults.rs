@@ -77,7 +77,10 @@ impl FaultConfig {
     /// Validate invariants; called by [`crate::Fabric::new`].
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.packet_loss) {
-            return Err(format!("packet_loss must be in [0,1], got {}", self.packet_loss));
+            return Err(format!(
+                "packet_loss must be in [0,1], got {}",
+                self.packet_loss
+            ));
         }
         if !(0.0..=1.0).contains(&self.message_corruption) {
             return Err(format!(
@@ -212,7 +215,9 @@ impl FaultPlan {
             }
             windows
         });
-        windows.iter().any(|&(start, end)| now >= start && now < end)
+        windows
+            .iter()
+            .any(|&(start, end)| now >= start && now < end)
     }
 }
 
@@ -222,21 +227,16 @@ mod tests {
 
     fn judge_n(plan: &mut FaultPlan, n: usize) -> Vec<Delivery> {
         (0..n)
-            .map(|i| {
-                plan.judge(
-                    SimTime::from_ns(i as u64 * 500),
-                    NodeId(0),
-                    NodeId(1),
-                    4,
-                )
-            })
+            .map(|i| plan.judge(SimTime::from_ns(i as u64 * 500), NodeId(0), NodeId(1), 4))
             .collect()
     }
 
     #[test]
     fn disabled_plan_never_faults_and_never_counts() {
         let mut plan = FaultPlan::new(FaultConfig::none());
-        assert!(judge_n(&mut plan, 1000).iter().all(|&d| d == Delivery::Delivered));
+        assert!(judge_n(&mut plan, 1000)
+            .iter()
+            .all(|&d| d == Delivery::Delivered));
         assert_eq!(plan.stats().counters().count(), 0);
     }
 
@@ -273,7 +273,10 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg);
         let verdicts = judge_n(&mut plan, 1000);
-        let corrupted = verdicts.iter().filter(|&&d| d == Delivery::Corrupted).count();
+        let corrupted = verdicts
+            .iter()
+            .filter(|&&d| d == Delivery::Corrupted)
+            .count();
         assert!((350..=650).contains(&corrupted), "corrupted {corrupted}");
         assert_eq!(plan.stats().counter("drops"), 0);
         assert_eq!(plan.stats().counter("corruptions"), corrupted as u64);
@@ -291,9 +294,7 @@ mod tests {
         let mut plan = FaultPlan::new(cfg);
         let mut dropped = 0;
         for i in 0..10_000u64 {
-            if plan.judge(SimTime::from_ns(i * 100), NodeId(0), NodeId(1), 1)
-                == Delivery::Dropped
-            {
+            if plan.judge(SimTime::from_ns(i * 100), NodeId(0), NodeId(1), 1) == Delivery::Dropped {
                 dropped += 1;
             }
         }
@@ -303,8 +304,7 @@ mod tests {
         // A different pair has an independent schedule but also sees drops.
         let d2 = (0..10_000u64)
             .filter(|i| {
-                plan.judge(SimTime::from_ns(i * 100), NodeId(1), NodeId(0), 1)
-                    == Delivery::Dropped
+                plan.judge(SimTime::from_ns(i * 100), NodeId(1), NodeId(0), 1) == Delivery::Dropped
             })
             .count();
         assert!(d2 > 500, "reverse pair dropped {d2}");
@@ -313,14 +313,37 @@ mod tests {
     #[test]
     fn validation_rejects_bad_probabilities() {
         // 1.0 is legal (a dead link, used to test retry exhaustion)...
-        assert!(FaultConfig { packet_loss: 1.0, ..FaultConfig::none() }.validate().is_ok());
+        assert!(FaultConfig {
+            packet_loss: 1.0,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_ok());
         // ...but beyond-certainty and negative probabilities are not.
-        assert!(FaultConfig { packet_loss: 1.1, ..FaultConfig::none() }.validate().is_err());
-        assert!(FaultConfig { packet_loss: -0.1, ..FaultConfig::none() }.validate().is_err());
-        assert!(FaultConfig { message_corruption: 1.5, ..FaultConfig::none() }
-            .validate()
-            .is_err());
-        assert!(FaultConfig { outage_mtbf_ns: 10, ..FaultConfig::none() }.validate().is_err());
+        assert!(FaultConfig {
+            packet_loss: 1.1,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            packet_loss: -0.1,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            message_corruption: 1.5,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            outage_mtbf_ns: 10,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
         assert!(FaultConfig::none().validate().is_ok());
         assert!(FaultConfig::loss(1, 0.01).validate().is_ok());
     }

@@ -150,9 +150,15 @@ mod tests {
 
     #[test]
     fn validation_catches_nonsense() {
-        let c = GpuConfig { num_cus: 0, ..GpuConfig::default() };
+        let c = GpuConfig {
+            num_cus: 0,
+            ..GpuConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = GpuConfig { poll_interval_ns: 0, ..GpuConfig::default() };
+        let c = GpuConfig {
+            poll_interval_ns: 0,
+            ..GpuConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

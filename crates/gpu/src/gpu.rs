@@ -211,7 +211,10 @@ impl Gpu {
 
     fn on_dispatch(&mut self, now: SimTime, kid: KernelId) -> Vec<GpuOutput> {
         self.frontend_depth = self.frontend_depth.saturating_sub(1);
-        let run = self.kernels.get_mut(&kid.0).expect("dispatch of unknown kernel");
+        let run = self
+            .kernels
+            .get_mut(&kid.0)
+            .expect("dispatch of unknown kernel");
         run.dispatched_at = now;
         self.stats
             .record("enqueue_to_dispatch", now.since(run.enqueued_at));
@@ -249,7 +252,10 @@ impl Gpu {
         mem: &mut MemPool,
     ) -> Vec<GpuOutput> {
         let mut out = Vec::new();
-        let run = self.kernels.get_mut(&kid.0).expect("step of unknown kernel");
+        let run = self
+            .kernels
+            .get_mut(&kid.0)
+            .expect("step of unknown kernel");
         let ctx = WgCtx {
             wg,
             n_wgs: run.launch.n_wgs,
@@ -270,7 +276,10 @@ impl Gpu {
                 if let Some((k, next_wg)) = self.cu_queues[cu].pop_front() {
                     out.push(GpuOutput::Local {
                         at: now,
-                        ev: GpuEvent::WgStep { kid: k, wg: next_wg },
+                        ev: GpuEvent::WgStep {
+                            kid: k,
+                            wg: next_wg,
+                        },
                     });
                 } else {
                     self.cu_busy[cu] = false;
@@ -319,7 +328,10 @@ impl Gpu {
                     let t = tag(&ctx);
                     let issue = SimDuration::from_ns(self.config.trigger_store_ns);
                     self.stats.inc("trigger_stores");
-                    out.push(GpuOutput::TriggerWrite { at: now + issue, tag: t });
+                    out.push(GpuOutput::TriggerWrite {
+                        at: now + issue,
+                        tag: t,
+                    });
                     run.wgs[wg as usize].pc += 1;
                     out.push(GpuOutput::Local {
                         at: now + issue,
@@ -403,7 +415,10 @@ impl Gpu {
     }
 
     fn on_teardown_done(&mut self, now: SimTime, kid: KernelId) -> Vec<GpuOutput> {
-        let run = self.kernels.remove(&kid.0).expect("teardown of unknown kernel");
+        let run = self
+            .kernels
+            .remove(&kid.0)
+            .expect("teardown of unknown kernel");
         self.stats.inc("kernels_completed");
         self.stats
             .record("kernel_total", now.since(run.enqueued_at));
@@ -460,9 +475,7 @@ mod tests {
                     match out {
                         GpuOutput::Local { at, ev } => eng.schedule_at(at, ev),
                         GpuOutput::TriggerWrite { at, tag }
-                        | GpuOutput::TriggerWriteDyn { at, tag, .. } => {
-                            triggers.push((at, tag))
-                        }
+                        | GpuOutput::TriggerWriteDyn { at, tag, .. } => triggers.push((at, tag)),
                         GpuOutput::KernelDone { at, label, .. } => done.push((at, label)),
                     }
                 }
@@ -561,7 +574,10 @@ mod tests {
                 .fence(MemScope::System, MemOrdering::Release)
                 .build()
                 .unwrap();
-            h.enqueue_at(SimTime::from_ns(10), KernelLaunch::new(setter, 1, 64, "setter"));
+            h.enqueue_at(
+                SimTime::from_ns(10),
+                KernelLaunch::new(setter, 1, 64, "setter"),
+            );
             h.run();
             let poller_done = h.done.iter().find(|(_, l)| l == "poller").unwrap().0;
             let setter_done = h.done.iter().find(|(_, l)| l == "setter").unwrap().0;

@@ -130,10 +130,14 @@ impl fmt::Debug for KernelOp {
             KernelOp::Func(_) => write!(f, "Func(..)"),
             KernelOp::Fence(s, o) => write!(f, "Fence({s:?}, {o:?})"),
             KernelOp::Barrier => write!(f, "Barrier"),
-            KernelOp::TriggerStore { scope, ordering, .. } => {
+            KernelOp::TriggerStore {
+                scope, ordering, ..
+            } => {
                 write!(f, "TriggerStore({scope:?}, {ordering:?})")
             }
-            KernelOp::TriggerStoreDyn { scope, ordering, .. } => {
+            KernelOp::TriggerStoreDyn {
+                scope, ordering, ..
+            } => {
                 write!(f, "TriggerStoreDyn({scope:?}, {ordering:?})")
             }
             KernelOp::TriggerStoreEach { count, scope, .. } => {
@@ -156,16 +160,24 @@ impl KernelOp {
             KernelOp::Func(_) => vec![ScopedOp::GlobalRead, ScopedOp::GlobalWrite],
             KernelOp::Fence(s, o) => vec![ScopedOp::Fence(*s, *o)],
             KernelOp::Barrier => vec![ScopedOp::Barrier],
-            KernelOp::TriggerStore { scope, ordering, .. } => {
+            KernelOp::TriggerStore {
+                scope, ordering, ..
+            } => {
                 vec![ScopedOp::TriggerStore(*scope, *ordering)]
             }
-            KernelOp::TriggerStoreDyn { scope, ordering, .. } => {
+            KernelOp::TriggerStoreDyn {
+                scope, ordering, ..
+            } => {
                 vec![ScopedOp::TriggerStore(*scope, *ordering)]
             }
-            KernelOp::TriggerStoreEach { scope, ordering, .. } => {
+            KernelOp::TriggerStoreEach {
+                scope, ordering, ..
+            } => {
                 vec![ScopedOp::TriggerStore(*scope, *ordering)]
             }
-            KernelOp::AtomicStore { scope, ordering, .. } => {
+            KernelOp::AtomicStore {
+                scope, ordering, ..
+            } => {
                 vec![ScopedOp::AtomicStore(*scope, *ordering)]
             }
             // Polls are loads of NIC/peer-published flags: system scope.
@@ -415,7 +427,10 @@ mod tests {
         let p = ProgramBuilder::new()
             .trigger_store_scoped(|_| Tag(0), MemScope::Device, MemOrdering::Release)
             .build();
-        assert!(matches!(p, Err(ScopeViolation::TriggerNotSystemScope { .. })));
+        assert!(matches!(
+            p,
+            Err(ScopeViolation::TriggerNotSystemScope { .. })
+        ));
     }
 
     #[test]

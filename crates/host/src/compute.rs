@@ -42,10 +42,7 @@ impl CpuCompute {
     /// overhead.
     pub fn elementwise(&self, items: u64, flops: u64, bytes_per_item: u64) -> SimDuration {
         let compute_ns = (items * flops) as f64 / self.gflops();
-        let traffic_ns = self
-            .mem
-            .sweep_time(items * bytes_per_item)
-            .as_ns_f64();
+        let traffic_ns = self.mem.sweep_time(items * bytes_per_item).as_ns_f64();
         let region_ns = compute_ns.max(traffic_ns);
         SimDuration::from_ns_f64(region_ns) + self.fork_join()
     }

@@ -106,16 +106,28 @@ mod tests {
         assert_eq!(c.cores, 8);
         assert!(c.validate().is_ok());
         assert_eq!(c.send_stack(), SimDuration::from_ns(300));
-        assert!(c.post_triggered() < c.send_stack(), "Table 1: partial < full stack");
+        assert!(
+            c.post_triggered() < c.send_stack(),
+            "Table 1: partial < full stack"
+        );
     }
 
     #[test]
     fn validation() {
-        let c = HostConfig { parallel_efficiency: 0.0, ..HostConfig::default() };
+        let c = HostConfig {
+            parallel_efficiency: 0.0,
+            ..HostConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = HostConfig { cores: 0, ..HostConfig::default() };
+        let c = HostConfig {
+            cores: 0,
+            ..HostConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = HostConfig { poll_interval_ns: 0, ..HostConfig::default() };
+        let c = HostConfig {
+            poll_interval_ns: 0,
+            ..HostConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -91,13 +91,22 @@ impl MpiWorld {
                         slot_bytes: max_msg_bytes,
                         sent: 0,
                         received: 0,
-                        rts_flag: Addr::base(NodeId(dst), mem.alloc(NodeId(dst), 8, "mpi.rts_flag")),
+                        rts_flag: Addr::base(
+                            NodeId(dst),
+                            mem.alloc(NodeId(dst), 8, "mpi.rts_flag"),
+                        ),
                         cts_slots: Addr::base(
                             NodeId(src),
                             mem.alloc(NodeId(src), CTS_BYTES * SLOTS, "mpi.cts_slots"),
                         ),
-                        cts_flag: Addr::base(NodeId(src), mem.alloc(NodeId(src), 8, "mpi.cts_flag")),
-                        cts_out: Addr::base(NodeId(dst), mem.alloc(NodeId(dst), CTS_BYTES, "mpi.cts_out")),
+                        cts_flag: Addr::base(
+                            NodeId(src),
+                            mem.alloc(NodeId(src), 8, "mpi.cts_flag"),
+                        ),
+                        cts_out: Addr::base(
+                            NodeId(dst),
+                            mem.alloc(NodeId(dst), CTS_BYTES, "mpi.cts_out"),
+                        ),
                         payload_flag: Addr::base(
                             NodeId(dst),
                             mem.alloc(NodeId(dst), 8, "mpi.payload_flag"),
@@ -129,7 +138,13 @@ impl MpiWorld {
     ///
     /// One op: a NIC post (the [`crate::program::Cpu`] charges the full send
     /// stack for immediate puts).
-    pub fn send_ops(&mut self, src: NodeId, dst: NodeId, user_buf: Addr, bytes: u64) -> Vec<HostOp> {
+    pub fn send_ops(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        user_buf: Addr,
+        bytes: u64,
+    ) -> Vec<HostOp> {
         if bytes > self.slot_bytes {
             return self.send_ops_rendezvous(src, dst, user_buf, bytes);
         }
@@ -143,7 +158,11 @@ impl MpiWorld {
             len: bytes,
             target: dst,
             dst: dst_addr,
-            notify: Some(Notify { flag, add: 1, chain: None }),
+            notify: Some(Notify {
+                flag,
+                add: 1,
+                chain: None,
+            }),
             completion: None,
         }))]
     }
@@ -192,9 +211,7 @@ impl MpiWorld {
         let ch = self.channel_mut(src, dst);
         let seq = ch.rdv_sent + 1;
         ch.rdv_sent += 1;
-        let cts_slot = ch
-            .cts_slots
-            .offset_by(((seq - 1) % SLOTS) * CTS_BYTES);
+        let cts_slot = ch.cts_slots.offset_by(((seq - 1) % SLOTS) * CTS_BYTES);
         let rts_flag = ch.rts_flag;
         let cts_flag = ch.cts_flag;
         let payload_flag = ch.payload_flag;
@@ -248,9 +265,7 @@ impl MpiWorld {
         let ch = self.channel_mut(src, dst);
         let seq = ch.rdv_received + 1;
         ch.rdv_received += 1;
-        let cts_slot = ch
-            .cts_slots
-            .offset_by(((seq - 1) % SLOTS) * CTS_BYTES);
+        let cts_slot = ch.cts_slots.offset_by(((seq - 1) % SLOTS) * CTS_BYTES);
         let rts_flag = ch.rts_flag;
         let cts_flag = ch.cts_flag;
         let cts_out = ch.cts_out;
@@ -281,7 +296,6 @@ impl MpiWorld {
             },
         ]
     }
-
 }
 
 #[cfg(test)]
@@ -344,7 +358,10 @@ mod tests {
         let ops = w.send_ops(NodeId(0), NodeId(1), buf, 128);
         // RTS put, CTS poll, dynamic payload put.
         assert_eq!(ops.len(), 3);
-        assert!(matches!(ops[0], HostOp::NicPost(NicCommand::Put(NetOp::Put { len: 0, .. }))));
+        assert!(matches!(
+            ops[0],
+            HostOp::NicPost(NicCommand::Put(NetOp::Put { len: 0, .. }))
+        ));
         assert!(matches!(ops[1], HostOp::Poll { at_least: 1, .. }));
         assert!(matches!(ops[2], HostOp::NicPostDynamic(_)));
 

@@ -172,7 +172,11 @@ mod tests {
                 for s in &schedules {
                     for op in &s.rounds[round].0 {
                         if let NbcOp::Send { peer, chunk } = op {
-                            in_flight.push((*peer, *chunk, state[s.rank as usize][*chunk as usize].clone()));
+                            in_flight.push((
+                                *peer,
+                                *chunk,
+                                state[s.rank as usize][*chunk as usize].clone(),
+                            ));
                         }
                     }
                 }

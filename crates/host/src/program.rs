@@ -213,6 +213,10 @@ pub struct Cpu {
     completed_kernels: HashSet<String>,
     waiting_on: Option<String>,
     finished: bool,
+    /// First unsatisfied check of the poll currently spinning, if any;
+    /// feeds the `poll_wait` histogram (the CQ-poll stage of the Fig. 8
+    /// decomposition) when the poll finally hits.
+    poll_started: Option<SimTime>,
     stats: StatSet,
 }
 
@@ -230,6 +234,7 @@ impl Cpu {
             completed_kernels: HashSet::new(),
             waiting_on: None,
             finished: false,
+            poll_started: None,
             stats: StatSet::new(),
         }
     }
@@ -386,10 +391,15 @@ impl Cpu {
                 HostOp::Poll { addr, at_least } => {
                     if mem.read_u64(addr) >= at_least {
                         self.stats.inc("poll_hits");
+                        // CQ-poll stage: time from the first unsatisfied
+                        // check to the hit (0 when satisfied immediately).
+                        let started = self.poll_started.take().unwrap_or(now);
+                        self.stats.record("poll_wait", now - started);
                         self.pc += 1;
                         continue;
                     }
                     self.stats.inc("poll_retries");
+                    self.poll_started.get_or_insert(now);
                     out.push(CpuOutput::Local {
                         at: now + SimDuration::from_ns(self.cfg.poll_interval_ns),
                         ev: CpuEvent::Step,
@@ -573,13 +583,40 @@ mod tests {
                 }
             }
             // Set the flag at ~200 ns.
-            if eng.now() >= SimTime::from_ns(200) && mem.read_u64(Addr::base(NodeId(0), gtn_mem::RegionId(0))) == 0 {
+            if eng.now() >= SimTime::from_ns(200)
+                && mem.read_u64(Addr::base(NodeId(0), gtn_mem::RegionId(0))) == 0
+            {
                 mem.write_u64(Addr::base(NodeId(0), gtn_mem::RegionId(0)), 1);
             }
         });
         assert!(cpu.stats().counter("poll_retries") >= 4);
         assert_eq!(cpu.stats().counter("poll_hits"), 1);
         assert!(cpu.is_finished());
+        // The CQ-poll stage: spin time from first check to the hit.
+        let wait = cpu
+            .stats()
+            .histogram("poll_wait")
+            .expect("poll_wait recorded");
+        assert_eq!(wait.count(), 1);
+        assert!(
+            wait.mean() >= SimDuration::from_ns(200),
+            "flag was set at ~200ns: {:?}",
+            wait.mean()
+        );
+    }
+
+    #[test]
+    fn immediately_satisfied_poll_records_zero_wait() {
+        let mut p = HostProgram::new();
+        let flag = Addr::base(NodeId(0), gtn_mem::RegionId(0));
+        p.poll(flag, 1);
+        let mut h = Harness::new(p);
+        h.mem.alloc(NodeId(0), 8, "flag");
+        h.mem.write_u64(flag, 1);
+        h.run();
+        let wait = h.cpu.stats().histogram("poll_wait").expect("recorded");
+        assert_eq!(wait.count(), 1);
+        assert_eq!(wait.mean(), SimDuration::ZERO);
     }
 
     #[test]

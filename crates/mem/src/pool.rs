@@ -175,7 +175,8 @@ impl MemPool {
 
     /// Copy `src` into memory at `addr`.
     pub fn try_write(&mut self, addr: Addr, src: &[u8]) -> Result<(), MemError> {
-        self.try_read_mut(addr, src.len() as u64)?.copy_from_slice(src);
+        self.try_read_mut(addr, src.len() as u64)?
+            .copy_from_slice(src);
         Ok(())
     }
 
@@ -299,11 +300,13 @@ mod tests {
     fn bad_node_and_region_errors() {
         let (p, _, _) = pool2();
         assert_eq!(
-            p.try_read(Addr::base(NodeId(7), RegionId(0)), 1).unwrap_err(),
+            p.try_read(Addr::base(NodeId(7), RegionId(0)), 1)
+                .unwrap_err(),
             MemError::NoSuchNode(NodeId(7))
         );
         assert_eq!(
-            p.try_read(Addr::base(NodeId(0), RegionId(9)), 1).unwrap_err(),
+            p.try_read(Addr::base(NodeId(0), RegionId(9)), 1)
+                .unwrap_err(),
             MemError::NoSuchRegion(NodeId(0), RegionId(9))
         );
     }

@@ -143,7 +143,13 @@ mod tests {
     fn push_and_decode_roundtrip() {
         let (mut mem, cq) = setup(8);
         assert_eq!(cq.head(&mem), 0);
-        let seq = cq.push(&mut mem, CqKind::SendComplete, 42, 4096, SimTime::from_us(3));
+        let seq = cq.push(
+            &mut mem,
+            CqKind::SendComplete,
+            42,
+            4096,
+            SimTime::from_us(3),
+        );
         assert_eq!(seq, 0);
         assert_eq!(cq.head(&mem), 1);
         let e = cq.entry(&mem, 0);

@@ -101,10 +101,11 @@ impl DynFields {
     /// A static trigger is a single 8 B store; each supplied field adds a
     /// lane of the descriptor.
     pub fn wire_bytes(&self) -> u64 {
-        8 + 8 * (u64::from(self.target.is_some())
-            + u64::from(self.src.is_some())
-            + u64::from(self.dst.is_some())
-            + u64::from(self.len.is_some()))
+        8 + 8
+            * (u64::from(self.target.is_some())
+                + u64::from(self.src.is_some())
+                + u64::from(self.dst.is_some())
+                + u64::from(self.len.is_some()))
     }
 }
 
@@ -145,7 +146,9 @@ mod tests {
         assert!(!f.is_empty());
         f.apply(&mut op);
         match op {
-            NetOp::Put { target, len, src, .. } => {
+            NetOp::Put {
+                target, len, src, ..
+            } => {
                 assert_eq!(target, NodeId(3));
                 assert_eq!(len, 16);
                 assert_eq!(src, Addr::base(NodeId(0), RegionId(0)), "untouched");

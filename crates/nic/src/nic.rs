@@ -64,6 +64,9 @@ pub enum NicCommand {
 pub struct RxMessage {
     /// Initiating node.
     pub origin: NodeId,
+    /// When this attempt left the origin NIC (re-stamped per retransmit).
+    /// The receiver derives the wire-stage latency from it.
+    pub injected_at: SimTime,
     /// Sequence number assigned by the origin's reliability layer; `None`
     /// when ARQ is disabled or the message is not tracked (loopback, ACKs).
     pub seq: Option<u64>,
@@ -208,6 +211,8 @@ pub enum NicOutput {
 #[derive(Debug)]
 struct InFlight {
     op: NetOp,
+    /// When the op entered the DMA engine (injection-stage start).
+    started: SimTime,
 }
 
 /// One node's network interface.
@@ -216,7 +221,9 @@ pub struct Nic {
     node: NodeId,
     config: NicConfig,
     triggers: TriggerList,
-    fifo: VecDeque<(Tag, DynFields)>,
+    /// Pending tag writes with their FIFO-arrival instant, so the drain can
+    /// attribute queueing + match time to the trigger-match stage.
+    fifo: VecDeque<(Tag, DynFields, SimTime)>,
     fifo_draining: bool,
     cmd_busy: SimTime,
     dma_busy: SimTime,
@@ -357,6 +364,8 @@ impl Nic {
         self.stats.inc("doorbells");
         let start = now.max(self.cmd_busy);
         let ready = start + SimDuration::from_ns(self.config.cmd_process_ns);
+        // Doorbell stage: command-queue wait + decode.
+        self.stats.record("stage_doorbell", ready - now);
         self.cmd_busy = ready;
         vec![NicOutput::Local {
             at: ready,
@@ -404,7 +413,7 @@ impl Nic {
         if !fields.is_empty() {
             self.stats.inc("trigger_writes_dyn");
         }
-        self.fifo.push_back((tag, fields));
+        self.fifo.push_back((tag, fields, now));
         if !self.fifo_draining {
             self.fifo_draining = true;
             let cost = self.head_match_cost();
@@ -421,7 +430,7 @@ impl Nic {
     /// parse surcharge when the head is a dynamic write.
     fn head_match_cost(&self) -> SimDuration {
         let mut cost = self.triggers.match_cost();
-        if let Some((_, fields)) = self.fifo.front() {
+        if let Some((_, fields, _)) = self.fifo.front() {
             if !fields.is_empty() {
                 cost += SimDuration::from_ns(self.config.dyn_match_extra_ns);
             }
@@ -435,10 +444,12 @@ impl Nic {
         mem: &mut MemPool,
         fabric: &mut Fabric,
     ) -> Vec<NicOutput> {
-        let Some((tag, fields)) = self.fifo.pop_front() else {
+        let Some((tag, fields, enqueued)) = self.fifo.pop_front() else {
             self.fifo_draining = false;
             return Vec::new();
         };
+        // Trigger-match stage: FIFO queueing + list lookup for this tag.
+        self.stats.record("stage_trigger_match", now - enqueued);
         let mut out = match self.triggers.trigger_dyn(tag, fields) {
             Ok(Some(fired)) => {
                 self.stats.inc("fired_at_trigger");
@@ -479,7 +490,13 @@ impl Nic {
                 let id = OpId(self.next_op);
                 self.next_op += 1;
                 let len = put.len();
-                self.inflight.insert(id.0, InFlight { op: put });
+                self.inflight.insert(
+                    id.0,
+                    InFlight {
+                        op: put,
+                        started: now,
+                    },
+                );
                 // Serial DMA engine.
                 let start = now.max(self.dma_busy);
                 let done = start
@@ -504,13 +521,18 @@ impl Nic {
                 // back as a put from the target.
                 let msg = RxMessage {
                     origin: self.node,
+                    injected_at: now,
                     seq: None,
                     corrupt: false,
                     kind: RxKind::GetRequest {
                         src,
                         len,
                         reply_dst: dst,
-                        reply_notify: completion.map(|flag| Notify { flag, add: 1, chain: None }),
+                        reply_notify: completion.map(|flag| Notify {
+                            flag,
+                            add: 1,
+                            chain: None,
+                        }),
                     },
                 };
                 self.send_remote(now, target, 16, msg, fabric)
@@ -563,6 +585,7 @@ impl Nic {
         fabric: &mut Fabric,
     ) -> Vec<NicOutput> {
         let (timing, verdict) = fabric.send_message_faulty(now, self.node, target, bytes);
+        msg.injected_at = now; // each attempt re-stamps its wire-stage start
         let seq = msg.seq.expect("tracked messages carry a sequence");
         match verdict {
             Delivery::Dropped => {
@@ -590,7 +613,13 @@ impl Nic {
 
     /// Acknowledge sequence `seq` back to `to`. ACKs are fire-and-forget:
     /// a lost ACK just means the origin retransmits and we re-ACK.
-    fn send_ack(&mut self, now: SimTime, to: NodeId, seq: u64, fabric: &mut Fabric) -> Vec<NicOutput> {
+    fn send_ack(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        seq: u64,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
         let bytes = self.config.reliability.ack_bytes;
         let (timing, verdict) = fabric.send_message_faulty(now, self.node, to, bytes);
         self.stats.inc("acks_tx");
@@ -603,6 +632,7 @@ impl Nic {
             at: timing.last_arrival,
             ev: NicEvent::RxArrive(RxMessage {
                 origin: self.node,
+                injected_at: now,
                 seq: None,
                 corrupt: false,
                 kind: RxKind::Ack { seq },
@@ -628,7 +658,14 @@ impl Nic {
             Ok((target, bytes, msg, attempts)) => {
                 self.stats.inc("timeouts");
                 self.stats.inc("retransmits");
-                self.note(now, NicNote::Retransmitted { seq, attempt: attempts, target });
+                self.note(
+                    now,
+                    NicNote::Retransmitted {
+                        seq,
+                        attempt: attempts,
+                        target,
+                    },
+                );
                 let mut out = self.transmit_tracked(now, target, bytes, msg, fabric);
                 out.push(NicOutput::Local {
                     at: now + self.config.reliability.rto(attempts, bytes),
@@ -670,6 +707,8 @@ impl Nic {
             .inflight
             .remove(&id.0)
             .unwrap_or_else(|| panic!("unknown in-flight op {id:?}"));
+        // Injection stage: DMA-engine wait + setup + payload read.
+        self.stats.record("stage_injection", now - inflight.started);
         let NetOp::Put {
             src,
             len,
@@ -696,6 +735,7 @@ impl Nic {
         self.stats.add("bytes_tx", len);
         let msg = RxMessage {
             origin: self.node,
+            injected_at: now,
             seq: None,
             corrupt: false,
             kind: RxKind::Put {
@@ -738,6 +778,8 @@ impl Nic {
             return Vec::new();
         }
         self.stats.inc("rx_messages");
+        // Wire stage: injection on the origin to last-packet arrival here.
+        self.stats.record("stage_wire", now - msg.injected_at);
         let payload_len = match &msg.kind {
             RxKind::Put { payload, .. } => payload.len() as u64,
             RxKind::GetRequest { .. } => 0,
@@ -747,6 +789,8 @@ impl Nic {
         let done = now
             + SimDuration::from_ns(self.config.rx_process_ns)
             + SimDuration::for_bytes_at_gbps(payload_len, self.config.dma_gbps * 8.0);
+        // Commit stage: receive processing + payload write to memory.
+        self.stats.record("stage_commit", done - now);
         vec![NicOutput::Local {
             at: done,
             ev: NicEvent::RxDone(msg),
@@ -936,7 +980,11 @@ mod tests {
             len,
             target: NodeId(1),
             dst,
-            notify: Some(Notify { flag, add: 1, chain: None }),
+            notify: Some(Notify {
+                flag,
+                add: 1,
+                chain: None,
+            }),
             completion: Some(comp),
         }
     }
@@ -982,6 +1030,72 @@ mod tests {
         assert_eq!(h.mem.read_u64(flag), 1);
         assert_eq!(h.nics[0].stats().counter("fired_at_trigger"), 1);
         assert!(h.nics[0].errors().is_empty());
+    }
+
+    #[test]
+    fn stage_histograms_cover_the_message_pipeline() {
+        let mut h = Harness::new(2);
+        let (src, dst, comp, flag) = put(&mut h, 64);
+        h.mem.write(src, &[1; 64]);
+        h.doorbell(
+            0,
+            NicCommand::TriggeredPut {
+                tag: Tag(7),
+                threshold: 1,
+                op: put_op(src, dst, 64, comp, flag),
+            },
+        );
+        h.run();
+        h.trigger(0, Tag(7));
+        h.run();
+        // Initiator-side stages.
+        for stage in ["stage_doorbell", "stage_trigger_match", "stage_injection"] {
+            let hist = h.nics[0]
+                .stats()
+                .histogram(stage)
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            assert_eq!(hist.count(), 1, "{stage}");
+        }
+        // Target-side stages.
+        for stage in ["stage_wire", "stage_commit"] {
+            let hist = h.nics[1]
+                .stats()
+                .histogram(stage)
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            assert_eq!(hist.count(), 1, "{stage}");
+            assert!(hist.mean().as_ps() > 0, "{stage} must have real latency");
+        }
+        // The wire stage is bounded below by the fabric's base latency.
+        let wire = h.nics[1].stats().histogram("stage_wire").unwrap();
+        assert!(
+            wire.mean() >= SimDuration::from_ns(100),
+            "{:?}",
+            wire.mean()
+        );
+    }
+
+    #[test]
+    fn retransmit_restamps_wire_stage_per_attempt() {
+        // With loss, the delivered attempt's wire time must be measured
+        // from ITS injection, not the first attempt's — so the wire-stage
+        // mean stays at the one-attempt scale even after retries.
+        let mut h = Harness::new_with(2, reliable_nic(8), lossy_fabric(12, 0.4));
+        let (src, dst, comp, flag) = put(&mut h, 64);
+        h.mem.write(src, &[2; 64]);
+        h.doorbell(0, NicCommand::Put(put_op(src, dst, 64, comp, flag)));
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 1);
+        assert!(
+            h.nics[0].stats().counter("retransmits") > 0,
+            "loss must retry"
+        );
+        let wire = h.nics[1]
+            .stats()
+            .histogram("stage_wire")
+            .expect("wire stage");
+        // One-attempt wire time is well under 10us; a first-attempt stamp
+        // would include the >=2us RTO backoff.
+        assert!(wire.max() < SimDuration::from_us(2), "{:?}", wire.max());
     }
 
     #[test]
@@ -1181,7 +1295,11 @@ mod tests {
         h.trigger(0, Tag(3));
         h.run();
         assert_eq!(h.mem.read(dst, 64), &[0x5A; 64]);
-        assert_eq!(h.mem.read_u64(flag), 1, "notify exactly once despite duplicates");
+        assert_eq!(
+            h.mem.read_u64(flag),
+            1,
+            "notify exactly once despite duplicates"
+        );
         assert_eq!(h.nics[0].stats().counter("fired_at_trigger"), 1, "one-shot");
         assert!(
             h.nics[0].stats().counter("retransmits") > 0,
@@ -1210,7 +1328,10 @@ mod tests {
         assert_eq!(failures[0].attempts, 4, "1 original + 3 retries");
         assert_eq!(failures[0].target, NodeId(1));
         assert_eq!(h.nics[0].stats().counter("exhausted_retries"), 1);
-        assert!(h.nics[0].pending_retries().is_empty(), "nothing left in flight");
+        assert!(
+            h.nics[0].pending_retries().is_empty(),
+            "nothing left in flight"
+        );
         let entries = cq.drain_from(&h.mem, 0);
         assert!(
             entries
@@ -1235,7 +1356,10 @@ mod tests {
         };
         let (end_clean, data_clean) = run_one(FabricConfig::default());
         let (end_faulty, data_faulty) = run_one(lossy_fabric(42, 0.9));
-        assert_eq!(end_clean, end_faulty, "disabled ARQ must not consult the fault plan");
+        assert_eq!(
+            end_clean, end_faulty,
+            "disabled ARQ must not consult the fault plan"
+        );
         assert_eq!(data_clean, data_faulty);
     }
 }

@@ -359,7 +359,10 @@ mod tests {
         assert_eq!(l.early_allocations(), 1);
         assert_eq!(l.entry(Tag(9)).unwrap().counter, 2);
         assert_eq!(l.entry(Tag(9)).unwrap().op, None);
-        let fired = l.register(Tag(9), put(), 2).unwrap().expect("fires at post");
+        let fired = l
+            .register(Tag(9), put(), 2)
+            .unwrap()
+            .expect("fires at post");
         assert_eq!(fired.counter, 2);
         assert_eq!(l.active(), 0);
     }

@@ -106,7 +106,11 @@ fn message_relays_around_the_ring_with_no_host() {
     // Intermediate NICs each recorded one chained trigger.
     assert_eq!(ring.nics[1].stats().counter("chained_triggers"), 1);
     assert_eq!(ring.nics[2].stats().counter("chained_triggers"), 1);
-    assert_eq!(ring.nics[3].stats().counter("chained_triggers"), 0, "ring end");
+    assert_eq!(
+        ring.nics[3].stats().counter("chained_triggers"),
+        0,
+        "ring end"
+    );
     // Three hops of ~0.9 us each: well under 5 us total.
     assert!(end < SimTime::from_us(6), "{end}");
 }

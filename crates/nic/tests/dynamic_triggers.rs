@@ -150,8 +150,8 @@ fn nic_delivers_to_dynamic_target() {
                     notify: Some(Notify {
                         flag: flags[0],
                         add: 1,
-                chain: None,
-            }),
+                        chain: None,
+                    }),
                     completion: None,
                 },
             }),

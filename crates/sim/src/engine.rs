@@ -50,6 +50,11 @@ pub struct Engine<E> {
     /// Hard cap on processed events per `run` family call; guards against
     /// pathological poll loops in misconfigured experiments.
     event_limit: u64,
+    /// Events passed to [`Engine::schedule_at`] with a timestamp in the
+    /// past. Debug builds assert; release builds clamp to `now` but count
+    /// here so harnesses can surface the component bug instead of silently
+    /// reordering causality.
+    clamped_past_events: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -71,6 +76,7 @@ impl<E> Engine<E> {
             processed: 0,
             stop_requested: false,
             event_limit: Self::DEFAULT_EVENT_LIMIT,
+            clamped_past_events: 0,
         }
     }
 
@@ -94,13 +100,27 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Number of events scheduled with a timestamp in the past (and clamped
+    /// to `now`). Always 0 in a healthy run; nonzero means a component
+    /// computed a retro-causal delay somewhere.
+    pub fn clamped_past_events(&self) -> u64 {
+        self.clamped_past_events
+    }
+
     /// Schedule `payload` at the absolute instant `at`.
     ///
     /// # Panics
     /// Debug-asserts that `at` is not in the past: retro-causal scheduling is
     /// always a component bug.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        if at < self.now {
+            self.clamped_past_events += 1;
+        }
         self.queue.push(at.max(self.now), payload);
     }
 
@@ -240,6 +260,44 @@ mod tests {
         eng.schedule_at(SimTime::ZERO, ());
         let outcome = eng.run(|e, ()| e.schedule_after(SimDuration::from_ns(1), ()));
         assert_eq!(outcome, RunOutcome::EventLimit);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn retro_causal_schedule_asserts_in_debug() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule_at(SimTime::from_ns(10), 1);
+        eng.run(|e, _| e.schedule_at(SimTime::from_ns(5), 2));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn retro_causal_schedule_is_clamped_and_counted_in_release() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule_at(SimTime::from_ns(10), 1);
+        let mut seen = Vec::new();
+        eng.run(|e, v| {
+            seen.push((e.now(), v));
+            if v == 1 {
+                e.schedule_at(SimTime::from_ns(5), 2); // 5ns < now=10ns
+            }
+        });
+        assert_eq!(eng.clamped_past_events(), 1);
+        // The clamped event fired at `now`, not in the past.
+        assert_eq!(
+            seen,
+            vec![(SimTime::from_ns(10), 1), (SimTime::from_ns(10), 2)]
+        );
+    }
+
+    #[test]
+    fn clamped_counter_starts_at_zero_and_ignores_valid_schedules() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule_at(SimTime::from_ns(1), 1);
+        eng.schedule_after(SimDuration::from_ns(2), 2);
+        eng.run(|_, _| {});
+        assert_eq!(eng.clamped_past_events(), 0);
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl SimRng {
     /// node does not perturb the streams of existing nodes.
     pub fn fork(&self, stream: u64) -> Self {
         // SplitMix64 finalizer over (base, stream): cheap, well-distributed.
-        let mut z = self.base_seed().wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .base_seed()
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         SimRng::seeded(z ^ (z >> 31))
@@ -99,7 +101,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seeded(1);
         let mut b = SimRng::seeded(2);
-        let same = (0..64).filter(|_| a.range_u64(0, 1 << 32) == b.range_u64(0, 1 << 32)).count();
+        let same = (0..64)
+            .filter(|_| a.range_u64(0, 1 << 32) == b.range_u64(0, 1 << 32))
+            .count();
         assert!(same < 4, "streams suspiciously correlated");
     }
 

@@ -8,6 +8,7 @@
 
 use crate::rng::SimRng;
 use crate::time::SimDuration;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -43,6 +44,9 @@ pub struct DurationHistogram {
     max: SimDuration,
     cap: usize,
     rng: SimRng,
+    /// Sorted view of `samples`, rebuilt lazily on the first percentile
+    /// query after a mutation (`None` = stale).
+    sorted: RefCell<Option<Vec<SimDuration>>>,
 }
 
 impl DurationHistogram {
@@ -66,6 +70,7 @@ impl DurationHistogram {
             max: SimDuration::ZERO,
             cap,
             rng: SimRng::seeded(0xDEC0DE),
+            sorted: RefCell::new(None),
         }
     }
 
@@ -75,15 +80,39 @@ impl DurationHistogram {
         self.sum_ps += d.as_ps() as u128;
         self.min = self.min.min(d);
         self.max = self.max.max(d);
+        self.retain_sample(d);
+        *self.sorted.borrow_mut() = None;
+    }
+
+    /// Reservoir step only (Vitter's Algorithm R, weighted by the total
+    /// observation count): aggregates are *not* touched.
+    fn retain_sample(&mut self, d: SimDuration) {
         if self.samples.len() < self.cap {
             self.samples.push(d);
         } else {
-            // Vitter's Algorithm R.
             let j = self.rng.range_u64(0, self.count) as usize;
             if j < self.cap {
                 self.samples[j] = d;
             }
         }
+    }
+
+    /// Merge another histogram into this one. `count`, `sum_ps`, `min`,
+    /// and `max` are combined exactly from the source's aggregates — the
+    /// reservoir is only consulted for percentile samples, so the merge
+    /// stays correct even when `other` evicted samples past its cap.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for i in 0..other.samples.len() {
+            self.retain_sample(other.samples[i]);
+        }
+        *self.sorted.borrow_mut() = None;
     }
 
     /// Number of observations.
@@ -113,14 +142,20 @@ impl DurationHistogram {
         self.max
     }
 
-    /// Percentile in `[0, 100]` over retained samples (nearest-rank).
+    /// Percentile in `[0, 100]` over retained samples (nearest-rank). The
+    /// sorted view is cached and rebuilt only after a mutation, so repeated
+    /// queries (`Display` alone asks twice) sort at most once.
     pub fn percentile(&self, p: f64) -> SimDuration {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut s = self.samples.clone();
+            s.sort_unstable();
+            s
+        });
         let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         sorted[rank]
     }
@@ -155,7 +190,7 @@ impl fmt::Display for DurationHistogram {
 /// A named bundle of counters and histograms, used by components to publish
 /// their internal activity (trigger matches, packets injected, polls retried)
 /// to the harness without coupling to it.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StatSet {
     counters: BTreeMap<&'static str, Counter>,
     histograms: BTreeMap<&'static str, DurationHistogram>,
@@ -197,17 +232,21 @@ impl StatSet {
         self.counters.iter().map(|(k, v)| (*k, v.get()))
     }
 
-    /// Merge another set into this one (counters add; histogram samples
-    /// append via re-recording of retained samples).
+    /// Iterate histograms in name order (deterministic for reports).
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &DurationHistogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merge another set into this one: counters add, histograms merge
+    /// exactly (see [`DurationHistogram::merge`] — aggregates are combined
+    /// field-wise, so `count`/`mean`/`min`/`max` stay exact regardless of
+    /// reservoir eviction in the source).
     pub fn absorb(&mut self, other: &StatSet) {
         for (k, v) in &other.counters {
             self.counters.entry(k).or_default().add(v.get());
         }
         for (k, h) in &other.histograms {
-            let mine = self.histograms.entry(k).or_default();
-            for &s in &h.samples {
-                mine.record(s);
-            }
+            self.histograms.entry(k).or_default().merge(h);
         }
     }
 }
@@ -262,6 +301,76 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.min(), SimDuration::ZERO);
         assert_eq!(h.median(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn absorb_is_exact_past_the_reservoir_cap() {
+        // Regression: the old absorb re-recorded only *retained* samples,
+        // so merging a histogram that had evicted past its cap undercounted
+        // count/sum and could lose the true min/max entirely.
+        let mut src = StatSet::new();
+        {
+            let mut h = DurationHistogram::with_capacity(32);
+            for i in 1..=1_000u64 {
+                h.record(SimDuration::from_ns(i));
+            }
+            assert_eq!(h.samples.len(), 32, "reservoir capped");
+            // Smuggle the capped histogram into a StatSet.
+            src.histograms.insert("lat", h);
+        }
+        let mut dst = StatSet::new();
+        dst.record("lat", SimDuration::from_ns(2_000));
+        dst.absorb(&src);
+        let h = dst.histogram("lat").unwrap();
+        assert_eq!(h.count(), 1_001, "exact count despite eviction");
+        // sum = 2000 + 1..=1000 = 2000 + 500500 ns; mean = 502500/1001 ns.
+        assert_eq!(h.mean().as_ps(), 502_500_000 / 1_001, "exact mean");
+        assert_eq!(h.min(), SimDuration::from_ns(1), "true min survives");
+        assert_eq!(h.max(), SimDuration::from_ns(2_000), "true max survives");
+    }
+
+    #[test]
+    fn merge_of_empty_histogram_is_identity() {
+        let mut a = DurationHistogram::new();
+        a.record(SimDuration::from_ns(5));
+        let b = DurationHistogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), SimDuration::from_ns(5));
+        let mut c = DurationHistogram::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), SimDuration::from_ns(5));
+        assert_eq!(c.min(), SimDuration::from_ns(5));
+        assert_eq!(c.max(), SimDuration::from_ns(5));
+    }
+
+    #[test]
+    fn percentile_cache_is_stable_and_invalidated_on_record() {
+        let mut h = DurationHistogram::with_capacity(16);
+        for i in [30u64, 10, 50, 20, 40] {
+            h.record(SimDuration::from_ns(i));
+        }
+        let p50 = h.percentile(50.0);
+        // Repeated queries hit the cache and agree exactly.
+        for _ in 0..10 {
+            assert_eq!(h.percentile(50.0), p50);
+        }
+        assert_eq!(format!("{h}"), format!("{h}"), "Display sorts once, stable");
+        // A new sample invalidates the cache.
+        h.record(SimDuration::from_ns(60));
+        assert_eq!(h.percentile(100.0), SimDuration::from_ns(60));
+        // Nearest-rank over 6 samples: rank round(0.5 * 5) = 3 -> 40 ns.
+        assert_eq!(h.median(), SimDuration::from_ns(40));
+    }
+
+    #[test]
+    fn histograms_iterate_in_name_order() {
+        let mut s = StatSet::new();
+        s.record("z", SimDuration::from_ns(1));
+        s.record("a", SimDuration::from_ns(2));
+        let names: Vec<_> = s.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub struct OpenSpan(usize);
 #[derive(Debug, Default)]
 pub struct Trace {
     spans: Vec<Span>,
-    open: Vec<(String, String, SimTime)>,
+    /// Slots for spans opened but not yet closed. Closing a span tombstones
+    /// its slot (`None`), reclaiming the label/lane strings — long traced
+    /// runs would otherwise grow this without bound — and making a second
+    /// `end()` on the same handle detectable.
+    open: Vec<Option<(String, String, SimTime)>>,
     /// Instantaneous labelled points (e.g. "doorbell rung").
     marks: Vec<(String, String, SimTime)>,
     enabled: bool,
@@ -69,16 +73,23 @@ impl Trace {
         if !self.enabled {
             return OpenSpan(usize::MAX);
         }
-        self.open.push((lane.to_owned(), label.to_owned(), now));
+        self.open
+            .push(Some((lane.to_owned(), label.to_owned(), now)));
         OpenSpan(self.open.len() - 1)
     }
 
-    /// Close a previously opened span at instant `now`.
+    /// Close a previously opened span at instant `now`. The slot is
+    /// tombstoned: closing the same handle twice is a component bug
+    /// (debug-asserted) and records nothing in release builds, instead of
+    /// silently duplicating the span.
     pub fn end(&mut self, handle: OpenSpan, now: SimTime) {
         if !self.enabled || handle.0 == usize::MAX {
             return;
         }
-        let (lane, label, start) = self.open[handle.0].clone();
+        let Some((lane, label, start)) = self.open[handle.0].take() else {
+            debug_assert!(false, "span handle {} closed twice", handle.0);
+            return;
+        };
         debug_assert!(now >= start, "span ends before it starts");
         self.spans.push(Span {
             lane,
@@ -86,6 +97,11 @@ impl Trace {
             start,
             end: now,
         });
+    }
+
+    /// Number of spans currently open (begun but not yet ended).
+    pub fn open_count(&self) -> usize {
+        self.open.iter().filter(|s| s.is_some()).count()
     }
 
     /// Record a complete span in one call.
@@ -210,6 +226,104 @@ impl Trace {
         );
         out
     }
+
+    /// Export the trace in the Chrome trace-event JSON *array* format, as
+    /// loaded by `chrome://tracing` / Perfetto. Lanes become named threads
+    /// of process 0 (one `thread_name` metadata event per lane, sorted by
+    /// lane name); spans become complete (`"ph":"X"`) events; marks become
+    /// instant (`"ph":"i"`) events. Timestamps are microseconds with
+    /// picosecond precision, rendered from integers so the output is
+    /// byte-identical across runs.
+    pub fn to_chrome_json(&self) -> String {
+        // Deterministic lane -> tid mapping.
+        let mut lanes: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &self.spans {
+            let next = lanes.len();
+            lanes.entry(&s.lane).or_insert(next);
+        }
+        for m in &self.marks {
+            let next = lanes.len();
+            lanes.entry(&m.0).or_insert(next);
+        }
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&ev);
+        };
+        for (lane, tid) in &lanes {
+            push(
+                &mut out,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":{}}}}}"#,
+                    json_string(lane)
+                ),
+            );
+        }
+        for s in &self.spans {
+            let tid = lanes[s.lane.as_str()];
+            push(
+                &mut out,
+                format!(
+                    r#"{{"name":{},"cat":"span","ph":"X","pid":0,"tid":{tid},"ts":{},"dur":{}}}"#,
+                    json_string(&s.label),
+                    ps_as_us(s.start.as_ps()),
+                    ps_as_us(s.duration().as_ps()),
+                ),
+            );
+        }
+        for (lane, label, at) in &self.marks {
+            let tid = lanes[lane.as_str()];
+            push(
+                &mut out,
+                format!(
+                    r#"{{"name":{},"cat":"mark","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{}}}"#,
+                    json_string(label),
+                    ps_as_us(at.as_ps()),
+                ),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Render a picosecond count as a JSON number in microseconds, exactly
+/// (integer arithmetic; trailing zeros trimmed from the fraction).
+fn ps_as_us(ps: u64) -> String {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let s = format!("{whole}.{frac:06}");
+        s.trim_end_matches('0').to_owned()
+    }
+}
+
+/// Minimal JSON string quoting (the control characters lane/label names
+/// could plausibly contain, plus quotes and backslashes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// First alphanumeric character of a label, lowercased, as the bar fill.
@@ -273,6 +387,77 @@ mod tests {
     fn gantt_of_empty_trace() {
         let tr = Trace::new();
         assert_eq!(tr.render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn closed_spans_are_tombstoned() {
+        let mut tr = Trace::new();
+        let a = tr.begin("GPU", "Kernel", t(0));
+        let b = tr.begin("NIC", "Put", t(10));
+        assert_eq!(tr.open_count(), 2);
+        tr.end(a, t(100));
+        assert_eq!(tr.open_count(), 1, "slot reclaimed on close");
+        tr.end(b, t(120));
+        assert_eq!(tr.open_count(), 0);
+        assert_eq!(tr.spans().len(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "closed twice")]
+    fn double_close_panics_in_debug() {
+        let mut tr = Trace::new();
+        let h = tr.begin("GPU", "Kernel", t(0));
+        tr.end(h, t(100));
+        tr.end(h, t(200));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn double_close_records_no_duplicate_in_release() {
+        let mut tr = Trace::new();
+        let h = tr.begin("GPU", "Kernel", t(0));
+        tr.end(h, t(100));
+        tr.end(h, t(200));
+        assert_eq!(tr.spans().len(), 1, "second close must not duplicate");
+    }
+
+    #[test]
+    fn chrome_json_has_lanes_spans_and_marks() {
+        let mut tr = Trace::new();
+        tr.span("CPU", "Post", t(0), t(150));
+        tr.span("GPU", "Kernel", t(150), t(600));
+        tr.mark("NIC", "doorbell", t(200));
+        let json = tr.to_chrome_json();
+        assert!(
+            json.starts_with('[') && json.trim_end().ends_with(']'),
+            "{json}"
+        );
+        for needle in [
+            r#""name":"thread_name""#,
+            r#""ph":"X""#,
+            r#""ph":"i""#,
+            r#""name":"Kernel""#,
+            r#""args":{"name":"NIC"}"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Determinism: two exports are byte-identical.
+        assert_eq!(json, tr.to_chrome_json());
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_formats_times() {
+        let mut tr = Trace::new();
+        tr.span("la\"ne", "a\\b", t(1), t(2)); // 1 ns = 0.001 us
+        let json = tr.to_chrome_json();
+        assert!(json.contains(r#""name":"a\\b""#), "{json}");
+        assert!(json.contains(r#"{"name":"la\"ne"}"#), "{json}");
+        assert!(json.contains(r#""ts":0.001"#), "{json}");
+        assert_eq!(super::ps_as_us(0), "0");
+        assert_eq!(super::ps_as_us(1_000_000), "1");
+        assert_eq!(super::ps_as_us(1_500_000), "1.5");
+        assert_eq!(super::ps_as_us(123), "0.000123");
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Golden test for the Chrome-trace exporter: the emitted text must be
+//! valid JSON (checked with a small self-contained parser, since the
+//! vendored serde is a marker stub) and must round-trip the span count
+//! and lane names of the source `Trace`.
+
+use gtn_sim::time::SimTime;
+use gtn_sim::trace::Trace;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, literals).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected , or }} at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Golden round-trip
+// ---------------------------------------------------------------------
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_ns(ns)
+}
+
+#[test]
+fn chrome_trace_round_trips_spans_and_lanes() {
+    let mut tr = Trace::new();
+    // Three lanes, as a traced pingpong would produce.
+    tr.span("node0.cpu", "post", t(0), t(120));
+    tr.span("node0.gpu", "kernel", t(120), t(900));
+    tr.span("node0.nic", "put", t(300), t(700));
+    tr.span("node1.nic", "commit", t(700), t(760));
+    tr.mark("node0.gpu", "doorbell", t(290));
+
+    let text = tr.to_chrome_json();
+    let doc = parse(&text).expect("exporter must emit valid JSON");
+    let Json::Arr(events) = doc else {
+        panic!("chrome trace must be a JSON array");
+    };
+
+    let mut meta_lanes = BTreeSet::new();
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    for ev in &events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
+                let lane = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .expect("metadata event carries the lane name");
+                meta_lanes.insert(lane.to_string());
+            }
+            Some("X") => {
+                complete += 1;
+                assert!(ev.get("ts").and_then(Json::as_num).is_some());
+                assert!(ev.get("dur").and_then(Json::as_num).unwrap() >= 0.0);
+            }
+            Some("i") => instants += 1,
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+
+    assert_eq!(complete, tr.spans().len(), "span count must round-trip");
+    assert_eq!(instants, 1);
+    let want: BTreeSet<String> = tr
+        .spans()
+        .iter()
+        .map(|s| s.lane.clone())
+        .chain(tr.marks().iter().map(|m| m.0.clone()))
+        .collect();
+    assert_eq!(meta_lanes, want, "lane names must round-trip");
+    assert!(meta_lanes.len() >= 3, "expect >=3 lanes (cpu/gpu/nic)");
+
+    // Deterministic: a second export is byte-identical.
+    assert_eq!(text, tr.to_chrome_json());
+}
+
+#[test]
+fn chrome_trace_of_empty_trace_is_empty_array() {
+    let tr = Trace::new();
+    let doc = parse(&tr.to_chrome_json()).expect("valid JSON");
+    assert_eq!(doc, Json::Arr(Vec::new()));
+}

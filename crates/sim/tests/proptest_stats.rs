@@ -1,0 +1,82 @@
+//! Property tests for the statistics layer: `StatSet::absorb` must agree
+//! exactly with recording every sample into a single histogram, for the
+//! aggregate fields (`count`/`mean`/`min`/`max`), no matter how the samples
+//! are split across sets and no matter how far past the reservoir cap
+//! either side went.
+
+use gtn_sim::stats::{DurationHistogram, StatSet};
+use gtn_sim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// `a.absorb(&b)` has the same aggregates as one histogram fed all
+    /// samples, even when both sides evicted from their reservoirs.
+    #[test]
+    fn absorb_matches_single_histogram_aggregates(
+        xs in prop::collection::vec(0u64..5_000_000, 0..400),
+        ys in prop::collection::vec(0u64..5_000_000, 0..400),
+    ) {
+        let mut a = StatSet::new();
+        let mut b = StatSet::new();
+        let mut reference = DurationHistogram::with_capacity(4096);
+        for &x in &xs {
+            a.record("lat", SimDuration::from_ns(x));
+            reference.record(SimDuration::from_ns(x));
+        }
+        for &y in &ys {
+            b.record("lat", SimDuration::from_ns(y));
+            reference.record(SimDuration::from_ns(y));
+        }
+        a.absorb(&b);
+        match a.histogram("lat") {
+            None => prop_assert!(xs.is_empty() && ys.is_empty()),
+            Some(h) => {
+                prop_assert_eq!(h.count(), reference.count());
+                prop_assert_eq!(h.mean(), reference.mean());
+                prop_assert_eq!(h.min(), reference.min());
+                prop_assert_eq!(h.max(), reference.max());
+            }
+        }
+    }
+
+    /// The same invariant with a tiny reservoir on both sides, so eviction
+    /// is guaranteed: the merge must still be exact for the aggregates.
+    #[test]
+    fn merge_exact_under_heavy_eviction(
+        xs in prop::collection::vec(1u64..1_000_000, 1..300),
+        ys in prop::collection::vec(1u64..1_000_000, 1..300),
+    ) {
+        let mut a = DurationHistogram::with_capacity(8);
+        let mut b = DurationHistogram::with_capacity(8);
+        let mut all = DurationHistogram::with_capacity(8192);
+        for &x in &xs {
+            a.record(SimDuration::from_ns(x));
+            all.record(SimDuration::from_ns(x));
+        }
+        for &y in &ys {
+            b.record(SimDuration::from_ns(y));
+            all.record(SimDuration::from_ns(y));
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.mean(), all.mean());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        // Percentiles remain estimates, but must stay inside [min, max].
+        let p50 = a.percentile(50.0);
+        prop_assert!(p50 >= a.min() && p50 <= a.max());
+    }
+
+    /// Counter absorption is plain addition.
+    #[test]
+    fn absorb_adds_counters(n in 0u64..10_000, m in 0u64..10_000) {
+        let mut a = StatSet::new();
+        let mut b = StatSet::new();
+        a.add("ops", n);
+        b.add("ops", m);
+        b.inc("only_b");
+        a.absorb(&b);
+        prop_assert_eq!(a.counter("ops"), n + m);
+        prop_assert_eq!(a.counter("only_b"), 1);
+    }
+}

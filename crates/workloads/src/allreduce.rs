@@ -21,7 +21,7 @@
 
 use gtn_core::cluster::Cluster;
 use gtn_core::config::ClusterConfig;
-use gtn_core::Strategy;
+use gtn_core::{ClusterStats, Strategy};
 use gtn_gpu::kernel::ProgramBuilder;
 use gtn_gpu::KernelLaunch;
 use gtn_host::compute::CpuCompute;
@@ -65,6 +65,8 @@ pub struct AllreduceResult {
     pub total: SimTime,
     /// Final vector of node 0 (all nodes are asserted identical).
     pub result: Vec<f32>,
+    /// Per-component stats snapshot (NIC retransmits, stage latencies, …).
+    pub stats: ClusterStats,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -132,7 +134,10 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
     config.gpu.poll_interval_ns = 500;
     config.host.poll_interval_ns = 500;
 
-    let max_chunk = (0..p).map(|c| chunk_range(c, params.elems, p).1).max().unwrap();
+    let max_chunk = (0..p)
+        .map(|c| chunk_range(c, params.elems, p).1)
+        .max()
+        .unwrap();
     let chunk_bytes = max_chunk * 4;
 
     let mut mem = MemPool::new(p as usize);
@@ -201,7 +206,8 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
             let info = round_info(r);
             let (off, len) = chunk_range(info.send_chunk, params.elems, p);
             let dst = if r < p - 1 {
-                nb.stage.offset_by((r as u64 % STAGE_SLOTS) * nb.stage_slot_bytes)
+                nb.stage
+                    .offset_by((r as u64 % STAGE_SLOTS) * nb.stage_slot_bytes)
             } else {
                 nb.vec.offset_by(off * 4)
             };
@@ -213,8 +219,8 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
                 notify: Some(Notify {
                     flag: nb.flag,
                     add: 1,
-                chain: None,
-            }),
+                    chain: None,
+                }),
                 completion: completion.then_some(b.comp),
             }
         };
@@ -223,9 +229,12 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
             let (off, len) = chunk_range(chunk, elems, p);
             let stage = b.stage.offset_by(slot * b.stage_slot_bytes);
             // acc_new = local + incoming (matches `reference`).
-            mem.zip_f32s(b.vec.offset_by(off * 4), stage, len as usize, |local, incoming| {
-                local + incoming
-            })
+            mem.zip_f32s(
+                b.vec.offset_by(off * 4),
+                stage,
+                len as usize,
+                |local, incoming| local + incoming,
+            )
             .expect("reduce in bounds");
         };
 
@@ -395,6 +404,7 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         strategy: params.strategy,
         total: result.makespan,
         result: v0,
+        stats: cluster.collect_stats(),
     }
 }
 
@@ -455,6 +465,21 @@ mod tests {
     }
 
     #[test]
+    fn stats_snapshot_covers_every_node() {
+        let r = run(params(Strategy::GpuTn, 4, 4096));
+        for n in 0..4 {
+            assert!(
+                r.stats.get(&format!("node{n}.nic")).is_some(),
+                "missing node{n}.nic namespace"
+            );
+        }
+        // A 4-node ring allreduce moves plenty of messages.
+        assert!(r.stats.counter("fabric", "messages_sent") > 0);
+        let nic = r.stats.merged("nic");
+        assert!(nic.histogram("stage_wire").is_some_and(|h| h.count() > 0));
+    }
+
+    #[test]
     fn gputn_scales_better_than_hdn() {
         // Strong scaling at a small vector (compressed version of the
         // Fig. 10 effect): as nodes grow, HDN's per-round kernel overheads
@@ -467,7 +492,10 @@ mod tests {
         };
         let small = ratio(2);
         let large = ratio(8);
-        assert!(large > small, "advantage should widen: P=2 {small}, P=8 {large}");
+        assert!(
+            large > small,
+            "advantage should widen: P=2 {small}, P=8 {large}"
+        );
         assert!(large > 1.0);
     }
 

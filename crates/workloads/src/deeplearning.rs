@@ -283,26 +283,37 @@ mod tests {
     fn projection_shape_matches_fig11() {
         let t = small_table();
         let projections = figure11(&t, 40, 7);
-        let by_name: HashMap<&str, &Projection> =
-            projections.iter().map(|p| (p.name, p)).collect();
+        let by_name: HashMap<&str, &Projection> = projections.iter().map(|p| (p.name, p)).collect();
 
         for p in &projections {
             // CPU normalizes to exactly 1.
             assert!((p.of(Strategy::Cpu) - 1.0).abs() < 1e-12);
             // Ordering: GPU-TN >= GDS >= HDN (small-to-medium messages).
-            assert!(p.of(Strategy::GpuTn) >= p.of(Strategy::Gds) - 1e-9, "{}", p.name);
-            assert!(p.of(Strategy::Gds) >= p.of(Strategy::Hdn) - 1e-9, "{}", p.name);
+            assert!(
+                p.of(Strategy::GpuTn) >= p.of(Strategy::Gds) - 1e-9,
+                "{}",
+                p.name
+            );
+            assert!(
+                p.of(Strategy::Gds) >= p.of(Strategy::Hdn) - 1e-9,
+                "{}",
+                p.name
+            );
         }
 
         // AN4 LSTM (50% blocked) gains far more from GPU-TN than CIFAR
         // (4% blocked) — the Fig. 11 spread.
-        let an4_gain = by_name["AN4 LSTM"].of(Strategy::GpuTn) / by_name["AN4 LSTM"].of(Strategy::Hdn);
+        let an4_gain =
+            by_name["AN4 LSTM"].of(Strategy::GpuTn) / by_name["AN4 LSTM"].of(Strategy::Hdn);
         let cifar_gain = by_name["CIFAR"].of(Strategy::GpuTn) / by_name["CIFAR"].of(Strategy::Hdn);
         assert!(
             an4_gain > cifar_gain,
             "AN4 {an4_gain} should out-gain CIFAR {cifar_gain}"
         );
-        assert!(cifar_gain < 1.06, "CIFAR sees little improvement: {cifar_gain}");
+        assert!(
+            cifar_gain < 1.06,
+            "CIFAR sees little improvement: {cifar_gain}"
+        );
         assert!(an4_gain > 1.05, "AN4 sees real improvement: {an4_gain}");
     }
 }

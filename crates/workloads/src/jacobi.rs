@@ -26,7 +26,7 @@
 
 use gtn_core::cluster::Cluster;
 use gtn_core::config::ClusterConfig;
-use gtn_core::Strategy;
+use gtn_core::{ClusterStats, Strategy};
 use gtn_gpu::kernel::ProgramBuilder;
 use gtn_gpu::KernelLaunch;
 use gtn_host::compute::CpuCompute;
@@ -126,6 +126,8 @@ pub struct JacobiResult {
     /// Messages abandoned after retry exhaustion, across all NICs. A
     /// completed run should always report zero.
     pub delivery_failures: u64,
+    /// Per-component stats snapshot (stage latencies, fault counters, …).
+    pub stats: ClusterStats,
 }
 
 /// Per-node memory layout: ghosted grid, scratch, and per-direction
@@ -165,10 +167,22 @@ fn alloc_node(mem: &mut MemPool, node: u32, n: u64) -> NodeBufs {
         edge(mem, id, n, "jacobi.send_e"),
     ];
     let stage = [
-        [edge(mem, id, n, "jacobi.stage_n0"), edge(mem, id, n, "jacobi.stage_n1")],
-        [edge(mem, id, n, "jacobi.stage_s0"), edge(mem, id, n, "jacobi.stage_s1")],
-        [edge(mem, id, n, "jacobi.stage_w0"), edge(mem, id, n, "jacobi.stage_w1")],
-        [edge(mem, id, n, "jacobi.stage_e0"), edge(mem, id, n, "jacobi.stage_e1")],
+        [
+            edge(mem, id, n, "jacobi.stage_n0"),
+            edge(mem, id, n, "jacobi.stage_n1"),
+        ],
+        [
+            edge(mem, id, n, "jacobi.stage_s0"),
+            edge(mem, id, n, "jacobi.stage_s1"),
+        ],
+        [
+            edge(mem, id, n, "jacobi.stage_w0"),
+            edge(mem, id, n, "jacobi.stage_w1"),
+        ],
+        [
+            edge(mem, id, n, "jacobi.stage_e0"),
+            edge(mem, id, n, "jacobi.stage_e1"),
+        ],
     ];
     let flag = [
         flag8(mem, id, "jacobi.flag_n"),
@@ -314,8 +328,8 @@ fn put_for(
         notify: Some(Notify {
             flag: peer_bufs.flag[from],
             add: 1,
-                chain: None,
-            }),
+            chain: None,
+        }),
         completion: comp,
     }
 }
@@ -480,13 +494,14 @@ pub fn run_with_config(
                         let nb2 = nbrs.clone();
                         // k{iter} consumes arrival `iter` from slot iter % 2.
                         let slot = (iter % 2) as usize;
-                        let mut builder = ProgramBuilder::new().compute(edge_time(n, deg)).func(
-                            move |mem, _| {
-                                for &(dir, _) in &nb2 {
-                                    scatter_dir(mem, &bb, dir, slot, n);
-                                }
-                            },
-                        );
+                        let mut builder =
+                            ProgramBuilder::new()
+                                .compute(edge_time(n, deg))
+                                .func(move |mem, _| {
+                                    for &(dir, _) in &nb2 {
+                                        scatter_dir(mem, &bb, dir, slot, n);
+                                    }
+                                });
                         let bb = b.clone();
                         builder = builder
                             .compute(gpu_sweep_time(n))
@@ -543,13 +558,11 @@ pub fn run_with_config(
                     // Kernel-iteration `iter` consumes arrival iter + 1,
                     // staged in slot (iter + 1) % 2.
                     let slot = ((iter + 1) % 2) as usize;
-                    builder = builder
-                        .compute(edge_time(n, deg))
-                        .func(move |mem, _| {
-                            for &(dir, _) in &nb2 {
-                                scatter_dir(mem, &bb, dir, slot, n);
-                            }
-                        });
+                    builder = builder.compute(edge_time(n, deg)).func(move |mem, _| {
+                        for &(dir, _) in &nb2 {
+                            scatter_dir(mem, &bb, dir, slot, n);
+                        }
+                    });
                     let bb = b.clone();
                     builder = builder
                         .compute(gpu_sweep_time(n))
@@ -605,9 +618,8 @@ pub fn run_with_config(
             out
         })
         .collect();
-    let retransmits = (0..nodes)
-        .map(|nd| cluster.nic(nd).stats().counter("retransmits"))
-        .sum();
+    let stats = cluster.collect_stats();
+    let retransmits = stats.counter_across("nic", "retransmits");
     let delivery_failures = (0..nodes)
         .map(|nd| cluster.nic(nd).delivery_failures().len() as u64)
         .sum();
@@ -619,6 +631,7 @@ pub fn run_with_config(
         interiors,
         retransmits,
         delivery_failures,
+        stats,
     }
 }
 
@@ -784,13 +797,27 @@ mod tests {
                 config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
             });
             assert_eq!(r.interiors, expect, "{strategy} diverged under 1% loss");
-            assert_eq!(r.delivery_failures, 0, "{strategy} exhausted a retry budget");
+            assert_eq!(
+                r.delivery_failures, 0,
+                "{strategy} exhausted a retry budget"
+            );
             total_retransmits += r.retransmits;
         }
         assert!(
             total_retransmits > 0,
             "seeded 1% loss must force at least one retransmit across the four runs"
         );
+    }
+
+    #[test]
+    fn stats_snapshot_agrees_with_the_summary_counters() {
+        let r = run_with_config(params(Strategy::GpuTn, 8, 3), |config| {
+            config.fabric.faults = gtn_fabric::FaultConfig::loss(2, 0.01);
+            config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+        });
+        assert_eq!(r.retransmits, r.stats.counter_across("nic", "retransmits"));
+        assert!(r.stats.get("fabric").is_some());
+        assert!(r.stats.counter("engine", "events_processed") > 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use gtn_gpu::config::LaunchModel;
 use gtn_gpu::{KernelLaunch, SchedulerProfile};
 use gtn_host::HostProgram;
 use gtn_mem::MemPool;
+use gtn_sim::stats::DurationHistogram;
 use gtn_sim::time::SimDuration;
 
 /// The batch sizes Fig. 1 sweeps.
@@ -26,12 +27,22 @@ pub struct LaunchPoint {
     pub queued: u32,
     /// Average per-kernel launch latency.
     pub avg_latency: SimDuration,
+    /// Median per-kernel launch latency.
+    pub p50_latency: SimDuration,
+    /// 99th-percentile per-kernel launch latency.
+    pub p99_latency: SimDuration,
 }
 
 /// Enqueue `k` empty kernels at once on a GPU with `profile` and measure
 /// the mean launch latency (simulation, not the closed form — the two are
 /// cross-checked in tests).
 pub fn measure(profile: &SchedulerProfile, k: u32) -> SimDuration {
+    measure_hist(profile, k).mean()
+}
+
+/// Like [`measure`], but return the full per-kernel launch-latency
+/// histogram so reports can quote percentiles, not just the mean.
+pub fn measure_hist(profile: &SchedulerProfile, k: u32) -> DurationHistogram {
     assert!(k >= 1);
     let mut config = ClusterConfig::table2(1);
     config.gpu.launch = LaunchModel::Profile(profile.clone());
@@ -55,7 +66,7 @@ pub fn measure(profile: &SchedulerProfile, k: u32) -> SimDuration {
         .histogram("launch_latency")
         .expect("launch latencies recorded");
     assert_eq!(hist.count(), k as u64);
-    hist.mean()
+    hist.clone()
 }
 
 /// The full Fig. 1 sweep: three profiles × five batch sizes.
@@ -63,10 +74,13 @@ pub fn figure1() -> Vec<LaunchPoint> {
     let mut out = Vec::new();
     for profile in SchedulerProfile::all() {
         for &k in &BATCH_SIZES {
+            let hist = measure_hist(&profile, k);
             out.push(LaunchPoint {
                 gpu: profile.name.clone(),
                 queued: k,
-                avg_latency: measure(&profile, k),
+                avg_latency: hist.mean(),
+                p50_latency: hist.percentile(50.0),
+                p99_latency: hist.percentile(99.0),
             });
         }
     }
@@ -93,6 +107,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn measured_histogram_quotes_sane_percentiles() {
+        let profile = &SchedulerProfile::all()[0];
+        let hist = measure_hist(profile, 16);
+        assert_eq!(hist.count(), 16);
+        let (p50, p99) = (hist.percentile(50.0), hist.percentile(99.0));
+        assert!(hist.min() <= p50 && p50 <= p99 && p99 <= hist.max());
+        // The first launch in a batch pays the full pipeline, later ones
+        // only the marginal interval — so the tail sits above the median.
+        assert!(p99 > p50, "p99 {p99} vs p50 {p50}");
     }
 
     #[test]

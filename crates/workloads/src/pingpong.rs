@@ -11,8 +11,8 @@
 
 use gtn_core::cluster::{Cluster, LogKind};
 use gtn_core::config::ClusterConfig;
-use gtn_core::timeline::decompose_pingpong;
-use gtn_core::Strategy;
+use gtn_core::timeline::{decompose_pingpong, stage_breakdown};
+use gtn_core::{ClusterStats, Strategy};
 use gtn_gpu::kernel::ProgramBuilder;
 use gtn_gpu::KernelLaunch;
 use gtn_host::HostProgram;
@@ -41,6 +41,11 @@ pub struct PingResult {
     pub initiator_kernel_done: SimTime,
     /// Fig. 8-style phase decomposition.
     pub trace: Trace,
+    /// Per-stage latency decomposition (see
+    /// [`gtn_core::timeline::STAGE_NAMES`]) derived from the activity log.
+    pub stages: Vec<(&'static str, SimDuration)>,
+    /// Every component's stats, namespaced (`node{N}.nic` etc.).
+    pub stats: ClusterStats,
 }
 
 impl PingResult {
@@ -74,7 +79,11 @@ pub fn run(strategy: Strategy) -> PingResult {
         len: PAYLOAD,
         target: NodeId(1),
         dst,
-        notify: Some(Notify { flag, add: 1, chain: None }),
+        notify: Some(Notify {
+            flag,
+            add: 1,
+            chain: None,
+        }),
         completion: None,
     };
 
@@ -161,15 +170,91 @@ pub fn run(strategy: Strategy) -> PingResult {
         })
         .expect("kernel completed");
     let trace = decompose_pingpong(cluster.log(), 0, 1, cluster.config());
+    let stages = stage_breakdown(cluster.log(), 0, 1);
+    let stats = cluster.collect_stats();
 
     PingResult {
         strategy,
         target_completion,
         initiator_kernel_done,
         trace,
+        stages,
+        stats,
     }
 }
 
+/// The CPU baseline: no GPU at all — the host performs the vector copy
+/// itself, then sends through the full network stack. The Fig. 8 figure
+/// decomposes only the GPU strategies, but the four-way `BENCH_*` reports
+/// include this row so the trajectory covers every §5.1 configuration.
+pub fn run_cpu() -> PingResult {
+    let config = ClusterConfig::table2(2);
+    let mut mem = MemPool::new(2);
+    let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), PAYLOAD, "pc.src"));
+    let input = Addr::base(NodeId(0), mem.alloc(NodeId(0), PAYLOAD, "pc.input"));
+    let dst = Addr::base(NodeId(1), mem.alloc(NodeId(1), PAYLOAD, "pc.dst"));
+    let flag = Addr::base(NodeId(1), mem.alloc(NodeId(1), 8, "pc.flag"));
+    mem.write(input, &[0xC5; PAYLOAD as usize]);
+
+    let mut p0 = HostProgram::new();
+    p0.compute(SimDuration::from_ns(COPY_KERNEL_NS))
+        .func(move |mem| {
+            let bytes = mem.read(input, PAYLOAD).to_vec();
+            mem.write(src, &bytes);
+        })
+        .nic_post(NicCommand::Put(NetOp::Put {
+            src,
+            len: PAYLOAD,
+            target: NodeId(1),
+            dst,
+            notify: Some(Notify {
+                flag,
+                add: 1,
+                chain: None,
+            }),
+            completion: None,
+        }));
+    let mut p1 = HostProgram::new();
+    p1.poll(flag, 1);
+
+    let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
+    let result = cluster.run();
+    assert!(result.completed, "cpu pingpong deadlocked: {result:?}");
+    assert_eq!(cluster.mem().read(dst, PAYLOAD), &[0xC5; PAYLOAD as usize]);
+
+    let target_completion = cluster
+        .log()
+        .iter()
+        .find(|r| r.node == 1 && r.kind == LogKind::MessageCommitted)
+        .expect("message committed")
+        .at;
+    // No kernel: the CPU's work is done when it rings the doorbell.
+    let initiator_kernel_done = cluster
+        .log()
+        .iter()
+        .find(|r| r.node == 0 && r.kind == LogKind::DoorbellRung)
+        .expect("doorbell rung")
+        .at;
+    let trace = decompose_pingpong(cluster.log(), 0, 1, cluster.config());
+    let stages = stage_breakdown(cluster.log(), 0, 1);
+    let stats = cluster.collect_stats();
+    PingResult {
+        strategy: Strategy::Cpu,
+        target_completion,
+        initiator_kernel_done,
+        trace,
+        stages,
+        stats,
+    }
+}
+
+/// Run any §5.1 strategy, including the CPU baseline.
+pub fn run_any(strategy: Strategy) -> PingResult {
+    match strategy {
+        Strategy::Cpu => run_cpu(),
+        gpu => run(gpu),
+    }
+}
 
 /// The full Table 1 taxonomy: the paper's four strategies plus the two
 /// intra-kernel alternatives it describes but does not implement (§5.1.1).
@@ -341,7 +426,11 @@ fn run_gpu_native() -> PingResult {
     let mut p1 = HostProgram::new();
     p1.poll(flag, 1);
 
-    finish_flavor(Cluster::new(config, mem, vec![p0, p1]), Strategy::GpuTn, dst)
+    finish_flavor(
+        Cluster::new(config, mem, vec![p0, p1]),
+        Strategy::GpuTn,
+        dst,
+    )
 }
 
 fn finish_flavor(mut cluster: Cluster, strategy: Strategy, dst: Addr) -> PingResult {
@@ -367,11 +456,15 @@ fn finish_flavor(mut cluster: Cluster, strategy: Strategy, dst: Addr) -> PingRes
         })
         .expect("kernel completed");
     let trace = decompose_pingpong(cluster.log(), 0, 1, cluster.config());
+    let stages = stage_breakdown(cluster.log(), 0, 1);
+    let stats = cluster.collect_stats();
     PingResult {
         strategy,
         target_completion,
         initiator_kernel_done,
         trace,
+        stages,
+        stats,
     }
 }
 
@@ -447,6 +540,68 @@ mod tests {
     #[should_panic(expected = "GPU strategies")]
     fn cpu_strategy_rejected() {
         let _ = run(Strategy::Cpu);
+    }
+
+    #[test]
+    fn cpu_baseline_is_never_intra_kernel() {
+        // For a 64 B copy the CPU path is actually quick (no kernel-launch
+        // overhead) — the interesting property is structural: nothing
+        // overlaps, and no trigger machinery is involved.
+        let cpu = run_cpu();
+        assert_eq!(cpu.strategy, Strategy::Cpu);
+        assert!(!cpu.delivered_intra_kernel());
+        assert_eq!(cpu.stats.counter("node0.nic", "posts_triggered"), 0);
+        assert_eq!(cpu.stats.counter("node0.nic", "posts_immediate"), 1);
+    }
+
+    #[test]
+    fn stage_decomposition_tiles_the_end_to_end_latency() {
+        for strategy in [Strategy::Cpu, Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
+            let r = run_any(strategy);
+            let names: Vec<&str> = r.stages.iter().map(|(n, _)| *n).collect();
+            assert_eq!(
+                names,
+                gtn_core::timeline::STAGE_NAMES.to_vec(),
+                "{strategy:?}"
+            );
+            // Stages through `commit` must sum exactly to the measured
+            // target completion (cq_poll extends past it to the poll hit).
+            let through_commit: SimDuration = r
+                .stages
+                .iter()
+                .take_while(|(n, _)| *n != "cq_poll")
+                .map(|(_, d)| *d)
+                .sum();
+            assert_eq!(
+                SimTime::ZERO + through_commit,
+                r.target_completion,
+                "{strategy:?}: stages must tile the latency"
+            );
+            // Only the triggered strategies have a trigger-wait stage.
+            let trig_wait = r
+                .stages
+                .iter()
+                .find(|(n, _)| *n == "trigger_wait")
+                .unwrap()
+                .1;
+            match strategy {
+                Strategy::Cpu | Strategy::Hdn => {
+                    assert_eq!(trig_wait, SimDuration::ZERO, "{strategy:?}")
+                }
+                Strategy::Gds | Strategy::GpuTn => {
+                    assert!(trig_wait > SimDuration::ZERO, "{strategy:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_stats_ride_along_with_the_result() {
+        let r = run(Strategy::GpuTn);
+        assert_eq!(r.stats.counter("node0.nic", "fired_at_trigger"), 1);
+        let nic = r.stats.merged("nic");
+        assert_eq!(nic.histogram("stage_wire").unwrap().count(), 1);
+        assert_eq!(nic.counter("retransmits"), 0, "lossless run");
     }
 
     #[test]

@@ -41,7 +41,10 @@ fn main() {
         println!();
     }
 
-    println!("\nrunning it under GPU-TN (one persistent kernel, {} rounds)...", schedule.rounds.len());
+    println!(
+        "\nrunning it under GPU-TN (one persistent kernel, {} rounds)...",
+        schedule.rounds.len()
+    );
     let r = run(AllreduceParams {
         nodes,
         elems,

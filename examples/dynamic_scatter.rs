@@ -33,7 +33,10 @@ fn main() {
     config.nic.lookup = LookupKind::HashTable;
 
     let mut mem = MemPool::new(4);
-    let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), CHUNK * WGS as u64, "results"));
+    let src = Addr::base(
+        NodeId(0),
+        mem.alloc(NodeId(0), CHUNK * WGS as u64, "results"),
+    );
     // One landing buffer + flag per potential destination.
     let mut dsts = Vec::new();
     let mut flags = Vec::new();
@@ -54,7 +57,10 @@ fn main() {
         .compute(SimDuration::from_ns(400))
         .func(move |mem, ctx| {
             let fill = (ctx.wg + 1) as u8;
-            mem.write(src.offset_by(ctx.wg as u64 * CHUNK), &[fill; CHUNK as usize]);
+            mem.write(
+                src.offset_by(ctx.wg as u64 * CHUNK),
+                &[fill; CHUNK as usize],
+            );
         })
         .fence(MemScope::System, MemOrdering::Release)
         .barrier()
@@ -88,8 +94,8 @@ fn main() {
                 notify: Some(Notify {
                     flag: flags[0], // patched implicitly via dst-node flag below
                     add: 1,
-                chain: None,
-            }),
+                    chain: None,
+                }),
                 completion: None,
             },
         });

@@ -27,8 +27,8 @@ fn main() {
         "strategy", "total_us", "us/iter", "vs HDN", "verified"
     );
     let hdn_per_iter = run(JacobiParams {
-            rows: 2,
-            cols: 2,
+        rows: 2,
+        cols: 2,
         n_local: n,
         iters,
         strategy: Strategy::Hdn,

@@ -54,7 +54,11 @@ fn main() {
             NodeId(1),
             recv_buf,
             1, // threshold: one trigger write fires the put
-            Some(Notify { flag, add: 1, chain: None }),
+            Some(Notify {
+                flag,
+                add: 1,
+                chain: None,
+            }),
             None,
         )
         .get_trigger_addr()
@@ -92,7 +96,11 @@ fn main() {
     println!("initiator kernel done:  {kernel_done}");
     println!(
         "delivered {} the kernel boundary — the GPU-TN effect (Fig. 8)",
-        if commit < kernel_done { "BEFORE" } else { "after" }
+        if commit < kernel_done {
+            "BEFORE"
+        } else {
+            "after"
+        }
     );
     println!("\ncluster memory map:\n{}", cluster.mem().memory_map());
 }

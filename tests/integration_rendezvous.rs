@@ -3,10 +3,10 @@
 //! payload put, and the payload lands bit-exact in the receiver's user
 //! buffer with no intermediate mailbox copy.
 
-use gpu_tn::host::mpi::MpiWorld;
-use gpu_tn::host::{HostConfig, HostProgram};
 use gpu_tn::core::cluster::Cluster;
 use gpu_tn::core::config::ClusterConfig;
+use gpu_tn::host::mpi::MpiWorld;
+use gpu_tn::host::{HostConfig, HostProgram};
 use gpu_tn::mem::{Addr, MemPool, NodeId};
 use gpu_tn::sim::time::SimTime;
 
@@ -24,11 +24,20 @@ fn run_transfer(bytes: u64) -> (Vec<u8>, Vec<u8>, SimTime) {
     let mut p0 = HostProgram::new();
     p0.extend(mpi.send_ops(NodeId(0), NodeId(1), send_buf, bytes));
     let mut p1 = HostProgram::new();
-    p1.extend(mpi.recv_ops(&HostConfig::default(), NodeId(0), NodeId(1), recv_buf, bytes));
+    p1.extend(mpi.recv_ops(
+        &HostConfig::default(),
+        NodeId(0),
+        NodeId(1),
+        recv_buf,
+        bytes,
+    ));
 
     let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
     let result = cluster.run();
-    assert!(result.completed, "transfer of {bytes} B deadlocked: {result:?}");
+    assert!(
+        result.completed,
+        "transfer of {bytes} B deadlocked: {result:?}"
+    );
     let received = cluster.mem().read(recv_buf, bytes).to_vec();
     (payload, received, result.makespan)
 }
@@ -74,7 +83,13 @@ fn rendezvous_costs_a_round_trip_but_skips_the_copy() {
         let mut p0 = HostProgram::new();
         p0.extend(mpi.send_ops(NodeId(0), NodeId(1), send_buf, bytes));
         let mut p1 = HostProgram::new();
-        p1.extend(mpi.recv_ops(&HostConfig::default(), NodeId(0), NodeId(1), recv_buf, bytes));
+        p1.extend(mpi.recv_ops(
+            &HostConfig::default(),
+            NodeId(0),
+            NodeId(1),
+            recv_buf,
+            bytes,
+        ));
         let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
         cluster.run().expect_completed()
     };

@@ -34,9 +34,21 @@ fn intra_kernel_delivery_is_unique_to_gputn() {
 #[test]
 fn decompositions_cover_initiator_and_target() {
     for r in pingpong::run_all() {
-        assert!(r.trace.find("initiator.GPU", "Kernel").is_some(), "{}", r.strategy);
-        assert!(r.trace.find("initiator.NIC", "Put").is_some(), "{}", r.strategy);
-        assert!(r.trace.find("target.NIC", "Deliver").is_some(), "{}", r.strategy);
+        assert!(
+            r.trace.find("initiator.GPU", "Kernel").is_some(),
+            "{}",
+            r.strategy
+        );
+        assert!(
+            r.trace.find("initiator.NIC", "Put").is_some(),
+            "{}",
+            r.strategy
+        );
+        assert!(
+            r.trace.find("target.NIC", "Deliver").is_some(),
+            "{}",
+            r.strategy
+        );
         // Phases never overlap incorrectly: launch < kernel < teardown.
         let launch = r.trace.find("initiator.GPU", "Launch").unwrap();
         let kernel = r.trace.find("initiator.GPU", "Kernel").unwrap();

@@ -77,9 +77,15 @@ fn allreduce_fig10_shape_compressed() {
     };
     let hdn_small = speedup(Strategy::Hdn, 2);
     let hdn_large = speedup(Strategy::Hdn, 12);
-    assert!(hdn_large < hdn_small, "HDN decays: {hdn_small} -> {hdn_large}");
+    assert!(
+        hdn_large < hdn_small,
+        "HDN decays: {hdn_small} -> {hdn_large}"
+    );
     let tn_large = speedup(Strategy::GpuTn, 12);
-    assert!(tn_large > hdn_large, "GPU-TN holds: {tn_large} vs {hdn_large}");
+    assert!(
+        tn_large > hdn_large,
+        "GPU-TN holds: {tn_large} vs {hdn_large}"
+    );
     assert!(tn_large > 1.0);
 }
 
