@@ -14,6 +14,7 @@
 //! one — the GPU-TN single-kernel pipeline keeps more slack to hide a
 //! retransmit than the kernel-boundary strategies.
 
+use gtn_bench::sweep;
 use gtn_core::Strategy;
 use gtn_fabric::FaultConfig;
 use gtn_nic::reliability::ReliabilityConfig;
@@ -51,10 +52,17 @@ fn main() {
         "{:<10} {:>12} {:>14} {:>12} {:>12}",
         "strategy", "loss", "us/iter", "slowdown", "retransmits"
     );
-    for strategy in Strategy::all() {
-        let (base, _, _) = cell(strategy, 0.0);
-        for &loss in &LOSS {
-            let (us, retx, _) = cell(strategy, loss);
+    // Each (strategy, loss) cell is an independent simulation; LOSS[0] is
+    // the lossless baseline, so the slowdown denominator comes straight out
+    // of the reassembled grid (no extra sequential run needed).
+    let descriptors: Vec<(Strategy, f64)> = Strategy::all()
+        .into_iter()
+        .flat_map(|strategy| LOSS.iter().map(move |&loss| (strategy, loss)))
+        .collect();
+    let cells = sweep::run(descriptors, |(strategy, loss)| cell(strategy, loss));
+    for (rows, strategy) in cells.chunks(LOSS.len()).zip(Strategy::all()) {
+        let (base, _, _) = rows[0];
+        for (&loss, &(us, retx, _)) in LOSS.iter().zip(rows) {
             println!(
                 "{:<10} {:>11.1}% {:>14.2} {:>11.2}x {:>12}",
                 strategy.name(),

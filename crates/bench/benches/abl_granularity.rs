@@ -7,6 +7,7 @@
 //! earlier. The bench reports message counts, trigger-write counts, and
 //! completion time of the full transfer.
 
+use gtn_bench::sweep;
 use gtn_core::cluster::Cluster;
 use gtn_core::config::ClusterConfig;
 use gtn_core::kernel_api::{Granularity, MessagePlan};
@@ -93,14 +94,17 @@ fn main() {
         "{:<16} {:>10} {:>16} {:>14}",
         "granularity", "messages", "trigger_writes", "total_us"
     );
-    for gran in [
+    // One independent 2-node cluster per granularity, fanned out on the
+    // sweep runner and printed in descriptor order.
+    let grans = vec![
         Granularity::WorkItem,
         Granularity::PerItems(2),
         Granularity::PerItems(16),
         Granularity::WorkGroup,
         Granularity::Kernel,
-    ] {
-        let (t, msgs, writes) = run(gran);
+    ];
+    let rows = sweep::run(grans.clone(), run);
+    for (gran, (t, msgs, writes)) in grans.into_iter().zip(rows) {
         println!(
             "{:<16} {:>10} {:>16} {:>14.2}",
             gran.name(),

@@ -13,23 +13,24 @@
 //!   node grid; per-iteration time should stay near-flat for every
 //!   strategy (halo cost is constant per node).
 
+use gtn_bench::sweep;
 use gtn_core::Strategy;
 use gtn_workloads::jacobi::{run, JacobiParams};
 
 const SEED: u64 = 0x5CA1E;
 const ITERS: u32 = 4;
+const GRIDS: [(u32, u32); 4] = [(1, 2), (2, 2), (2, 4), (4, 4)];
+const STRATS: [Strategy; 3] = [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn];
 
-fn per_iter(strategy: Strategy, rows: u32, cols: u32, n_local: u32) -> f64 {
-    run(JacobiParams {
+fn params(strategy: Strategy, rows: u32, cols: u32, n_local: u32) -> JacobiParams {
+    JacobiParams {
         rows,
         cols,
         n_local,
         iters: ITERS,
         strategy,
         seed: SEED,
-    })
-    .per_iter
-    .as_us_f64()
+    }
 }
 
 fn main() {
@@ -38,23 +39,35 @@ fn main() {
         "LeBeane et al., SC'17, S5.3 (strong scaling moves left on Fig. 9)",
     );
 
+    // Both studies share one descriptor list: 4 strong grids then 4 weak
+    // grids, 3 strategies each, fanned out on the sweep runner and
+    // reassembled in descriptor order before printing.
+    let strong_local = |rows: u32, cols: u32| {
+        // Keep the global edge 512 where divisible.
+        (512 / rows).min(512 / cols)
+    };
+    let mut descriptors: Vec<JacobiParams> = Vec::new();
+    for (rows, cols) in GRIDS {
+        let n_local = strong_local(rows, cols);
+        descriptors.extend(STRATS.map(|s| params(s, rows, cols, n_local)));
+    }
+    for (rows, cols) in GRIDS {
+        descriptors.extend(STRATS.map(|s| params(s, rows, cols, 128)));
+    }
+    let cells: Vec<f64> = sweep::run(descriptors, |p| run(p).per_iter.as_us_f64());
+    let (strong, weak) = cells.split_at(GRIDS.len() * STRATS.len());
+
     println!("STRONG SCALING — global 512x512, growing node grid (us/iter):");
     println!(
         "{:<10} {:>8} {:>10} {:>10} {:>10} {:>12}",
         "grid", "local N", "HDN", "GDS", "GPU-TN", "TN speedup"
     );
-    for (rows, cols) in [(1u32, 2u32), (2, 2), (2, 4), (4, 4)] {
-        // Keep the global edge 512 where divisible.
-        let n_local_r = 512 / rows;
-        let n_local_c = 512 / cols;
-        let n_local = n_local_r.min(n_local_c);
-        let hdn = per_iter(Strategy::Hdn, rows, cols, n_local);
-        let gds = per_iter(Strategy::Gds, rows, cols, n_local);
-        let tn = per_iter(Strategy::GpuTn, rows, cols, n_local);
+    for ((rows, cols), row) in GRIDS.into_iter().zip(strong.chunks(STRATS.len())) {
+        let (hdn, gds, tn) = (row[0], row[1], row[2]);
         println!(
             "{:<10} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>12.3}",
             format!("{rows}x{cols}"),
-            n_local,
+            strong_local(rows, cols),
             hdn,
             gds,
             tn,
@@ -67,10 +80,8 @@ fn main() {
         "{:<10} {:>10} {:>10} {:>10}",
         "grid", "HDN", "GDS", "GPU-TN"
     );
-    for (rows, cols) in [(1u32, 2u32), (2, 2), (2, 4), (4, 4)] {
-        let hdn = per_iter(Strategy::Hdn, rows, cols, 128);
-        let gds = per_iter(Strategy::Gds, rows, cols, 128);
-        let tn = per_iter(Strategy::GpuTn, rows, cols, 128);
+    for ((rows, cols), row) in GRIDS.into_iter().zip(weak.chunks(STRATS.len())) {
+        let (hdn, gds, tn) = (row[0], row[1], row[2]);
         println!(
             "{:<10} {:>10.2} {:>10.2} {:>10.2}",
             format!("{rows}x{cols}"),

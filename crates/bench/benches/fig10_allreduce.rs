@@ -9,6 +9,7 @@
 //! to 256 kB and the sweep to three node counts for CI.
 
 use gtn_bench::report::{self, obj, s, Json};
+use gtn_bench::sweep;
 use gtn_core::Strategy;
 use gtn_workloads::allreduce::{run, AllreduceParams, AllreduceResult};
 
@@ -34,33 +35,37 @@ fn main() {
     }
     println!("{:>14}", "CPU us");
 
-    let mut points: Vec<AllreduceResult> = Vec::new();
-    for &p in nodes {
-        let results: Vec<AllreduceResult> = Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                run(AllreduceParams {
+    // Independent (node-count, strategy) cells: run the grid on the
+    // parallel sweep runner, reassembled in descriptor order.
+    let descriptors: Vec<AllreduceParams> = nodes
+        .iter()
+        .flat_map(|&p| {
+            Strategy::all()
+                .into_iter()
+                .map(move |strategy| AllreduceParams {
                     nodes: p,
                     elems,
                     strategy,
                     seed: SEED,
                 })
-            })
-            .collect();
+        })
+        .collect();
+    let points: Vec<AllreduceResult> = sweep::run(descriptors, run);
+
+    for results in points.chunks(Strategy::all().len()) {
         let cpu = results
             .iter()
             .find(|r| r.strategy == Strategy::Cpu)
             .expect("CPU run")
             .total;
-        print!("{p:<8}");
-        for r in &results {
+        print!("{:<8}", results[0].nodes);
+        for r in results {
             if r.strategy == Strategy::Cpu {
                 continue;
             }
             print!("{:>10.3}", cpu.as_ns_f64() / r.total.as_ns_f64());
         }
         println!("{:>14.1}", cpu.as_us_f64());
-        points.extend(results);
     }
     println!("\n(values are speedup relative to the CPU collective = 1.0, as the paper plots)");
 

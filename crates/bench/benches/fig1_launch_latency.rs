@@ -7,14 +7,31 @@
 //! Emits `BENCH_fig1_launch.json` with mean/p50/p99 per point.
 
 use gtn_bench::report::{self, obj, s, Json};
-use gtn_workloads::launch_study::{figure1, BATCH_SIZES};
+use gtn_bench::sweep;
+use gtn_gpu::SchedulerProfile;
+use gtn_workloads::launch_study::{measure_hist, LaunchPoint, BATCH_SIZES};
 
 fn main() {
     gtn_bench::header(
         "Fig. 1: kernel launch latency vs. queued kernel commands",
         "LeBeane et al., SC'17, Figure 1 (y: avg launch latency us, x: batch)",
     );
-    let points = figure1();
+    // Same grid as launch_study::figure1(), fanned out on the sweep runner
+    // (each profile × batch cell is its own single-node cluster).
+    let descriptors: Vec<(SchedulerProfile, u32)> = SchedulerProfile::all()
+        .into_iter()
+        .flat_map(|p| BATCH_SIZES.iter().map(move |&k| (p.clone(), k)))
+        .collect();
+    let points: Vec<LaunchPoint> = sweep::run(descriptors, |(profile, k)| {
+        let hist = measure_hist(&profile, k);
+        LaunchPoint {
+            gpu: profile.name.clone(),
+            queued: k,
+            avg_latency: hist.mean(),
+            p50_latency: hist.percentile(50.0),
+            p99_latency: hist.percentile(99.0),
+        }
+    });
     print!("{:<10}", "queued");
     for &k in &BATCH_SIZES {
         print!("{k:>10}");

@@ -11,6 +11,7 @@
 //! GPU-TN run, loadable in `chrome://tracing` / Perfetto).
 
 use gtn_bench::report::{self, obj, s, stages, Json};
+use gtn_bench::sweep;
 use gtn_core::timeline::phase_table;
 use gtn_core::Strategy;
 use gtn_workloads::pingpong;
@@ -20,7 +21,9 @@ fn main() {
         "Fig. 8: latency decomposition, 64 B put",
         "LeBeane et al., SC'17, Figure 8 (HDN 4.21us / GDS 3.76us / GPU-TN 2.71us)",
     );
-    let results: Vec<_> = Strategy::all().into_iter().map(pingpong::run_any).collect();
+    // One independent pingpong world per strategy; reassembled in
+    // Strategy::all() order so the table below never changes shape.
+    let results = sweep::run(Strategy::all().to_vec(), pingpong::run_any);
     let paper = [("HDN", 4.21), ("GDS", 3.76), ("GPU-TN", 2.71)];
     println!(
         "{:<8} {:>14} {:>12} {:>14} {:>12}",

@@ -10,6 +10,7 @@
 //! two grid sizes for CI.
 
 use gtn_bench::report::{self, obj, s, Json};
+use gtn_bench::sweep;
 use gtn_core::Strategy;
 use gtn_workloads::jacobi::{run, JacobiParams, JacobiResult};
 
@@ -34,12 +35,15 @@ fn main() {
     }
     println!("{:>14}", "HDN us/iter");
 
-    let mut points: Vec<JacobiResult> = Vec::new();
-    for &n in sizes {
-        let results: Vec<JacobiResult> = Strategy::all()
-            .into_iter()
-            .map(|strategy| {
-                run(JacobiParams {
+    // Every (size, strategy) cell is an independent simulation: fan the grid
+    // out across workers and reassemble in descriptor order, so the table
+    // and JSON below are byte-identical to a sequential run.
+    let descriptors: Vec<JacobiParams> = sizes
+        .iter()
+        .flat_map(|&n| {
+            Strategy::all()
+                .into_iter()
+                .map(move |strategy| JacobiParams {
                     rows: 2,
                     cols: 2,
                     n_local: n,
@@ -47,19 +51,21 @@ fn main() {
                     strategy,
                     seed: SEED,
                 })
-            })
-            .collect();
+        })
+        .collect();
+    let points: Vec<JacobiResult> = sweep::run(descriptors, run);
+
+    for results in points.chunks(Strategy::all().len()) {
         let hdn = results
             .iter()
             .find(|r| r.strategy == Strategy::Hdn)
             .expect("HDN run")
             .per_iter;
-        print!("{n:<8}");
-        for r in &results {
+        print!("{:<8}", results[0].n_local);
+        for r in results {
             print!("{:>10.3}", hdn.as_ns_f64() / r.per_iter.as_ns_f64());
         }
         println!("{:>14.2}", hdn.as_us_f64());
-        points.extend(results);
     }
     println!("\n(values are speedup relative to HDN = 1.0, as the paper plots)");
 

@@ -5,7 +5,13 @@
 //!
 //! Self-contained timing harness (median of `REPS` runs) instead of
 //! criterion, so the bench builds in offline environments.
+//!
+//! Emits `BENCH_sim_engine_perf.json` (wall-clock medians and, for the
+//! engine rows, events/sec). Unlike the figure reports this one is *not*
+//! reproducible bit-for-bit — CI writes it to a separate directory and
+//! only checks it against the recorded floor in `bench-baselines/`.
 
+use gtn_bench::report::{self, obj, s, Json};
 use gtn_fabric::{Fabric, FabricConfig};
 use gtn_mem::{Addr, NodeId, RegionId};
 use gtn_nic::lookup::LookupKind;
@@ -33,13 +39,38 @@ fn median_ns<F: FnMut()>(mut f: F) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn report(name: &str, ns: u128) {
-    println!("{name:<44} {:>12.3} ms", ns as f64 / 1e6);
+/// One bench row: wall-clock median plus, where the workload has a known
+/// event count, simulator throughput.
+struct Row {
+    name: &'static str,
+    median_ns: u128,
+    events: Option<u64>,
 }
 
-fn bench_engine() {
+impl Row {
+    fn events_per_sec(&self) -> Option<u64> {
+        self.events
+            .map(|n| ((n as u128 * 1_000_000_000) / self.median_ns.max(1)) as u64)
+    }
+}
+
+fn report(rows: &mut Vec<Row>, name: &'static str, events: Option<u64>, ns: u128) {
+    match events.map(|n| (n as u128 * 1_000_000_000) / ns.max(1)) {
+        Some(eps) => println!("{name:<44} {:>12.3} ms {:>14} ev/s", ns as f64 / 1e6, eps),
+        None => println!("{name:<44} {:>12.3} ms", ns as f64 / 1e6),
+    }
+    rows.push(Row {
+        name,
+        median_ns: ns,
+        events,
+    });
+}
+
+fn bench_engine(rows: &mut Vec<Row>) {
     report(
+        rows,
         "engine/schedule_pop_10k",
+        Some(10_000),
         median_ns(|| {
             let mut eng = Engine::<u64>::new();
             for i in 0..10_000u64 {
@@ -51,7 +82,9 @@ fn bench_engine() {
         }),
     );
     report(
+        rows,
         "engine/self_rescheduling_chain_10k",
+        Some(10_001),
         median_ns(|| {
             let mut eng: Engine<u32> = Engine::new();
             eng.schedule_at(SimTime::ZERO, 10_000);
@@ -65,7 +98,7 @@ fn bench_engine() {
     );
 }
 
-fn bench_trigger_list() {
+fn bench_trigger_list(rows: &mut Vec<Row>) {
     let put = NetOp::Put {
         src: Addr::base(NodeId(0), RegionId(0)),
         len: 64,
@@ -74,9 +107,14 @@ fn bench_trigger_list() {
         notify: None,
         completion: None,
     };
-    for kind in [LookupKind::LinearList, LookupKind::HashTable] {
+    for (kind, name) in [
+        (LookupKind::LinearList, "trigger_list/linear_1k_fires"),
+        (LookupKind::HashTable, "trigger_list/hash_1k_fires"),
+    ] {
         report(
-            &format!("trigger_list/{}_1k_fires", kind.name()),
+            rows,
+            name,
+            None,
             median_ns(|| {
                 let mut l = TriggerList::new(kind);
                 for t in 0..1_000 {
@@ -91,9 +129,11 @@ fn bench_trigger_list() {
     }
 }
 
-fn bench_fabric() {
+fn bench_fabric(rows: &mut Vec<Row>) {
     report(
+        rows,
         "fabric/send_1k_msgs_8_nodes",
+        None,
         median_ns(|| {
             let mut f = Fabric::new(8, FabricConfig::default());
             let mut t = SimTime::ZERO;
@@ -112,7 +152,30 @@ fn main() {
         "implementation guardrail (no paper figure)",
     );
     println!("median of {REPS} runs per row\n");
-    bench_engine();
-    bench_trigger_list();
-    bench_fabric();
+    let mut rows = Vec::new();
+    bench_engine(&mut rows);
+    bench_trigger_list(&mut rows);
+    bench_fabric(&mut rows);
+
+    let json = obj(vec![
+        ("bench", s("sim_engine_perf")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        let mut fields = vec![
+                            ("name", s(r.name)),
+                            ("median_ns", Json::U64(r.median_ns as u64)),
+                        ];
+                        if let Some(eps) = r.events_per_sec() {
+                            fields.push(("events_per_sec", Json::U64(eps)));
+                        }
+                        obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    report::write("sim_engine_perf", &json);
 }

@@ -1,0 +1,38 @@
+//! CI gate driver over [`gtn_bench::compare`].
+//!
+//! ```text
+//! bench_compare manifest <dir>            # dir contents match MANIFEST.json
+//! bench_compare golden <golden> <actual>  # reports bit-identical to goldens
+//! bench_compare perf <floor> <actual>     # events/sec at or above the floor
+//! ```
+//!
+//! Exits non-zero with the reason on stderr when a gate fails, so a bare
+//! invocation is a usable CI step.
+
+use gtn_bench::compare;
+use std::path::Path;
+
+const USAGE: &str = "usage: bench_compare manifest <dir>
+       bench_compare golden <golden_dir> <actual_dir>
+       bench_compare perf <floor_file> <actual_file>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize| Path::new(&args[i]);
+    let outcome = match (args.first().map(String::as_str), args.len()) {
+        (Some("manifest"), 2) => compare::check_manifest(arg(1))
+            .map(|names| format!("manifest ok: {} reports listed and present", names.len())),
+        (Some("golden"), 3) => compare::diff_against_golden(arg(1), arg(2))
+            .map(|n| format!("golden ok: {n} reports bit-identical to baselines")),
+        (Some("perf"), 3) => compare::check_perf_floor(arg(1), arg(2))
+            .map(|n| format!("perf ok: {n} rows at or above the recorded floor")),
+        _ => Err(USAGE.to_owned()),
+    };
+    match outcome {
+        Ok(msg) => println!("{msg}"),
+        Err(reason) => {
+            eprintln!("bench_compare: {reason}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Bench-report validation behind the CI gates.
+//!
+//! Three checks, each a pure function returning `Err(reason)` so the
+//! `bench_compare` binary (and tests) can surface precise failures:
+//!
+//! - [`check_manifest`]: a bench dir's `MANIFEST.json` lists every report
+//!   that was written, every listed file exists and is non-empty, and no
+//!   unlisted `BENCH_*` file is lying around. CI validates artifacts
+//!   against this instead of a hard-coded file list.
+//! - [`diff_against_golden`]: every report named by the golden dir's
+//!   manifest is byte-identical in the actual dir. The figure reports
+//!   carry only simulated quantities (integer picoseconds and counts), so
+//!   any drift — not just large drift — is a regression or an intentional
+//!   model change that must re-record the baselines.
+//! - [`check_perf_floor`]: the wall-clock `sim_engine_perf` report stays
+//!   at or above a recorded events/sec floor. The floor is set ~10x below
+//!   measured throughput so runner noise never trips it; an O(n log n) →
+//!   O(n^2) style regression still does.
+
+use crate::report;
+use std::fs;
+use std::path::Path;
+
+/// Validate `<dir>/MANIFEST.json` against the directory contents.
+/// Returns the manifest entries on success.
+pub fn check_manifest(dir: &Path) -> Result<Vec<String>, String> {
+    let manifest = dir.join(report::MANIFEST);
+    let entries = report::manifest_entries(&manifest);
+    if entries.is_empty() {
+        return Err(format!("{} is missing or empty", manifest.display()));
+    }
+    for name in &entries {
+        let path = dir.join(name);
+        match fs::metadata(&path) {
+            Ok(m) if m.len() > 0 => {}
+            Ok(_) => return Err(format!("{} is listed but empty", path.display())),
+            Err(_) => return Err(format!("{} is listed but missing", path.display())),
+        }
+    }
+    let listed = |n: &str| entries.iter().any(|e| e == n);
+    for entry in fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
+        let file = entry.map_err(|e| e.to_string())?.file_name();
+        let name = file.to_string_lossy();
+        if name.starts_with("BENCH_") && !listed(&name) {
+            return Err(format!(
+                "{name} exists in {} but is not in MANIFEST.json \
+                 (bench wrote it without report::write?)",
+                dir.display()
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Byte-compare every report listed in `golden`'s manifest against the
+/// same file under `actual`. Returns the number of files compared.
+pub fn diff_against_golden(golden: &Path, actual: &Path) -> Result<usize, String> {
+    let entries = report::manifest_entries(&golden.join(report::MANIFEST));
+    if entries.is_empty() {
+        return Err(format!(
+            "golden manifest {} is missing or empty",
+            golden.join(report::MANIFEST).display()
+        ));
+    }
+    let mut drifted = Vec::new();
+    for name in &entries {
+        let want = fs::read(golden.join(name))
+            .map_err(|e| format!("golden {}: {e}", golden.join(name).display()))?;
+        match fs::read(actual.join(name)) {
+            Ok(got) if got == want => {}
+            Ok(_) => drifted.push(format!("{name} differs from golden")),
+            Err(_) => drifted.push(format!("{name} missing from {}", actual.display())),
+        }
+    }
+    if drifted.is_empty() {
+        Ok(entries.len())
+    } else {
+        Err(format!(
+            "{} of {} reports drifted from bench-baselines \
+             (simulated metrics are deterministic; a model change must \
+             re-record the goldens):\n  {}",
+            drifted.len(),
+            entries.len(),
+            drifted.join("\n  ")
+        ))
+    }
+}
+
+/// Check each `(name, events_per_sec)` row of `floor_file` against the
+/// matching row of `actual_file`. Returns the number of rows checked.
+pub fn check_perf_floor(floor_file: &Path, actual_file: &Path) -> Result<usize, String> {
+    let read = |p: &Path| fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()));
+    let floors = events_per_sec_rows(&read(floor_file)?);
+    if floors.is_empty() {
+        return Err(format!(
+            "no events_per_sec rows in floor file {}",
+            floor_file.display()
+        ));
+    }
+    let actual = events_per_sec_rows(&read(actual_file)?);
+    let mut below = Vec::new();
+    for (name, floor) in &floors {
+        match actual.iter().find(|(n, _)| n == name) {
+            Some((_, got)) if got >= floor => {}
+            Some((_, got)) => below.push(format!(
+                "{name}: {got} events/sec is below the floor of {floor}"
+            )),
+            None => below.push(format!(
+                "{name}: row missing from {}",
+                actual_file.display()
+            )),
+        }
+    }
+    if below.is_empty() {
+        Ok(floors.len())
+    } else {
+        Err(format!(
+            "simulator throughput regression:\n  {}",
+            below.join("\n  ")
+        ))
+    }
+}
+
+/// Extract `(name, events_per_sec)` pairs from a report rendered by
+/// [`report::Json`] (one field per line), pairing each `events_per_sec`
+/// with the most recent `"name"` above it. Rows without an
+/// `events_per_sec` field are skipped.
+pub fn events_per_sec_rows(text: &str) -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            current = rest.strip_suffix("\",").map(str::to_owned);
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if let (Some(name), Ok(v)) = (current.take(), digits.parse()) {
+                rows.push((name, v));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{obj, s, Json, MANIFEST};
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gtn-compare-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_manifest(dir: &Path, names: &[&str]) {
+        let json = Json::Arr(names.iter().map(|n| s(*n)).collect());
+        fs::write(dir.join(MANIFEST), json.render()).unwrap();
+    }
+
+    #[test]
+    fn manifest_check_catches_missing_empty_and_unlisted() {
+        let dir = scratch("manifest");
+        assert!(check_manifest(&dir).is_err(), "no manifest");
+        write_manifest(&dir, &["BENCH_a.json"]);
+        assert!(check_manifest(&dir).is_err(), "listed but missing");
+        fs::write(dir.join("BENCH_a.json"), "").unwrap();
+        assert!(check_manifest(&dir).is_err(), "listed but empty");
+        fs::write(dir.join("BENCH_a.json"), "{}\n").unwrap();
+        assert_eq!(check_manifest(&dir).unwrap(), ["BENCH_a.json"]);
+        fs::write(dir.join("BENCH_rogue.json"), "{}\n").unwrap();
+        let err = check_manifest(&dir).unwrap_err();
+        assert!(err.contains("BENCH_rogue.json"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn golden_diff_reports_drift_per_file() {
+        let golden = scratch("golden");
+        let actual = scratch("actual");
+        write_manifest(&golden, &["BENCH_a.json", "BENCH_b.json"]);
+        for d in [&golden, &actual] {
+            fs::write(d.join("BENCH_a.json"), "same\n").unwrap();
+        }
+        fs::write(golden.join("BENCH_b.json"), "old\n").unwrap();
+        fs::write(actual.join("BENCH_b.json"), "new\n").unwrap();
+        let err = diff_against_golden(&golden, &actual).unwrap_err();
+        assert!(err.contains("BENCH_b.json differs"), "{err}");
+        assert!(!err.contains("BENCH_a.json"), "{err}");
+        fs::write(actual.join("BENCH_b.json"), "old\n").unwrap();
+        assert_eq!(diff_against_golden(&golden, &actual).unwrap(), 2);
+        fs::remove_dir_all(&golden).unwrap();
+        fs::remove_dir_all(&actual).unwrap();
+    }
+
+    fn perf_json(rows: &[(&str, Option<u64>)]) -> String {
+        obj(vec![(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|&(n, eps)| {
+                        let mut fields = vec![("name", s(n)), ("median_ns", Json::U64(5))];
+                        if let Some(e) = eps {
+                            fields.push(("events_per_sec", Json::U64(e)));
+                        }
+                        obj(fields)
+                    })
+                    .collect(),
+            ),
+        )])
+        .render()
+    }
+
+    #[test]
+    fn perf_floor_passes_at_or_above_and_fails_below() {
+        let dir = scratch("perf");
+        let floor = dir.join("floor.json");
+        let actual = dir.join("actual.json");
+        fs::write(
+            &floor,
+            perf_json(&[("engine/a", Some(100)), ("engine/b", Some(50))]),
+        )
+        .unwrap();
+        fs::write(
+            &actual,
+            perf_json(&[
+                ("engine/a", Some(100)),
+                ("engine/b", Some(51)),
+                ("fabric/untracked", None),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(check_perf_floor(&floor, &actual).unwrap(), 2);
+        fs::write(
+            &actual,
+            perf_json(&[("engine/a", Some(99)), ("engine/b", Some(51))]),
+        )
+        .unwrap();
+        let err = check_perf_floor(&floor, &actual).unwrap_err();
+        assert!(err.contains("engine/a: 99"), "{err}");
+        fs::write(&actual, perf_json(&[("engine/b", Some(51))])).unwrap();
+        let err = check_perf_floor(&floor, &actual).unwrap_err();
+        assert!(err.contains("engine/a: row missing"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn events_per_sec_parser_reads_rendered_reports() {
+        let text = perf_json(&[("engine/a", Some(123)), ("skip/me", None), ("x", Some(7))]);
+        assert_eq!(
+            events_per_sec_rows(&text),
+            [("engine/a".to_owned(), 123), ("x".to_owned(), 7)]
+        );
+    }
+}

@@ -19,7 +19,9 @@
 //! | `abl_granularity` | §4.2 ablation — messaging granularities |
 //! | `sim_engine` | criterion microbenchmarks of the simulator itself |
 
+pub mod compare;
 pub mod report;
+pub mod sweep;
 
 /// Print a standard bench header.
 pub fn header(title: &str, paper_ref: &str) {

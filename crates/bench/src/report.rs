@@ -140,25 +140,75 @@ pub fn smoke() -> bool {
 }
 
 /// Where reports land: `$GTN_BENCH_DIR`, or `target/bench-reports`.
+///
+/// Relative paths are anchored at the **workspace root**, not the process
+/// working directory: `cargo bench` runs bench binaries with their CWD set
+/// to the package dir (`crates/bench`), which would silently scatter
+/// reports where CI's checkout-rooted paths never look.
 pub fn out_dir() -> PathBuf {
-    std::env::var_os("GTN_BENCH_DIR")
+    let dir = std::env::var_os("GTN_BENCH_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/bench-reports"))
+        .unwrap_or_else(|| PathBuf::from("target/bench-reports"));
+    if dir.is_absolute() {
+        return dir;
+    }
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop(); // crates/
+    root.pop(); // workspace root
+    root.join(dir)
 }
+
+/// File that indexes every report written into a bench dir. CI validates
+/// the dir against this instead of a hard-coded file list, so adding a
+/// bench (or renaming a report) cannot silently drop artifact coverage.
+pub const MANIFEST: &str = "MANIFEST.json";
 
 /// Write `BENCH_<name>.json` into [`out_dir`] and echo the path.
 pub fn write(name: &str, value: &Json) -> PathBuf {
     write_text(&format!("BENCH_{name}.json"), &value.render())
 }
 
-/// Write an arbitrary report file (e.g. a Chrome trace) into [`out_dir`].
+/// Write an arbitrary report file (e.g. a Chrome trace) into [`out_dir`]
+/// and register it in the dir's `MANIFEST.json`.
 pub fn write_text(file_name: &str, contents: &str) -> PathBuf {
     let dir = out_dir();
     fs::create_dir_all(&dir).expect("create bench report dir");
     let path = dir.join(file_name);
     fs::write(&path, contents).expect("write bench report");
+    if file_name != MANIFEST {
+        register_in_manifest(&dir, file_name);
+    }
     println!("wrote {}", path.display());
     path
+}
+
+/// Union `file_name` into `<dir>/MANIFEST.json`, kept sorted so repeat
+/// runs serialize byte-identically regardless of bench execution order.
+fn register_in_manifest(dir: &std::path::Path, file_name: &str) {
+    let path = dir.join(MANIFEST);
+    let mut names = manifest_entries(&path);
+    if !names.iter().any(|n| n == file_name) {
+        names.push(file_name.to_owned());
+        names.sort();
+        let json = Json::Arr(names.into_iter().map(Json::Str).collect());
+        fs::write(&path, json.render()).expect("write bench manifest");
+    }
+}
+
+/// Parse a `MANIFEST.json` (a JSON array of plain-ASCII file names) into
+/// its entries. Missing or unreadable files parse as empty — the first
+/// report of a run starts the manifest from scratch.
+pub fn manifest_entries(path: &std::path::Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    // Report file names never contain quotes or escapes, so splitting on
+    // `"` yields: junk, name, junk, name, ... (odd indices are names).
+    text.split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_owned)
+        .collect()
 }
 
 #[cfg(test)]
@@ -192,6 +242,23 @@ mod tests {
         assert!(r.contains("\"mean_ps\": 200000"), "{r}");
         assert!(r.contains("\"min_ps\": 100000"), "{r}");
         assert!(r.contains("\"max_ps\": 300000"), "{r}");
+    }
+
+    #[test]
+    fn manifest_union_is_sorted_and_deduplicated() {
+        let dir = std::env::temp_dir().join(format!("gtn-manifest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(MANIFEST);
+        let _ = fs::remove_file(&path);
+        assert!(manifest_entries(&path).is_empty());
+        register_in_manifest(&dir, "BENCH_b.json");
+        register_in_manifest(&dir, "BENCH_a.json");
+        register_in_manifest(&dir, "BENCH_b.json");
+        assert_eq!(manifest_entries(&path), ["BENCH_a.json", "BENCH_b.json"]);
+        let first = fs::read_to_string(&path).unwrap();
+        register_in_manifest(&dir, "BENCH_a.json");
+        assert_eq!(fs::read_to_string(&path).unwrap(), first);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

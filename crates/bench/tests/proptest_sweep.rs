@@ -1,0 +1,45 @@
+//! Property tests for the parallel sweep runner: for any descriptor list
+//! and any worker count, the reassembled results are exactly the
+//! sequential map — same values, same order. This is the determinism
+//! argument the bench tables and JSON reports rely on.
+
+use gtn_bench::sweep;
+use proptest::prelude::*;
+
+/// A deterministic, descriptor-dependent "simulation": mixes the value
+/// through a few rounds so result order can't accidentally match when
+/// slot reassembly is wrong, and spins proportionally to the input so
+/// workers finish out of claim order.
+fn job(x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..(x % 64) {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    }
+    h
+}
+
+proptest! {
+    /// Any thread count reproduces the sequential map exactly.
+    #[test]
+    fn parallel_sweep_equals_sequential_map(
+        descriptors in prop::collection::vec(0u64..u64::MAX, 0..120),
+        threads in 1usize..9,
+    ) {
+        let sequential: Vec<u64> = descriptors.iter().copied().map(job).collect();
+        let parallel = sweep::run_with_threads(descriptors, threads, job);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// Workers see each descriptor exactly once even when jobs race to
+    /// claim them (counted via the payload, not the slot index).
+    #[test]
+    fn every_descriptor_runs_exactly_once(
+        n in 0usize..200,
+        threads in 1usize..9,
+    ) {
+        let descriptors: Vec<u64> = (0..n as u64).collect();
+        let echoed = sweep::run_with_threads(descriptors.clone(), threads, |d| d);
+        prop_assert_eq!(echoed, descriptors);
+    }
+}

@@ -26,7 +26,7 @@ pub struct ClusterConfig {
     /// simulated time passes with every dispatched event classified as an
     /// idle poll retry (no CPU pc movement, no GPU op retired, no NIC
     /// activity), the run is declared stalled and a
-    /// [`crate::cluster::StallReport`] is produced instead of spinning to
+    /// [`crate::stall::StallReport`] is produced instead of spinning to
     /// the event cap. Must comfortably exceed the longest legitimate gap
     /// between progress events (compute phases, retransmit timeouts).
     pub stall_timeout_ns: u64,

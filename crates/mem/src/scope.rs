@@ -15,7 +15,7 @@
 //! expensive, feeding the GPU timing model) and a *static checker* that
 //! validates kernel programs against the discipline above — the simulator's
 //! analogue of the correctness bugs GPU Native Networking suffered under
-//! relaxed memory ([8] in the paper).
+//! relaxed memory (\[8\] in the paper).
 
 use gtn_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};

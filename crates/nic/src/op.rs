@@ -26,7 +26,7 @@ pub struct OpId(pub u64);
 /// fetch-adds `add` to `flag` (PGAS-style polling target, §4.2.5) and —
 /// optionally — performs a **chained trigger write** to its own trigger
 /// list (`chain`). Chaining is the Portals-4 counter mechanism the paper
-/// builds on (Underwood et al. [40]): arrivals can progress a sequence of
+/// builds on (Underwood et al. \[40\]): arrivals can progress a sequence of
 /// pre-registered operations entirely on the NIC, with no CPU or GPU on
 /// the path.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,7 +36,7 @@ pub struct Notify {
     /// Value to add to the flag (fetch-add, so flags can count arrivals).
     pub add: u64,
     /// Tag to write to the *receiving* NIC's trigger list after the
-    /// payload commits (counter chaining, [40]).
+    /// payload commits (counter chaining, \[40\]).
     pub chain: Option<Tag>,
 }
 

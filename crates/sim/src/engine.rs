@@ -6,7 +6,7 @@
 //! receives `&mut Engine` and may schedule freely while it runs. This is the
 //! sans-IO shape used throughout the workspace.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, PopAtMost};
 use crate::time::{SimDuration, SimTime};
 
 /// Why a [`Engine::run`] call returned.
@@ -125,14 +125,18 @@ impl<E> Engine<E> {
     }
 
     /// Schedule `payload` to fire `delay` after the current instant.
+    ///
+    /// This is the dominant scheduling pattern (NIC pollers and ARQ timers
+    /// re-arm themselves a short delay ahead), so it takes the calendar's
+    /// near-window fast path.
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
-        self.queue.push(self.now + delay, payload);
+        self.queue.push_near(self.now + delay, payload);
     }
 
     /// Schedule `payload` to fire at the current instant, after every event
     /// already queued for this instant (FIFO).
     pub fn schedule_now(&mut self, payload: E) {
-        self.queue.push(self.now, payload);
+        self.queue.push_near(self.now, payload);
     }
 
     /// Request that the current `run` call return after this handler.
@@ -164,17 +168,23 @@ impl<E> Engine<E> {
         self.stop_requested = false;
         let budget_start = self.processed;
         loop {
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > horizon => {
+            // One fused calendar operation per event (peek-then-pop would
+            // normalize the ladder twice).
+            let payload = match self.queue.pop_at_most(horizon) {
+                PopAtMost::Empty => return RunOutcome::Drained,
+                PopAtMost::Later(_) => {
                     // Leave the pending events queued; advance the clock to
                     // the horizon so back-to-back `run_until` calls compose.
                     self.now = horizon.max(self.now);
                     return RunOutcome::HorizonReached;
                 }
-                Some(_) => {}
-            }
-            let (_, payload) = self.step().expect("peeked event vanished");
+                PopAtMost::Popped(at, payload) => {
+                    debug_assert!(at >= self.now, "calendar went backwards");
+                    self.now = at;
+                    self.processed += 1;
+                    payload
+                }
+            };
             handler(self, payload);
             if self.stop_requested {
                 return RunOutcome::Stopped;

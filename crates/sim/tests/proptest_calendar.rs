@@ -1,0 +1,157 @@
+//! Property tests pinning the two-tier calendar (`EventQueue`) to a
+//! reference model: a plain pending set popped in ascending `(time, seq)`
+//! order — exactly what the old `BinaryHeap<Scheduled<E>>` implementation
+//! computed. The bucket ladder, overflow heap, window migration, and
+//! front-cache fast path must all be invisible at this interface.
+//!
+//! Time ranges are chosen to straddle the ladder window (~8.4 µs): small
+//! timestamps exercise bucket placement and same-instant ties, large ones
+//! force the overflow tier and the window-jump migration path.
+
+use gtn_sim::event::{EventQueue, PopAtMost};
+use gtn_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// Reference model: the pending set, popped min-first by `(time, seq)`.
+struct Reference {
+    pending: Vec<(SimTime, u64, usize)>,
+    next_seq: u64,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Reference {
+            pending: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, payload: usize) {
+        self.pending.push((at, self.next_seq, payload));
+        self.next_seq += 1;
+    }
+
+    fn min_key(&self) -> Option<(SimTime, u64)> {
+        self.pending.iter().map(|&(t, s, _)| (t, s)).min()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let key = self.min_key()?;
+        let i = self
+            .pending
+            .iter()
+            .position(|&(t, s, _)| (t, s) == key)
+            .unwrap();
+        let (t, _, p) = self.pending.remove(i);
+        Some((t, p))
+    }
+}
+
+/// Mixed near/far timestamp: `far` sends the event past the ladder window
+/// into the overflow heap; `!far` lands it in the buckets with many ties.
+fn at(raw: u64, far: bool) -> SimTime {
+    if far {
+        SimTime::from_ps(raw % 500_000_000)
+    } else {
+        SimTime::from_ps(raw % 20_000)
+    }
+}
+
+proptest! {
+    /// Drain-after-fill: arbitrary schedules (ties, both tiers) pop in
+    /// exactly the reference order.
+    #[test]
+    fn pops_match_reference_model(
+        events in prop::collection::vec((0u64..u64::MAX, any::<bool>()), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = Reference::new();
+        for (i, &(raw, far)) in events.iter().enumerate() {
+            q.push(at(raw, far), i);
+            model.push(at(raw, far), i);
+        }
+        loop {
+            let got = q.pop();
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved pushes and pops (the standalone-queue contract, which is
+    /// broader than the engine's monotonic use: pushes may land before
+    /// already-popped instants and must still pop in pending-set order).
+    #[test]
+    fn interleaved_push_pop_matches_reference(
+        ops in prop::collection::vec((0u64..u64::MAX, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = Reference::new();
+        let mut payload = 0usize;
+        for &(raw, far, is_pop) in &ops {
+            if is_pop {
+                prop_assert_eq!(q.pop(), model.pop());
+            } else {
+                q.push(at(raw, far), payload);
+                model.push(at(raw, far), payload);
+                payload += 1;
+            }
+            prop_assert_eq!(q.len(), model.pending.len());
+            prop_assert_eq!(q.peek_time(), model.min_key().map(|(t, _)| t));
+        }
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// `pop_at_most` agrees with the reference at every horizon: it pops
+    /// exactly the events at or before the horizon (in order), reports the
+    /// earliest later event otherwise, and drains to `Empty`.
+    #[test]
+    fn pop_at_most_respects_horizon_boundary(
+        events in prop::collection::vec((0u64..u64::MAX, any::<bool>()), 1..200),
+        step in 1u64..3_000,
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = Reference::new();
+        for (i, &(raw, far)) in events.iter().enumerate() {
+            q.push(at(raw, far), i);
+            model.push(at(raw, far), i);
+        }
+        let mut horizon = SimTime::ZERO;
+        let mut probed = false;
+        loop {
+            match q.pop_at_most(horizon) {
+                PopAtMost::Empty => {
+                    prop_assert!(model.min_key().is_none());
+                    break;
+                }
+                PopAtMost::Later(next) => {
+                    let (t, _) = model.min_key().expect("model has a later event too");
+                    prop_assert_eq!(next, t);
+                    prop_assert!(t > horizon);
+                    // Probe one horizon strictly between here and the next
+                    // event (must pop nothing), then jump to it exactly.
+                    let probe = SimTime::from_ps(horizon.as_ps().saturating_add(step));
+                    if probe < t && !probed {
+                        horizon = probe;
+                        probed = true;
+                    } else {
+                        horizon = t;
+                        probed = false;
+                    }
+                }
+                PopAtMost::Popped(t2, p) => {
+                    prop_assert!(t2 <= horizon);
+                    prop_assert_eq!(Some((t2, p)), model.pop());
+                    probed = false;
+                }
+            }
+        }
+        prop_assert!(q.is_empty());
+    }
+}
