@@ -16,8 +16,7 @@
 
 use gtn_bench::sweep;
 use gtn_core::Strategy;
-use gtn_fabric::FaultConfig;
-use gtn_nic::reliability::ReliabilityConfig;
+use gtn_workloads::harness::{ConfigPatch, Harness};
 use gtn_workloads::jacobi::{run_with_config, JacobiParams};
 
 const N_LOCAL: u32 = 64;
@@ -27,20 +26,20 @@ const FAULT_SEED: u64 = 2;
 const LOSS: [f64; 5] = [0.0, 0.001, 0.01, 0.05, 0.10];
 
 fn cell(strategy: Strategy, loss: f64) -> (f64, u64, u64) {
+    let patch = ConfigPatch::loss(FAULT_SEED, loss);
     let r = run_with_config(
         JacobiParams::square4(N_LOCAL, ITERS, strategy, SEED),
-        |config| {
-            if loss > 0.0 {
-                config.fabric.faults = FaultConfig::loss(FAULT_SEED, loss);
-                config.nic.reliability = ReliabilityConfig::on();
-            }
-        },
+        |config| patch.apply(config),
     );
     assert_eq!(
-        r.delivery_failures, 0,
+        r.scenario.delivery_failures, 0,
         "{strategy} exhausted a retry budget"
     );
-    (r.per_iter.as_us_f64(), r.retransmits, r.delivery_failures)
+    (
+        r.scenario.per_iter.as_us_f64(),
+        r.scenario.retransmits,
+        r.scenario.delivery_failures,
+    )
 }
 
 fn main() {
@@ -55,12 +54,13 @@ fn main() {
     // Each (strategy, loss) cell is an independent simulation; LOSS[0] is
     // the lossless baseline, so the slowdown denominator comes straight out
     // of the reassembled grid (no extra sequential run needed).
-    let descriptors: Vec<(Strategy, f64)> = Strategy::all()
-        .into_iter()
-        .flat_map(|strategy| LOSS.iter().map(move |&loss| (strategy, loss)))
+    let strategies = Harness::strategies();
+    let descriptors: Vec<(Strategy, f64)> = strategies
+        .iter()
+        .flat_map(|&strategy| LOSS.iter().map(move |&loss| (strategy, loss)))
         .collect();
     let cells = sweep::run(descriptors, |(strategy, loss)| cell(strategy, loss));
-    for (rows, strategy) in cells.chunks(LOSS.len()).zip(Strategy::all()) {
+    for (rows, strategy) in cells.chunks(LOSS.len()).zip(strategies) {
         let (base, _, _) = rows[0];
         for (&loss, &(us, retx, _)) in LOSS.iter().zip(rows) {
             println!(

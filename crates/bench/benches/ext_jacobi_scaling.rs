@@ -54,7 +54,7 @@ fn main() {
     for (rows, cols) in GRIDS {
         descriptors.extend(STRATS.map(|s| params(s, rows, cols, 128)));
     }
-    let cells: Vec<f64> = sweep::run(descriptors, |p| run(p).per_iter.as_us_f64());
+    let cells: Vec<f64> = sweep::run(descriptors, |p| run(p).scenario.per_iter.as_us_f64());
     let (strong, weak) = cells.split_at(GRIDS.len() * STRATS.len());
 
     println!("STRONG SCALING — global 512x512, growing node grid (us/iter):");

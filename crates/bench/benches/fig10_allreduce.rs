@@ -12,6 +12,7 @@ use gtn_bench::report::{self, obj, s, Json};
 use gtn_bench::sweep;
 use gtn_core::Strategy;
 use gtn_workloads::allreduce::{run, AllreduceParams, AllreduceResult};
+use gtn_workloads::harness::Harness;
 
 const ELEMS: u64 = 2 * 1024 * 1024; // 8 MB of f32
 const NODES: [u32; 11] = [2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32];
@@ -29,45 +30,57 @@ fn main() {
     } else {
         (ELEMS, &NODES)
     };
+    // All four by default; a GTN_STRATEGIES subset narrows the sweep. The
+    // speedup baseline is CPU when present, else the subset's first entry.
+    let strategies = Harness::strategies();
+    let baseline = if strategies.contains(&Strategy::Cpu) {
+        Strategy::Cpu
+    } else {
+        strategies[0]
+    };
     print!("{:<8}", "nodes");
-    for s in [Strategy::Hdn, Strategy::Gds, Strategy::GpuTn] {
+    for s in strategies.iter().filter(|&&s| s != baseline) {
         print!("{:>10}", s.name());
     }
-    println!("{:>14}", "CPU us");
+    println!("{:>14}", format!("{} us", baseline.name()));
 
     // Independent (node-count, strategy) cells: run the grid on the
     // parallel sweep runner, reassembled in descriptor order.
     let descriptors: Vec<AllreduceParams> = nodes
         .iter()
         .flat_map(|&p| {
-            Strategy::all()
-                .into_iter()
-                .map(move |strategy| AllreduceParams {
-                    nodes: p,
-                    elems,
-                    strategy,
-                    seed: SEED,
-                })
+            strategies.iter().map(move |&strategy| AllreduceParams {
+                nodes: p,
+                elems,
+                strategy,
+                seed: SEED,
+            })
         })
         .collect();
     let points: Vec<AllreduceResult> = sweep::run(descriptors, run);
 
-    for results in points.chunks(Strategy::all().len()) {
-        let cpu = results
+    for results in points.chunks(strategies.len()) {
+        let base = results
             .iter()
-            .find(|r| r.strategy == Strategy::Cpu)
-            .expect("CPU run")
+            .find(|r| r.scenario.strategy == baseline)
+            .expect("baseline run")
+            .scenario
             .total;
-        print!("{:<8}", results[0].nodes);
+        print!("{:<8}", results[0].scenario.nodes);
         for r in results {
-            if r.strategy == Strategy::Cpu {
+            if r.scenario.strategy == baseline {
                 continue;
             }
-            print!("{:>10.3}", cpu.as_ns_f64() / r.total.as_ns_f64());
+            print!("{:>10.3}", base.as_ns_f64() / r.scenario.total.as_ns_f64());
         }
-        println!("{:>14.1}", cpu.as_us_f64());
+        println!("{:>14.1}", base.as_us_f64());
     }
-    println!("\n(values are speedup relative to the CPU collective = 1.0, as the paper plots)");
+    let base_name = if baseline == Strategy::Cpu {
+        "the CPU collective"
+    } else {
+        baseline.name()
+    };
+    println!("\n(values are speedup relative to {base_name} = 1.0, as the paper plots)");
 
     let json = obj(vec![
         ("bench", s("fig10_allreduce")),
@@ -86,16 +99,13 @@ fn main() {
                     .iter()
                     .map(|r| {
                         obj(vec![
-                            ("nodes", Json::U64(r.nodes as u64)),
-                            ("strategy", s(r.strategy.name())),
-                            ("total_ps", Json::U64(r.total.as_ps())),
-                            (
-                                "retransmits",
-                                Json::U64(r.stats.counter_across("nic", "retransmits")),
-                            ),
+                            ("nodes", Json::U64(r.scenario.nodes as u64)),
+                            ("strategy", s(r.scenario.strategy.name())),
+                            ("total_ps", Json::U64(r.scenario.total.as_ps())),
+                            ("retransmits", Json::U64(r.scenario.retransmits)),
                             (
                                 "fabric_messages",
-                                Json::U64(r.stats.counter("fabric", "messages_sent")),
+                                Json::U64(r.scenario.stats.counter("fabric", "messages_sent")),
                             ),
                         ])
                     })

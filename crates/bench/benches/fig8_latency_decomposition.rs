@@ -14,6 +14,7 @@ use gtn_bench::report::{self, obj, s, stages, Json};
 use gtn_bench::sweep;
 use gtn_core::timeline::phase_table;
 use gtn_core::Strategy;
+use gtn_workloads::harness::Harness;
 use gtn_workloads::pingpong;
 
 fn main() {
@@ -21,9 +22,10 @@ fn main() {
         "Fig. 8: latency decomposition, 64 B put",
         "LeBeane et al., SC'17, Figure 8 (HDN 4.21us / GDS 3.76us / GPU-TN 2.71us)",
     );
-    // One independent pingpong world per strategy; reassembled in
-    // Strategy::all() order so the table below never changes shape.
-    let results = sweep::run(Strategy::all().to_vec(), pingpong::run_any);
+    // One independent pingpong world per strategy; all four by default, a
+    // GTN_STRATEGIES subset narrows the sweep. Reassembled in presentation
+    // order so the table below never changes shape.
+    let results = sweep::run(Harness::strategies(), pingpong::run_any);
     let paper = [("HDN", 4.21), ("GDS", 3.76), ("GPU-TN", 2.71)];
     println!(
         "{:<8} {:>14} {:>12} {:>14} {:>12}",
@@ -32,12 +34,12 @@ fn main() {
     for r in &results {
         let paper_us = paper
             .iter()
-            .find(|(n, _)| *n == r.strategy.name())
+            .find(|(n, _)| *n == r.scenario.strategy.name())
             .map(|(_, v)| format!("{v:.2}"))
             .unwrap_or_else(|| "-".into());
         println!(
             "{:<8} {:>14.2} {:>12} {:>14.2} {:>12}",
-            r.strategy.name(),
+            r.scenario.strategy.name(),
             r.target_completion.as_us_f64(),
             paper_us,
             r.initiator_kernel_done.as_us_f64(),
@@ -51,19 +53,23 @@ fn main() {
     let get = |s: Strategy| {
         results
             .iter()
-            .find(|r| r.strategy == s)
-            .unwrap()
-            .target_completion
-            .as_us_f64()
+            .find(|r| r.scenario.strategy == s)
+            .map(|r| r.target_completion.as_us_f64())
     };
-    let tn = get(Strategy::GpuTn);
-    println!(
-        "\nGPU-TN improvement: {:.1}% vs GDS (paper ~25%), {:.1}% vs HDN (paper ~35%)",
-        (1.0 - tn / get(Strategy::Gds)) * 100.0,
-        (1.0 - tn / get(Strategy::Hdn)) * 100.0
-    );
+    if let (Some(tn), Some(gds), Some(hdn)) =
+        (get(Strategy::GpuTn), get(Strategy::Gds), get(Strategy::Hdn))
+    {
+        println!(
+            "\nGPU-TN improvement: {:.1}% vs GDS (paper ~25%), {:.1}% vs HDN (paper ~35%)",
+            (1.0 - tn / gds) * 100.0,
+            (1.0 - tn / hdn) * 100.0
+        );
+    }
     for r in &results {
-        println!("\n--- {} phase decomposition ---", r.strategy.name());
+        println!(
+            "\n--- {} phase decomposition ---",
+            r.scenario.strategy.name()
+        );
         print!("{}", phase_table(&r.trace));
         println!("{}", r.trace.render_gantt(64));
     }
@@ -72,7 +78,7 @@ fn main() {
         .iter()
         .map(|r| {
             obj(vec![
-                ("strategy", s(r.strategy.name())),
+                ("strategy", s(r.scenario.strategy.name())),
                 (
                     "target_completion_ps",
                     Json::U64(r.target_completion.as_ps()),
@@ -82,11 +88,8 @@ fn main() {
                     Json::U64(r.initiator_kernel_done.as_ps()),
                 ),
                 ("intra_kernel", Json::Bool(r.delivered_intra_kernel())),
-                ("stages_ps", stages(&r.stages)),
-                (
-                    "retransmits",
-                    Json::U64(r.stats.counter_across("nic", "retransmits")),
-                ),
+                ("stages_ps", stages(&r.scenario.stages)),
+                ("retransmits", Json::U64(r.scenario.retransmits)),
             ])
         })
         .collect();
@@ -103,12 +106,13 @@ fn main() {
     ]);
     report::write("fig8_pingpong", &json);
 
-    let traced = results
+    if let Some(traced) = results
         .iter()
-        .find(|r| r.strategy == Strategy::GpuTn)
-        .expect("GPU-TN result");
-    report::write_text(
-        "BENCH_fig8_pingpong.trace.json",
-        &traced.trace.to_chrome_json(),
-    );
+        .find(|r| r.scenario.strategy == Strategy::GpuTn)
+    {
+        report::write_text(
+            "BENCH_fig8_pingpong.trace.json",
+            &traced.trace.to_chrome_json(),
+        );
+    }
 }

@@ -12,6 +12,7 @@
 use gtn_bench::report::{self, obj, s, Json};
 use gtn_bench::sweep;
 use gtn_core::Strategy;
+use gtn_workloads::harness::Harness;
 use gtn_workloads::jacobi::{run, JacobiParams, JacobiResult};
 
 const SIZES: [u32; 7] = [16, 32, 64, 128, 256, 512, 1024];
@@ -29,11 +30,19 @@ fn main() {
     } else {
         &SIZES
     };
+    // All four by default; a GTN_STRATEGIES subset narrows the sweep. The
+    // baseline column is HDN when present, else the subset's first entry.
+    let strategies = Harness::strategies();
+    let baseline = if strategies.contains(&Strategy::Hdn) {
+        Strategy::Hdn
+    } else {
+        strategies[0]
+    };
     print!("{:<8}", "N");
-    for s in Strategy::all() {
+    for s in &strategies {
         print!("{:>10}", s.name());
     }
-    println!("{:>14}", "HDN us/iter");
+    println!("{:>14}", format!("{} us/iter", baseline.name()));
 
     // Every (size, strategy) cell is an independent simulation: fan the grid
     // out across workers and reassemble in descriptor order, so the table
@@ -41,33 +50,38 @@ fn main() {
     let descriptors: Vec<JacobiParams> = sizes
         .iter()
         .flat_map(|&n| {
-            Strategy::all()
-                .into_iter()
-                .map(move |strategy| JacobiParams {
-                    rows: 2,
-                    cols: 2,
-                    n_local: n,
-                    iters: ITERS,
-                    strategy,
-                    seed: SEED,
-                })
+            strategies.iter().map(move |&strategy| JacobiParams {
+                rows: 2,
+                cols: 2,
+                n_local: n,
+                iters: ITERS,
+                strategy,
+                seed: SEED,
+            })
         })
         .collect();
     let points: Vec<JacobiResult> = sweep::run(descriptors, run);
 
-    for results in points.chunks(Strategy::all().len()) {
-        let hdn = results
+    for results in points.chunks(strategies.len()) {
+        let base = results
             .iter()
-            .find(|r| r.strategy == Strategy::Hdn)
-            .expect("HDN run")
+            .find(|r| r.scenario.strategy == baseline)
+            .expect("baseline run")
+            .scenario
             .per_iter;
-        print!("{:<8}", results[0].n_local);
+        print!("{:<8}", results[0].scenario.size);
         for r in results {
-            print!("{:>10.3}", hdn.as_ns_f64() / r.per_iter.as_ns_f64());
+            print!(
+                "{:>10.3}",
+                base.as_ns_f64() / r.scenario.per_iter.as_ns_f64()
+            );
         }
-        println!("{:>14.2}", hdn.as_us_f64());
+        println!("{:>14.2}", base.as_us_f64());
     }
-    println!("\n(values are speedup relative to HDN = 1.0, as the paper plots)");
+    println!(
+        "\n(values are speedup relative to {} = 1.0, as the paper plots)",
+        baseline.name()
+    );
 
     let json = obj(vec![
         ("bench", s("fig9_jacobi")),
@@ -87,11 +101,11 @@ fn main() {
                     .iter()
                     .map(|r| {
                         obj(vec![
-                            ("n_local", Json::U64(r.n_local as u64)),
-                            ("strategy", s(r.strategy.name())),
-                            ("per_iter_ps", Json::U64(r.per_iter.as_ps())),
-                            ("total_ps", Json::U64(r.total.as_ps())),
-                            ("retransmits", Json::U64(r.retransmits)),
+                            ("n_local", Json::U64(r.scenario.size)),
+                            ("strategy", s(r.scenario.strategy.name())),
+                            ("per_iter_ps", Json::U64(r.scenario.per_iter.as_ps())),
+                            ("total_ps", Json::U64(r.scenario.total.as_ps())),
+                            ("retransmits", Json::U64(r.scenario.retransmits)),
                         ])
                     })
                     .collect(),

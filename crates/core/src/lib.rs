@@ -8,6 +8,9 @@
 //! - [`cluster`] — the world: per-node CPU + GPU + NIC over a shared
 //!   coherent memory pool and a star fabric, with a single deterministic
 //!   event loop and an experiment-readable activity log.
+//! - [`comm`] — the strategy-driver layer: one [`comm::CommDriver`] per
+//!   §5.1 strategy encapsulating its communication idioms (MPI lane,
+//!   doorbell hooks, triggered-put registration) so workloads share them.
 //! - [`host_api`] — the Fig. 6 host-side API: `rdma_init`, `trig_put`,
 //!   `launch_kern`, mirrored onto host programs.
 //! - [`kernel_api`] — the §4.2 kernel-side messaging granularities
@@ -16,6 +19,9 @@
 //! - [`observe`] — the namespaced stats registry
 //!   ([`observe::ClusterStats`]) that snapshots every component's counters
 //!   and stage-latency histograms for reports.
+//! - [`scenario`] — the unified scenario vocabulary
+//!   ([`scenario::ScenarioParams`] / [`scenario::ScenarioResult`]) the
+//!   workload harness drives every evaluation workload through.
 //! - [`stall`] — structured diagnostics for runs that wedge: which nodes
 //!   are stuck, on what, and what their NICs were still retrying.
 //! - [`strategy`] — the four evaluated configurations (§5.1): CPU, HDN,
@@ -27,10 +33,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod comm;
 pub mod config;
 pub mod host_api;
 pub mod kernel_api;
 pub mod observe;
+pub mod scenario;
 pub mod stall;
 pub mod strategy;
 pub mod timeline;

@@ -1,0 +1,250 @@
+//! The shared scenario vocabulary: one parameter struct and one result
+//! shape for every evaluation workload, living beside the strategy
+//! drivers ([`crate::comm`]) they parameterize.
+//!
+//! The paper's figures are *controlled comparisons* — the same workload
+//! under the four §5.1 strategies — so the knobs (strategy, node
+//! geometry, size, iterations, seed, config overrides) and the reported
+//! quantities (total / per-iteration time, stage decomposition, stats,
+//! reliability counters) are the same across workloads. The `Workload`
+//! trait and `Harness` in `gtn-workloads` drive these types generically.
+
+use crate::cluster::{Cluster, ClusterResult};
+use crate::config::ClusterConfig;
+use crate::timeline::stage_breakdown;
+use crate::{ClusterStats, Strategy};
+use gtn_sim::time::{SimDuration, SimTime};
+
+/// Declarative cluster-config overrides a scenario carries with it, so
+/// ablations (seeded loss, reliability) ride the same parameter struct as
+/// everything else instead of bespoke closure plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConfigPatch {
+    /// Seeded packet loss `(fault_seed, rate)`; a rate of `0.0` is the
+    /// lossless baseline (no fault injection, reliability layer off).
+    pub loss: Option<(u64, f64)>,
+}
+
+impl ConfigPatch {
+    /// No overrides: the workload's default (lossless) configuration.
+    pub const NONE: ConfigPatch = ConfigPatch { loss: None };
+
+    /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
+    /// retry/timeout/backoff) enabled to absorb the drops.
+    pub fn loss(seed: u64, rate: f64) -> Self {
+        ConfigPatch {
+            loss: Some((seed, rate)),
+        }
+    }
+
+    /// Apply the overrides to a cluster config (after workload defaults).
+    pub fn apply(&self, config: &mut ClusterConfig) {
+        if let Some((seed, rate)) = self.loss {
+            if rate > 0.0 {
+                config.fabric.faults = gtn_fabric::FaultConfig::loss(seed, rate);
+                config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+            }
+        }
+    }
+}
+
+/// Unified scenario parameters. Each workload reads the fields it needs:
+/// Jacobi uses `rows`×`cols` nodes with a `size`×`size` local grid;
+/// Allreduce uses `node_count()` ranks reducing `size` elements; pingpong
+/// is fixed two-node; the launch study maps `variant` to a scheduler
+/// profile and `size` to the queued batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Networking strategy under test.
+    pub strategy: Strategy,
+    /// Node-grid rows (1 for non-grid workloads).
+    pub rows: u32,
+    /// Node-grid columns (the node count for non-grid workloads).
+    pub cols: u32,
+    /// Payload / grid size in workload units (elements, local edge,
+    /// batch size…).
+    pub size: u64,
+    /// Iterations (sweeps, rounds) the workload should report per-`iter`
+    /// times over.
+    pub iters: u32,
+    /// Workload-specific variant selector (e.g. scheduler profile index).
+    pub variant: u32,
+    /// Deterministic input seed.
+    pub seed: u64,
+    /// Cluster-config overrides.
+    pub patch: ConfigPatch,
+}
+
+impl ScenarioParams {
+    /// A two-node scenario of `strategy` with every other field at its
+    /// neutral default; chain the builder methods to specialize.
+    pub fn new(strategy: Strategy) -> Self {
+        ScenarioParams {
+            strategy,
+            rows: 1,
+            cols: 2,
+            size: 0,
+            iters: 1,
+            variant: 0,
+            seed: 0,
+            patch: ConfigPatch::NONE,
+        }
+    }
+
+    /// Use `nodes` ranks in a flat (1×`nodes`) arrangement.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.rows = 1;
+        self.cols = nodes;
+        self
+    }
+
+    /// Use an `rows`×`cols` node grid.
+    pub fn grid(mut self, rows: u32, cols: u32) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Set the workload size.
+    pub fn size(mut self, size: u64) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Set the iteration count.
+    pub fn iters(mut self, iters: u32) -> Self {
+        self.iters = iters;
+        self
+    }
+
+    /// Set the variant selector.
+    pub fn variant(mut self, variant: u32) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Set the input seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach config overrides.
+    pub fn patch(mut self, patch: ConfigPatch) -> Self {
+        self.patch = patch;
+        self
+    }
+
+    /// Total participating nodes.
+    pub fn node_count(&self) -> u32 {
+        self.rows * self.cols
+    }
+}
+
+/// What every workload reports, regardless of strategy: the timing
+/// quantities the figures plot, the stage decomposition (two-node logged
+/// runs only), and the stats/reliability counters the reports quote.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Strategy echoed.
+    pub strategy: Strategy,
+    /// Node count echoed.
+    pub nodes: u32,
+    /// Workload size echoed.
+    pub size: u64,
+    /// Iterations echoed.
+    pub iters: u32,
+    /// The workload's headline completion time (each workload documents
+    /// which event this is — e.g. pingpong reports target-side delivery,
+    /// the collectives report the slowest node's finish).
+    pub total: SimTime,
+    /// `total` divided by `iters` (the Fig. 9 quantity).
+    pub per_iter: SimDuration,
+    /// Fig. 8 stage decomposition from the activity log; empty when the
+    /// run disabled event logging or has more than two nodes.
+    pub stages: Vec<(&'static str, SimDuration)>,
+    /// Every component's stats, namespaced (`node{N}.nic` etc.).
+    pub stats: ClusterStats,
+    /// Total retransmissions across all NICs (zero unless the run enabled
+    /// the reliability layer and the fabric dropped something).
+    pub retransmits: u64,
+    /// Messages abandoned after retry exhaustion, across all NICs. A
+    /// completed run should always report zero.
+    pub delivery_failures: u64,
+}
+
+impl ScenarioResult {
+    /// Snapshot a finished cluster into the unified shape. `total` is the
+    /// makespan; workloads reporting a different headline event overwrite
+    /// [`total`](ScenarioResult::total) / [`per_iter`](ScenarioResult::per_iter)
+    /// via [`set_total`](ScenarioResult::set_total).
+    pub fn collect(
+        workload: &'static str,
+        params: &ScenarioParams,
+        cluster: &Cluster,
+        result: &ClusterResult,
+    ) -> Self {
+        let nodes = params.node_count();
+        let stats = cluster.collect_stats();
+        let retransmits = stats.counter_across("nic", "retransmits");
+        let delivery_failures = (0..nodes)
+            .map(|nd| cluster.nic(nd).delivery_failures().len() as u64)
+            .sum();
+        let stages = if cluster.config().log_events && nodes == 2 {
+            stage_breakdown(cluster.log(), 0, 1)
+        } else {
+            Vec::new()
+        };
+        let mut out = ScenarioResult {
+            workload,
+            strategy: params.strategy,
+            nodes,
+            size: params.size,
+            iters: params.iters,
+            total: SimTime::ZERO,
+            per_iter: SimDuration::ZERO,
+            stages,
+            stats,
+            retransmits,
+            delivery_failures,
+        };
+        out.set_total(result.makespan);
+        out
+    }
+
+    /// Set the headline completion time, recomputing `per_iter`.
+    pub fn set_total(&mut self, total: SimTime) {
+        self.total = total;
+        self.per_iter = SimDuration::from_ps(total.as_ps() / self.iters.max(1) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_params_builder_composes() {
+        let p = ScenarioParams::new(Strategy::GpuTn)
+            .grid(2, 3)
+            .size(64)
+            .iters(4)
+            .seed(7)
+            .patch(ConfigPatch::loss(2, 0.01));
+        assert_eq!(p.node_count(), 6);
+        assert_eq!((p.size, p.iters, p.seed), (64, 4, 7));
+        assert_eq!(p.patch.loss, Some((2, 0.01)));
+        assert_eq!(ScenarioParams::new(Strategy::Cpu).nodes(5).node_count(), 5);
+    }
+
+    #[test]
+    fn zero_rate_loss_patch_is_the_lossless_baseline() {
+        let mut config = ClusterConfig::table2(2);
+        let before = format!("{:?}", config.fabric.faults);
+        ConfigPatch::loss(2, 0.0).apply(&mut config);
+        assert_eq!(format!("{:?}", config.fabric.faults), before);
+        assert!(!config.nic.reliability.enabled);
+    }
+}

@@ -19,24 +19,23 @@
 //! Results are verified against the exact ring-order chain sum (bit-exact
 //! f32), and all nodes must agree.
 
-use gtn_core::cluster::Cluster;
+use crate::harness::{Harness, ScenarioParams, ScenarioResult, Workload};
+use gtn_core::comm::{self, GpuTnDriver};
 use gtn_core::config::ClusterConfig;
-use gtn_core::{ClusterStats, Strategy};
+use gtn_core::Strategy;
 use gtn_gpu::kernel::ProgramBuilder;
 use gtn_gpu::KernelLaunch;
 use gtn_host::compute::CpuCompute;
-use gtn_host::mpi::MpiWorld;
 use gtn_host::nbc::chunk_range;
 use gtn_host::HostProgram;
 use gtn_mem::latency::MemHierarchy;
 use gtn_mem::scope::{MemOrdering, MemScope};
 use gtn_mem::{Addr, MemPool, NodeId};
 use gtn_nic::lookup::LookupKind;
-use gtn_nic::nic::NicCommand;
 use gtn_nic::op::{NetOp, Notify};
 use gtn_nic::Tag;
 use gtn_sim::rng::SimRng;
-use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::time::SimDuration;
 
 /// Staging slots for in-flight reduce-scatter chunks (ring flow control).
 const STAGE_SLOTS: u64 = 4;
@@ -54,19 +53,26 @@ pub struct AllreduceParams {
     pub seed: u64,
 }
 
+impl AllreduceParams {
+    /// Assemble params field-by-field.
+    pub fn new(nodes: u32, elems: u64, strategy: Strategy, seed: u64) -> Self {
+        AllreduceParams {
+            nodes,
+            elems,
+            strategy,
+            seed,
+        }
+    }
+}
+
 /// Result of one run.
 #[derive(Debug)]
 pub struct AllreduceResult {
-    /// Node count echoed.
-    pub nodes: u32,
-    /// Strategy echoed.
-    pub strategy: Strategy,
-    /// Completion time of the slowest node (the Fig. 10 quantity).
-    pub total: SimTime,
+    /// The unified result; its `total` is the completion time of the
+    /// slowest node (the Fig. 10 quantity).
+    pub scenario: ScenarioResult,
     /// Final vector of node 0 (all nodes are asserted identical).
     pub result: Vec<f32>,
-    /// Per-component stats snapshot (NIC retransmits, stage latencies, …).
-    pub stats: ClusterStats,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,8 +125,17 @@ fn cpu_reduce_time(cpu: &CpuCompute, elems: u64) -> SimDuration {
     SimDuration::from_ns_f64(12.0 * elems as f64 / 80.0) + cpu.fork_join()
 }
 
-/// Run one configuration.
+/// Run one configuration with the default (lossless) cluster config.
 pub fn run(params: AllreduceParams) -> AllreduceResult {
+    run_with_config(params, |_| {})
+}
+
+/// Run one configuration, applying `mutate` to the cluster config after
+/// the workload's defaults are set (fault-injection studies hook in here).
+pub fn run_with_config(
+    params: AllreduceParams,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> AllreduceResult {
     let p = params.nodes;
     assert!(p >= 2, "allreduce needs at least 2 nodes");
     assert!(params.elems >= p as u64, "fewer elements than chunks");
@@ -133,6 +148,7 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
     // the 32-node sweep.
     config.gpu.poll_interval_ns = 500;
     config.host.poll_interval_ns = 500;
+    mutate(&mut config);
 
     let max_chunk = (0..p)
         .map(|c| chunk_range(c, params.elems, p).1)
@@ -160,15 +176,16 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         })
         .collect();
 
-    let mut mpi = matches!(params.strategy, Strategy::Cpu | Strategy::Hdn)
-        .then(|| MpiWorld::new(&mut mem, p, chunk_bytes));
+    // Two-sided drivers build their MPI lane here (allocating eager
+    // buffers); one-sided drivers need no setup.
+    let mut driver = comm::driver(params.strategy);
+    driver.setup(&config, &mut mem, chunk_bytes);
     let cpu_model = CpuCompute::new(config.host.clone());
 
     let rounds = 2 * (p - 1);
     let md = |x: i64| ((x % p as i64 + p as i64) % p as i64) as u32;
 
     let mut programs = Vec::with_capacity(p as usize);
-    let mut gds_hooks: Vec<(u32, String, Tag)> = Vec::new();
 
     for node in 0..p {
         let i = node as i64;
@@ -177,25 +194,16 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         let prev = (node + p - 1) % p;
         let nb = bufs[next as usize];
 
-        // Per-round geometry, same for every strategy.
+        // Per-round geometry, same for every strategy, as
+        // (send_chunk, recv_chunk, reduce):
         //   RS round r (0..P-1):  send (i−r), recv (i−r−1) → reduce.
         //   AG round r' (0..P-1): send (i+1−r'), recv (i−r') → in place.
-        let round_info = |r: u32| -> RoundInfo {
+        let round_info = |r: u32| -> (u32, u32, bool) {
             if r < p - 1 {
-                let send_chunk = md(i - r as i64);
-                let recv_chunk = md(i - r as i64 - 1);
-                RoundInfo {
-                    send_chunk,
-                    recv_chunk,
-                    reduce: true,
-                }
+                (md(i - r as i64), md(i - r as i64 - 1), true)
             } else {
                 let rp = (r - (p - 1)) as i64;
-                RoundInfo {
-                    send_chunk: md(i + 1 - rp),
-                    recv_chunk: md(i - rp),
-                    reduce: false,
-                }
+                (md(i + 1 - rp), md(i - rp), false)
             }
         };
 
@@ -203,8 +211,8 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         // with its own indices)? The receiver (i+1) computes the same
         // round structure; its recv chunk equals our send chunk, so:
         let put_for_round = |r: u32, completion: bool| -> NetOp {
-            let info = round_info(r);
-            let (off, len) = chunk_range(info.send_chunk, params.elems, p);
+            let (send_chunk, _, _) = round_info(r);
+            let (off, len) = chunk_range(send_chunk, params.elems, p);
             let dst = if r < p - 1 {
                 nb.stage
                     .offset_by((r as u64 % STAGE_SLOTS) * nb.stage_slot_bytes)
@@ -241,27 +249,21 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         let mut prog = HostProgram::new();
         match params.strategy {
             Strategy::Cpu | Strategy::Hdn => {
-                let mpi = mpi.as_mut().expect("mpi world");
                 for r in 0..rounds {
-                    let info = round_info(r);
-                    let (soff, slen) = chunk_range(info.send_chunk, params.elems, p);
-                    let (roff, rlen) = chunk_range(info.recv_chunk, params.elems, p);
-                    prog.extend(mpi.send_ops(
+                    let (send_chunk, recv_chunk, reduce) = round_info(r);
+                    let (soff, slen) = chunk_range(send_chunk, params.elems, p);
+                    let (roff, rlen) = chunk_range(recv_chunk, params.elems, p);
+                    driver.send(
+                        &mut prog,
                         NodeId(node),
                         NodeId(next),
                         b.vec.offset_by(soff * 4),
                         slen * 4,
-                    ));
-                    if info.reduce {
+                    );
+                    if reduce {
                         // Receive into staging slot 0, then fold.
-                        prog.extend(mpi.recv_ops(
-                            &config.host,
-                            NodeId(prev),
-                            NodeId(node),
-                            b.stage,
-                            rlen * 4,
-                        ));
-                        let chunk = info.recv_chunk;
+                        driver.recv(&mut prog, NodeId(prev), NodeId(node), b.stage, rlen * 4);
+                        let chunk = recv_chunk;
                         let elems = params.elems;
                         if params.strategy == Strategy::Cpu {
                             prog.compute(cpu_reduce_time(&cpu_model, rlen));
@@ -278,13 +280,13 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
                         }
                     } else {
                         // Allgather: receive straight into place.
-                        prog.extend(mpi.recv_ops(
-                            &config.host,
+                        driver.recv(
+                            &mut prog,
                             NodeId(prev),
                             NodeId(node),
                             b.vec.offset_by(roff * 4),
                             rlen * 4,
-                        ));
+                        );
                         if params.strategy == Strategy::Hdn {
                             // §5.4.1/§5.3: HDN "exits the kernel and
                             // returns to the host ... after every round" —
@@ -303,43 +305,39 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
             }
             Strategy::Gds => {
                 // Round 0's send moves initial data: CPU posts it directly.
-                prog.nic_post(NicCommand::Put(put_for_round(0, false)));
+                driver.post(&mut prog, put_for_round(0, false));
                 for r in 0..rounds {
-                    let info = round_info(r);
+                    let (_, recv_chunk, reduce) = round_info(r);
                     // Pre-post the next round's send; it fires at this
                     // round's kernel boundary.
                     if r + 1 < rounds {
-                        prog.nic_post(NicCommand::TriggeredPut {
-                            tag: Tag((r + 1) as u64),
-                            threshold: 1,
-                            op: put_for_round(r + 1, false),
-                        });
+                        driver.register(
+                            &mut prog,
+                            Tag((r + 1) as u64),
+                            1,
+                            put_for_round(r + 1, false),
+                        );
                     }
                     prog.poll(b.flag, (r + 1) as u64);
                     let label = format!("k{r}");
                     let elems = params.elems;
-                    let (_, rlen) = chunk_range(info.recv_chunk, params.elems, p);
-                    let kernel = if info.reduce {
-                        let chunk = info.recv_chunk;
-                        let slot = r as u64 % STAGE_SLOTS;
+                    let (_, rlen) = chunk_range(recv_chunk, params.elems, p);
+                    let builder = if reduce {
+                        let (chunk, slot) = (recv_chunk, r as u64 % STAGE_SLOTS);
                         ProgramBuilder::new()
                             .compute(gpu_reduce_time(rlen))
                             .func(move |mem, _| reduce_fn(mem, chunk, slot, elems, p))
                             .fence(MemScope::System, MemOrdering::Release)
-                            .build()
-                            .expect("valid kernel")
                     } else {
                         // Allgather: payload landed in place; the kernel
                         // exists to give the next send its boundary.
-                        ProgramBuilder::new()
-                            .compute(SimDuration::from_ns(100))
-                            .build()
-                            .expect("valid kernel")
+                        ProgramBuilder::new().compute(SimDuration::from_ns(100))
                     };
+                    let kernel = builder.build().expect("valid kernel");
                     prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
                     prog.wait_kernel(&label);
                     if r + 1 < rounds {
-                        gds_hooks.push((node, label, Tag((r + 1) as u64)));
+                        driver.on_kernel_done(node, &label, Tag((r + 1) as u64));
                     }
                 }
             }
@@ -347,15 +345,13 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
                 // One persistent kernel for the whole collective.
                 let mut builder = ProgramBuilder::new();
                 for r in 0..rounds {
-                    let info = round_info(r);
+                    let (_, recv_chunk, reduce) = round_info(r);
                     let elems = params.elems;
-                    let (_, rlen) = chunk_range(info.recv_chunk, params.elems, p);
-                    builder = builder
-                        .fence(MemScope::System, MemOrdering::Release)
-                        .trigger_store(move |_| Tag(r as u64))
+                    let (_, rlen) = chunk_range(recv_chunk, params.elems, p);
+                    builder = GpuTnDriver::release_trigger(builder, Tag(r as u64))
                         .poll(move |_| b.flag, (r + 1) as u64);
-                    if info.reduce {
-                        let chunk = info.recv_chunk;
+                    if reduce {
+                        let chunk = recv_chunk;
                         let slot = r as u64 % STAGE_SLOTS;
                         builder = builder
                             .compute(gpu_reduce_time(rlen))
@@ -366,11 +362,7 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
                 prog.launch(KernelLaunch::new(kernel, 1, 64, "persistent"));
                 // Just-in-time posting throttled by local completions.
                 for r in 0..rounds {
-                    prog.nic_post(NicCommand::TriggeredPut {
-                        tag: Tag(r as u64),
-                        threshold: 1,
-                        op: put_for_round(r, true),
-                    });
+                    driver.register(&mut prog, Tag(r as u64), 1, put_for_round(r, true));
                     prog.poll(b.comp, (r + 1) as u64);
                 }
                 prog.wait_kernel("persistent");
@@ -379,16 +371,12 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
         programs.push(prog);
     }
 
-    let mut cluster = Cluster::new(config, mem, programs);
-    for (node, label, tag) in gds_hooks {
-        cluster.gds_doorbell_on_done(node, &label, tag);
-    }
-    let result = cluster.run();
-    assert!(
-        result.completed,
-        "allreduce {:?} P={} deadlocked: {result:?}",
-        params.strategy, params.nodes
-    );
+    let sparams = ScenarioParams::new(params.strategy)
+        .nodes(p)
+        .size(params.elems)
+        .seed(params.seed);
+    let (cluster, scenario) =
+        Harness::execute("allreduce", &sparams, config, mem, programs, &mut *driver);
 
     // All nodes must agree; return node 0's vector.
     let v0 = cluster.mem().read_f32s(bufs[0].vec, params.elems as usize);
@@ -400,19 +388,47 @@ pub fn run(params: AllreduceParams) -> AllreduceResult {
     }
 
     AllreduceResult {
-        nodes: p,
-        strategy: params.strategy,
-        total: result.makespan,
+        scenario,
         result: v0,
-        stats: cluster.collect_stats(),
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RoundInfo {
-    send_chunk: u32,
-    recv_chunk: u32,
-    reduce: bool,
+/// Fig. 10's workload, adapted to the shared [`Workload`] frame.
+#[derive(Debug, Default)]
+pub struct Allreduce;
+
+impl Workload for Allreduce {
+    fn name(&self) -> &'static str {
+        "allreduce"
+    }
+
+    fn smoke_scenario(&self, strategy: Strategy) -> ScenarioParams {
+        ScenarioParams::new(strategy)
+            .nodes(5)
+            .size(64 * 1024)
+            .seed(0xBEEF)
+    }
+
+    fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+        let patch = params.patch;
+        let r = run_with_config(
+            AllreduceParams {
+                nodes: params.node_count(),
+                elems: params.size,
+                strategy: params.strategy,
+                seed: params.seed,
+            },
+            |config| patch.apply(config),
+        );
+        let expect = reference(params.node_count(), params.size, params.seed);
+        if r.result != expect {
+            return Err(format!(
+                "{} ring sum diverges from the sequential reference",
+                params.strategy
+            ));
+        }
+        Ok(r.scenario)
+    }
 }
 
 #[cfg(test)]
@@ -420,63 +436,24 @@ mod tests {
     use super::*;
 
     fn params(strategy: Strategy, nodes: u32, elems: u64) -> AllreduceParams {
-        AllreduceParams {
-            nodes,
-            elems,
-            strategy,
-            seed: 0xBEEF,
-        }
+        AllreduceParams::new(nodes, elems, strategy, 0xBEEF)
+    }
+
+    fn total_us(p: AllreduceParams) -> f64 {
+        run(p).scenario.total.as_us_f64()
     }
 
     #[test]
-    fn all_strategies_produce_the_exact_ring_sum() {
-        let expect = reference(4, 4096, 0xBEEF);
-        for strategy in Strategy::all() {
-            let r = run(params(strategy, 4, 4096));
-            assert_eq!(r.result, expect, "{strategy} wrong reduction");
+    fn ragged_chunks_and_edge_node_counts_work() {
+        // 5 nodes, 1001 elements: chunks of 201/200/200/200/200 — and the
+        // 2-node minimum.
+        for (nodes, elems, seed) in [(5u32, 1001u64, 1u64), (2, 512, 3)] {
+            let expect = reference(nodes, elems, seed);
+            for strategy in [Strategy::Hdn, Strategy::GpuTn] {
+                let r = run(AllreduceParams::new(nodes, elems, strategy, seed));
+                assert_eq!(r.result, expect, "{strategy} P={nodes}");
+            }
         }
-    }
-
-    #[test]
-    fn odd_node_counts_and_ragged_chunks_work() {
-        // 5 nodes, 1001 elements: chunks of 201/200/200/200/200.
-        let expect = reference(5, 1001, 1);
-        for strategy in [Strategy::Hdn, Strategy::GpuTn] {
-            let r = run(AllreduceParams {
-                nodes: 5,
-                elems: 1001,
-                strategy,
-                seed: 1,
-            });
-            assert_eq!(r.result, expect, "{strategy}");
-        }
-    }
-
-    #[test]
-    fn two_node_minimum_works() {
-        let expect = reference(2, 512, 3);
-        let r = run(AllreduceParams {
-            nodes: 2,
-            elems: 512,
-            strategy: Strategy::GpuTn,
-            seed: 3,
-        });
-        assert_eq!(r.result, expect);
-    }
-
-    #[test]
-    fn stats_snapshot_covers_every_node() {
-        let r = run(params(Strategy::GpuTn, 4, 4096));
-        for n in 0..4 {
-            assert!(
-                r.stats.get(&format!("node{n}.nic")).is_some(),
-                "missing node{n}.nic namespace"
-            );
-        }
-        // A 4-node ring allreduce moves plenty of messages.
-        assert!(r.stats.counter("fabric", "messages_sent") > 0);
-        let nic = r.stats.merged("nic");
-        assert!(nic.histogram("stage_wire").is_some_and(|h| h.count() > 0));
     }
 
     #[test]
@@ -486,9 +463,7 @@ mod tests {
         // bite and GPU-TN's advantage widens.
         let elems = 64 * 1024; // 256 kB
         let ratio = |p: u32| {
-            let hdn = run(params(Strategy::Hdn, p, elems)).total.as_us_f64();
-            let tn = run(params(Strategy::GpuTn, p, elems)).total.as_us_f64();
-            hdn / tn
+            total_us(params(Strategy::Hdn, p, elems)) / total_us(params(Strategy::GpuTn, p, elems))
         };
         let small = ratio(2);
         let large = ratio(8);
@@ -505,9 +480,9 @@ mod tests {
         // chunks, HDN's kernel-boundary overhead drops it below the CPU
         // baseline; GPU-TN stays ahead.
         let elems = 32 * 1024; // small chunks at P=16
-        let cpu = run(params(Strategy::Cpu, 16, elems)).total.as_us_f64();
-        let hdn = run(params(Strategy::Hdn, 16, elems)).total.as_us_f64();
-        let tn = run(params(Strategy::GpuTn, 16, elems)).total.as_us_f64();
+        let cpu = total_us(params(Strategy::Cpu, 16, elems));
+        let hdn = total_us(params(Strategy::Hdn, 16, elems));
+        let tn = total_us(params(Strategy::GpuTn, 16, elems));
         assert!(hdn > cpu, "HDN {hdn} should fall below CPU {cpu} at scale");
         assert!(tn < cpu, "GPU-TN {tn} should stay ahead of CPU {cpu}");
     }

@@ -53,56 +53,34 @@ impl Workload {
     /// small gradients at high rates; Large Synth is a wide synthetic
     /// network with mid-size gradients.
     pub fn catalog() -> Vec<Workload> {
-        vec![
-            Workload {
-                name: "AlexNet",
-                domain: "Classification",
-                pct_blocked: 0.14,
-                reductions: 4_672,
-                median_bytes: 8.0 * 1024.0 * 1024.0,
-                sigma: 0.8,
-            },
-            Workload {
-                name: "AN4 LSTM",
-                domain: "Speech",
-                pct_blocked: 0.50,
-                reductions: 131_192,
-                median_bytes: 256.0 * 1024.0,
-                sigma: 0.6,
-            },
-            Workload {
-                name: "CIFAR",
-                domain: "Classification",
-                pct_blocked: 0.04,
-                reductions: 939_820,
-                median_bytes: 64.0 * 1024.0,
-                sigma: 0.5,
-            },
-            Workload {
-                name: "Large Synth",
-                domain: "Synthetic",
-                pct_blocked: 0.28,
-                reductions: 52_800,
-                median_bytes: 2.0 * 1024.0 * 1024.0,
-                sigma: 0.7,
-            },
-            Workload {
-                name: "MNIST Conv",
-                domain: "Text Recognition",
-                pct_blocked: 0.12,
-                reductions: 900_000,
-                median_bytes: 32.0 * 1024.0,
-                sigma: 0.5,
-            },
-            Workload {
-                name: "MNIST Hidden",
-                domain: "Text Recognition",
-                pct_blocked: 0.29,
-                reductions: 900_000,
-                median_bytes: 128.0 * 1024.0,
-                sigma: 0.5,
-            },
-        ]
+        // (name, domain, %blocked, reductions, median KiB, sigma)
+        const ROWS: [(&str, &str, f64, u64, f64, f64); 6] = [
+            ("AlexNet", "Classification", 0.14, 4_672, 8192.0, 0.8),
+            ("AN4 LSTM", "Speech", 0.50, 131_192, 256.0, 0.6),
+            ("CIFAR", "Classification", 0.04, 939_820, 64.0, 0.5),
+            ("Large Synth", "Synthetic", 0.28, 52_800, 2048.0, 0.7),
+            ("MNIST Conv", "Text Recognition", 0.12, 900_000, 32.0, 0.5),
+            (
+                "MNIST Hidden",
+                "Text Recognition",
+                0.29,
+                900_000,
+                128.0,
+                0.5,
+            ),
+        ];
+        ROWS.iter()
+            .map(
+                |&(name, domain, pct_blocked, reductions, kib, sigma)| Workload {
+                    name,
+                    domain,
+                    pct_blocked,
+                    reductions,
+                    median_bytes: kib * 1024.0,
+                    sigma,
+                },
+            )
+            .collect()
     }
 
     /// Draw `n` Allreduce payload sizes (bytes) from this workload's
@@ -141,13 +119,9 @@ impl CostTable {
         for strategy in Strategy::all() {
             let mut row = Vec::with_capacity(sizes.len());
             for &s in sizes {
-                let r = allreduce::run(AllreduceParams {
-                    nodes,
-                    elems: (s / 4).max(nodes as u64),
-                    strategy,
-                    seed,
-                });
-                row.push(r.total.as_ns_f64());
+                let elems = (s / 4).max(nodes as u64);
+                let r = allreduce::run(AllreduceParams::new(nodes, elems, strategy, seed));
+                row.push(r.scenario.total.as_ns_f64());
             }
             times.insert(strategy, row);
         }

@@ -1,0 +1,164 @@
+//! The workload harness: one parameter vocabulary, one result shape, one
+//! execution path for every evaluation workload.
+//!
+//! The vocabulary types — [`ScenarioParams`], [`ScenarioResult`], and
+//! [`ConfigPatch`] — live beside the strategy drivers in
+//! [`gtn_core::scenario`] and are re-exported here. This module adds what
+//! is workload-shaped:
+//!
+//! - [`Workload`] — the trait the four workloads implement, which is what
+//!   lets one generic invariant test suite (and one strategy-subset bench
+//!   filter) drive all of them.
+//! - [`Harness`] — cluster execution (build → install driver hooks → run
+//!   → assert completion → collect) plus the `GTN_STRATEGIES` env filter
+//!   benches use to run a strategy subset.
+
+use gtn_core::cluster::Cluster;
+use gtn_core::comm::CommDriver;
+use gtn_core::config::ClusterConfig;
+use gtn_core::Strategy;
+use gtn_host::HostProgram;
+use gtn_mem::MemPool;
+
+pub use gtn_core::scenario::{ConfigPatch, ScenarioParams, ScenarioResult};
+
+/// Env var naming a strategy subset for benches, e.g.
+/// `GTN_STRATEGIES=hdn,gpu-tn` (comma- or whitespace-separated, any case
+/// [`Strategy`]'s `FromStr` accepts). Unset or empty means all four.
+pub const STRATEGIES_ENV: &str = "GTN_STRATEGIES";
+
+/// A paper evaluation workload, drivable generically: the invariant test
+/// suite and the strategy-filtered benches only speak this trait.
+pub trait Workload {
+    /// Short name used in results and failure messages.
+    fn name(&self) -> &'static str;
+
+    /// The strategies this workload compares (presentation order). The
+    /// launch study overrides this — it measures the GPU scheduler, not a
+    /// networking strategy.
+    fn strategies(&self) -> Vec<Strategy> {
+        Strategy::all().to_vec()
+    }
+
+    /// A seconds-scale scenario of `strategy` on which this workload's
+    /// qualitative orderings (GPU-TN ≤ GDS ≤ HDN) are expected to hold.
+    fn smoke_scenario(&self, strategy: Strategy) -> ScenarioParams;
+
+    /// Run one scenario, returning the unified result. The default runs
+    /// the verifying path and panics on a functional mismatch — sim-time
+    /// results are identical either way, so only workloads with a cheaper
+    /// unverified path need to override.
+    fn run_scenario(&self, params: &ScenarioParams) -> ScenarioResult {
+        self.verify(params)
+            .unwrap_or_else(|e| panic!("{} failed verification: {e}", self.name()))
+    }
+
+    /// Run one scenario *and* check functional correctness against the
+    /// workload's reference computation, describing any mismatch.
+    fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String>;
+}
+
+/// Every [`Workload`] the evaluation drives, in figure order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::launch_study::LaunchStudy),
+        Box::new(crate::pingpong::Pingpong),
+        Box::new(crate::jacobi::Jacobi),
+        Box::new(crate::allreduce::Allreduce),
+    ]
+}
+
+/// Shared execution and strategy-filter plumbing.
+pub struct Harness;
+
+impl Harness {
+    /// The strategy sweep benches should run: [`Strategy::all`] unless
+    /// the `GTN_STRATEGIES` env var names a subset.
+    ///
+    /// # Panics
+    /// Panics on an unparseable spec (a bench typo should fail loudly,
+    /// not silently run the wrong sweep).
+    pub fn strategies() -> Vec<Strategy> {
+        match std::env::var(STRATEGIES_ENV) {
+            Ok(spec) => Self::parse_filter(&spec).expect("invalid GTN_STRATEGIES"),
+            Err(_) => Strategy::all().to_vec(),
+        }
+    }
+
+    /// Parse a strategy-subset spec: comma- or whitespace-separated
+    /// [`Strategy`] names, deduplicated and normalized to the
+    /// [`Strategy::all`] presentation order. Empty means all four.
+    pub fn parse_filter(spec: &str) -> Result<Vec<Strategy>, String> {
+        let mut picked = Vec::new();
+        for token in spec.split([',', ' ', '\t']).filter(|t| !t.is_empty()) {
+            let s: Strategy = token.parse()?;
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+        }
+        if picked.is_empty() {
+            return Ok(Strategy::all().to_vec());
+        }
+        Ok(Strategy::all()
+            .into_iter()
+            .filter(|s| picked.contains(s))
+            .collect())
+    }
+
+    /// Build the cluster, install the driver's cluster-side registrations
+    /// (GDS doorbell hooks), run to completion, and snapshot the unified
+    /// result. Panics with a uniform message if the cluster deadlocks.
+    pub fn execute(
+        workload: &'static str,
+        params: &ScenarioParams,
+        config: ClusterConfig,
+        mem: MemPool,
+        programs: Vec<HostProgram>,
+        driver: &mut dyn CommDriver,
+    ) -> (Cluster, ScenarioResult) {
+        let mut cluster = Cluster::new(config, mem, programs);
+        driver.install(&mut cluster);
+        let result = cluster.run();
+        assert!(
+            result.completed,
+            "{workload} {} P={} deadlocked: {result:?}",
+            params.strategy,
+            params.node_count()
+        );
+        let scenario = ScenarioResult::collect(workload, params, &cluster, &result);
+        (cluster, scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_filter_accepts_separators_and_normalizes_order() {
+        let both = vec![Strategy::Hdn, Strategy::GpuTn];
+        assert_eq!(Harness::parse_filter("hdn,gpu-tn").unwrap(), both);
+        assert_eq!(Harness::parse_filter("gpu-tn hdn").unwrap(), both);
+        assert_eq!(Harness::parse_filter("GPU-TN,\thdn,hdn").unwrap(), both);
+    }
+
+    #[test]
+    fn parse_filter_empty_means_all() {
+        assert_eq!(Harness::parse_filter("").unwrap(), Strategy::all().to_vec());
+        assert_eq!(
+            Harness::parse_filter(" , ").unwrap(),
+            Strategy::all().to_vec()
+        );
+    }
+
+    #[test]
+    fn parse_filter_rejects_unknown_names() {
+        assert!(Harness::parse_filter("hdn,warp-drive").is_err());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_cover_the_figures() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["launch_study", "pingpong", "jacobi", "allreduce"]);
+    }
+}

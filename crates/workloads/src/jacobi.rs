@@ -24,23 +24,22 @@
 //! Functional correctness is checked bit-exactly against a sequential
 //! sweep of the assembled `(R·N)×(C·N)` global grid.
 
-use gtn_core::cluster::Cluster;
+use crate::harness::{Harness, ScenarioParams, ScenarioResult, Workload};
+use gtn_core::comm::{self, CommDriver, GpuTnDriver};
 use gtn_core::config::ClusterConfig;
-use gtn_core::{ClusterStats, Strategy};
+use gtn_core::Strategy;
 use gtn_gpu::kernel::ProgramBuilder;
-use gtn_gpu::KernelLaunch;
+use gtn_gpu::{KernelLaunch, WgCtx};
 use gtn_host::compute::CpuCompute;
-use gtn_host::mpi::MpiWorld;
 use gtn_host::HostProgram;
 use gtn_mem::latency::MemHierarchy;
 use gtn_mem::scope::{MemOrdering, MemScope};
 use gtn_mem::{Addr, MemPool, NodeId};
 use gtn_nic::lookup::LookupKind;
-use gtn_nic::nic::NicCommand;
 use gtn_nic::op::{NetOp, Notify};
 use gtn_nic::Tag;
 use gtn_sim::rng::SimRng;
-use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::time::SimDuration;
 
 /// Halo directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,14 +59,9 @@ impl Dir {
     pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::West, Dir::East];
 
     /// The direction a message sent toward `self` arrives *from* at the
-    /// receiver.
+    /// receiver (N↔S, W↔E: flip the low bit).
     pub fn opposite(self) -> Dir {
-        match self {
-            Dir::North => Dir::South,
-            Dir::South => Dir::North,
-            Dir::West => Dir::East,
-            Dir::East => Dir::West,
-        }
+        Dir::ALL[self as usize ^ 1]
     }
 }
 
@@ -89,16 +83,15 @@ pub struct JacobiParams {
 }
 
 impl JacobiParams {
+    /// Assemble params field-by-field.
+    #[rustfmt::skip]
+    pub fn new(rows: u32, cols: u32, n_local: u32, iters: u32, strategy: Strategy, seed: u64) -> Self {
+        JacobiParams { rows, cols, n_local, iters, strategy, seed }
+    }
+
     /// The paper's figure configuration: 4 nodes in a 2×2 decomposition.
     pub fn square4(n_local: u32, iters: u32, strategy: Strategy, seed: u64) -> Self {
-        JacobiParams {
-            rows: 2,
-            cols: 2,
-            n_local,
-            iters,
-            strategy,
-            seed,
-        }
+        Self::new(2, 2, n_local, iters, strategy, seed)
     }
 
     /// Total nodes.
@@ -110,24 +103,11 @@ impl JacobiParams {
 /// Result of one run.
 #[derive(Debug)]
 pub struct JacobiResult {
-    /// Local grid edge.
-    pub n_local: u32,
-    /// Strategy echoed.
-    pub strategy: Strategy,
-    /// Total simulated time.
-    pub total: SimTime,
-    /// Per-iteration time (the Fig. 9 quantity).
-    pub per_iter: SimDuration,
+    /// The unified result; its `size` is the local grid edge and its
+    /// `per_iter` is the Fig. 9 quantity.
+    pub scenario: ScenarioResult,
     /// Final interior values per node, row-major `n_local × n_local`.
     pub interiors: Vec<Vec<f32>>,
-    /// Total retransmissions across all NICs (zero unless the run enabled
-    /// the reliability layer and the fabric dropped something).
-    pub retransmits: u64,
-    /// Messages abandoned after retry exhaustion, across all NICs. A
-    /// completed run should always report zero.
-    pub delivery_failures: u64,
-    /// Per-component stats snapshot (stage latencies, fault counters, …).
-    pub stats: ClusterStats,
 }
 
 /// Per-node memory layout: ghosted grid, scratch, and per-direction
@@ -151,52 +131,41 @@ struct NodeBufs {
     comp: Addr,
 }
 
+const SEND_LABELS: [&str; 4] = [
+    "jacobi.send_n",
+    "jacobi.send_s",
+    "jacobi.send_w",
+    "jacobi.send_e",
+];
+const STAGE_LABELS: [[&str; 2]; 4] = [
+    ["jacobi.stage_n0", "jacobi.stage_n1"],
+    ["jacobi.stage_s0", "jacobi.stage_s1"],
+    ["jacobi.stage_w0", "jacobi.stage_w1"],
+    ["jacobi.stage_e0", "jacobi.stage_e1"],
+];
+const FLAG_LABELS: [&str; 4] = [
+    "jacobi.flag_n",
+    "jacobi.flag_s",
+    "jacobi.flag_w",
+    "jacobi.flag_e",
+];
+
 fn alloc_node(mem: &mut MemPool, node: u32, n: u64) -> NodeBufs {
     let id = NodeId(node);
     let cells = (n + 2) * (n + 2) * 4;
     fn edge(mem: &mut MemPool, id: NodeId, n: u64, label: &'static str) -> Addr {
         Addr::base(id, mem.alloc(id, n * 4, label))
     }
-    fn flag8(mem: &mut MemPool, id: NodeId, label: &'static str) -> Addr {
-        Addr::base(id, mem.alloc(id, 8, label))
-    }
-    let send = [
-        edge(mem, id, n, "jacobi.send_n"),
-        edge(mem, id, n, "jacobi.send_s"),
-        edge(mem, id, n, "jacobi.send_w"),
-        edge(mem, id, n, "jacobi.send_e"),
-    ];
-    let stage = [
-        [
-            edge(mem, id, n, "jacobi.stage_n0"),
-            edge(mem, id, n, "jacobi.stage_n1"),
-        ],
-        [
-            edge(mem, id, n, "jacobi.stage_s0"),
-            edge(mem, id, n, "jacobi.stage_s1"),
-        ],
-        [
-            edge(mem, id, n, "jacobi.stage_w0"),
-            edge(mem, id, n, "jacobi.stage_w1"),
-        ],
-        [
-            edge(mem, id, n, "jacobi.stage_e0"),
-            edge(mem, id, n, "jacobi.stage_e1"),
-        ],
-    ];
-    let flag = [
-        flag8(mem, id, "jacobi.flag_n"),
-        flag8(mem, id, "jacobi.flag_s"),
-        flag8(mem, id, "jacobi.flag_w"),
-        flag8(mem, id, "jacobi.flag_e"),
-    ];
+    let send = std::array::from_fn(|d| edge(mem, id, n, SEND_LABELS[d]));
+    let stage = std::array::from_fn(|d| STAGE_LABELS[d].map(|l| edge(mem, id, n, l)));
+    let flag = std::array::from_fn(|d| Addr::base(id, mem.alloc(id, 8, FLAG_LABELS[d])));
     NodeBufs {
         grid: Addr::base(id, mem.alloc(id, cells, "jacobi.grid")),
         scratch: Addr::base(id, mem.alloc(id, cells, "jacobi.scratch")),
         send,
         stage,
         flag,
-        comp: flag8(mem, id, "jacobi.comp"),
+        comp: Addr::base(id, mem.alloc(id, 8, "jacobi.comp")),
     }
 }
 
@@ -251,42 +220,33 @@ fn sweep(mem: &mut MemPool, grid: Addr, scratch: Addr, n: u64) {
     }
 }
 
-/// Pack the interior edge facing `dir` into that direction's send buffer.
-fn pack_dir(mem: &mut MemPool, b: &NodeBufs, dir: Dir, n: u64) {
-    match dir {
-        Dir::North | Dir::South => {
-            let row = if dir == Dir::North { 1 } else { n };
-            for col in 1..=n {
-                let v = mem.read_f32(b.grid.offset_by(gidx(n, row, col)));
-                mem.write_f32(b.send[dir as usize].offset_by((col - 1) * 4), v);
+/// The two edge moves, unified over direction geometry: with `slot:
+/// None`, pack the interior edge facing `dir` into that direction's send
+/// buffer; with `Some(slot)`, scatter the halo that arrived *from* `dir`
+/// (staged in parity `slot`) into the ghost ring.
+fn edge_copy(mem: &mut MemPool, b: &NodeBufs, dir: Dir, slot: Option<usize>, n: u64) {
+    // Packing reads the interior edge line (1 / n); scattering writes the
+    // ghost line (0 / n+1).
+    let line = match (slot, matches!(dir, Dir::North | Dir::West)) {
+        (None, true) => 1,
+        (None, false) => n,
+        (Some(_), true) => 0,
+        (Some(_), false) => n + 1,
+    };
+    for i in 1..=n {
+        let cell = if matches!(dir, Dir::North | Dir::South) {
+            gidx(n, line, i)
+        } else {
+            gidx(n, i, line)
+        };
+        match slot {
+            None => {
+                let v = mem.read_f32(b.grid.offset_by(cell));
+                mem.write_f32(b.send[dir as usize].offset_by((i - 1) * 4), v);
             }
-        }
-        Dir::West | Dir::East => {
-            let col = if dir == Dir::West { 1 } else { n };
-            for row in 1..=n {
-                let v = mem.read_f32(b.grid.offset_by(gidx(n, row, col)));
-                mem.write_f32(b.send[dir as usize].offset_by((row - 1) * 4), v);
-            }
-        }
-    }
-}
-
-/// Scatter the halo that arrived *from* `dir` (staged in parity `slot`)
-/// into the ghost ring.
-fn scatter_dir(mem: &mut MemPool, b: &NodeBufs, dir: Dir, slot: usize, n: u64) {
-    match dir {
-        Dir::North | Dir::South => {
-            let row = if dir == Dir::North { 0 } else { n + 1 };
-            for col in 1..=n {
-                let v = mem.read_f32(b.stage[dir as usize][slot].offset_by((col - 1) * 4));
-                mem.write_f32(b.grid.offset_by(gidx(n, row, col)), v);
-            }
-        }
-        Dir::West | Dir::East => {
-            let col = if dir == Dir::West { 0 } else { n + 1 };
-            for row in 1..=n {
-                let v = mem.read_f32(b.stage[dir as usize][slot].offset_by((row - 1) * 4));
-                mem.write_f32(b.grid.offset_by(gidx(n, row, col)), v);
+            Some(s) => {
+                let v = mem.read_f32(b.stage[dir as usize][s].offset_by((i - 1) * 4));
+                mem.write_f32(b.grid.offset_by(cell), v);
             }
         }
     }
@@ -377,12 +337,13 @@ pub fn run_with_config(
         }
     }
 
-    let mut mpi = matches!(params.strategy, Strategy::Cpu | Strategy::Hdn)
-        .then(|| MpiWorld::new(&mut mem, nodes, n * 4));
+    // Two-sided drivers build their MPI lane here (allocating eager
+    // buffers); one-sided drivers need no setup.
+    let mut driver = comm::driver(params.strategy);
+    driver.setup(&config, &mut mem, n * 4);
     let cpu_model = CpuCompute::new(config.host.clone());
 
     let mut programs: Vec<HostProgram> = Vec::with_capacity(nodes as usize);
-    let mut gds_hooks: Vec<(u32, String, Tag)> = Vec::new();
 
     for node in 0..nodes {
         let b = bufs[node as usize].clone();
@@ -391,39 +352,62 @@ pub fn run_with_config(
         let deg = nbrs.len() as u64;
         // Tag space: iter * 4 + dir, unique per (node-local) direction.
         let tag_of = |iter: u32, dir: Dir| Tag((iter * 4 + dir as u32) as u64);
+        // One kernel fragment moving every neighbour edge at once: pack
+        // (`None`) or scatter from parity `slot`.
+        let edges_fragment = |slot: Option<usize>| {
+            let bb = b.clone();
+            let nb = nbrs.clone();
+            move |mem: &mut MemPool, _: &WgCtx| {
+                for &(dir, _) in &nb {
+                    edge_copy(mem, &bb, dir, slot, n);
+                }
+            }
+        };
+        // The host-side mirror of `edges_fragment`: the CPU pays the same
+        // edge-move cost, one host func per neighbour direction.
+        let host_edges = |p: &mut HostProgram, slot: Option<usize>| {
+            p.compute(edge_time(n, deg));
+            for &(dir, _) in &nbrs {
+                let bb = b.clone();
+                p.func(move |mem| edge_copy(mem, &bb, dir, slot, n));
+            }
+        };
+        // Register every neighbour's put for exchange `iter` (arrival
+        // iter + 1 at the peer → parity slot (iter + 1) % 2), optionally
+        // with a local completion for just-in-time throttling.
+        let register_exchange =
+            |p: &mut HostProgram, driver: &mut dyn CommDriver, iter: u32, comp: Option<Addr>| {
+                for &(dir, peer) in &nbrs {
+                    let slot = ((iter + 1) % 2) as usize;
+                    let put = put_for(&b, &bufs[peer as usize], dir, peer, slot, n, comp);
+                    driver.register(p, tag_of(iter, dir), 1, put);
+                }
+            };
 
         let mut p = HostProgram::new();
         match params.strategy {
             Strategy::Cpu | Strategy::Hdn => {
-                let mpi = mpi.as_mut().expect("mpi world");
                 for iter in 0..params.iters {
-                    p.compute(edge_time(n, deg));
-                    for &(dir, _) in &nbrs {
-                        let bb = b.clone();
-                        p.func(move |mem| pack_dir(mem, &bb, dir, n));
-                    }
+                    host_edges(&mut p, None);
                     for &(dir, peer) in &nbrs {
-                        p.extend(mpi.send_ops(
+                        driver.send(
+                            &mut p,
                             NodeId(node),
                             NodeId(peer),
                             b.send[dir as usize],
                             n * 4,
-                        ));
+                        );
                     }
                     for &(dir, peer) in &nbrs {
-                        p.extend(mpi.recv_ops(
-                            &config.host,
+                        driver.recv(
+                            &mut p,
                             NodeId(peer),
                             NodeId(node),
                             b.stage[dir as usize][0],
                             n * 4,
-                        ));
+                        );
                     }
-                    p.compute(edge_time(n, deg));
-                    for &(dir, _) in &nbrs {
-                        let bb = b.clone();
-                        p.func(move |mem| scatter_dir(mem, &bb, dir, 0, n));
-                    }
+                    host_edges(&mut p, Some(0));
                     if params.strategy == Strategy::Cpu {
                         p.compute(cpu_sweep_time(&cpu_model, n));
                         let bb = b.clone();
@@ -442,92 +426,50 @@ pub fn run_with_config(
                 }
             }
             Strategy::Gds => {
-                // Arrival a lands in stage slot a % 2; the put the k{iter}
-                // doorbell fires is arrival iter + 1 at the peer.
-                let post = |p: &mut HostProgram, iter: u32| {
-                    for &(dir, peer) in &nbrs {
-                        p.nic_post(NicCommand::TriggeredPut {
-                            tag: tag_of(iter, dir),
-                            threshold: 1,
-                            op: put_for(
-                                &b,
-                                &bufs[peer as usize],
-                                dir,
-                                peer,
-                                ((iter + 1) % 2) as usize,
-                                n,
-                                None,
-                            ),
-                        });
-                    }
-                };
                 // Exchange e_0 moves the initial edges: CPU packs and posts
                 // directly, so GDS launches one kernel per iteration.
-                p.compute(edge_time(n, deg));
-                for &(dir, _) in &nbrs {
-                    let bb = b.clone();
-                    p.func(move |mem| pack_dir(mem, &bb, dir, n));
-                }
+                host_edges(&mut p, None);
                 for &(dir, peer) in &nbrs {
                     // The initial exchange is arrival 1 -> slot 1.
-                    p.nic_post(NicCommand::Put(put_for(
-                        &b,
-                        &bufs[peer as usize],
-                        dir,
-                        peer,
-                        1,
-                        n,
-                        None,
-                    )));
+                    driver.post(
+                        &mut p,
+                        put_for(&b, &bufs[peer as usize], dir, peer, 1, n, None),
+                    );
                 }
                 for iter in 1..=params.iters {
                     let last = iter == params.iters;
                     if !last {
-                        post(&mut p, iter);
+                        // Arrival a lands in stage slot a % 2; the put the
+                        // k{iter} doorbell fires is arrival iter + 1.
+                        register_exchange(&mut p, &mut *driver, iter, None);
                     }
                     for &(dir, _) in &nbrs {
                         p.poll(b.flag[dir as usize], iter as u64);
                     }
                     let label = format!("k{iter}");
-                    let kernel = {
-                        let bb = b.clone();
-                        let nb2 = nbrs.clone();
-                        // k{iter} consumes arrival `iter` from slot iter % 2.
-                        let slot = (iter % 2) as usize;
-                        let mut builder =
-                            ProgramBuilder::new()
-                                .compute(edge_time(n, deg))
-                                .func(move |mem, _| {
-                                    for &(dir, _) in &nb2 {
-                                        scatter_dir(mem, &bb, dir, slot, n);
-                                    }
-                                });
-                        let bb = b.clone();
+                    // k{iter} consumes arrival `iter` from slot iter % 2.
+                    let bb = b.clone();
+                    let mut builder = ProgramBuilder::new()
+                        .compute(edge_time(n, deg))
+                        .func(edges_fragment(Some((iter % 2) as usize)))
+                        .compute(gpu_sweep_time(n))
+                        .func(move |mem, _| sweep(mem, bb.grid, bb.scratch, n));
+                    if !last {
                         builder = builder
-                            .compute(gpu_sweep_time(n))
-                            .func(move |mem, _| sweep(mem, bb.grid, bb.scratch, n));
-                        if last {
-                            builder.build().expect("valid")
-                        } else {
-                            let bb = b.clone();
-                            let nb2 = nbrs.clone();
-                            builder
-                                .compute(edge_time(n, deg))
-                                .func(move |mem, _| {
-                                    for &(dir, _) in &nb2 {
-                                        pack_dir(mem, &bb, dir, n);
-                                    }
-                                })
-                                .fence(MemScope::System, MemOrdering::Release)
-                                .build()
-                                .expect("valid")
-                        }
-                    };
-                    p.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                            .compute(edge_time(n, deg))
+                            .func(edges_fragment(None))
+                            .fence(MemScope::System, MemOrdering::Release);
+                    }
+                    p.launch(KernelLaunch::new(
+                        builder.build().expect("valid"),
+                        1,
+                        64,
+                        &label,
+                    ));
                     p.wait_kernel(&label);
                     if !last {
                         for &(dir, _) in &nbrs {
-                            gds_hooks.push((node, label.clone(), tag_of(iter, dir)));
+                            driver.on_kernel_done(node, &label, tag_of(iter, dir));
                         }
                     }
                 }
@@ -536,35 +478,21 @@ pub fn run_with_config(
                 let mut builder = ProgramBuilder::new();
                 for iter in 0..params.iters {
                     let it64 = iter as u64;
-                    let bb = b.clone();
-                    let nb2 = nbrs.clone();
                     builder = builder
                         .compute(edge_time(n, deg))
-                        .func(move |mem, _| {
-                            for &(dir, _) in &nb2 {
-                                pack_dir(mem, &bb, dir, n);
-                            }
-                        })
-                        .fence(MemScope::System, MemOrdering::Release);
-                    for &(dir, _) in &nbrs {
-                        builder = builder.trigger_store(move |_| tag_of(iter, dir));
-                    }
+                        .func(edges_fragment(None));
+                    let tags: Vec<Tag> = nbrs.iter().map(|&(dir, _)| tag_of(iter, dir)).collect();
+                    builder = GpuTnDriver::release_triggers(builder, &tags);
                     for &(dir, _) in &nbrs {
                         let flag = b.flag[dir as usize];
                         builder = builder.poll(move |_| flag, it64 + 1);
                     }
-                    let bb = b.clone();
-                    let nb2 = nbrs.clone();
                     // Kernel-iteration `iter` consumes arrival iter + 1,
                     // staged in slot (iter + 1) % 2.
-                    let slot = ((iter + 1) % 2) as usize;
-                    builder = builder.compute(edge_time(n, deg)).func(move |mem, _| {
-                        for &(dir, _) in &nb2 {
-                            scatter_dir(mem, &bb, dir, slot, n);
-                        }
-                    });
                     let bb = b.clone();
                     builder = builder
+                        .compute(edge_time(n, deg))
+                        .func(edges_fragment(Some(((iter + 1) % 2) as usize)))
                         .compute(gpu_sweep_time(n))
                         .func(move |mem, _| sweep(mem, bb.grid, bb.scratch, n));
                 }
@@ -572,21 +500,7 @@ pub fn run_with_config(
                 p.launch(KernelLaunch::new(kernel, 1, 64, "persistent"));
                 // Just-in-time posting, throttled by local completions.
                 for iter in 0..params.iters {
-                    for &(dir, peer) in &nbrs {
-                        p.nic_post(NicCommand::TriggeredPut {
-                            tag: tag_of(iter, dir),
-                            threshold: 1,
-                            op: put_for(
-                                &b,
-                                &bufs[peer as usize],
-                                dir,
-                                peer,
-                                ((iter + 1) % 2) as usize,
-                                n,
-                                Some(b.comp),
-                            ),
-                        });
-                    }
+                    register_exchange(&mut p, &mut *driver, iter, Some(b.comp));
                     p.poll(b.comp, deg * (iter as u64 + 1));
                 }
                 p.wait_kernel("persistent");
@@ -595,16 +509,13 @@ pub fn run_with_config(
         programs.push(p);
     }
 
-    let mut cluster = Cluster::new(config, mem, programs);
-    for (node, label, tag) in gds_hooks {
-        cluster.gds_doorbell_on_done(node, &label, tag);
-    }
-    let result = cluster.run();
-    assert!(
-        result.completed,
-        "jacobi {:?} {}x{} N={} deadlocked: {result:?}",
-        params.strategy, params.rows, params.cols, params.n_local
-    );
+    let sparams = ScenarioParams::new(params.strategy)
+        .grid(params.rows, params.cols)
+        .size(params.n_local as u64)
+        .iters(params.iters)
+        .seed(params.seed);
+    let (cluster, scenario) =
+        Harness::execute("jacobi", &sparams, config, mem, programs, &mut *driver);
 
     let interiors = (0..nodes)
         .map(|nd| {
@@ -618,20 +529,57 @@ pub fn run_with_config(
             out
         })
         .collect();
-    let stats = cluster.collect_stats();
-    let retransmits = stats.counter_across("nic", "retransmits");
-    let delivery_failures = (0..nodes)
-        .map(|nd| cluster.nic(nd).delivery_failures().len() as u64)
-        .sum();
     JacobiResult {
-        n_local: params.n_local,
-        strategy: params.strategy,
-        total: result.makespan,
-        per_iter: SimDuration::from_ps(result.makespan.as_ps() / params.iters as u64),
+        scenario,
         interiors,
-        retransmits,
-        delivery_failures,
-        stats,
+    }
+}
+
+/// Fig. 9's workload, adapted to the shared [`Workload`] frame.
+#[derive(Debug, Default)]
+pub struct Jacobi;
+
+impl Workload for Jacobi {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn smoke_scenario(&self, strategy: Strategy) -> ScenarioParams {
+        // The Fig. 9 decomposition at a medium local size.
+        ScenarioParams::new(strategy)
+            .grid(2, 2)
+            .size(64)
+            .iters(4)
+            .seed(0xA11CE)
+    }
+
+    fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+        let patch = params.patch;
+        let r = run_with_config(
+            JacobiParams {
+                rows: params.rows,
+                cols: params.cols,
+                n_local: params.size as u32,
+                iters: params.iters,
+                strategy: params.strategy,
+                seed: params.seed,
+            },
+            |config| patch.apply(config),
+        );
+        let expect = reference(
+            params.rows,
+            params.cols,
+            params.size as u32,
+            params.iters,
+            params.seed,
+        );
+        if r.interiors != expect {
+            return Err(format!(
+                "{} diverges from the sequential sweep",
+                params.strategy
+            ));
+        }
+        Ok(r.scenario)
     }
 }
 
@@ -690,29 +638,13 @@ mod tests {
     }
 
     #[test]
-    fn all_strategies_match_the_sequential_reference_bitexactly() {
-        let reference = reference(2, 2, 8, 3, 0xA11CE);
-        for strategy in Strategy::all() {
-            let r = run(params(strategy, 8, 3));
-            assert_eq!(r.interiors, reference, "{strategy} diverged from reference");
-        }
-    }
-
-    #[test]
     fn non_square_decompositions_match_reference() {
         // 1×2 (one neighbour each), 2×3 (mixed degrees incl. 4-neighbour
         // interior-free shapes), 3×3 (a true 4-neighbour centre node).
         for (rows, cols) in [(1u32, 2u32), (2, 3), (3, 3)] {
             let expect = reference(rows, cols, 6, 2, 42);
             for strategy in [Strategy::Hdn, Strategy::GpuTn, Strategy::Gds] {
-                let r = run(JacobiParams {
-                    rows,
-                    cols,
-                    n_local: 6,
-                    iters: 2,
-                    strategy,
-                    seed: 42,
-                });
+                let r = run(JacobiParams::new(rows, cols, 6, 2, strategy, 42));
                 assert_eq!(r.interiors, expect, "{strategy} {rows}x{cols}");
             }
         }
@@ -728,31 +660,19 @@ mod tests {
     }
 
     #[test]
-    fn gputn_fastest_gds_second_at_medium_sizes() {
-        let hdn = run(params(Strategy::Hdn, 64, 4)).per_iter;
-        let gds = run(params(Strategy::Gds, 64, 4)).per_iter;
-        let tn = run(params(Strategy::GpuTn, 64, 4)).per_iter;
-        assert!(tn < gds, "GPU-TN {tn} vs GDS {gds}");
-        assert!(gds < hdn, "GDS {gds} vs HDN {hdn}");
-    }
-
-    #[test]
     fn cpu_wins_small_grids_loses_large_ones() {
-        let small_cpu = run(params(Strategy::Cpu, 16, 2)).per_iter;
-        let small_hdn = run(params(Strategy::Hdn, 16, 2)).per_iter;
+        let small_cpu = run(params(Strategy::Cpu, 16, 2)).scenario.per_iter;
+        let small_hdn = run(params(Strategy::Hdn, 16, 2)).scenario.per_iter;
         assert!(small_cpu < small_hdn, "cpu {small_cpu} hdn {small_hdn}");
-        let large_cpu = run(params(Strategy::Cpu, 512, 2)).per_iter;
-        let large_hdn = run(params(Strategy::Hdn, 512, 2)).per_iter;
+        let large_cpu = run(params(Strategy::Cpu, 512, 2)).scenario.per_iter;
+        let large_hdn = run(params(Strategy::Hdn, 512, 2)).scenario.per_iter;
         assert!(large_cpu > large_hdn, "cpu {large_cpu} hdn {large_hdn}");
     }
 
     #[test]
     fn advantage_shrinks_as_grids_grow() {
-        let ratio = |n: u32| {
-            let hdn = run(params(Strategy::Hdn, n, 2)).per_iter.as_ns_f64();
-            let tn = run(params(Strategy::GpuTn, n, 2)).per_iter.as_ns_f64();
-            hdn / tn
-        };
+        let pi = |s, n| run(params(s, n, 2)).scenario.per_iter.as_ns_f64();
+        let ratio = |n: u32| pi(Strategy::Hdn, n) / pi(Strategy::GpuTn, n);
         let small = ratio(32);
         let large = ratio(512);
         assert!(small > large, "small {small} large {large}");
@@ -765,16 +685,10 @@ mod tests {
         // §5.3: "weak scaling would stay at the same point" — fixed local
         // N, growing node grid: per-iteration time barely moves.
         let t = |rows, cols| {
-            run(JacobiParams {
-                rows,
-                cols,
-                n_local: 64,
-                iters: 3,
-                strategy: Strategy::GpuTn,
-                seed: 1,
-            })
-            .per_iter
-            .as_us_f64()
+            run(JacobiParams::new(rows, cols, 64, 3, Strategy::GpuTn, 1))
+                .scenario
+                .per_iter
+                .as_us_f64()
         };
         let small = t(1, 2);
         let large = t(3, 3);
@@ -782,42 +696,6 @@ mod tests {
             large < small * 1.8,
             "weak scaling should stay near-flat: {small} -> {large}"
         );
-    }
-
-    /// 1% seeded packet loss with the ARQ layer on: all four strategies
-    /// must still complete and match the sequential reference bit-exactly,
-    /// with the loss absorbed by retransmission (never by exhaustion).
-    #[test]
-    fn one_percent_loss_still_bitexact_under_all_strategies() {
-        let expect = reference(2, 2, 8, 3, 0xA11CE);
-        let mut total_retransmits = 0;
-        for strategy in Strategy::all() {
-            let r = run_with_config(params(strategy, 8, 3), |config| {
-                config.fabric.faults = gtn_fabric::FaultConfig::loss(2, 0.01);
-                config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
-            });
-            assert_eq!(r.interiors, expect, "{strategy} diverged under 1% loss");
-            assert_eq!(
-                r.delivery_failures, 0,
-                "{strategy} exhausted a retry budget"
-            );
-            total_retransmits += r.retransmits;
-        }
-        assert!(
-            total_retransmits > 0,
-            "seeded 1% loss must force at least one retransmit across the four runs"
-        );
-    }
-
-    #[test]
-    fn stats_snapshot_agrees_with_the_summary_counters() {
-        let r = run_with_config(params(Strategy::GpuTn, 8, 3), |config| {
-            config.fabric.faults = gtn_fabric::FaultConfig::loss(2, 0.01);
-            config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
-        });
-        assert_eq!(r.retransmits, r.stats.counter_across("nic", "retransmits"));
-        assert!(r.stats.get("fabric").is_some());
-        assert!(r.stats.counter("engine", "events_processed") > 0);
     }
 
     #[test]

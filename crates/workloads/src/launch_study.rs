@@ -6,8 +6,10 @@
 //! scheduler profiles: enqueue `K` empty kernels at once and report the
 //! average per-kernel launch latency observed by the front-end.
 
+use crate::harness::{ScenarioParams, ScenarioResult, Workload};
 use gtn_core::cluster::Cluster;
 use gtn_core::config::ClusterConfig;
+use gtn_core::Strategy;
 use gtn_gpu::config::LaunchModel;
 use gtn_gpu::{KernelLaunch, SchedulerProfile};
 use gtn_host::HostProgram;
@@ -33,20 +35,32 @@ pub struct LaunchPoint {
     pub p99_latency: SimDuration,
 }
 
-/// Enqueue `k` empty kernels at once on a GPU with `profile` and measure
-/// the mean launch latency (simulation, not the closed form — the two are
-/// cross-checked in tests).
-pub fn measure(profile: &SchedulerProfile, k: u32) -> SimDuration {
-    measure_hist(profile, k).mean()
+/// Enqueue `k` empty kernels at once on a GPU with `profile` and return
+/// the per-kernel launch-latency histogram (simulation, not the closed
+/// form — the two are cross-checked in tests).
+pub fn measure_hist(profile: &SchedulerProfile, k: u32) -> DurationHistogram {
+    let (cluster, _) = run_batch(
+        profile,
+        &ScenarioParams::new(Strategy::Hdn).nodes(1).size(k as u64),
+    );
+    let hist = cluster
+        .gpu(0)
+        .stats()
+        .histogram("launch_latency")
+        .expect("launch latencies recorded");
+    assert_eq!(hist.count(), k as u64);
+    hist.clone()
 }
 
-/// Like [`measure`], but return the full per-kernel launch-latency
-/// histogram so reports can quote percentiles, not just the mean.
-pub fn measure_hist(profile: &SchedulerProfile, k: u32) -> DurationHistogram {
+/// Enqueue a batch of `params.size` empty kernels on one node with the
+/// given scheduler profile and run it through the shared harness.
+fn run_batch(profile: &SchedulerProfile, params: &ScenarioParams) -> (Cluster, ScenarioResult) {
+    let k = params.size as u32;
     assert!(k >= 1);
     let mut config = ClusterConfig::table2(1);
     config.gpu.launch = LaunchModel::Profile(profile.clone());
     config.log_events = false;
+    params.patch.apply(&mut config);
 
     let mem = MemPool::new(1);
     let mut p = HostProgram::new();
@@ -57,16 +71,10 @@ pub fn measure_hist(profile: &SchedulerProfile, k: u32) -> DurationHistogram {
     }
     p.wait_kernel(&format!("k{}", k - 1));
 
-    let mut cluster = Cluster::new(config, mem, vec![p]);
-    let result = cluster.run();
-    assert!(result.completed, "launch study deadlocked");
-    let hist = cluster
-        .gpu(0)
-        .stats()
-        .histogram("launch_latency")
-        .expect("launch latencies recorded");
-    assert_eq!(hist.count(), k as u64);
-    hist.clone()
+    // No networking here: any driver is an inert pass-through, so the
+    // harness only builds, runs, and collects.
+    let mut driver = gtn_core::comm::driver(params.strategy);
+    crate::harness::Harness::execute("launch_study", params, config, mem, vec![p], &mut *driver)
 }
 
 /// The full Fig. 1 sweep: three profiles × five batch sizes.
@@ -87,6 +95,47 @@ pub fn figure1() -> Vec<LaunchPoint> {
     out
 }
 
+/// Fig. 1's study, adapted to the shared [`Workload`] frame: `variant`
+/// selects the scheduler profile, `size` the batch length.
+#[derive(Debug, Default)]
+pub struct LaunchStudy;
+
+impl Workload for LaunchStudy {
+    fn name(&self) -> &'static str {
+        "launch_study"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        // The study has no networking dimension; one strategy suffices.
+        vec![Strategy::Hdn]
+    }
+
+    fn smoke_scenario(&self, strategy: Strategy) -> ScenarioParams {
+        ScenarioParams::new(strategy).nodes(1).size(16)
+    }
+
+    fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+        let profiles = SchedulerProfile::all();
+        let profile = &profiles[params.variant as usize];
+        let (cluster, scenario) = run_batch(profile, params);
+        let hist = cluster
+            .gpu(0)
+            .stats()
+            .histogram("launch_latency")
+            .ok_or("no launch latencies recorded")?;
+        let sim = hist.mean().as_ns_f64();
+        let analytic = profile.average_over_batch(params.size as u32).as_ns_f64();
+        let err = (sim - analytic).abs() / analytic;
+        if err >= 0.02 {
+            return Err(format!(
+                "{} k={}: sim {sim} ns vs analytic {analytic} ns",
+                profile.name, params.size
+            ));
+        }
+        Ok(scenario)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,7 +146,7 @@ mod tests {
         // latency; host-side enqueue costs do not count as launch latency.
         for profile in SchedulerProfile::all() {
             for k in [1u32, 4, 16] {
-                let sim = measure(&profile, k).as_ns_f64();
+                let sim = measure_hist(&profile, k).mean().as_ns_f64();
                 let analytic = profile.average_over_batch(k).as_ns_f64();
                 let err = (sim - analytic).abs() / analytic;
                 assert!(

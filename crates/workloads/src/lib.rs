@@ -17,12 +17,19 @@
 //! - [`deeplearning`] — Table 3 + Fig. 11: the six CNTK workloads as
 //!   Allreduce-characteristic models, projected with the paper's
 //!   methodology over simulated collective times.
+//!
+//! The [`harness`] module is the shared frame: unified scenario
+//! parameters/results, the [`harness::Workload`] trait each experiment
+//! implements, and the `GTN_STRATEGIES` strategy filter the benches use.
+//! Per-strategy communication idioms live one layer down, in
+//! [`gtn_core::comm`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allreduce;
 pub mod deeplearning;
+pub mod harness;
 pub mod jacobi;
 pub mod launch_study;
 pub mod pingpong;

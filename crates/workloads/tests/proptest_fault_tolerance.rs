@@ -38,9 +38,9 @@ proptest! {
             config.nic.reliability = ReliabilityConfig::on();
             config.nic.reliability.max_retries = 16;
         });
-        prop_assert_eq!(lossy.delivery_failures, 0, "retry budget exhausted");
+        prop_assert_eq!(lossy.scenario.delivery_failures, 0, "retry budget exhausted");
         prop_assert_eq!(&lossy.interiors, &baseline.interiors, "loss changed the answer");
-        prop_assert!(lossy.total >= baseline.total, "loss cannot speed a run up");
+        prop_assert!(lossy.scenario.total >= baseline.scenario.total, "loss cannot speed a run up");
     }
 
     /// The same fault seed replays the same run exactly: same retransmit
@@ -59,8 +59,8 @@ proptest! {
         });
         let a = go();
         let b = go();
-        prop_assert_eq!(a.retransmits, b.retransmits);
-        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.scenario.retransmits, b.scenario.retransmits);
+        prop_assert_eq!(a.scenario.total, b.scenario.total);
         prop_assert_eq!(&a.interiors, &b.interiors);
     }
 }

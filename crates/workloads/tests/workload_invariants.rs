@@ -1,0 +1,107 @@
+//! Cross-workload invariants, driven generically through the `Workload`
+//! trait — one suite instead of a copy per workload: functional
+//! correctness (every strategy, lossless and under seeded loss), the
+//! paper's qualitative ordering (GPU-TN < GDS < HDN, Figs. 8–10), and
+//! stats-snapshot consistency.
+use gtn_core::Strategy;
+use gtn_workloads::harness::{all_workloads, ConfigPatch};
+
+#[test]
+fn every_workload_verifies_on_its_smoke_scenario_under_every_strategy() {
+    for w in all_workloads() {
+        for strategy in w.strategies() {
+            let params = w.smoke_scenario(strategy);
+            let r = w
+                .verify(&params)
+                .unwrap_or_else(|e| panic!("{} {strategy}: {e}", w.name()));
+            assert_eq!(r.workload, w.name());
+            assert_eq!(r.strategy, strategy);
+            assert_eq!(r.nodes, params.node_count());
+            assert!(r.total.as_ps() > 0, "{} {strategy}: zero runtime", w.name());
+        }
+    }
+}
+
+#[test]
+fn gputn_beats_gds_beats_hdn_on_every_networked_workload() {
+    for w in all_workloads() {
+        if w.strategies().len() < 2 {
+            continue; // launch_study measures the scheduler, not networking
+        }
+        let per_iter = |s: Strategy| w.run_scenario(&w.smoke_scenario(s)).per_iter;
+        let hdn = per_iter(Strategy::Hdn);
+        let gds = per_iter(Strategy::Gds);
+        let tn = per_iter(Strategy::GpuTn);
+        assert!(tn < gds, "{}: GPU-TN {tn} vs GDS {gds}", w.name());
+        assert!(gds < hdn, "{}: GDS {gds} vs HDN {hdn}", w.name());
+    }
+}
+
+#[test]
+fn seeded_loss_never_changes_a_verified_answer() {
+    // The ConfigPatch lane: the same smoke scenarios, 1% seeded loss with
+    // the ARQ layer on, under every strategy each workload compares.
+    // Verification must still pass and no message may exhaust its retry
+    // budget; loss can only cost time, and across the sweep the injected
+    // drops must force at least one retransmission.
+    let mut total_retransmits = 0;
+    for w in all_workloads() {
+        for strategy in w.strategies() {
+            let lossless = w.smoke_scenario(strategy);
+            let lossy = lossless.patch(ConfigPatch::loss(2, 0.01));
+            let base = w
+                .verify(&lossless)
+                .unwrap_or_else(|e| panic!("{} {strategy} lossless: {e}", w.name()));
+            let r = w
+                .verify(&lossy)
+                .unwrap_or_else(|e| panic!("{} {strategy} lossy: {e}", w.name()));
+            assert_eq!(
+                r.delivery_failures,
+                0,
+                "{} {strategy}: retry budget exhausted",
+                w.name()
+            );
+            assert!(
+                r.total >= base.total,
+                "{} {strategy}: loss sped the run up",
+                w.name()
+            );
+            total_retransmits += r.retransmits;
+        }
+    }
+    assert!(
+        total_retransmits > 0,
+        "seeded 1% loss must force at least one retransmit across the sweep"
+    );
+}
+
+#[test]
+fn stats_snapshot_is_namespaced_and_agrees_with_summary_counters() {
+    for w in all_workloads() {
+        let strategy = *w.strategies().last().unwrap();
+        let r = w.run_scenario(&w.smoke_scenario(strategy));
+        for nd in 0..r.nodes {
+            assert!(
+                r.stats.get(&format!("node{nd}.nic")).is_some(),
+                "{}: missing node{nd}.nic namespace",
+                w.name()
+            );
+        }
+        assert_eq!(r.retransmits, r.stats.counter_across("nic", "retransmits"));
+        assert!(
+            r.stats.counter("engine", "events_processed") > 0,
+            "{}",
+            w.name()
+        );
+        if r.nodes > 1 {
+            // Networked workloads move traffic and record wire latencies.
+            assert!(
+                r.stats.counter("fabric", "messages_sent") > 0,
+                "{}",
+                w.name()
+            );
+            let nic = r.stats.merged("nic");
+            assert!(nic.histogram("stage_wire").is_some_and(|h| h.count() > 0));
+        }
+    }
+}

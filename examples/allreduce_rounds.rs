@@ -54,7 +54,7 @@ fn main() {
     assert_eq!(r.result, reference(nodes, elems, 0xF162));
     println!(
         "complete in {} — result verified bit-exact against the ring-order sum.",
-        r.total
+        r.scenario.total
     );
     println!("\nEvery round's send is a pre-registered triggered put fired from inside");
     println!("the kernel; every round's wait is an intra-kernel poll (S5.4.1).");

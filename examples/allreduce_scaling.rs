@@ -38,9 +38,12 @@ fn main() {
                 seed,
             });
             assert_eq!(r.result, expect, "{strategy} result wrong at P={nodes}");
-            print!("{:>10.3}", cpu.total.as_ns_f64() / r.total.as_ns_f64());
+            print!(
+                "{:>10.3}",
+                cpu.scenario.total.as_ns_f64() / r.scenario.total.as_ns_f64()
+            );
         }
-        println!("{:>14.1}", cpu.total.as_us_f64());
+        println!("{:>14.1}", cpu.scenario.total.as_us_f64());
     }
     println!("\nAll reductions verified bit-exact against the ring-order reference sum.");
     println!("Values > 1.0 beat the CPU collective; HDN sinks below 1.0 first (Fig. 10).");

@@ -34,6 +34,7 @@ fn main() {
         strategy: Strategy::Hdn,
         seed,
     })
+    .scenario
     .per_iter;
     for strategy in Strategy::all() {
         let r = run(JacobiParams {
@@ -48,9 +49,9 @@ fn main() {
         println!(
             "{:<8} {:>14.2} {:>14.2} {:>12.3} {:>10}",
             strategy.name(),
-            r.total.as_us_f64(),
-            r.per_iter.as_us_f64(),
-            hdn_per_iter.as_ns_f64() / r.per_iter.as_ns_f64(),
+            r.scenario.total.as_us_f64(),
+            r.scenario.per_iter.as_us_f64(),
+            hdn_per_iter.as_ns_f64() / r.scenario.per_iter.as_ns_f64(),
             if ok { "bit-exact" } else { "MISMATCH" }
         );
         assert!(ok, "{strategy} diverged from the sequential reference");

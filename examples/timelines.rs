@@ -13,7 +13,7 @@ fn main() {
     for result in pingpong::run_all() {
         println!(
             "==== {} ==== target completes at {:.2} us (initiator kernel done {:.2} us){}",
-            result.strategy.name(),
+            result.scenario.strategy.name(),
             result.target_completion.as_us_f64(),
             result.initiator_kernel_done.as_us_f64(),
             if result.delivered_intra_kernel() {

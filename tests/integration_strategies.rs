@@ -11,7 +11,7 @@ fn strategy_ordering_matches_figure8() {
     let t = |s: Strategy| {
         results
             .iter()
-            .find(|r| r.strategy == s)
+            .find(|r| r.scenario.strategy == s)
             .unwrap()
             .target_completion
     };
@@ -24,9 +24,9 @@ fn intra_kernel_delivery_is_unique_to_gputn() {
     for r in pingpong::run_all() {
         assert_eq!(
             r.delivered_intra_kernel(),
-            r.strategy == Strategy::GpuTn,
+            r.scenario.strategy == Strategy::GpuTn,
             "{}",
-            r.strategy
+            r.scenario.strategy
         );
     }
 }
@@ -37,17 +37,17 @@ fn decompositions_cover_initiator_and_target() {
         assert!(
             r.trace.find("initiator.GPU", "Kernel").is_some(),
             "{}",
-            r.strategy
+            r.scenario.strategy
         );
         assert!(
             r.trace.find("initiator.NIC", "Put").is_some(),
             "{}",
-            r.strategy
+            r.scenario.strategy
         );
         assert!(
             r.trace.find("target.NIC", "Deliver").is_some(),
             "{}",
-            r.strategy
+            r.scenario.strategy
         );
         // Phases never overlap incorrectly: launch < kernel < teardown.
         let launch = r.trace.find("initiator.GPU", "Launch").unwrap();
@@ -64,7 +64,7 @@ fn gputn_headline_improvements_hold() {
     let t = |s: Strategy| {
         results
             .iter()
-            .find(|r| r.strategy == s)
+            .find(|r| r.scenario.strategy == s)
             .unwrap()
             .target_completion
             .as_us_f64()

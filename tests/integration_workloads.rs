@@ -32,6 +32,7 @@ fn jacobi_gputn_is_fastest_gpu_strategy() {
             strategy: s,
             seed: 5,
         })
+        .scenario
         .per_iter
     };
     let hdn = time(Strategy::Hdn);
@@ -65,6 +66,7 @@ fn allreduce_fig10_shape_compressed() {
             strategy: Strategy::Cpu,
             seed: 2,
         })
+        .scenario
         .total;
         let t = allreduce::run(allreduce::AllreduceParams {
             nodes: p,
@@ -72,6 +74,7 @@ fn allreduce_fig10_shape_compressed() {
             strategy: s,
             seed: 2,
         })
+        .scenario
         .total;
         cpu.as_ns_f64() / t.as_ns_f64()
     };
@@ -100,7 +103,7 @@ fn nic_trigger_lists_stay_clean_across_workloads() {
         strategy: Strategy::GpuTn,
         seed: 8,
     });
-    assert_eq!(r.nodes, p);
+    assert_eq!(r.scenario.nodes, p);
     // (The run itself asserts completion; trigger hygiene is checked in
     // the workload via deadlock-freedom. Here we re-verify the result.)
     assert_eq!(r.result, allreduce::reference(p, 4096, 8));

@@ -58,6 +58,7 @@ proptest! {
                 strategy: Strategy::GpuTn,
                 seed,
             })
+            .scenario
             .total
         };
         prop_assert_eq!(go(), go());
