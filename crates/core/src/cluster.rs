@@ -95,6 +95,12 @@ pub enum LogKind {
     },
     /// The NIC rejected a trigger registration (rendered error).
     TriggerRejected(String),
+    /// A receive commit parked on a full bounded completion queue resumed
+    /// after waiting this long (the `cq_stall` stage).
+    CqStalled {
+        /// Picoseconds the commit was parked.
+        waited_ps: u64,
+    },
 }
 
 /// Outcome of a cluster run.
@@ -163,7 +169,7 @@ impl Cluster {
     /// # Panics
     /// Panics if the configuration is invalid, `mem` has the wrong node
     /// count, or `programs.len() != n_nodes`.
-    pub fn new(config: ClusterConfig, mem: MemPool, programs: Vec<HostProgram>) -> Self {
+    pub fn new(config: ClusterConfig, mut mem: MemPool, programs: Vec<HostProgram>) -> Self {
         config.validate().expect("invalid cluster config");
         let n = config.n_nodes as usize;
         assert_eq!(mem.node_count(), n, "memory pool node count mismatch");
@@ -174,9 +180,18 @@ impl Cluster {
             .map(|p| Cpu::new(config.host.clone(), p))
             .collect();
         let gpus: Vec<Gpu> = (0..n).map(|_| Gpu::new(config.gpu.clone())).collect();
-        let nics: Vec<Nic> = (0..n)
+        let mut nics: Vec<Nic> = (0..n)
             .map(|i| Nic::new(NodeId(i as u32), config.nic.clone()))
             .collect();
+        // Bounded-CQ mode: every NIC gets a `depth`-entry completion ring
+        // with backpressure (full ring parks commits instead of
+        // overwriting) and a modeled host consumer (`cq_drain_ns`).
+        if let Some(depth) = config.nic.cq_capacity {
+            for (i, nic) in nics.iter_mut().enumerate() {
+                let cq = gtn_nic::cq::CqDesc::alloc(&mut mem, NodeId(i as u32), depth);
+                nic.attach_cq(cq);
+            }
+        }
         let fabric = Fabric::new(n, config.fabric.clone());
 
         let mut engine = Engine::new();
@@ -329,7 +344,21 @@ impl Cluster {
         let stall = if completed {
             None
         } else {
-            Some(self.stall_report(abort.unwrap_or(StallReason::Deadlock)))
+            let reason = abort.unwrap_or_else(|| {
+                // A drained calendar with commits parked on exhausted NIC
+                // resources is starvation, not a protocol deadlock: the
+                // work exists, the resources to finish it don't.
+                let starved = (0..self.config.n_nodes).any(|n| {
+                    let nic = &self.nics[n as usize];
+                    nic.cq_parked() > 0 || nic.flow_queued() > 0
+                });
+                if starved {
+                    StallReason::ResourceStarvation
+                } else {
+                    StallReason::Deadlock
+                }
+            });
+            Some(self.stall_report(reason))
         };
         ClusterResult {
             finish_times: self.finish_times.clone(),
@@ -375,6 +404,9 @@ impl Cluster {
                     pending_triggers: nic.triggers().pending_entries(),
                     in_flight_retries: nic.pending_retries(),
                     delivery_failures: nic.delivery_failures().to_vec(),
+                    trigger_overflow: nic.triggers().overflow_len(),
+                    cq_parked: nic.cq_parked(),
+                    flow_queued: nic.flow_queued(),
                 }
             })
             .collect();
@@ -454,6 +486,9 @@ impl Cluster {
                     LogKind::DeliveryFailed { seq, attempts }
                 }
                 NicNote::TriggerRejected(e) => LogKind::TriggerRejected(e.to_string()),
+                NicNote::CqStalled { waited } => LogKind::CqStalled {
+                    waited_ps: waited.as_ps(),
+                },
             };
             self.log.push(LogRecord { at, node: n, kind });
         }

@@ -23,18 +23,76 @@ pub struct ConfigPatch {
     /// Seeded packet loss `(fault_seed, rate)`; a rate of `0.0` is the
     /// lossless baseline (no fault injection, reliability layer off).
     pub loss: Option<(u64, f64)>,
+    /// Shrunk NIC resource limits, to force the graceful-degradation
+    /// machinery (trigger spill, bounded CQ, flow-control credits) under
+    /// workloads that would never pressure the defaults.
+    pub pressure: Option<ResourceLimits>,
+}
+
+/// NIC resource bounds a scenario can shrink to provoke exhaustion.
+/// Every field is optional; `None` leaves the workload's default alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceLimits {
+    /// Use an associative trigger CAM of this many ways (overflow beyond
+    /// it spills to the host-memory table).
+    pub trigger_ways: Option<u32>,
+    /// Cap the host-memory trigger overflow table (entries beyond CAM +
+    /// overflow are rejected).
+    pub trigger_overflow: Option<usize>,
+    /// Bound the completion queue to this many entries, with a modeled
+    /// host consumer draining it (backpressure parks commits when full).
+    pub cq_capacity: Option<u64>,
+    /// Interval of the modeled CQ consumer, ns per entry retired. Larger
+    /// values model a slower host poller; `0` models one that never polls
+    /// (runs then stall with a `ResourceStarvation` diagnosis).
+    pub cq_drain_ns: Option<u64>,
+    /// ARQ reorder-buffer window / flow-control credit pool per peer.
+    /// Implies the reliability layer is on.
+    pub arq_window: Option<u64>,
+}
+
+impl ResourceLimits {
+    /// The canonical "tiny everything" pressure cell used by tests: a
+    /// `ways`-way trigger CAM and a `cq`-entry completion queue.
+    pub fn tiny(ways: u32, cq: u64) -> Self {
+        ResourceLimits {
+            trigger_ways: Some(ways),
+            trigger_overflow: None,
+            cq_capacity: Some(cq),
+            cq_drain_ns: None,
+            arq_window: None,
+        }
+    }
 }
 
 impl ConfigPatch {
     /// No overrides: the workload's default (lossless) configuration.
-    pub const NONE: ConfigPatch = ConfigPatch { loss: None };
+    pub const NONE: ConfigPatch = ConfigPatch {
+        loss: None,
+        pressure: None,
+    };
 
     /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
     /// retry/timeout/backoff) enabled to absorb the drops.
     pub fn loss(seed: u64, rate: f64) -> Self {
         ConfigPatch {
             loss: Some((seed, rate)),
+            ..ConfigPatch::NONE
         }
+    }
+
+    /// Shrunk NIC resource limits (see [`ResourceLimits`]).
+    pub fn pressure(limits: ResourceLimits) -> Self {
+        ConfigPatch {
+            pressure: Some(limits),
+            ..ConfigPatch::NONE
+        }
+    }
+
+    /// Combine this patch with shrunk resource limits.
+    pub fn with_pressure(mut self, limits: ResourceLimits) -> Self {
+        self.pressure = Some(limits);
+        self
     }
 
     /// Apply the overrides to a cluster config (after workload defaults).
@@ -43,6 +101,23 @@ impl ConfigPatch {
             if rate > 0.0 {
                 config.fabric.faults = gtn_fabric::FaultConfig::loss(seed, rate);
                 config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+            }
+        }
+        if let Some(limits) = self.pressure {
+            if let Some(ways) = limits.trigger_ways {
+                config.nic.lookup = gtn_nic::lookup::LookupKind::Associative { ways };
+            }
+            if let Some(cap) = limits.trigger_overflow {
+                config.nic.trigger_overflow_capacity = cap;
+            }
+            if let Some(depth) = limits.cq_capacity {
+                config.nic.cq_capacity = Some(depth);
+            }
+            if let Some(drain) = limits.cq_drain_ns {
+                config.nic.cq_drain_ns = drain;
+            }
+            if let Some(window) = limits.arq_window {
+                config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::bounded(window);
             }
         }
     }
@@ -237,6 +312,35 @@ mod tests {
         assert_eq!((p.size, p.iters, p.seed), (64, 4, 7));
         assert_eq!(p.patch.loss, Some((2, 0.01)));
         assert_eq!(ScenarioParams::new(Strategy::Cpu).nodes(5).node_count(), 5);
+    }
+
+    #[test]
+    fn pressure_patch_shrinks_the_nic_resources() {
+        let mut config = ClusterConfig::table2(2);
+        let limits = ResourceLimits {
+            trigger_ways: Some(4),
+            trigger_overflow: Some(32),
+            cq_capacity: Some(8),
+            cq_drain_ns: Some(1_000),
+            arq_window: Some(2),
+        };
+        ConfigPatch::loss(9, 0.1)
+            .with_pressure(limits)
+            .apply(&mut config);
+        assert_eq!(
+            config.nic.lookup,
+            gtn_nic::lookup::LookupKind::Associative { ways: 4 }
+        );
+        assert_eq!(config.nic.trigger_overflow_capacity, 32);
+        assert_eq!(config.nic.cq_capacity, Some(8));
+        assert_eq!(config.nic.cq_drain_ns, 1_000);
+        assert!(config.nic.reliability.enabled);
+        assert_eq!(config.nic.reliability.window, 2);
+        // tiny() fills only the CAM and CQ bounds.
+        let t = ResourceLimits::tiny(2, 4);
+        assert_eq!(t.trigger_ways, Some(2));
+        assert_eq!(t.cq_capacity, Some(4));
+        assert_eq!(t.arq_window, None);
     }
 
     #[test]

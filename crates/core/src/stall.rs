@@ -35,6 +35,11 @@ pub enum StallReason {
     /// The absolute event-count backstop tripped first (should only happen
     /// with a watchdog horizon far above the default).
     EventCap,
+    /// The calendar drained with commits parked on exhausted NIC resources
+    /// (a full bounded completion queue whose consumer never drains, or
+    /// sends starved of flow-control credit): not a protocol deadlock but
+    /// resource starvation — raise the exhausted capacity or drain rate.
+    ResourceStarvation,
 }
 
 impl fmt::Display for StallReason {
@@ -48,6 +53,10 @@ impl fmt::Display for StallReason {
                 )
             }
             StallReason::EventCap => write!(f, "event-count backstop reached"),
+            StallReason::ResourceStarvation => write!(
+                f,
+                "resource starvation (commits parked on exhausted NIC resources)"
+            ),
         }
     }
 }
@@ -118,6 +127,15 @@ pub struct NodeStall {
     pub in_flight_retries: Vec<(u64, NodeId, u32)>,
     /// Messages abandoned after retry exhaustion — usually the smoking gun.
     pub delivery_failures: Vec<DeliveryFailure>,
+    /// Trigger entries spilled to the host-memory overflow table at stall
+    /// time (CAM pressure — matches still work, just slower).
+    pub trigger_overflow: usize,
+    /// Receive commits / completion entries parked on a full bounded CQ.
+    /// Nonzero here is the signature of CQ-consumer starvation.
+    pub cq_parked: usize,
+    /// New sends queued for flow-control credit. Nonzero with no in-flight
+    /// retries means credits never came back.
+    pub flow_queued: usize,
 }
 
 impl fmt::Display for NodeStall {
@@ -144,6 +162,32 @@ impl fmt::Display for NodeStall {
                 f,
                 "    ABANDONED: seq {} -> {:?} after {} attempts ({} B) at {}",
                 fail.seq, fail.target, fail.attempts, fail.bytes, fail.at
+            )?;
+        }
+        if self.trigger_overflow > 0 {
+            writeln!(
+                f,
+                "    trigger pressure: {} entr{} spilled to the host overflow table",
+                self.trigger_overflow,
+                if self.trigger_overflow == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            )?;
+        }
+        if self.cq_parked > 0 {
+            writeln!(
+                f,
+                "    CQ starvation: {} commit(s) parked on a full completion queue",
+                self.cq_parked
+            )?;
+        }
+        if self.flow_queued > 0 {
+            writeln!(
+                f,
+                "    credit starvation: {} send(s) queued waiting for flow-control credit",
+                self.flow_queued
             )?;
         }
         Ok(())
@@ -226,6 +270,9 @@ mod tests {
                     attempts: 9,
                     bytes: 64,
                 }],
+                trigger_overflow: 2,
+                cq_parked: 3,
+                flow_queued: 1,
             }],
             clamped_past_events: 2,
             recent: Vec::new(),
@@ -239,6 +286,9 @@ mod tests {
             "pending trigger",
             "in-flight retry: seq 12",
             "ABANDONED: seq 11",
+            "2 entries spilled",
+            "3 commit(s) parked",
+            "1 send(s) queued",
             "log disabled",
         ] {
             assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
@@ -249,5 +299,8 @@ mod tests {
     fn deadlock_reason_renders() {
         assert!(StallReason::Deadlock.to_string().contains("drained"));
         assert!(StallReason::EventCap.to_string().contains("backstop"));
+        assert!(StallReason::ResourceStarvation
+            .to_string()
+            .contains("starvation"));
     }
 }

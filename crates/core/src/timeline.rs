@@ -101,6 +101,12 @@ pub const STAGE_NAMES: [&str; 6] = [
 /// - `commit` — arrival to payload + flags visible in target memory.
 /// - `cq_poll` — commit to the target host program observing it.
 ///
+/// When the target NIC parked commits on a full bounded completion queue
+/// (any [`LogKind::CqStalled`] records), an extra `cq_stall` stage is
+/// inserted before `cq_poll` carrying the total parked time, and `cq_poll`
+/// shrinks by the same amount so the stages still tile the end-to-end
+/// path. Unpressured runs report exactly the six [`STAGE_NAMES`] pairs.
+///
 /// Stages whose milestones are missing from the log report zero. Returns
 /// `(stage, duration)` pairs in [`STAGE_NAMES`] order.
 pub fn stage_breakdown(
@@ -141,14 +147,33 @@ pub fn stage_breakdown(
         (Some(b), Some(t)) => Some(b.max(t)),
         (b, t) => b.or(t),
     };
-    vec![
+    let mut stages = vec![
         ("post", gap(start, bell)),
         ("trigger_wait", gap(bell, trig)),
         ("injection", gap(armed, inject)),
         ("wire", gap(inject, arrive)),
         ("commit", gap(arrive, commit)),
         ("cq_poll", gap(commit, finish)),
-    ]
+    ];
+    // CQ backpressure on the target: time commits sat parked on a full
+    // bounded completion queue. That wait lives inside the commit→finish
+    // window, so carve it out of cq_poll (capped so the tiling invariant
+    // survives even if stalls overlap the poll gap oddly) as its own stage.
+    let stalled_ps: u64 = log
+        .iter()
+        .filter(|r| r.node == target)
+        .filter_map(|r| match r.kind {
+            LogKind::CqStalled { waited_ps } => Some(waited_ps),
+            _ => None,
+        })
+        .sum();
+    if stalled_ps > 0 {
+        let poll = &mut stages[5].1;
+        let stall = SimDuration::from_ps(stalled_ps).min(*poll);
+        *poll -= stall;
+        stages.insert(5, ("cq_stall", stall));
+    }
+    stages
 }
 
 /// Render the decomposition as Fig. 8-style rows: one line per lane/phase
@@ -255,6 +280,45 @@ mod tests {
         assert_eq!(get("commit"), SimDuration::from_ns(100));
         assert_eq!(get("cq_poll"), SimDuration::from_ns(200));
         // The stages tile the end-to-end path exactly.
+        let total: SimDuration = stages.iter().map(|(_, d)| *d).sum();
+        assert_eq!(total, SimDuration::from_ns(3_200));
+    }
+
+    #[test]
+    fn cq_stall_records_carve_a_stage_out_of_cq_poll() {
+        let mut log = sample_log();
+        log.push(rec(
+            3_050,
+            1,
+            LogKind::CqStalled {
+                waited_ps: SimDuration::from_ns(120).as_ps(),
+            },
+        ));
+        log.push(rec(3_200, 1, LogKind::CpuFinished));
+        let stages = stage_breakdown(&log, 0, 1);
+        let names: Vec<&str> = stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "post",
+                "trigger_wait",
+                "injection",
+                "wire",
+                "commit",
+                "cq_stall",
+                "cq_poll"
+            ]
+        );
+        let get = |name: &str| {
+            stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .unwrap()
+        };
+        assert_eq!(get("cq_stall"), SimDuration::from_ns(120));
+        assert_eq!(get("cq_poll"), SimDuration::from_ns(80));
+        // The extra stage preserves the exact tiling of the pipeline.
         let total: SimDuration = stages.iter().map(|(_, d)| *d).sum();
         assert_eq!(total, SimDuration::from_ns(3_200));
     }

@@ -42,8 +42,10 @@ pub struct FaultConfig {
     /// Duration of each outage window, ns.
     pub outage_duration_ns: u64,
     /// Horizon over which outage windows are pre-generated, ns. Messages
-    /// sent past the horizon see no outages. Must be nonzero when
-    /// `outage_mtbf_ns` is nonzero.
+    /// sent past the horizon see no outages — such messages are counted in
+    /// the `past_horizon` fabric stat and trip a one-time warning, so an
+    /// under-sized horizon cannot silently turn outages off mid-run. Must
+    /// be nonzero when `outage_mtbf_ns` is nonzero.
     pub outage_horizon_ns: u64,
 }
 
@@ -125,6 +127,9 @@ pub struct FaultPlan {
     /// pair's schedule does not depend on which other pairs ever talk.
     outages: HashMap<(u32, u32), Vec<(SimTime, SimTime)>>,
     stats: StatSet,
+    /// One-shot latch for the past-horizon warning, so a long run prints
+    /// the diagnosis once instead of once per message.
+    warned_past_horizon: bool,
 }
 
 impl FaultPlan {
@@ -138,6 +143,7 @@ impl FaultPlan {
             config,
             outages: HashMap::new(),
             stats: StatSet::new(),
+            warned_past_horizon: false,
         }
     }
 
@@ -147,7 +153,8 @@ impl FaultPlan {
     }
 
     /// Fault counters: `drops`, `packets_dropped`, `outage_drops`,
-    /// `corruptions`, `messages_judged`.
+    /// `corruptions`, `messages_judged`, and `past_horizon` (messages
+    /// judged after `outage_horizon_ns`, where no outage windows exist).
     pub fn stats(&self) -> &StatSet {
         &self.stats
     }
@@ -160,10 +167,30 @@ impl FaultPlan {
         }
         self.stats.inc("messages_judged");
 
-        if self.config.outage_mtbf_ns > 0 && self.in_outage(now, src, dst) {
-            self.stats.inc("drops");
-            self.stats.inc("outage_drops");
-            return Delivery::Dropped;
+        if self.config.outage_mtbf_ns > 0 {
+            // The outage schedule only covers [0, outage_horizon_ns):
+            // messages judged past it silently see a fault-free link. That
+            // is usually a mis-sized horizon, not an intent — count it and
+            // say so once, so the footgun is visible instead of silent.
+            if now >= SimTime::from_ns(self.config.outage_horizon_ns) {
+                self.stats.inc("past_horizon");
+                if !self.warned_past_horizon {
+                    self.warned_past_horizon = true;
+                    eprintln!(
+                        "gtn-fabric: WARNING: message judged at {now} is past \
+                         outage_horizon_ns = {} — no outage windows are \
+                         generated there; raise the horizon if outages \
+                         should cover the whole run (warning printed once; \
+                         see the `past_horizon` fabric stat for the count)",
+                        self.config.outage_horizon_ns
+                    );
+                }
+            }
+            if self.in_outage(now, src, dst) {
+                self.stats.inc("drops");
+                self.stats.inc("outage_drops");
+                return Delivery::Dropped;
+            }
         }
 
         if self.config.packet_loss > 0.0 {
@@ -308,6 +335,26 @@ mod tests {
             })
             .count();
         assert!(d2 > 500, "reverse pair dropped {d2}");
+    }
+
+    #[test]
+    fn past_horizon_judgements_are_counted_not_silent() {
+        let cfg = FaultConfig {
+            seed: 5,
+            outage_mtbf_ns: 10_000,
+            outage_duration_ns: 2_000,
+            outage_horizon_ns: 50_000,
+            ..FaultConfig::none()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        // Inside the horizon: no past_horizon counts.
+        plan.judge(SimTime::from_ns(40_000), NodeId(0), NodeId(1), 1);
+        assert_eq!(plan.stats().counter("past_horizon"), 0);
+        // Past it: every judgement is tallied (and warned about once).
+        for i in 0..3u64 {
+            plan.judge(SimTime::from_ns(60_000 + i), NodeId(0), NodeId(1), 1);
+        }
+        assert_eq!(plan.stats().counter("past_horizon"), 3);
     }
 
     #[test]

@@ -34,6 +34,25 @@ pub struct NicConfig {
     /// Surcharge for parsing a *dynamic* trigger descriptor (§3.4
     /// extension): the write carries operation fields, not just a tag.
     pub dyn_match_extra_ns: u64,
+    /// Surcharge for a tag match that resolves to the host-memory
+    /// overflow (spill) table instead of the CAM: the CAM-vs-memory
+    /// trade-off of §3.3, paid only under trigger-list pressure.
+    pub spill_match_extra_ns: u64,
+    /// Capacity of the host-memory overflow table backing a full CAM.
+    /// Registrations fail with `CapacityExceeded` only once *both* tiers
+    /// are full.
+    pub trigger_overflow_capacity: usize,
+    /// Bounded completion queue: `Some(depth)` makes the cluster glue
+    /// attach a `depth`-entry CQ with backpressure to every NIC — a full
+    /// ring parks receive commits (the `cq_stall` stage) instead of
+    /// overwriting. `None` (default) leaves CQ use to the caller
+    /// (`attach_cq`), unbounded as in the seed model.
+    pub cq_capacity: Option<u64>,
+    /// Modeled host consumer for the bounded CQ: one entry is retired
+    /// every `cq_drain_ns`. `0` models a consumer that never drains —
+    /// a full ring then starves the receive path permanently (for
+    /// resource-starvation diagnostics tests).
+    pub cq_drain_ns: u64,
     /// End-to-end ARQ layer (sequence numbers, ACKs, retransmits).
     /// Disabled by default; required when the fabric injects faults.
     pub reliability: ReliabilityConfig,
@@ -53,6 +72,12 @@ impl Default for NicConfig {
             // adopts the associative lookup (§3.3); that is our default too.
             lookup: LookupKind::Associative { ways: 16 },
             dyn_match_extra_ns: 20,
+            // A host-memory table walk costs roughly a DDR round-trip more
+            // than the CAM's parallel compare.
+            spill_match_extra_ns: 200,
+            trigger_overflow_capacity: crate::trigger::DEFAULT_OVERFLOW_CAPACITY,
+            cq_capacity: None,
+            cq_drain_ns: 250,
             reliability: ReliabilityConfig::default(),
         }
     }
@@ -66,6 +91,9 @@ impl NicConfig {
         }
         if let LookupKind::Associative { ways: 0 } = self.lookup {
             return Err("associative lookup needs at least one way".into());
+        }
+        if self.cq_capacity == Some(0) {
+            return Err("bounded CQ needs at least one slot".into());
         }
         self.reliability.validate()
     }
@@ -91,6 +119,11 @@ mod tests {
         assert!(c.validate().is_err());
         let c = NicConfig {
             lookup: LookupKind::Associative { ways: 0 },
+            ..NicConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = NicConfig {
+            cq_capacity: Some(0),
             ..NicConfig::default()
         };
         assert!(c.validate().is_err());

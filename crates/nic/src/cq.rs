@@ -10,10 +10,22 @@
 //! Verbs/Portals CQ. Consumers poll the counter with ordinary memory polls
 //! and then decode entries — paying the decode and ring-management costs
 //! the paper's flag mechanism avoids.
+//!
+//! Two disciplines are supported:
+//!
+//! - **Unbounded overwrite** (the seed model, [`CqDesc::push`]): the NIC
+//!   always appends; a consumer that falls more than `capacity` behind
+//!   loses entries. Loss is *detected, not fatal*: [`CqDesc::read`]
+//!   returns a structured [`CqError`], and [`CqDesc::drain_from`] reports
+//!   the gap as a synthetic [`CqKind::Overflow`] entry.
+//! - **Bounded with backpressure** ([`CqDesc::try_push`] + the consumer
+//!   cursor): the NIC refuses to overwrite and instead parks the commit —
+//!   the `cq_stall` stage of the resource-pressure model.
 
 use gtn_mem::{Addr, MemPool};
 use gtn_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Entry kind discriminants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +39,10 @@ pub enum CqKind {
     /// abandoned message. Without this entry a lost message would be a
     /// silent hang; with it, pollers can surface the failure.
     Error = 3,
+    /// Synthetic marker for a CQ overrun: the consumer lagged more than
+    /// `capacity` behind an overwriting producer and `tag` entries were
+    /// lost. Emitted by [`CqDesc::drain_from`], never stored in the ring.
+    Overflow = 4,
 }
 
 /// One decoded completion entry.
@@ -42,16 +58,69 @@ pub struct CqEntry {
     pub at: SimTime,
 }
 
+/// Structured consumer-side decode failures. A lagging or over-eager
+/// consumer gets one of these — never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqError {
+    /// `seq` has not been pushed yet.
+    NotYetWritten {
+        /// The requested sequence number.
+        seq: u64,
+        /// Current head (entries ever pushed).
+        head: u64,
+    },
+    /// `seq` was overwritten: the consumer fell more than `capacity`
+    /// behind an overwriting producer.
+    Overwritten {
+        /// The requested sequence number.
+        seq: u64,
+        /// Current head.
+        head: u64,
+        /// Ring capacity.
+        capacity: u64,
+    },
+    /// The slot holds an unknown kind discriminant (memory corruption).
+    CorruptKind {
+        /// The requested sequence number.
+        seq: u64,
+        /// The raw discriminant found.
+        raw: u64,
+    },
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::NotYetWritten { seq, head } => {
+                write!(f, "CQ entry {seq} not yet written (head {head})")
+            }
+            CqError::Overwritten {
+                seq,
+                head,
+                capacity,
+            } => write!(
+                f,
+                "CQ entry {seq} overwritten (head {head}, capacity {capacity})"
+            ),
+            CqError::CorruptKind { seq, raw } => {
+                write!(f, "CQ entry {seq} has corrupt kind {raw}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
 /// Size of one encoded entry.
 pub const CQ_ENTRY_BYTES: u64 = 32;
 
 /// A memory-resident completion queue descriptor.
 ///
 /// Layout: `counter` is a u64 the NIC fetch-adds per entry; `ring` holds
-/// `capacity` fixed-size entries, written at slot `seq % capacity`.
-/// Consumers poll `counter`, then decode `entry(seq)` for each new `seq`.
-/// If the consumer falls more than `capacity` behind, old entries are
-/// overwritten — the classic CQ overrun, surfaced by sequence checking.
+/// `capacity` fixed-size entries, written at slot `seq % capacity`;
+/// `tail` is the consumer cursor (entries consumed so far), advanced via
+/// [`CqDesc::consume_to`] and honoured by the bounded
+/// [`CqDesc::try_push`] path. The legacy [`CqDesc::push`] ignores it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CqDesc {
     /// Head counter address (u64).
@@ -60,6 +129,8 @@ pub struct CqDesc {
     pub ring: Addr,
     /// Ring capacity in entries.
     pub capacity: u64,
+    /// Consumer cursor address (u64): entries consumed so far.
+    pub tail: Addr,
 }
 
 impl CqDesc {
@@ -69,24 +140,57 @@ impl CqDesc {
         assert!(capacity > 0, "CQ needs capacity");
         let counter = Addr::base(node, mem.alloc(node, 8, "cq.counter"));
         let ring = Addr::base(node, mem.alloc(node, capacity * CQ_ENTRY_BYTES, "cq.ring"));
+        let tail = Addr::base(node, mem.alloc(node, 8, "cq.tail"));
         CqDesc {
             counter,
             ring,
             capacity,
+            tail,
         }
     }
 
-    /// NIC side: append one entry and bump the counter. Returns the
-    /// sequence number of the new entry.
+    /// NIC side: append one entry and bump the counter, overwriting the
+    /// oldest slot when the ring is full (the seed model's unbounded
+    /// discipline). Returns the sequence number of the new entry.
     pub fn push(&self, mem: &mut MemPool, kind: CqKind, tag: u64, bytes: u64, at: SimTime) -> u64 {
         let seq = mem.read_u64(self.counter);
+        self.write_slot(mem, seq, kind, tag, bytes, at);
+        mem.write_u64(self.counter, seq + 1);
+        seq
+    }
+
+    /// NIC side, bounded discipline: append one entry only if the ring
+    /// has a free slot relative to the consumer cursor. Returns `None`
+    /// when the ring is full — the caller must hold the completion and
+    /// retry (backpressure), never overwrite.
+    pub fn try_push(
+        &self,
+        mem: &mut MemPool,
+        kind: CqKind,
+        tag: u64,
+        bytes: u64,
+        at: SimTime,
+    ) -> Option<u64> {
+        if self.depth(mem) >= self.capacity {
+            return None;
+        }
+        Some(self.push(mem, kind, tag, bytes, at))
+    }
+
+    fn write_slot(
+        &self,
+        mem: &mut MemPool,
+        seq: u64,
+        kind: CqKind,
+        tag: u64,
+        bytes: u64,
+        at: SimTime,
+    ) {
         let slot = self.ring.offset_by((seq % self.capacity) * CQ_ENTRY_BYTES);
         mem.write_u64(slot, kind as u64);
         mem.write_u64(slot.offset_by(8), tag);
         mem.write_u64(slot.offset_by(16), bytes);
         mem.write_u64(slot.offset_by(24), at.as_ps());
-        mem.write_u64(self.counter, seq + 1);
-        seq
     }
 
     /// Consumer side: number of entries ever pushed.
@@ -94,37 +198,73 @@ impl CqDesc {
         mem.read_u64(self.counter)
     }
 
-    /// Consumer side: decode entry `seq`.
-    ///
-    /// # Panics
-    /// Panics if `seq` has been overwritten (consumer fell more than
-    /// `capacity` behind) or not yet written.
-    pub fn entry(&self, mem: &MemPool, seq: u64) -> CqEntry {
+    /// Consumer side: number of entries consumed so far (the cursor the
+    /// bounded producer respects).
+    pub fn consumed(&self, mem: &MemPool) -> u64 {
+        mem.read_u64(self.tail)
+    }
+
+    /// Entries pushed but not yet consumed.
+    pub fn depth(&self, mem: &MemPool) -> u64 {
+        self.head(mem).saturating_sub(self.consumed(mem))
+    }
+
+    /// Consumer side: advance the cursor to `upto` entries consumed
+    /// (monotonic; lower values are ignored).
+    pub fn consume_to(&self, mem: &mut MemPool, upto: u64) {
+        if upto > self.consumed(mem) {
+            mem.write_u64(self.tail, upto);
+        }
+    }
+
+    /// Consumer side: decode entry `seq`, reporting lag and corruption as
+    /// structured errors instead of panicking.
+    pub fn read(&self, mem: &MemPool, seq: u64) -> Result<CqEntry, CqError> {
         let head = self.head(mem);
-        assert!(seq < head, "entry {seq} not yet written (head {head})");
-        assert!(
-            head - seq <= self.capacity,
-            "entry {seq} overwritten (head {head}, capacity {})",
-            self.capacity
-        );
+        if seq >= head {
+            return Err(CqError::NotYetWritten { seq, head });
+        }
+        if head - seq > self.capacity {
+            return Err(CqError::Overwritten {
+                seq,
+                head,
+                capacity: self.capacity,
+            });
+        }
         let slot = self.ring.offset_by((seq % self.capacity) * CQ_ENTRY_BYTES);
         let kind = match mem.read_u64(slot) {
             1 => CqKind::SendComplete,
             2 => CqKind::RecvComplete,
             3 => CqKind::Error,
-            other => panic!("corrupt CQ entry kind {other}"),
+            4 => CqKind::Overflow,
+            raw => return Err(CqError::CorruptKind { seq, raw }),
         };
-        CqEntry {
+        Ok(CqEntry {
             kind,
             tag: mem.read_u64(slot.offset_by(8)),
             bytes: mem.read_u64(slot.offset_by(16)),
             at: SimTime::from_ps(mem.read_u64(slot.offset_by(24))),
-        }
+        })
     }
 
-    /// Consumer side: drain all entries in `[from, head)`.
+    /// Consumer side: drain all live entries in `[from, head)`. If the
+    /// consumer lagged past an overwriting producer, the lost range is
+    /// reported as one synthetic [`CqKind::Overflow`] entry (with `tag` =
+    /// number of entries lost) followed by the surviving entries.
     pub fn drain_from(&self, mem: &MemPool, from: u64) -> Vec<CqEntry> {
-        (from..self.head(mem)).map(|s| self.entry(mem, s)).collect()
+        let head = self.head(mem);
+        let live_from = from.max(head.saturating_sub(self.capacity));
+        let mut out = Vec::new();
+        if live_from > from {
+            out.push(CqEntry {
+                kind: CqKind::Overflow,
+                tag: live_from - from,
+                bytes: 0,
+                at: SimTime::ZERO,
+            });
+        }
+        out.extend((live_from..head).filter_map(|s| self.read(mem, s).ok()));
+        out
     }
 }
 
@@ -152,7 +292,7 @@ mod tests {
         );
         assert_eq!(seq, 0);
         assert_eq!(cq.head(&mem), 1);
-        let e = cq.entry(&mem, 0);
+        let e = cq.read(&mem, 0).unwrap();
         assert_eq!(e.kind, CqKind::SendComplete);
         assert_eq!(e.tag, 42);
         assert_eq!(e.bytes, 4096);
@@ -173,19 +313,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overwritten")]
-    fn overrun_is_detected() {
+    fn overrun_is_a_structured_error_not_a_panic() {
         let (mut mem, cq) = setup(2);
         for i in 0..5u64 {
             cq.push(&mut mem, CqKind::SendComplete, i, 8, SimTime::ZERO);
         }
-        let _ = cq.entry(&mem, 0);
+        assert_eq!(
+            cq.read(&mem, 0),
+            Err(CqError::Overwritten {
+                seq: 0,
+                head: 5,
+                capacity: 2
+            })
+        );
+        // A lagging drain reports the gap as one Overflow marker, then the
+        // surviving entries.
+        let drained = cq.drain_from(&mem, 0);
+        assert_eq!(drained[0].kind, CqKind::Overflow);
+        assert_eq!(drained[0].tag, 3, "three entries lost");
+        assert_eq!(drained.len(), 3, "marker + two live entries");
+        assert_eq!(drained[1].tag, 3);
+        assert_eq!(drained[2].tag, 4);
     }
 
     #[test]
-    #[should_panic(expected = "not yet written")]
-    fn reading_ahead_is_detected() {
+    fn reading_ahead_is_a_structured_error() {
         let (mem, cq) = setup(2);
-        let _ = cq.entry(&mem, 0);
+        assert_eq!(
+            cq.read(&mem, 0),
+            Err(CqError::NotYetWritten { seq: 0, head: 0 })
+        );
+    }
+
+    #[test]
+    fn bounded_push_respects_the_consumer_cursor() {
+        let (mut mem, cq) = setup(2);
+        assert!(cq
+            .try_push(&mut mem, CqKind::RecvComplete, 0, 8, SimTime::ZERO)
+            .is_some());
+        assert!(cq
+            .try_push(&mut mem, CqKind::RecvComplete, 1, 8, SimTime::ZERO)
+            .is_some());
+        assert_eq!(cq.depth(&mem), 2);
+        assert!(
+            cq.try_push(&mut mem, CqKind::RecvComplete, 2, 8, SimTime::ZERO)
+                .is_none(),
+            "full ring refuses instead of overwriting"
+        );
+        cq.consume_to(&mut mem, 1);
+        assert_eq!(cq.depth(&mem), 1);
+        assert!(cq
+            .try_push(&mut mem, CqKind::RecvComplete, 2, 8, SimTime::ZERO)
+            .is_some());
+        // The cursor is monotonic: stale updates are ignored.
+        cq.consume_to(&mut mem, 0);
+        assert_eq!(cq.consumed(&mem), 1);
     }
 }

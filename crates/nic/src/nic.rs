@@ -107,6 +107,10 @@ pub enum RxKind {
     Ack {
         /// The acknowledged sequence number.
         seq: u64,
+        /// Flow-control credits the receiver advertises: reorder-buffer
+        /// room left for the ACK's destination. `0` when flow control is
+        /// off (ignored by the receiver of the ACK then).
+        credits: u64,
     },
 }
 
@@ -144,6 +148,9 @@ pub enum NicEvent {
         /// The send attempt this timer guards (1 = original send).
         attempt: u32,
     },
+    /// The modeled host consumer of a *bounded* completion queue retires
+    /// one entry (every `cq_drain_ns`), unblocking parked commits.
+    CqDrain,
 }
 
 /// Out-of-band journal records describing fault and reliability activity.
@@ -185,6 +192,12 @@ pub enum NicNote {
     },
     /// A trigger registration or tag write was rejected.
     TriggerRejected(TriggerError),
+    /// A receive commit parked on a full bounded completion queue resumed
+    /// after `waited` (the `cq_stall` stage).
+    CqStalled {
+        /// How long the commit was parked.
+        waited: SimDuration,
+    },
 }
 
 /// Follow-up events for the glue to schedule.
@@ -236,6 +249,23 @@ pub struct Nic {
     cq: Option<CqDesc>,
     /// ARQ state (sequence numbers, unacked messages, receive dedupe).
     rel: Reliability<RxMessage>,
+    /// Flow control: new sends queued per target while that target's
+    /// credit grant is zero; drained FIFO as ACKs restore credit, so
+    /// sequence numbers stay in send order.
+    flow_queue: HashMap<u32, VecDeque<(u64, RxMessage)>>,
+    /// Bounded CQ: receive commits parked (with their park instant)
+    /// because the ring was full; resumed FIFO by [`NicEvent::CqDrain`].
+    cq_waiting: VecDeque<(SimTime, RxMessage)>,
+    /// Bounded CQ: send/error completion entries that found the ring full
+    /// — `(completed_at, kind, tag, bytes)` — flushed before parked
+    /// commits when the consumer frees slots. Never overwritten, never
+    /// dropped.
+    cq_backlog: VecDeque<(SimTime, CqKind, u64, u64)>,
+    /// Whether a [`NicEvent::CqDrain`] is already scheduled.
+    cq_drain_scheduled: bool,
+    /// Trigger-list spill/promotion totals already folded into `stats`.
+    spills_synced: u64,
+    promotions_synced: u64,
     /// Journal of fault/reliability activity, drained by the cluster glue.
     notes: Vec<(SimTime, NicNote)>,
 }
@@ -247,7 +277,7 @@ impl Nic {
     /// Panics if the configuration is invalid.
     pub fn new(node: NodeId, config: NicConfig) -> Self {
         config.validate().expect("invalid NIC config");
-        let triggers = TriggerList::new(config.lookup);
+        let triggers = TriggerList::with_overflow(config.lookup, config.trigger_overflow_capacity);
         let rel = Reliability::new(config.reliability.clone());
         Nic {
             node,
@@ -263,6 +293,12 @@ impl Nic {
             errors: Vec::new(),
             cq: None,
             rel,
+            flow_queue: HashMap::new(),
+            cq_waiting: VecDeque::new(),
+            cq_backlog: VecDeque::new(),
+            cq_drain_scheduled: false,
+            spills_synced: 0,
+            promotions_synced: 0,
             notes: Vec::new(),
         }
     }
@@ -316,6 +352,17 @@ impl Nic {
         self.rel.failures()
     }
 
+    /// Commits and completion entries currently parked on a full bounded
+    /// CQ. Nonzero in a quiescent cluster means the consumer starved.
+    pub fn cq_parked(&self) -> usize {
+        self.cq_waiting.len() + self.cq_backlog.len()
+    }
+
+    /// New sends queued for flow-control credit across all targets.
+    pub fn flow_queued(&self) -> usize {
+        self.flow_queue.values().map(VecDeque::len).sum()
+    }
+
     fn note(&mut self, at: SimTime, note: NicNote) {
         self.notes.push((at, note));
     }
@@ -348,13 +395,14 @@ impl Nic {
             NicEvent::TriggerWriteDyn(tag, fields) => self.on_trigger_write(now, tag, fields),
             NicEvent::FifoDrain => self.on_fifo_drain(now, mem, fabric),
             NicEvent::DmaReadDone(op) => self.on_dma_done(now, op, mem, fabric),
-            NicEvent::RxArrive(msg) => self.on_rx_arrive(now, msg),
+            NicEvent::RxArrive(msg) => self.on_rx_arrive(now, msg, fabric),
             NicEvent::RxDone(msg) => self.on_rx_done(now, msg, mem, fabric),
             NicEvent::RetryTimer {
                 target,
                 seq,
                 attempt,
             } => self.on_retry_timer(now, target, seq, attempt, mem, fabric),
+            NicEvent::CqDrain => self.on_cq_drain(now, mem, fabric),
         }
     }
 
@@ -387,7 +435,9 @@ impl Nic {
             }
             NicCommand::TriggeredPut { tag, threshold, op } => {
                 self.stats.inc("posts_triggered");
-                match self.triggers.register(tag, op, threshold) {
+                let res = self.triggers.register(tag, op, threshold);
+                self.sync_trigger_pressure_stats();
+                match res {
                     Ok(Some(fired)) => {
                         // Relaxed sync (§3.2): counter already met the
                         // threshold when the post arrived.
@@ -427,15 +477,38 @@ impl Nic {
     }
 
     /// Match cost for the FIFO head: the lookup cost plus the descriptor
-    /// parse surcharge when the head is a dynamic write.
+    /// parse surcharge when the head is a dynamic write, plus the
+    /// host-memory walk surcharge when the tag resolves to the overflow
+    /// (spill) table rather than the CAM.
     fn head_match_cost(&self) -> SimDuration {
         let mut cost = self.triggers.match_cost();
-        if let Some((_, fields, _)) = self.fifo.front() {
+        if let Some((tag, fields, _)) = self.fifo.front() {
             if !fields.is_empty() {
                 cost += SimDuration::from_ns(self.config.dyn_match_extra_ns);
             }
+            if self.triggers.resolves_to_overflow(*tag) {
+                cost += SimDuration::from_ns(self.config.spill_match_extra_ns);
+            }
         }
         cost
+    }
+
+    /// Fold new trigger-list spill/promotion activity into the stat set.
+    /// Counters appear only once the first spill happens, so unpressured
+    /// runs keep their exact stat schema.
+    fn sync_trigger_pressure_stats(&mut self) {
+        let spills = self.triggers.spills();
+        if spills > self.spills_synced {
+            self.stats
+                .add("trigger_spills", spills - self.spills_synced);
+            self.spills_synced = spills;
+        }
+        let promotions = self.triggers.promotions();
+        if promotions > self.promotions_synced {
+            self.stats
+                .add("trigger_promotions", promotions - self.promotions_synced);
+            self.promotions_synced = promotions;
+        }
     }
 
     fn on_fifo_drain(
@@ -450,7 +523,9 @@ impl Nic {
         };
         // Trigger-match stage: FIFO queueing + list lookup for this tag.
         self.stats.record("stage_trigger_match", now - enqueued);
-        let mut out = match self.triggers.trigger_dyn(tag, fields) {
+        let res = self.triggers.trigger_dyn(tag, fields);
+        self.sync_trigger_pressure_stats();
+        let mut out = match res {
             Ok(Some(fired)) => {
                 self.stats.inc("fired_at_trigger");
                 self.exec_op(now, fired.op, mem, fabric)
@@ -548,7 +623,7 @@ impl Nic {
         now: SimTime,
         target: NodeId,
         bytes: u64,
-        mut msg: RxMessage,
+        msg: RxMessage,
         fabric: &mut Fabric,
     ) -> Vec<NicOutput> {
         if !self.rel.enabled() {
@@ -559,6 +634,35 @@ impl Nic {
                 ev: NicEvent::RxArrive(msg),
             }];
         }
+        let queued = self
+            .flow_queue
+            .get(&target.0)
+            .is_some_and(|q| !q.is_empty());
+        if queued || !self.rel.may_send(target) {
+            // Zero credit toward this target (or older sends already
+            // waiting): stall the send until an ACK restores the grant.
+            // Sequence numbers are allocated at transmit time, so the
+            // queue's FIFO order keeps each pair's sequence space dense.
+            self.stats.inc("credit_stalls");
+            self.flow_queue
+                .entry(target.0)
+                .or_default()
+                .push_back((bytes, msg));
+            return Vec::new();
+        }
+        self.send_tracked_now(now, target, bytes, msg, fabric)
+    }
+
+    /// Allocate a sequence, hold for retransmission (consuming one credit
+    /// grant), transmit, and arm the retry timer.
+    fn send_tracked_now(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        bytes: u64,
+        mut msg: RxMessage,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
         let seq = self.rel.alloc_seq(target);
         msg.seq = Some(seq);
         self.rel.hold(seq, target, bytes, msg.clone());
@@ -571,6 +675,35 @@ impl Nic {
                 attempt: 1,
             },
         });
+        out
+    }
+
+    /// Transmit queued sends toward `target` while credit lasts.
+    fn drain_flow_queue(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        let mut out = Vec::new();
+        while self.rel.may_send(target) {
+            let Some((bytes, msg)) = self
+                .flow_queue
+                .get_mut(&target.0)
+                .and_then(VecDeque::pop_front)
+            else {
+                break;
+            };
+            self.stats.inc("credit_resumes");
+            out.extend(self.send_tracked_now(now, target, bytes, msg, fabric));
+        }
+        if self
+            .flow_queue
+            .get(&target.0)
+            .is_some_and(VecDeque::is_empty)
+        {
+            self.flow_queue.remove(&target.0);
+        }
         out
     }
 
@@ -611,8 +744,10 @@ impl Nic {
         }
     }
 
-    /// Acknowledge sequence `seq` back to `to`. ACKs are fire-and-forget:
-    /// a lost ACK just means the origin retransmits and we re-ACK.
+    /// Acknowledge sequence `seq` back to `to`, advertising the
+    /// reorder-buffer credits left for that origin. ACKs are
+    /// fire-and-forget: a lost ACK just means the origin retransmits and
+    /// we re-ACK.
     fn send_ack(
         &mut self,
         now: SimTime,
@@ -621,6 +756,7 @@ impl Nic {
         fabric: &mut Fabric,
     ) -> Vec<NicOutput> {
         let bytes = self.config.reliability.ack_bytes;
+        let credits = self.rel.rx_credits(to);
         let (timing, verdict) = fabric.send_message_faulty(now, self.node, to, bytes);
         self.stats.inc("acks_tx");
         if verdict != Delivery::Delivered {
@@ -635,7 +771,7 @@ impl Nic {
                 injected_at: now,
                 seq: None,
                 corrupt: false,
-                kind: RxKind::Ack { seq },
+                kind: RxKind::Ack { seq, credits },
             }),
         }]
     }
@@ -679,10 +815,7 @@ impl Nic {
             }
             Err(failure) => {
                 self.stats.inc("exhausted_retries");
-                if let Some(cq) = self.cq {
-                    cq.push(mem, CqKind::Error, failure.seq, failure.bytes, now);
-                    self.stats.inc("cq_entries");
-                }
+                let mut out = self.cq_push(CqKind::Error, failure.seq, failure.bytes, now, mem);
                 self.note(
                     now,
                     NicNote::DeliveryFailed {
@@ -691,9 +824,116 @@ impl Nic {
                         attempts: failure.attempts,
                     },
                 );
-                Vec::new()
+                // The dead message's credit grant will never be refreshed
+                // by an ACK; release it so queued sends keep draining.
+                self.rel.release_grant(failure.target);
+                out.extend(self.drain_flow_queue(now, failure.target, fabric));
+                out
             }
         }
+    }
+
+    // ---- completion queue (bounded discipline) ----------------------------
+
+    /// True when the bounded CQ cannot accept another commit right now —
+    /// either the ring is full or older commits are already parked
+    /// (ordering). Always false with an unbounded (or absent) CQ.
+    fn cq_blocked(&self, mem: &MemPool) -> bool {
+        if self.config.cq_capacity.is_none() {
+            return false;
+        }
+        let Some(cq) = self.cq else { return false };
+        !self.cq_waiting.is_empty() || cq.depth(mem) >= cq.capacity
+    }
+
+    /// Record a completion. Unbounded CQs push unconditionally (the seed
+    /// discipline: overwrite on overrun, detected by the consumer).
+    /// Bounded CQs never overwrite: entries that find the ring full go to
+    /// a backlog flushed by the drain consumer. May return a scheduled
+    /// [`NicEvent::CqDrain`].
+    fn cq_push(
+        &mut self,
+        kind: CqKind,
+        tag: u64,
+        bytes: u64,
+        now: SimTime,
+        mem: &mut MemPool,
+    ) -> Vec<NicOutput> {
+        let Some(cq) = self.cq else {
+            return Vec::new();
+        };
+        if self.config.cq_capacity.is_none() {
+            cq.push(mem, kind, tag, bytes, now);
+            self.stats.inc("cq_entries");
+            return Vec::new();
+        }
+        if cq.try_push(mem, kind, tag, bytes, now).is_some() {
+            self.stats.inc("cq_entries");
+        } else {
+            self.stats.inc("cq_stalls");
+            self.cq_backlog.push_back((now, kind, tag, bytes));
+        }
+        self.maybe_schedule_cq_drain(now).into_iter().collect()
+    }
+
+    /// Arm the modeled host consumer if the bounded CQ has work and no
+    /// drain is already scheduled. `cq_drain_ns == 0` models a consumer
+    /// that never drains: the ring stays full and the run ends in a
+    /// resource-starvation stall.
+    fn maybe_schedule_cq_drain(&mut self, now: SimTime) -> Option<NicOutput> {
+        if self.cq_drain_scheduled
+            || self.config.cq_drain_ns == 0
+            || self.config.cq_capacity.is_none()
+            || self.cq.is_none()
+        {
+            return None;
+        }
+        self.cq_drain_scheduled = true;
+        Some(NicOutput::Local {
+            at: now + SimDuration::from_ns(self.config.cq_drain_ns),
+            ev: NicEvent::CqDrain,
+        })
+    }
+
+    /// The modeled host consumer retires one CQ entry, then the freed
+    /// slots are refilled from the entry backlog and parked commits, in
+    /// that (FIFO) order.
+    fn on_cq_drain(
+        &mut self,
+        now: SimTime,
+        mem: &mut MemPool,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        self.cq_drain_scheduled = false;
+        let Some(cq) = self.cq else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if cq.depth(mem) > 0 {
+            cq.consume_to(mem, cq.consumed(mem) + 1);
+            self.stats.inc("cq_drained");
+        }
+        while cq.depth(mem) < cq.capacity {
+            let Some((at, kind, tag, bytes)) = self.cq_backlog.pop_front() else {
+                break;
+            };
+            cq.try_push(mem, kind, tag, bytes, at)
+                .expect("slot free: depth checked");
+            self.stats.inc("cq_entries");
+        }
+        while cq.depth(mem) < cq.capacity && self.cq_backlog.is_empty() {
+            let Some((parked_at, msg)) = self.cq_waiting.pop_front() else {
+                break;
+            };
+            let waited = now - parked_at;
+            self.stats.record("stage_cq_stall", waited);
+            self.note(now, NicNote::CqStalled { waited });
+            out.extend(self.commit_rx(now, msg, mem, fabric));
+        }
+        if cq.depth(mem) > 0 || !self.cq_backlog.is_empty() || !self.cq_waiting.is_empty() {
+            out.extend(self.maybe_schedule_cq_drain(now));
+        }
+        out
     }
 
     fn on_dma_done(
@@ -727,10 +967,7 @@ impl Nic {
             mem.fetch_add_u64(flag, 1);
             self.stats.inc("local_completions");
         }
-        if let Some(cq) = self.cq {
-            cq.push(mem, CqKind::SendComplete, 0, len, now);
-            self.stats.inc("cq_entries");
-        }
+        let mut pre = self.cq_push(CqKind::SendComplete, 0, len, now, mem);
         self.stats.inc("puts_injected");
         self.stats.add("bytes_tx", len);
         let msg = RxMessage {
@@ -747,19 +984,25 @@ impl Nic {
         if target == self.node {
             // Loopback never crosses the fabric and never faults.
             let timing = fabric.send_message(now, self.node, target, len);
-            vec![NicOutput::Local {
+            pre.push(NicOutput::Local {
                 at: timing.last_arrival,
                 ev: NicEvent::RxArrive(msg),
-            }]
+            });
         } else {
-            self.send_remote(now, target, len, msg, fabric)
+            pre.extend(self.send_remote(now, target, len, msg, fabric));
         }
+        pre
     }
 
     // ---- target side ------------------------------------------------------
 
-    fn on_rx_arrive(&mut self, now: SimTime, msg: RxMessage) -> Vec<NicOutput> {
-        if let RxKind::Ack { seq } = msg.kind {
+    fn on_rx_arrive(
+        &mut self,
+        now: SimTime,
+        msg: RxMessage,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        if let RxKind::Ack { seq, credits } = msg.kind {
             // Sender side: retire the pending message. The ACK's origin is
             // the node that committed it — the key into our per-target
             // sequence space. Stale ACKs (already retired by an earlier
@@ -769,7 +1012,10 @@ impl Nic {
             } else {
                 self.stats.inc("acks_stale");
             }
-            return Vec::new();
+            // Flow control: refresh this target's grant from the
+            // advertised credits and resume any credit-stalled sends.
+            self.rel.refresh_grant(msg.origin, credits);
+            return self.drain_flow_queue(now, msg.origin, fabric);
         }
         if msg.corrupt {
             // CRC failure: discard without ACK; the origin's retry timer
@@ -806,13 +1052,20 @@ impl Nic {
     ) -> Vec<NicOutput> {
         let mut outputs = Vec::new();
         if let Some(seq) = msg.seq {
-            // ACK every arrival — a duplicate means the origin missed the
-            // first ACK — but commit strictly in per-origin sequence order,
-            // so a retransmit that lands late can never clobber fresher
-            // data or fire a notify for the wrong payload.
+            // ACK every accepted arrival — a duplicate means the origin
+            // missed the first ACK — but commit strictly in per-origin
+            // sequence order, so a retransmit that lands late can never
+            // clobber fresher data or fire a notify for the wrong payload.
+            // Shed arrivals (beyond the flow-control window) are the one
+            // exception: no ACK, so the origin retransmits them later.
             let origin = msg.origin;
+            let verdict = self.rel.accept(origin, seq, msg);
+            if verdict == Accept::Shed {
+                self.stats.inc("rx_shed");
+                return outputs;
+            }
             outputs.extend(self.send_ack(now, origin, seq, fabric));
-            match self.rel.accept(origin, seq, msg) {
+            match verdict {
                 Accept::Duplicate => {
                     // The payload was already committed (or is already
                     // parked) and any notify / chained trigger already ran
@@ -829,15 +1082,34 @@ impl Nic {
                 }
                 Accept::Deliver(run) => {
                     for m in run {
-                        let out = self.commit_rx(now, m, mem, fabric);
+                        let out = self.commit_or_park(now, m, mem, fabric);
                         outputs.extend(out);
                     }
                 }
+                Accept::Shed => unreachable!("handled above"),
             }
             return outputs;
         }
-        outputs.extend(self.commit_rx(now, msg, mem, fabric));
+        outputs.extend(self.commit_or_park(now, msg, mem, fabric));
         outputs
+    }
+
+    /// Commit a received message unless the bounded CQ is full, in which
+    /// case the commit parks (the `cq_stall` stage) until the consumer
+    /// frees a slot.
+    fn commit_or_park(
+        &mut self,
+        now: SimTime,
+        msg: RxMessage,
+        mem: &mut MemPool,
+        fabric: &mut Fabric,
+    ) -> Vec<NicOutput> {
+        if self.cq_blocked(mem) {
+            self.stats.inc("cq_stalls");
+            self.cq_waiting.push_back((now, msg));
+            return self.maybe_schedule_cq_drain(now).into_iter().collect();
+        }
+        self.commit_rx(now, msg, mem, fabric)
     }
 
     /// Commit one received message's effects: payload write, CQ entry,
@@ -857,11 +1129,7 @@ impl Nic {
             } => {
                 self.stats.add("bytes_rx", payload.len() as u64);
                 mem.write(dst, &payload);
-                if let Some(cq) = self.cq {
-                    cq.push(mem, CqKind::RecvComplete, 0, payload.len() as u64, now);
-                    self.stats.inc("cq_entries");
-                }
-                let mut out = Vec::new();
+                let mut out = self.cq_push(CqKind::RecvComplete, 0, payload.len() as u64, now, mem);
                 if let Some(n) = notify {
                     // Flag is written flag_write_ns later, but the value must
                     // be visible when any poller at that instant reads it;
@@ -1219,7 +1487,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_overflow_is_recorded_not_fatal() {
+    fn capacity_overflow_spills_to_host_memory_not_error() {
         let mut h = Harness::new(2);
         h.nics[0] = Nic::new(
             NodeId(0),
@@ -1228,13 +1496,161 @@ mod tests {
                 ..NicConfig::default()
             },
         );
-        // Three early triggers with distinct tags: third exceeds capacity.
+        // Three early triggers with distinct tags: the third exceeds the
+        // CAM and spills to the host-memory overflow table — no error.
         h.trigger(0, Tag(1));
         h.trigger(0, Tag(2));
         h.trigger(0, Tag(3));
         h.run();
+        assert!(h.nics[0].errors().is_empty());
+        assert_eq!(h.nics[0].stats().counter("trigger_errors"), 0);
+        assert_eq!(h.nics[0].stats().counter("trigger_spills"), 1);
+        assert_eq!(h.nics[0].triggers().overflow_len(), 1);
+        // The spilled entry still matches; a post over it fires normally
+        // and the retirement path keeps promotion counters in sync.
+        let (src, dst, comp, flag) = put(&mut h, 16);
+        h.mem.write(src, &[8; 16]);
+        h.doorbell(
+            0,
+            NicCommand::TriggeredPut {
+                tag: Tag(1),
+                threshold: 1,
+                op: put_op(src, dst, 16, comp, flag),
+            },
+        );
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 1);
+        assert_eq!(h.nics[0].stats().counter("trigger_promotions"), 1);
+    }
+
+    #[test]
+    fn exhausted_cam_and_overflow_is_recorded_not_fatal() {
+        let mut h = Harness::new(2);
+        h.nics[0] = Nic::new(
+            NodeId(0),
+            NicConfig {
+                lookup: crate::lookup::LookupKind::Associative { ways: 1 },
+                trigger_overflow_capacity: 1,
+                ..NicConfig::default()
+            },
+        );
+        h.trigger(0, Tag(1));
+        h.trigger(0, Tag(2)); // spills
+        h.trigger(0, Tag(3)); // both tiers full: rejected
+        h.run();
         assert_eq!(h.nics[0].errors().len(), 1);
         assert_eq!(h.nics[0].stats().counter("trigger_errors"), 1);
+    }
+
+    fn bounded_cq_nic(capacity: u64, drain_ns: u64) -> NicConfig {
+        NicConfig {
+            cq_capacity: Some(capacity),
+            cq_drain_ns: drain_ns,
+            ..NicConfig::default()
+        }
+    }
+
+    #[test]
+    fn bounded_cq_backpressure_parks_commits_and_recovers() {
+        // A 1-slot CQ on the receiver with a slow consumer: a burst of
+        // puts must all still deliver (commits park instead of
+        // overwriting), with the stall accounted.
+        let mut h = Harness::new(2);
+        h.nics[1] = Nic::new(NodeId(1), bounded_cq_nic(1, 400));
+        let cq = CqDesc::alloc(&mut h.mem, NodeId(1), 1);
+        h.nics[1].attach_cq(cq);
+        let (src, dst, comp, flag) = put(&mut h, 32);
+        h.mem.write(src, &[6; 32]);
+        for _ in 0..4 {
+            h.doorbell(0, NicCommand::Put(put_op(src, dst, 32, comp, flag)));
+        }
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 4, "every put commits eventually");
+        assert!(
+            h.nics[1].stats().counter("cq_stalls") > 0,
+            "a 1-slot ring under a 4-put burst must stall"
+        );
+        assert_eq!(h.nics[1].cq_parked(), 0, "drained clean at quiescence");
+        let stall = h.nics[1]
+            .stats()
+            .histogram("stage_cq_stall")
+            .expect("stall stage recorded");
+        assert!(stall.mean().as_ps() > 0);
+    }
+
+    #[test]
+    fn starved_cq_consumer_parks_forever_without_panicking() {
+        // cq_drain_ns = 0 models a consumer that never drains: commits
+        // park permanently and the run ends quiescent (the cluster layer
+        // classifies this as resource starvation) — but nothing panics
+        // and nothing is overwritten.
+        let mut h = Harness::new(2);
+        h.nics[1] = Nic::new(NodeId(1), bounded_cq_nic(1, 0));
+        let cq = CqDesc::alloc(&mut h.mem, NodeId(1), 1);
+        h.nics[1].attach_cq(cq);
+        let (src, dst, comp, flag) = put(&mut h, 32);
+        h.mem.write(src, &[6; 32]);
+        for _ in 0..3 {
+            h.doorbell(0, NicCommand::Put(put_op(src, dst, 32, comp, flag)));
+        }
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 1, "only the first commit fit");
+        assert_eq!(h.nics[1].cq_parked(), 2, "the rest are parked, not lost");
+        assert_eq!(cq.head(&h.mem), 1, "never overwritten");
+    }
+
+    #[test]
+    fn zero_credit_sends_queue_and_resume_on_ack() {
+        // Window of 1: the second and third puts must wait for the first
+        // ACK, then drain in order. Everything still delivers.
+        let nic = NicConfig {
+            reliability: crate::reliability::ReliabilityConfig::bounded(1),
+            ..NicConfig::default()
+        };
+        let mut h = Harness::new_with(2, nic, FabricConfig::default());
+        let (src, dst, comp, flag) = put(&mut h, 32);
+        h.mem.write(src, &[7; 32]);
+        for _ in 0..3 {
+            h.doorbell(0, NicCommand::Put(put_op(src, dst, 32, comp, flag)));
+        }
+        h.run();
+        assert_eq!(h.mem.read_u64(flag), 3, "all deliveries complete");
+        assert!(
+            h.nics[0].stats().counter("credit_stalls") > 0,
+            "window 1 must stall a 3-put burst"
+        );
+        assert_eq!(
+            h.nics[0].stats().counter("credit_stalls"),
+            h.nics[0].stats().counter("credit_resumes"),
+            "every stalled send eventually resumed"
+        );
+        assert_eq!(h.nics[0].flow_queued(), 0);
+        assert!(h.nics[0].pending_retries().is_empty());
+    }
+
+    #[test]
+    fn bounded_window_survives_loss_with_identical_payloads() {
+        // Seeded loss + window 2: the ARQ must still deliver the exact
+        // payload, shedding over-window arrivals without ACKing them.
+        let nic = NicConfig {
+            reliability: crate::reliability::ReliabilityConfig {
+                window: 2,
+                ..crate::reliability::ReliabilityConfig::on()
+            },
+            ..NicConfig::default()
+        };
+        let mut h = Harness::new_with(2, nic, lossy_fabric(12, 0.4));
+        let (src, dst, comp, flag) = put(&mut h, 64);
+        h.mem.write(src, &[0x5A; 64]);
+        for _ in 0..6 {
+            h.doorbell(0, NicCommand::Put(put_op(src, dst, 64, comp, flag)));
+        }
+        h.run();
+        assert_eq!(h.mem.read(dst, 64), &[0x5A; 64]);
+        assert_eq!(h.mem.read_u64(flag), 6, "all six puts committed");
+        assert!(h.nics[0].delivery_failures().is_empty());
+        assert!(h.nics[0].pending_retries().is_empty());
+        assert_eq!(h.nics[0].flow_queued(), 0);
     }
 
     #[test]

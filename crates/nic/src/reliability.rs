@@ -31,6 +31,30 @@
 //!   [`crate::cq::CqKind::Error`] completion is pushed and a delivery
 //!   failure is recorded for the cluster's stall report.
 //!
+//! ### Bounded memory: window + credits
+//!
+//! The seed ARQ grows without bound in two places: the sender's pending
+//! table and the receiver's reorder buffer. With
+//! [`ReliabilityConfig::window`] set to `W > 0` both get hard bounds:
+//!
+//! - The receiver only buffers arrivals with `seq < expected + W`;
+//!   anything further ahead is **shed** ([`Accept::Shed`]) — not ACKed,
+//!   not buffered — so the sender's retransmit timer replays it later.
+//!   The reorder buffer thus never holds more than `W` entries per
+//!   origin.
+//! - Every ACK advertises **credits** = `W − held(origin)`, the room left
+//!   in the reorder buffer. The sender keeps a per-target *grant*: each
+//!   newly tracked message consumes one grant, and each ACK refreshes the
+//!   grant to `credits − still-unACKed messages toward that target`. At
+//!   zero grant the NIC queues new sends instead of transmitting
+//!   (stall-and-back-off) until an ACK restores credit.
+//!
+//! Deadlock-freedom: a zero grant implies unACKed messages in flight, and
+//! every one of those has a live retransmit timer; receivers ACK every
+//! non-shed arrival including duplicates, so an ACK (and with it a grant
+//! refresh) always eventually arrives. `W = 0` (the default) keeps the
+//! unbounded seed behaviour bit-for-bit.
+//!
 //! This module is pure bookkeeping — [`crate::nic::Nic`] drives it and owns
 //! all timing/fabric effects — so budget and backoff arithmetic is unit
 //! testable in isolation.
@@ -62,6 +86,12 @@ pub struct ReliabilityConfig {
     pub max_retries: u32,
     /// Wire size of an ACK control message, bytes.
     pub ack_bytes: u64,
+    /// Flow-control window, messages per directed pair. `0` (default)
+    /// disables flow control: unbounded reorder buffer and no credit
+    /// gating, exactly the seed behaviour. `W > 0` bounds the receiver's
+    /// reorder buffer to `W` entries per origin and gates new sends on
+    /// credits advertised in ACKs (see the module docs).
+    pub window: u64,
 }
 
 impl Default for ReliabilityConfig {
@@ -73,6 +103,7 @@ impl Default for ReliabilityConfig {
             max_timeout_ns: 1_000_000,
             max_retries: 8,
             ack_bytes: 16,
+            window: 0,
         }
     }
 }
@@ -82,6 +113,16 @@ impl ReliabilityConfig {
     pub fn on() -> Self {
         ReliabilityConfig {
             enabled: true,
+            ..ReliabilityConfig::default()
+        }
+    }
+
+    /// Enabled with a `window`-message flow-control bound per directed
+    /// pair (credit-based; see the module docs).
+    pub fn bounded(window: u64) -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            window,
             ..ReliabilityConfig::default()
         }
     }
@@ -148,6 +189,10 @@ pub enum Accept<M> {
     Held,
     /// Already committed (or already buffered): re-ACK, commit nothing.
     Duplicate,
+    /// The arrival is beyond the flow-control window — the reorder buffer
+    /// has no room for it. Do **not** ACK and do **not** buffer: the
+    /// sender's retransmit timer will replay it once the window opens.
+    Shed,
 }
 
 /// Sender- and receiver-side ARQ state for one NIC.
@@ -164,6 +209,9 @@ pub struct Reliability<M> {
     /// Receiver: arrivals ahead of `next_commit`, per origin, ordered so
     /// gap-fills drain them in sequence.
     held: HashMap<u32, BTreeMap<u64, M>>,
+    /// Sender: remaining send grant per target (flow control). Absent
+    /// means "never refreshed": a full window's worth of initial credit.
+    grants: HashMap<u32, u64>,
     failures: Vec<DeliveryFailure>,
 }
 
@@ -176,6 +224,7 @@ impl<M> Reliability<M> {
             pending: HashMap::new(),
             next_commit: HashMap::new(),
             held: HashMap::new(),
+            grants: HashMap::new(),
             failures: Vec::new(),
         }
     }
@@ -200,8 +249,13 @@ impl<M> Reliability<M> {
         seq
     }
 
-    /// Sender: hold `msg` under (`target`, `seq`) until ACKed.
+    /// Sender: hold `msg` under (`target`, `seq`) until ACKed. Consumes
+    /// one unit of send grant toward `target` when flow control is on.
     pub fn hold(&mut self, seq: u64, target: NodeId, bytes: u64, msg: M) {
+        if self.config.window > 0 {
+            let g = self.grants.entry(target.0).or_insert(self.config.window);
+            *g = g.saturating_sub(1);
+        }
         self.pending.insert(
             (target.0, seq),
             Pending {
@@ -225,6 +279,56 @@ impl<M> Reliability<M> {
     /// retired a pending message (false = stale/duplicate ACK).
     pub fn ack(&mut self, from: NodeId, seq: u64) -> bool {
         self.pending.remove(&(from.0, seq)).is_some()
+    }
+
+    /// Sender: may a *new* message toward `target` be transmitted now?
+    /// Always true with flow control off; otherwise true while grant
+    /// remains. Retransmits are never gated (they already hold grant).
+    pub fn may_send(&self, target: NodeId) -> bool {
+        self.config.window == 0 || *self.grants.get(&target.0).unwrap_or(&self.config.window) > 0
+    }
+
+    /// Sender: current grant toward `target`, for diagnostics.
+    pub fn grant(&self, target: NodeId) -> u64 {
+        if self.config.window == 0 {
+            u64::MAX
+        } else {
+            *self.grants.get(&target.0).unwrap_or(&self.config.window)
+        }
+    }
+
+    /// Sender: an ACK from `target` advertised `credits` of reorder-buffer
+    /// room. Refresh the grant to that, minus the messages still unACKed
+    /// toward `target` (they will occupy buffer room the receiver hasn't
+    /// seen yet).
+    pub fn refresh_grant(&mut self, target: NodeId, credits: u64) {
+        if self.config.window == 0 {
+            return;
+        }
+        let in_flight = self.pending.keys().filter(|&&(t, _)| t == target.0).count() as u64;
+        self.grants
+            .insert(target.0, credits.saturating_sub(in_flight));
+    }
+
+    /// Sender: a message toward `target` was abandoned (retry budget
+    /// exhausted) — no ACK will ever refresh its grant, so return the
+    /// unit it consumed to keep the flow queue draining.
+    pub fn release_grant(&mut self, target: NodeId) {
+        if self.config.window > 0 {
+            let g = self.grants.entry(target.0).or_insert(self.config.window);
+            *g += 1;
+        }
+    }
+
+    /// Receiver: credits to advertise on an ACK toward `origin` — the
+    /// reorder-buffer room left for that origin. Zero with flow control
+    /// off (the field is ignored then).
+    pub fn rx_credits(&self, origin: NodeId) -> u64 {
+        if self.config.window == 0 {
+            return 0;
+        }
+        let held = self.held.get(&origin.0).map_or(0, |b| b.len() as u64);
+        self.config.window.saturating_sub(held)
     }
 
     /// Sender: the retry timer for (`target`, `seq`, `attempt`) fired.
@@ -268,10 +372,16 @@ impl<M> Reliability<M> {
         if seq < *expected {
             return Accept::Duplicate;
         }
+        let window = self.config.window;
         let buffer = self.held.entry(origin.0).or_default();
         if seq > *expected {
             if buffer.contains_key(&seq) {
                 return Accept::Duplicate;
+            }
+            if window > 0 && seq >= *expected + window {
+                // Beyond the reorder window: no room is reserved for this
+                // sequence. Shed it (no ACK) — the sender retransmits.
+                return Accept::Shed;
             }
             buffer.insert(seq, msg);
             return Accept::Held;
@@ -439,6 +549,51 @@ mod tests {
         assert_eq!(r.held_count(), 0);
         // And the stream continues normally after the drain.
         assert_eq!(r.accept(NodeId(7), 3, "d"), Accept::Deliver(vec!["d"]));
+    }
+
+    #[test]
+    fn window_sheds_arrivals_beyond_reorder_room() {
+        let mut r: Reliability<&str> = Reliability::new(ReliabilityConfig::bounded(2));
+        let o = NodeId(9);
+        // expected = 0, window = 2: seqs 0 and 1 fit, seq 2 does not.
+        assert_eq!(r.accept(o, 1, "b"), Accept::Held);
+        assert_eq!(r.accept(o, 2, "c"), Accept::Shed);
+        assert_eq!(r.held_count(), 1, "shed arrivals are not buffered");
+        assert_eq!(r.rx_credits(o), 1);
+        // Filling the gap drains the run and reopens the window.
+        assert_eq!(r.accept(o, 0, "a"), Accept::Deliver(vec!["a", "b"]));
+        assert_eq!(r.rx_credits(o), 2);
+        assert_eq!(r.accept(o, 2, "c"), Accept::Deliver(vec!["c"]));
+    }
+
+    #[test]
+    fn grants_gate_new_sends_and_refresh_from_credits() {
+        let mut r: Reliability<&str> = Reliability::new(ReliabilityConfig::bounded(2));
+        let t = NodeId(1);
+        assert!(r.may_send(t));
+        let s0 = r.track(t, 8, "a");
+        let s1 = r.track(t, 8, "b");
+        assert!(!r.may_send(t), "window's worth of grant consumed");
+        // ACK for s0 advertises 2 credits; one message (s1) still unACKed.
+        assert!(r.ack(t, s0));
+        r.refresh_grant(t, 2);
+        assert_eq!(r.grant(t), 1);
+        assert!(r.may_send(t));
+        // Exhaustion releases the grant a dead message consumed.
+        let s2 = r.track(t, 8, "c");
+        assert!(!r.may_send(t));
+        assert!(matches!(
+            r.timer_fired(SimTime::from_us(1), t, s1, 1),
+            TimerVerdict::Retransmit(_)
+        ));
+        let _ = s2;
+        r.release_grant(t);
+        assert!(r.may_send(t));
+        // Flow control off: everything is always allowed.
+        let off: Reliability<&str> = Reliability::new(ReliabilityConfig::on());
+        assert!(off.may_send(t));
+        assert_eq!(off.grant(t), u64::MAX);
+        assert_eq!(off.rx_credits(t), 0);
     }
 
     #[test]

@@ -5,6 +5,19 @@
 //! the CPU post). It is pure state: the [`crate::nic::Nic`] wraps it with
 //! FIFO timing and DMA/fabric effects, so every matching rule is unit- and
 //! property-testable here in isolation.
+//!
+//! ### Spill to host memory
+//!
+//! A capacity-bounded lookup (the paper's 16-way CAM, §3.3) no longer
+//! rejects inserts outright: entries beyond the CAM's capacity **spill**
+//! into a host-memory overflow table, matching Portals-4's
+//! spill-to-host handling of resource exhaustion. Spilled entries keep
+//! exact tag-match semantics — only the *match cost* differs (the NIC
+//! charges [`crate::config::NicConfig::spill_match_extra_ns`] for tags
+//! that resolve to the overflow table). As CAM entries retire, spilled
+//! entries are **promoted** back in, lowest tag first (deterministic).
+//! Only when the overflow table itself is full does registration fail
+//! with [`TriggerError::CapacityExceeded`].
 
 use crate::dynamic::DynFields;
 use crate::lookup::LookupKind;
@@ -61,10 +74,11 @@ pub enum TriggerError {
     /// An armed entry with this tag already exists; tags identify entries
     /// uniquely (§3.1).
     DuplicateTag(Tag),
-    /// The associative lookup is full: the paper's prototype supports at
-    /// most 16 simultaneously active entries (§3.3).
+    /// Both the associative lookup (§3.3) *and* the host-memory overflow
+    /// table are full: the NIC genuinely has nowhere left to put the
+    /// entry.
     CapacityExceeded {
-        /// The lookup's capacity.
+        /// Total capacity (CAM ways + overflow table).
         capacity: usize,
         /// The tag that could not be inserted.
         tag: Tag,
@@ -80,8 +94,8 @@ impl fmt::Display for TriggerError {
             TriggerError::DuplicateTag(t) => write!(f, "trigger entry {t} already armed"),
             TriggerError::CapacityExceeded { capacity, tag } => write!(
                 f,
-                "trigger list full ({capacity} entries) inserting {tag}; \
-                 use LinearList/HashTable lookup or retire entries first"
+                "trigger list full (CAM + overflow, {capacity} entries) inserting {tag}; \
+                 raise the overflow capacity or retire entries first"
             ),
             TriggerError::ZeroThreshold(t) => {
                 write!(f, "{t}: threshold must be >= 1 (use a direct post)")
@@ -92,39 +106,81 @@ impl fmt::Display for TriggerError {
 
 impl std::error::Error for TriggerError {}
 
+/// Default capacity of the host-memory overflow (spill) table. Host
+/// memory is cheap: generous enough that only a pathological workload
+/// ever sees [`TriggerError::CapacityExceeded`].
+pub const DEFAULT_OVERFLOW_CAPACITY: usize = 65_536;
+
 /// The NIC's list of registered trigger entries.
 ///
 /// Functionally a map from tag to entry regardless of [`LookupKind`]; the
 /// lookup kind contributes the per-match *cost* (consumed by the NIC's FIFO
-/// drain loop) and the *capacity* constraint.
+/// drain loop) and the *capacity* of the fast CAM tier. Entries past that
+/// capacity live in the host-memory overflow table (see the module docs).
 #[derive(Debug)]
 pub struct TriggerList {
     entries: HashMap<u64, TriggerEntry>,
+    /// Host-memory spill table: same semantics, slower matches.
+    overflow: HashMap<u64, TriggerEntry>,
+    overflow_capacity: usize,
     kind: LookupKind,
     fired_total: u64,
     early_allocations: u64,
+    spills: u64,
+    promotions: u64,
     rejected_capacity: u64,
     rejected_duplicate: u64,
     rejected_zero_threshold: u64,
 }
 
 impl TriggerList {
-    /// An empty list using `kind` for lookups.
+    /// An empty list using `kind` for lookups, with the default overflow
+    /// table capacity.
     pub fn new(kind: LookupKind) -> Self {
+        Self::with_overflow(kind, DEFAULT_OVERFLOW_CAPACITY)
+    }
+
+    /// An empty list with an explicit overflow-table capacity (tests and
+    /// resource-pressure scenarios shrink it to force exhaustion).
+    pub fn with_overflow(kind: LookupKind, overflow_capacity: usize) -> Self {
         TriggerList {
             entries: HashMap::new(),
+            overflow: HashMap::new(),
+            overflow_capacity,
             kind,
             fired_total: 0,
             early_allocations: 0,
+            spills: 0,
+            promotions: 0,
             rejected_capacity: 0,
             rejected_duplicate: 0,
             rejected_zero_threshold: 0,
         }
     }
 
-    /// Number of simultaneously active entries.
+    /// Number of simultaneously active entries (CAM + overflow).
     pub fn active(&self) -> usize {
+        self.entries.len() + self.overflow.len()
+    }
+
+    /// Entries currently resident in the fast (CAM) tier.
+    pub fn cam_len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries currently spilled to the host-memory overflow table.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Total entries that spilled to the overflow table.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Total entries promoted from the overflow table back into the CAM.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
     }
 
     /// Total operations fired since construction.
@@ -148,9 +204,28 @@ impl TriggerList {
         self.kind.match_cost(self.active())
     }
 
+    /// True if matching `tag` would touch the host-memory overflow table:
+    /// either the entry lives there, or the tag is unknown and a full CAM
+    /// would force its allocation to spill. The NIC charges the spill
+    /// surcharge for such matches.
+    pub fn resolves_to_overflow(&self, tag: Tag) -> bool {
+        if self.entries.contains_key(&tag.0) {
+            return false;
+        }
+        self.overflow.contains_key(&tag.0) || self.cam_full()
+    }
+
+    fn cam_full(&self) -> bool {
+        self.kind
+            .capacity()
+            .is_some_and(|cap| self.entries.len() >= cap)
+    }
+
     /// Borrow an entry (tests and diagnostics).
     pub fn entry(&self, tag: Tag) -> Option<&TriggerEntry> {
-        self.entries.get(&tag.0)
+        self.entries
+            .get(&tag.0)
+            .or_else(|| self.overflow.get(&tag.0))
     }
 
     /// Rejected registrations and writes, by cause:
@@ -175,20 +250,49 @@ impl TriggerList {
         let mut v: Vec<_> = self
             .entries
             .values()
+            .chain(self.overflow.values())
             .map(|e| (e.tag, e.counter, e.threshold, e.op.is_some()))
             .collect();
         v.sort_unstable_by_key(|&(tag, ..)| tag.0);
         v
     }
 
-    fn check_capacity(&mut self, tag: Tag) -> Result<(), TriggerError> {
-        if let Some(cap) = self.kind.capacity() {
-            if self.entries.len() >= cap {
-                self.rejected_capacity += 1;
-                return Err(TriggerError::CapacityExceeded { capacity: cap, tag });
-            }
+    fn entry_mut(&mut self, tag: Tag) -> Option<&mut TriggerEntry> {
+        if self.entries.contains_key(&tag.0) {
+            self.entries.get_mut(&tag.0)
+        } else {
+            self.overflow.get_mut(&tag.0)
         }
-        Ok(())
+    }
+
+    /// Place a brand-new entry: CAM while it has room, otherwise spill to
+    /// the overflow table, otherwise reject.
+    fn insert_new(&mut self, tag: Tag, entry: TriggerEntry) -> Result<(), TriggerError> {
+        if !self.cam_full() {
+            self.entries.insert(tag.0, entry);
+            return Ok(());
+        }
+        if self.overflow.len() < self.overflow_capacity {
+            self.spills += 1;
+            self.overflow.insert(tag.0, entry);
+            return Ok(());
+        }
+        self.rejected_capacity += 1;
+        Err(TriggerError::CapacityExceeded {
+            capacity: self.kind.capacity().unwrap_or(0) + self.overflow_capacity,
+            tag,
+        })
+    }
+
+    /// Retiring a CAM entry frees slots: move overflow entries back into
+    /// the fast tier, lowest tag first (deterministic order).
+    fn promote(&mut self) {
+        while !self.cam_full() && !self.overflow.is_empty() {
+            let tag = *self.overflow.keys().min().expect("overflow non-empty");
+            let e = self.overflow.remove(&tag).expect("key just found");
+            self.entries.insert(tag, e);
+            self.promotions += 1;
+        }
     }
 
     /// CPU-side registration of a triggered operation (§3.1 step 1 /
@@ -208,7 +312,7 @@ impl TriggerList {
             self.rejected_zero_threshold += 1;
             return Err(TriggerError::ZeroThreshold(tag));
         }
-        match self.entries.get_mut(&tag.0) {
+        match self.entry_mut(tag) {
             Some(e) if e.op.is_some() => {
                 self.rejected_duplicate += 1;
                 Err(TriggerError::DuplicateTag(tag))
@@ -228,9 +332,8 @@ impl TriggerList {
                 }
             }
             None => {
-                self.check_capacity(tag)?;
-                self.entries.insert(
-                    tag.0,
+                self.insert_new(
+                    tag,
                     TriggerEntry {
                         tag,
                         counter: 0,
@@ -238,7 +341,7 @@ impl TriggerList {
                         op: Some(op),
                         overrides: DynFields::NONE,
                     },
-                );
+                )?;
                 Ok(None)
             }
         }
@@ -262,7 +365,7 @@ impl TriggerList {
         tag: Tag,
         fields: DynFields,
     ) -> Result<Option<Fired>, TriggerError> {
-        match self.entries.get_mut(&tag.0) {
+        match self.entry_mut(tag) {
             Some(e) => {
                 e.counter += 1;
                 e.overrides.merge(fields);
@@ -275,10 +378,8 @@ impl TriggerList {
             None => {
                 // §3.2: "the NIC allocates a trigger entry for this tag
                 // without a corresponding network operation or threshold."
-                self.check_capacity(tag)?;
-                self.early_allocations += 1;
-                self.entries.insert(
-                    tag.0,
+                self.insert_new(
+                    tag,
                     TriggerEntry {
                         tag,
                         counter: 1,
@@ -286,7 +387,8 @@ impl TriggerList {
                         op: None,
                         overrides: fields,
                     },
-                );
+                )?;
+                self.early_allocations += 1;
                 Ok(None)
             }
         }
@@ -294,9 +396,15 @@ impl TriggerList {
 
     /// Remove a ready entry and produce its `Fired` record. Entries are
     /// one-shot: a fired tag leaves the list (re-triggering the same tag
-    /// later allocates a fresh counter-only entry).
+    /// later allocates a fresh counter-only entry). Retiring a CAM entry
+    /// promotes waiting overflow entries into the freed slots.
     fn take_fired(&mut self, tag: Tag) -> Fired {
-        let e = self.entries.remove(&tag.0).expect("ready entry exists");
+        let e = self
+            .entries
+            .remove(&tag.0)
+            .or_else(|| self.overflow.remove(&tag.0))
+            .expect("ready entry exists");
+        self.promote();
         self.fired_total += 1;
         let mut op = e.op.expect("ready entry has op");
         e.overrides.apply(&mut op);
@@ -407,21 +515,71 @@ mod tests {
     }
 
     #[test]
-    fn associative_capacity_enforced_for_posts_and_early_triggers() {
+    fn associative_overflow_spills_instead_of_rejecting() {
         let mut l = TriggerList::new(LookupKind::Associative { ways: 2 });
         l.register(Tag(1), put(), 1).unwrap();
         l.register(Tag(2), put(), 1).unwrap();
+        // Third post and an early trigger both land in the overflow table.
+        assert_eq!(l.register(Tag(3), put(), 1), Ok(None));
+        assert_eq!(l.trigger(Tag(4)).unwrap(), None);
+        assert_eq!((l.cam_len(), l.overflow_len()), (2, 2));
+        assert_eq!(l.spills(), 2);
+        assert!(l.resolves_to_overflow(Tag(3)));
+        assert!(!l.resolves_to_overflow(Tag(1)));
+        // Spilled entries keep exact match semantics, firing straight from
+        // the overflow table (retiring an overflow entry frees no CAM slot,
+        // so nothing promotes yet).
+        let fired = l.trigger(Tag(3)).unwrap().expect("spilled entry fires");
+        assert_eq!(fired.tag, Tag(3));
+        assert_eq!(l.promotions(), 0);
+        assert_eq!((l.cam_len(), l.overflow_len()), (2, 1));
+        // Retiring a CAM entry promotes the waiting overflow tag into it.
+        l.trigger(Tag(1)).unwrap().expect("fires");
+        assert_eq!(l.promotions(), 1);
+        assert_eq!((l.cam_len(), l.overflow_len()), (2, 0));
+        assert!(!l.resolves_to_overflow(Tag(4)));
+    }
+
+    #[test]
+    fn exhausted_overflow_table_still_rejects() {
+        let mut l = TriggerList::with_overflow(LookupKind::Associative { ways: 2 }, 1);
+        l.register(Tag(1), put(), 1).unwrap();
+        l.register(Tag(2), put(), 1).unwrap();
+        l.register(Tag(3), put(), 1).unwrap(); // spills
+        assert_eq!(
+            l.register(Tag(4), put(), 1),
+            Err(TriggerError::CapacityExceeded {
+                capacity: 3,
+                tag: Tag(4)
+            })
+        );
         assert!(matches!(
-            l.register(Tag(3), put(), 1),
-            Err(TriggerError::CapacityExceeded { capacity: 2, .. })
-        ));
-        assert!(matches!(
-            l.trigger(Tag(4)),
+            l.trigger(Tag(5)),
             Err(TriggerError::CapacityExceeded { .. })
         ));
-        // Firing an entry frees a slot.
+        assert_eq!(l.rejections().0, 2);
+        // Firing a CAM entry frees a slot (promoting the spilled entry),
+        // after which a new registration fits again.
         l.trigger(Tag(1)).unwrap().expect("fires");
-        assert!(l.register(Tag(3), put(), 1).is_ok());
+        assert_eq!(l.promotions(), 1);
+        assert!(l.register(Tag(4), put(), 1).is_ok());
+    }
+
+    #[test]
+    fn promotion_preserves_counter_and_overrides() {
+        let mut l = TriggerList::new(LookupKind::Associative { ways: 1 });
+        l.register(Tag(1), put(), 1).unwrap();
+        // Early triggers accumulate in a spilled counter-only entry.
+        l.trigger(Tag(7)).unwrap();
+        l.trigger(Tag(7)).unwrap();
+        assert_eq!(l.overflow_len(), 1);
+        // Retire the CAM entry: the spilled counter promotes intact.
+        l.trigger(Tag(1)).unwrap().expect("fires");
+        assert_eq!((l.cam_len(), l.overflow_len()), (1, 0));
+        assert_eq!(l.entry(Tag(7)).unwrap().counter, 2);
+        // A late post over the promoted counter fires immediately.
+        let fired = l.register(Tag(7), put(), 2).unwrap().expect("fires");
+        assert_eq!(fired.counter, 2);
     }
 
     #[test]

@@ -141,4 +141,51 @@ proptest! {
             run(LookupKind::HashTable)
         );
     }
+
+    /// A CAM far too small for the script still agrees *functionally* with
+    /// the unbounded hash lookup on every step — spilling to the host
+    /// overflow table and promoting back as entries retire must preserve
+    /// exact tag-match semantics (early triggers spill counter-only
+    /// entries, late posts land on spilled counters, fire order and
+    /// counters are identical). Only cost differs, and that is not
+    /// modelled here.
+    #[test]
+    fn spilled_cam_matches_unbounded_reference(script in steps(8), ways in 1u32..4) {
+        let run = |kind: LookupKind| {
+            let mut list = TriggerList::new(kind);
+            let mut log = Vec::new();
+            let mut max_active = 0;
+            for step in &script {
+                let r = match *step {
+                    Step::Post(t, th) => list
+                        .register(Tag(t as u64), dummy_put(), th)
+                        .map(|o| o.map(|f| (f.tag, f.counter)))
+                        .map_err(|_| ()),
+                    Step::Trigger(t) => list
+                        .trigger(Tag(t as u64))
+                        .map(|o| o.map(|f| (f.tag, f.counter)))
+                        .map_err(|_| ()),
+                };
+                max_active = max_active.max(list.active());
+                log.push(r);
+            }
+            (log, list.fired_total(), list.pending_entries(), max_active)
+        };
+        let bounded = run(LookupKind::Associative { ways });
+        let reference = run(LookupKind::HashTable);
+        prop_assert_eq!(&bounded, &reference);
+        // And whenever the script exceeded the CAM, the overflow table
+        // (not an error) is what absorbed the pressure.
+        let mut list = TriggerList::new(LookupKind::Associative { ways });
+        for step in &script {
+            let _ = match *step {
+                Step::Post(t, th) => list.register(Tag(t as u64), dummy_put(), th).map(|_| ()),
+                Step::Trigger(t) => list.trigger(Tag(t as u64)).map(|_| ()),
+            };
+        }
+        if bounded.3 > ways as usize {
+            prop_assert!(list.spills() > 0, "pressure without spills");
+        }
+        prop_assert_eq!(list.rejections().0, 0, "no capacity rejection may surface");
+    }
 }

@@ -20,7 +20,7 @@ use gtn_core::Strategy;
 use gtn_host::HostProgram;
 use gtn_mem::MemPool;
 
-pub use gtn_core::scenario::{ConfigPatch, ScenarioParams, ScenarioResult};
+pub use gtn_core::scenario::{ConfigPatch, ResourceLimits, ScenarioParams, ScenarioResult};
 
 /// Env var naming a strategy subset for benches, e.g.
 /// `GTN_STRATEGIES=hdn,gpu-tn` (comma- or whitespace-separated, any case
