@@ -11,14 +11,15 @@
 //! Fig. 8 latency decomposition and several integration tests read that log.
 
 use crate::config::ClusterConfig;
+use crate::membership::{Liveness, MembershipView};
 use crate::observe::ClusterStats;
 use crate::stall::{BlockedOn, NodeStall, StallReason, StallReport};
-use gtn_fabric::Fabric;
+use gtn_fabric::{Delivery, Fabric};
 use gtn_gpu::{Gpu, GpuEvent, GpuOutput};
 use gtn_host::{Cpu, CpuEvent, CpuOutput, HostOp, HostProgram};
 use gtn_mem::{MemPool, NodeId};
 use gtn_nic::nic::{Nic, NicEvent, NicNote, NicOutput};
-use gtn_nic::Tag;
+use gtn_nic::{DeliveryCause, Tag};
 use gtn_sim::engine::RunOutcome;
 use gtn_sim::stats::StatSet;
 use gtn_sim::time::{SimDuration, SimTime};
@@ -28,6 +29,11 @@ use std::collections::HashMap;
 /// Cost of the GPU front-end ringing the NIC doorbell at a kernel boundary
 /// (the GDS mechanism): a single posted write from the scheduler, no CPU.
 const GDS_DOORBELL_NS: u64 = 20;
+
+/// Wire size of one liveness probe: a header-only control message. Charged
+/// real fabric latency/bandwidth like everything else, but small enough that
+/// heartbeating never meaningfully perturbs data traffic.
+const HEARTBEAT_BYTES: u64 = 16;
 
 /// One logged protocol moment.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,12 +92,15 @@ pub enum LogKind {
         /// Send attempt just made (2 = first retransmit).
         attempt: u32,
     },
-    /// Message `seq` was abandoned after exhausting its retry budget.
+    /// Message `seq` was abandoned: its retry budget ran out, or its target
+    /// was declared dead and the pending send was failed fast.
     DeliveryFailed {
         /// ARQ sequence number.
         seq: u64,
         /// Total attempts made.
         attempts: u32,
+        /// Why delivery was given up on.
+        cause: DeliveryCause,
     },
     /// The NIC rejected a trigger registration (rendered error).
     TriggerRejected(String),
@@ -141,6 +150,14 @@ enum Event {
     Cpu(u32, CpuEvent),
     Gpu(u32, GpuEvent),
     Nic(u32, NicEvent),
+    /// Node's host agent broadcasts liveness probes and re-arms (failure
+    /// detection only; never scheduled when `config.failure` is off).
+    HbTick(u32),
+    /// A liveness probe from `from` reaches `to`'s host agent.
+    HbArrive {
+        to: u32,
+        from: u32,
+    },
 }
 
 /// A simulated cluster mid-experiment.
@@ -157,6 +174,21 @@ pub struct Cluster {
     /// GDS hooks: when kernel `label` completes on `node`, ring the NIC
     /// with `tags` (the front-end doorbell of GPUDirect Async).
     gds_hooks: HashMap<(u32, String), Vec<Tag>>,
+    /// Per-observer failure-detector state (one view per node; empty logic
+    /// unless `config.failure` is enabled).
+    views: Vec<MembershipView>,
+    /// First death detection: `(peer, detector)`. Set by a detector's lease
+    /// sweep, consumed by the run loop to terminate with
+    /// [`StallReason::PeerDead`].
+    dead_detected: Option<(u32, u32)>,
+    /// Precomputed crash schedule: when each node's *compute* (CPU+GPU)
+    /// dies, from `config.fabric.faults` Node specs.
+    node_down: Vec<Option<SimTime>>,
+    /// When each node's NIC dies (Node or Nic specs — a whole-node crash
+    /// takes its NIC with it).
+    nic_down: Vec<Option<SimTime>>,
+    /// Events silently dropped because their component had crashed.
+    crash_suppressed: u64,
 }
 
 impl Cluster {
@@ -198,8 +230,25 @@ impl Cluster {
         for node in 0..n as u32 {
             engine.schedule_at(SimTime::ZERO, Event::Cpu(node, CpuEvent::Step));
         }
+        // Failure detection: every host agent starts probing at t = 0.
+        // Nothing is scheduled when detection is off, so those runs are
+        // event-for-event identical to a build without the detector.
+        if config.failure.enabled() && n > 1 {
+            for node in 0..n as u32 {
+                engine.schedule_at(SimTime::ZERO, Event::HbTick(node));
+            }
+        }
+        let node_down = (0..n as u32)
+            .map(|i| config.fabric.faults.node_down_at(i).map(SimTime::from_ns))
+            .collect();
+        let nic_down = (0..n as u32)
+            .map(|i| config.fabric.faults.nic_down_at(i).map(SimTime::from_ns))
+            .collect();
 
         Cluster {
+            views: (0..n as u32)
+                .map(|i| MembershipView::new(i, n as u32))
+                .collect(),
             config,
             mem,
             fabric,
@@ -210,6 +259,10 @@ impl Cluster {
             log: Vec::new(),
             finish_times: vec![None; n],
             gds_hooks: HashMap::new(),
+            dead_detected: None,
+            node_down,
+            nic_down,
+            crash_suppressed: 0,
         }
     }
 
@@ -262,6 +315,33 @@ impl Cluster {
     /// The activity log (empty unless `config.log_events`).
     pub fn log(&self) -> &[LogRecord] {
         &self.log
+    }
+
+    /// Node `n`'s failure-detector view of the cluster (meaningful only
+    /// when `config.failure` is enabled).
+    pub fn membership(&self, n: u32) -> &MembershipView {
+        &self.views[n as usize]
+    }
+
+    /// The first death detection, if any: `(peer, detector)`.
+    pub fn dead_detected(&self) -> Option<(u32, u32)> {
+        self.dead_detected
+    }
+
+    /// Events dropped because their component had crashed by the time they
+    /// fired (a crashed CPU does not step; a crashed NIC does not match).
+    pub fn crash_suppressed(&self) -> u64 {
+        self.crash_suppressed
+    }
+
+    /// Is node `n`'s compute (CPU + GPU) dead at `now`?
+    fn compute_down(&self, n: u32, now: SimTime) -> bool {
+        self.node_down[n as usize].is_some_and(|t| now >= t)
+    }
+
+    /// Is node `n`'s NIC dead at `now` (its own crash or its node's)?
+    fn nic_is_down(&self, n: u32, now: SimTime) -> bool {
+        self.nic_down[n as usize].is_some_and(|t| now >= t)
     }
 
     /// Snapshot every component's stats into a namespaced registry:
@@ -326,6 +406,15 @@ impl Cluster {
                 abort = Some(StallReason::Livelock {
                     idle_ns: now.since(last_progress).as_ns_f64() as u64,
                 });
+                break;
+            }
+            if let Some((peer, detector)) = self.dead_detected {
+                // A lease expired on an unfinished peer: terminate with a
+                // structured verdict. Pending sends toward the corpse are
+                // failed fast so the report names them as PeerDead, not as
+                // mysterious in-flight retries.
+                self.fail_dead_peer(now, peer);
+                abort = Some(StallReason::PeerDead { peer, detector });
                 break;
             }
             if self.engine.events_processed() >= 400_000_000 {
@@ -423,6 +512,18 @@ impl Cluster {
     /// Dispatch one event; returns true if it made progress (anything
     /// beyond re-checking a still-unsatisfied poll).
     fn dispatch(&mut self, now: SimTime, ev: Event) -> bool {
+        // Crash-stop suppression: a dead component's pending events fire
+        // into the void. The fabric already black-holes its traffic; this
+        // is the compute side of the same silence.
+        let crashed = match &ev {
+            Event::Cpu(n, _) | Event::Gpu(n, _) => self.compute_down(*n, now),
+            Event::Nic(n, _) => self.nic_is_down(*n, now),
+            Event::HbTick(_) | Event::HbArrive { .. } => false, // handled below
+        };
+        if crashed {
+            self.crash_suppressed += 1;
+            return false;
+        }
         match ev {
             Event::Cpu(n, ev) => {
                 let i = n as usize;
@@ -465,6 +566,73 @@ impl Cluster {
                 // indefinitely) and usually exactly what pollers wait on.
                 true
             }
+            // Heartbeats are deliberately NOT progress: a wedged cluster
+            // that still exchanges probes is exactly as wedged, and the
+            // livelock watchdog must still be able to fire.
+            Event::HbTick(s) => {
+                self.heartbeat_tick(now, s);
+                false
+            }
+            Event::HbArrive { to, from } => {
+                if !self.compute_down(to, now) {
+                    self.views[to as usize].record_alive(from, now);
+                }
+                false
+            }
+        }
+    }
+
+    /// One node's probe broadcast + lease sweep + re-arm. Probes travel on
+    /// the control lane: straight from host agent to fabric, charged real
+    /// latency and judged by the fault plan (loss, outages, crashes), but
+    /// bypassing the NIC's CQ/CAM/flow-control — resource pressure can
+    /// never starve detection, which is what keeps the detector sound
+    /// under pure loss/pressure.
+    fn heartbeat_tick(&mut self, now: SimTime, s: u32) {
+        // Stop the daemon once the run is decided: all programs finished
+        // (let the calendar drain) or the probing node itself is dead.
+        if self.finish_times.iter().all(Option::is_some) || self.compute_down(s, now) {
+            return;
+        }
+        for d in 0..self.config.n_nodes {
+            if d == s {
+                continue;
+            }
+            let (timing, delivery) =
+                self.fabric
+                    .send_message_faulty(now, NodeId(s), NodeId(d), HEARTBEAT_BYTES);
+            if matches!(delivery, Delivery::Delivered) {
+                self.engine
+                    .schedule_at(timing.last_arrival, Event::HbArrive { to: d, from: s });
+            }
+        }
+        // Lease sweep over this observer's own view. A peer whose program
+        // already finished is left alone: its silence is retirement, not
+        // death, and the run can still complete without it.
+        if self.dead_detected.is_none() {
+            let dead = (0..self.config.n_nodes).find(|&p| {
+                self.finish_times[p as usize].is_none()
+                    && self.views[s as usize].liveness(p, now, &self.config.failure)
+                        == Liveness::Dead
+            });
+            if let Some(peer) = dead {
+                self.dead_detected = Some((peer, s));
+            }
+        }
+        let period = SimDuration::from_ns(self.config.failure.heartbeat_period_ns);
+        self.engine.schedule_at(now + period, Event::HbTick(s));
+    }
+
+    /// Fail every surviving NIC's pending sends toward a declared-dead peer
+    /// (CQ error entries with cause `PeerDead`). Runs at termination, so
+    /// follow-up events the NICs would emit are irrelevant and dropped.
+    fn fail_dead_peer(&mut self, now: SimTime, peer: u32) {
+        for n in 0..self.config.n_nodes {
+            if n == peer || self.nic_is_down(n, now) {
+                continue;
+            }
+            let _ = self.nics[n as usize].mark_peer_dead(now, NodeId(peer), &mut self.mem);
+            self.drain_nic_notes(n);
         }
     }
 
@@ -482,9 +650,16 @@ impl Cluster {
                 NicNote::Retransmitted { seq, attempt, .. } => {
                     LogKind::Retransmitted { seq, attempt }
                 }
-                NicNote::DeliveryFailed { seq, attempts, .. } => {
-                    LogKind::DeliveryFailed { seq, attempts }
-                }
+                NicNote::DeliveryFailed {
+                    seq,
+                    attempts,
+                    cause,
+                    ..
+                } => LogKind::DeliveryFailed {
+                    seq,
+                    attempts,
+                    cause,
+                },
                 NicNote::TriggerRejected(e) => LogKind::TriggerRejected(e.to_string()),
                 NicNote::CqStalled { waited } => LogKind::CqStalled {
                     waited_ps: waited.as_ps(),
@@ -883,6 +1058,106 @@ mod tests {
         let trig = pos(&|k| matches!(k, LogKind::TriggerWrite(1)));
         let commit = pos(&|k| matches!(k, LogKind::MessageCommitted));
         assert!(doorbell < trig && trig < commit, "{kinds:?}");
+    }
+
+    #[test]
+    fn node_crash_is_detected_and_aborts_with_peer_dead() {
+        use crate::membership::FailureConfig;
+        use gtn_fabric::FaultConfig;
+        let mut config = ClusterConfig::table2(2);
+        config.failure = FailureConfig::detection();
+        config.fabric.faults = FaultConfig::crash(1, 1_000_000); // dies at 1 ms
+        let mut mem = MemPool::new(2);
+        let flag = Addr::base(NodeId(0), mem.alloc(NodeId(0), 8, "flag"));
+        let mut p0 = HostProgram::new();
+        p0.poll(flag, 1); // waits on node 1, who dies before delivering
+        let mut p1 = HostProgram::new();
+        p1.compute(gtn_sim::time::SimDuration::from_us(10_000));
+
+        let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
+        let result = cluster.run();
+        assert!(!result.completed);
+        let report = result.stall.as_ref().expect("stall report");
+        assert_eq!(
+            report.reason,
+            crate::stall::StallReason::PeerDead {
+                peer: 1,
+                detector: 0
+            }
+        );
+        // Last probe from node 1 lands just after 0.9 ms; the 2 ms lease
+        // expires by node 0's 3.0 ms sweep. Detection is prompt: well
+        // before the 50 ms stall watchdog, in a bounded event count.
+        assert_eq!(report.at, SimTime::from_us(3_000), "{}", report.at);
+        assert!(result.events < 100_000, "{}", result.events);
+        assert_eq!(cluster.dead_detected(), Some((1, 0)));
+        let text = report.to_string();
+        assert!(text.contains("node 1 declared dead by node 0"), "{text}");
+    }
+
+    #[test]
+    fn detection_on_healthy_run_completes_with_fresh_leases() {
+        use crate::membership::{FailureConfig, Liveness};
+        let mut config = ClusterConfig::table2(2);
+        config.failure = FailureConfig::detection();
+        let mem = MemPool::new(2);
+        let mut p0 = HostProgram::new();
+        p0.compute(gtn_sim::time::SimDuration::from_us(500));
+        let mut p1 = HostProgram::new();
+        p1.compute(gtn_sim::time::SimDuration::from_us(500));
+        let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
+        let result = cluster.run();
+        assert!(result.completed, "{result:?}");
+        assert_eq!(cluster.dead_detected(), None);
+        // Both observers heard from each other and hold fresh leases.
+        let now = cluster.now();
+        let failure = cluster.config().failure;
+        for (me, peer) in [(0u32, 1u32), (1, 0)] {
+            assert!(cluster.membership(me).last_heard(peer) > SimTime::ZERO);
+            assert_eq!(
+                cluster.membership(me).liveness(peer, now, &failure),
+                Liveness::Alive
+            );
+        }
+    }
+
+    #[test]
+    fn crash_after_finish_is_retirement_not_death() {
+        use crate::membership::FailureConfig;
+        use gtn_fabric::FaultConfig;
+        let mut config = ClusterConfig::table2(2);
+        config.failure = FailureConfig::detection();
+        config.fabric.faults = FaultConfig::crash(1, 1_000_000);
+        let mem = MemPool::new(2);
+        let mut p0 = HostProgram::new();
+        // Node 0 outlives node 1's crash by far: leases on node 1 expire
+        // while node 0 still runs, but node 1's program already finished.
+        p0.compute(gtn_sim::time::SimDuration::from_us(5_000));
+        let p1 = HostProgram::new(); // empty: finishes at t = 0, then dies
+        let mut cluster = Cluster::new(config, mem, vec![p0, p1]);
+        let result = cluster.run();
+        assert!(result.completed, "{result:?}");
+        assert_eq!(cluster.dead_detected(), None);
+    }
+
+    #[test]
+    fn crashed_node_stops_spinning_and_drains() {
+        use gtn_fabric::FaultConfig;
+        let mut config = ClusterConfig::table2(1);
+        config.fabric.faults = FaultConfig::crash(0, 500_000);
+        let mut mem = MemPool::new(1);
+        let flag = Addr::base(NodeId(0), mem.alloc(NodeId(0), 8, "never"));
+        let mut p0 = HostProgram::new();
+        p0.poll(flag, 1); // would spin forever — but the node dies
+        let mut cluster = Cluster::new(config, mem, vec![p0]);
+        let result = cluster.run();
+        assert!(!result.completed);
+        // The corpse's poll retry is suppressed, so the calendar drains
+        // quickly instead of spinning to the livelock watchdog.
+        assert!(cluster.crash_suppressed() >= 1);
+        assert!(result.events < 100_000, "{}", result.events);
+        let report = result.stall.as_ref().unwrap();
+        assert_eq!(report.reason, crate::stall::StallReason::Deadlock);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The full Table 2 configuration, aggregated.
 
+use crate::membership::FailureConfig;
 use gtn_fabric::FabricConfig;
 use gtn_gpu::GpuConfig;
 use gtn_host::HostConfig;
@@ -30,6 +31,10 @@ pub struct ClusterConfig {
     /// the event cap. Must comfortably exceed the longest legitimate gap
     /// between progress events (compute phases, retransmit timeouts).
     pub stall_timeout_ns: u64,
+    /// Failure detection (heartbeats/leases) and the recovery policy. Off
+    /// by default: no probe events exist, so runs without it are
+    /// bit-identical to the pre-detection model.
+    pub failure: FailureConfig,
 }
 
 impl ClusterConfig {
@@ -47,6 +52,7 @@ impl ClusterConfig {
             // timeout an 8 MiB transfer can back off to, so the watchdog
             // never fires on a run that is still (slowly) making progress.
             stall_timeout_ns: 50_000_000,
+            failure: FailureConfig::off(),
         }
     }
 
@@ -62,6 +68,7 @@ impl ClusterConfig {
         if self.stall_timeout_ns == 0 {
             return Err("stall_timeout_ns must be nonzero (watchdog would fire instantly)".into());
         }
+        self.failure.validate()?;
         Ok(())
     }
 

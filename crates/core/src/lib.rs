@@ -37,6 +37,7 @@ pub mod comm;
 pub mod config;
 pub mod host_api;
 pub mod kernel_api;
+pub mod membership;
 pub mod observe;
 pub mod scenario;
 pub mod stall;
@@ -45,6 +46,7 @@ pub mod timeline;
 
 pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
 pub use config::ClusterConfig;
+pub use membership::{FailureConfig, Liveness, MembershipView, RecoveryPolicy};
 pub use observe::ClusterStats;
 pub use stall::{BlockedOn, NodeStall, StallReason, StallReport};
 pub use strategy::Strategy;

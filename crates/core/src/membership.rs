@@ -1,0 +1,282 @@
+//! Failure detection: heartbeats, leases, and per-node membership views.
+//!
+//! Crash-stop failures (see `gtn_fabric::faults::CrashSpec`) are silent —
+//! a dead node simply stops participating. Detection is therefore a
+//! protocol, not an oracle: every node's host agent broadcasts a tiny
+//! liveness probe each [`FailureConfig::heartbeat_period_ns`], charged the
+//! real fabric latency and judged by the same fault plan as data traffic
+//! (a probe through a crashed link is black-holed like anything else). Each
+//! node folds arrivals into its own [`MembershipView`] and classifies every
+//! peer by lease age: [`Liveness::Alive`] within
+//! [`FailureConfig::suspect_after_ns`], [`Liveness::Suspect`] beyond it,
+//! [`Liveness::Dead`] beyond [`FailureConfig::dead_after_ns`].
+//!
+//! Probes travel on the control lane — straight from host agent to fabric,
+//! bypassing the NIC's trigger CAM, completion queue, and flow-control
+//! machinery — so *resource pressure cannot starve detection*: a cluster
+//! grinding through a tiny CQ still heartbeats on schedule. Combined with a
+//! dead threshold many periods deep, that is what makes the detector sound
+//! under pure loss/pressure: declaring a live peer dead requires every one
+//! of `dead_after_ns / heartbeat_period_ns` consecutive probes (20 at the
+//! defaults) to be lost independently, which at any sub-certainty loss rate
+//! has vanishing probability — and the property test in
+//! `gtn-workloads/tests/proptest_chaos.rs` pins it.
+//!
+//! The views are *per observer* on purpose: with a crashed link, node A may
+//! correctly consider node B dead while node C still hears from B. Policy
+//! (abort, restart, rebuild) belongs to the layer above; this module only
+//! answers "who have *I* heard from, and how recently".
+
+use serde::{Deserialize, Serialize};
+
+use gtn_sim::time::{SimDuration, SimTime};
+
+/// What to do about a detected crash-stop failure. Carried in
+/// [`FailureConfig`] so one scenario knob selects the policy; the cluster
+/// run loop always terminates with a structured
+/// [`crate::stall::StallReason::PeerDead`] report on detection, and the
+/// workload-level chaos driver interprets the policy (abort vs. re-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Structured job failure: surface the culprit and stop.
+    #[default]
+    Abort,
+    /// Re-run from the last verified checkpoint on a repaired topology
+    /// (the classic HPC respawn-and-restart).
+    CheckpointRestart,
+    /// Re-derive the collective's ring/round schedule around the dead rank
+    /// and re-run on the surviving membership, NCCL-style.
+    RebuildCollective,
+}
+
+impl RecoveryPolicy {
+    /// Stable lower-case name for reports and bench grids.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Abort => "abort",
+            RecoveryPolicy::CheckpointRestart => "checkpoint-restart",
+            RecoveryPolicy::RebuildCollective => "rebuild-collective",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Heartbeat/lease parameters plus the recovery policy. The default (see
+/// [`FailureConfig::off`]) disables detection entirely: no probe events are
+/// ever scheduled, so runs without it are bit-identical to a build that has
+/// never heard of failure detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Probe broadcast period per node, ns. Zero disables detection.
+    pub heartbeat_period_ns: u64,
+    /// Lease age beyond which a peer is [`Liveness::Suspect`], ns.
+    pub suspect_after_ns: u64,
+    /// Lease age beyond which a peer is [`Liveness::Dead`], ns. Must be
+    /// many heartbeat periods deep (the defaults use 20) so consecutive
+    /// probe loss — not death — cannot plausibly exhaust the lease.
+    pub dead_after_ns: u64,
+    /// What the run's owner wants done about a detected death.
+    pub recovery: RecoveryPolicy,
+}
+
+impl FailureConfig {
+    /// Detection off (the default): zero probes, zero overhead.
+    pub fn off() -> Self {
+        FailureConfig {
+            heartbeat_period_ns: 0,
+            suspect_after_ns: 0,
+            dead_after_ns: 0,
+            recovery: RecoveryPolicy::Abort,
+        }
+    }
+
+    /// Default detection cadence: 100 us probes, suspect after 600 us
+    /// (6 missed), dead after 2 ms (20 missed). Detection latency is then
+    /// ~2 ms of sim time — far under the 50 ms stall watchdog — while a
+    /// false positive needs 20 consecutive independent probe losses.
+    pub fn detection() -> Self {
+        FailureConfig {
+            heartbeat_period_ns: 100_000,
+            suspect_after_ns: 600_000,
+            dead_after_ns: 2_000_000,
+            recovery: RecoveryPolicy::Abort,
+        }
+    }
+
+    /// [`FailureConfig::detection`] with an explicit policy.
+    pub fn with_recovery(recovery: RecoveryPolicy) -> Self {
+        FailureConfig {
+            recovery,
+            ..FailureConfig::detection()
+        }
+    }
+
+    /// True when detection is active.
+    pub fn enabled(&self) -> bool {
+        self.heartbeat_period_ns > 0
+    }
+
+    /// Validate invariants; called by `ClusterConfig::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.suspect_after_ns <= self.heartbeat_period_ns {
+            return Err("suspect_after_ns must exceed the heartbeat period".into());
+        }
+        if self.dead_after_ns <= self.suspect_after_ns {
+            return Err("dead_after_ns must exceed suspect_after_ns".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig::off()
+    }
+}
+
+/// One observer's classification of one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heard from within the suspect lease.
+    Alive,
+    /// Lease aging: no probe within `suspect_after_ns`. Not actionable —
+    /// pure loss or pressure can plausibly cause this.
+    Suspect,
+    /// Lease expired: no probe within `dead_after_ns`. Actionable.
+    Dead,
+}
+
+/// One node's view of everyone else's liveness, driven purely by probe
+/// arrivals — no global knowledge, no oracle.
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    observer: u32,
+    /// Latest probe arrival per peer. A node has trivially "heard from"
+    /// itself at all times; the slot for `observer` is unused.
+    last_heard: Vec<SimTime>,
+}
+
+impl MembershipView {
+    /// A fresh view for `observer` in an `n_nodes` cluster. Every lease
+    /// starts at time zero: a peer that never probes at all is declared
+    /// dead `dead_after_ns` into the run.
+    pub fn new(observer: u32, n_nodes: u32) -> Self {
+        MembershipView {
+            observer,
+            last_heard: vec![SimTime::ZERO; n_nodes as usize],
+        }
+    }
+
+    /// The observing node.
+    pub fn observer(&self) -> u32 {
+        self.observer
+    }
+
+    /// A probe from `peer` arrived at `now`.
+    pub fn record_alive(&mut self, peer: u32, now: SimTime) {
+        let slot = &mut self.last_heard[peer as usize];
+        if now > *slot {
+            *slot = now;
+        }
+    }
+
+    /// When the observer last heard from `peer`.
+    pub fn last_heard(&self, peer: u32) -> SimTime {
+        self.last_heard[peer as usize]
+    }
+
+    /// Classify `peer` by lease age at `now`.
+    pub fn liveness(&self, peer: u32, now: SimTime, config: &FailureConfig) -> Liveness {
+        if peer == self.observer {
+            return Liveness::Alive;
+        }
+        let age = now.since(self.last_heard[peer as usize]);
+        if age > SimDuration::from_ns(config.dead_after_ns) {
+            Liveness::Dead
+        } else if age > SimDuration::from_ns(config.suspect_after_ns) {
+            Liveness::Suspect
+        } else {
+            Liveness::Alive
+        }
+    }
+
+    /// The lowest-numbered peer this observer considers dead at `now`, if
+    /// any — the deterministic pick when several leases expire together.
+    pub fn first_dead(&self, now: SimTime, config: &FailureConfig) -> Option<u32> {
+        (0..self.last_heard.len() as u32).find(|&p| self.liveness(p, now, config) == Liveness::Dead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FailureConfig {
+        FailureConfig::detection()
+    }
+
+    #[test]
+    fn off_is_default_and_valid() {
+        assert_eq!(FailureConfig::default(), FailureConfig::off());
+        assert!(!FailureConfig::off().enabled());
+        assert!(FailureConfig::off().validate().is_ok());
+        assert!(FailureConfig::detection().enabled());
+        assert!(FailureConfig::detection().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_orders_the_lease_thresholds() {
+        let mut c = FailureConfig::detection();
+        c.suspect_after_ns = c.heartbeat_period_ns;
+        assert!(c.validate().is_err());
+        let mut c = FailureConfig::detection();
+        c.dead_after_ns = c.suspect_after_ns;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lease_ages_through_alive_suspect_dead() {
+        let mut v = MembershipView::new(0, 3);
+        v.record_alive(1, SimTime::from_ns(100_000));
+        let at = |ns| SimTime::from_ns(ns);
+        assert_eq!(v.liveness(1, at(200_000), &cfg()), Liveness::Alive);
+        assert_eq!(v.liveness(1, at(800_000), &cfg()), Liveness::Suspect);
+        assert_eq!(v.liveness(1, at(2_200_000), &cfg()), Liveness::Dead);
+        // A fresh probe renews the lease in full.
+        v.record_alive(1, at(2_150_000));
+        assert_eq!(v.liveness(1, at(2_200_000), &cfg()), Liveness::Alive);
+        // The observer is trivially alive to itself; silent peers expire.
+        assert_eq!(v.liveness(0, at(9_000_000), &cfg()), Liveness::Alive);
+        assert_eq!(v.first_dead(at(9_000_000), &cfg()), Some(1));
+    }
+
+    #[test]
+    fn stale_probe_arrivals_never_roll_a_lease_back() {
+        let mut v = MembershipView::new(0, 2);
+        v.record_alive(1, SimTime::from_ns(500));
+        v.record_alive(1, SimTime::from_ns(300));
+        assert_eq!(v.last_heard(1), SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(RecoveryPolicy::Abort.name(), "abort");
+        assert_eq!(
+            RecoveryPolicy::CheckpointRestart.to_string(),
+            "checkpoint-restart"
+        );
+        assert_eq!(
+            RecoveryPolicy::RebuildCollective.name(),
+            "rebuild-collective"
+        );
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Abort);
+    }
+}

@@ -11,8 +11,10 @@
 
 use crate::cluster::{Cluster, ClusterResult};
 use crate::config::ClusterConfig;
+use crate::membership::{FailureConfig, RecoveryPolicy};
 use crate::timeline::stage_breakdown;
 use crate::{ClusterStats, Strategy};
+use gtn_fabric::CrashComponent;
 use gtn_sim::time::{SimDuration, SimTime};
 
 /// Declarative cluster-config overrides a scenario carries with it, so
@@ -27,6 +29,25 @@ pub struct ConfigPatch {
     /// machinery (trigger spill, bounded CQ, flow-control credits) under
     /// workloads that would never pressure the defaults.
     pub pressure: Option<ResourceLimits>,
+    /// A permanent crash-stop injection: which component dies, and when.
+    /// Implies the reliability layer (so pending sends toward the corpse
+    /// end in structured delivery failures, not silence).
+    pub crash: Option<CrashCell>,
+    /// Arm the heartbeat/lease failure detector with this recovery policy
+    /// (see [`crate::membership::FailureConfig::detection`] for the
+    /// cadence). `None` leaves detection off: a crash then surfaces only
+    /// through the stall watchdog.
+    pub detect: Option<RecoveryPolicy>,
+}
+
+/// One crash-stop injection, `Copy` so it rides [`ConfigPatch`] through
+/// the sweep grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashCell {
+    /// What dies (node, NIC, or undirected link).
+    pub component: CrashComponent,
+    /// When it dies, ns of sim time.
+    pub at_ns: u64,
 }
 
 /// NIC resource bounds a scenario can shrink to provoke exhaustion.
@@ -70,6 +91,8 @@ impl ConfigPatch {
     pub const NONE: ConfigPatch = ConfigPatch {
         loss: None,
         pressure: None,
+        crash: None,
+        detect: None,
     };
 
     /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
@@ -95,6 +118,33 @@ impl ConfigPatch {
         self
     }
 
+    /// Crash the whole node `node` (CPU, GPU, NIC) at `at_ns`.
+    pub fn crash_node(node: u32, at_ns: u64) -> Self {
+        ConfigPatch::NONE.with_crash(CrashComponent::Node(node), at_ns)
+    }
+
+    /// Crash only node `node`'s NIC at `at_ns` (compute survives).
+    pub fn crash_nic(node: u32, at_ns: u64) -> Self {
+        ConfigPatch::NONE.with_crash(CrashComponent::Nic(node), at_ns)
+    }
+
+    /// Sever the undirected link between `a` and `b` at `at_ns`.
+    pub fn crash_link(a: u32, b: u32, at_ns: u64) -> Self {
+        ConfigPatch::NONE.with_crash(CrashComponent::Link { a, b }, at_ns)
+    }
+
+    /// Combine this patch with a crash-stop injection.
+    pub fn with_crash(mut self, component: CrashComponent, at_ns: u64) -> Self {
+        self.crash = Some(CrashCell { component, at_ns });
+        self
+    }
+
+    /// Combine this patch with failure detection under `policy`.
+    pub fn with_detection(mut self, policy: RecoveryPolicy) -> Self {
+        self.detect = Some(policy);
+        self
+    }
+
     /// Apply the overrides to a cluster config (after workload defaults).
     pub fn apply(&self, config: &mut ClusterConfig) {
         if let Some((seed, rate)) = self.loss {
@@ -102,6 +152,18 @@ impl ConfigPatch {
                 config.fabric.faults = gtn_fabric::FaultConfig::loss(seed, rate);
                 config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
             }
+        }
+        if let Some(cell) = self.crash {
+            // Layer the crash onto whatever fault plan is already in place
+            // (seeded loss keeps its seed; crash checks draw no randomness).
+            config.fabric.faults.crashes.push(gtn_fabric::CrashSpec {
+                component: cell.component,
+                at_ns: cell.at_ns,
+            });
+            config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+        }
+        if let Some(policy) = self.detect {
+            config.failure = FailureConfig::with_recovery(policy);
         }
         if let Some(limits) = self.pressure {
             if let Some(ways) = limits.trigger_ways {
@@ -341,6 +403,39 @@ mod tests {
         assert_eq!(t.trigger_ways, Some(2));
         assert_eq!(t.cq_capacity, Some(4));
         assert_eq!(t.arq_window, None);
+    }
+
+    #[test]
+    fn crash_patch_layers_onto_loss_and_arms_detection() {
+        let mut config = ClusterConfig::table2(4);
+        ConfigPatch::loss(7, 0.05)
+            .with_crash(CrashComponent::Nic(2), 40_000)
+            .with_detection(RecoveryPolicy::CheckpointRestart)
+            .apply(&mut config);
+        // Loss keeps its seed; the crash rides the same plan.
+        assert!(config.fabric.faults.packet_loss > 0.0);
+        assert_eq!(config.fabric.faults.crashes.len(), 1);
+        assert_eq!(config.fabric.faults.nic_down_at(2), Some(40_000));
+        assert_eq!(config.fabric.faults.node_down_at(2), None);
+        assert!(config.nic.reliability.enabled);
+        assert!(config.failure.enabled());
+        assert_eq!(config.failure.recovery, RecoveryPolicy::CheckpointRestart);
+        assert!(config.validate().is_ok());
+
+        // Constructor shorthands target the right component.
+        assert_eq!(
+            ConfigPatch::crash_node(1, 5).crash.unwrap().component,
+            CrashComponent::Node(1)
+        );
+        assert_eq!(
+            ConfigPatch::crash_link(0, 3, 5).crash.unwrap().component,
+            CrashComponent::Link { a: 0, b: 3 }
+        );
+        // A crash without detection still stays a valid, Copy patch.
+        let p = ConfigPatch::crash_nic(0, 9);
+        let q = p; // Copy
+        assert_eq!(p, q);
+        assert_eq!(p.detect, None);
     }
 
     #[test]

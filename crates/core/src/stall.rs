@@ -40,6 +40,17 @@ pub enum StallReason {
     /// sends starved of flow-control credit): not a protocol deadlock but
     /// resource starvation — raise the exhausted capacity or drain rate.
     ResourceStarvation,
+    /// The failure detector declared a peer dead (heartbeats stopped past
+    /// the lease) and the run was terminated under the `Abort` recovery
+    /// policy — a crash-stop failure, not a protocol bug. Names the
+    /// culprit so post-mortems (and recovery drivers) know who to route
+    /// around.
+    PeerDead {
+        /// The node declared dead.
+        peer: u32,
+        /// The first surviving node whose lease on `peer` expired.
+        detector: u32,
+    },
 }
 
 impl fmt::Display for StallReason {
@@ -56,6 +67,10 @@ impl fmt::Display for StallReason {
             StallReason::ResourceStarvation => write!(
                 f,
                 "resource starvation (commits parked on exhausted NIC resources)"
+            ),
+            StallReason::PeerDead { peer, detector } => write!(
+                f,
+                "peer dead (node {peer} declared dead by node {detector}'s failure detector)"
             ),
         }
     }
@@ -160,8 +175,8 @@ impl fmt::Display for NodeStall {
         for fail in &self.delivery_failures {
             writeln!(
                 f,
-                "    ABANDONED: seq {} -> {:?} after {} attempts ({} B) at {}",
-                fail.seq, fail.target, fail.attempts, fail.bytes, fail.at
+                "    ABANDONED ({}): seq {} -> {:?} after {} attempts ({} B) at {}",
+                fail.cause, fail.seq, fail.target, fail.attempts, fail.bytes, fail.at
             )?;
         }
         if self.trigger_overflow > 0 {
@@ -269,6 +284,7 @@ mod tests {
                     target: NodeId(0),
                     attempts: 9,
                     bytes: 64,
+                    cause: gtn_nic::DeliveryCause::RetriesExhausted,
                 }],
                 trigger_overflow: 2,
                 cq_parked: 3,
@@ -285,7 +301,7 @@ mod tests {
             "needs >= 4, currently 3",
             "pending trigger",
             "in-flight retry: seq 12",
-            "ABANDONED: seq 11",
+            "ABANDONED (retries exhausted): seq 11",
             "2 entries spilled",
             "3 commit(s) parked",
             "1 send(s) queued",
@@ -302,5 +318,40 @@ mod tests {
         assert!(StallReason::ResourceStarvation
             .to_string()
             .contains("starvation"));
+        let dead = StallReason::PeerDead {
+            peer: 3,
+            detector: 0,
+        }
+        .to_string();
+        assert!(dead.contains("node 3 declared dead by node 0"), "{dead}");
+    }
+
+    #[test]
+    fn peer_dead_failures_render_their_cause() {
+        let fail = DeliveryFailure {
+            at: SimTime::from_us(1),
+            seq: 2,
+            target: NodeId(4),
+            attempts: 1,
+            bytes: 128,
+            cause: gtn_nic::DeliveryCause::PeerDead,
+        };
+        let stall = NodeStall {
+            node: 0,
+            blocked_on: BlockedOn::Kernel {
+                label: "ring".into(),
+            },
+            pc: 0,
+            program_len: 1,
+            kernels_in_flight: 1,
+            pending_triggers: Vec::new(),
+            in_flight_retries: Vec::new(),
+            delivery_failures: vec![fail],
+            trigger_overflow: 0,
+            cq_parked: 0,
+            flow_queued: 0,
+        };
+        let s = stall.to_string();
+        assert!(s.contains("ABANDONED (peer dead): seq 2"), "{s}");
     }
 }

@@ -1,5 +1,5 @@
-//! Deterministic fault injection: packet loss, message corruption, and
-//! transient link outages.
+//! Deterministic fault injection: packet loss, message corruption,
+//! transient link outages, and permanent crash-stop failures.
 //!
 //! Every fault decision draws from [`SimRng`] streams forked from a single
 //! seed, so a run with the same seed (and the same event order, which the
@@ -15,6 +15,14 @@
 //! Bernoulli; a corrupted message still arrives (and still occupies the
 //! links) but its payload must not be committed by the receiver — the NIC's
 //! reliability layer treats it like a loss and waits for the retransmit.
+//!
+//! Crash-stop failures are the permanent counterpart of outage windows: a
+//! [`CrashSpec`] kills a whole node, a node's NIC, or a single (undirected)
+//! link at a fixed sim time, and it never comes back. From that instant the
+//! fabric black-holes every message that touches the dead component
+//! (counted in `crash_drops`); detection and recovery are the cluster
+//! layer's problem, not the fabric's. Crash draws consume no randomness, so
+//! adding a crash to a seeded-loss run does not reshuffle the loss stream.
 
 use std::collections::HashMap;
 
@@ -23,6 +31,48 @@ use gtn_sim::rng::SimRng;
 use gtn_sim::stats::StatSet;
 use gtn_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
+
+/// Which component a crash-stop failure takes out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashComponent {
+    /// The whole node: CPU, GPU, and NIC all stop; nothing it hosts ever
+    /// runs again and nothing reaches or leaves it.
+    Node(u32),
+    /// Only the node's NIC: local compute continues (and may block forever
+    /// on network flags), but no traffic enters or leaves the node.
+    Nic(u32),
+    /// One undirected link: the two endpoints can no longer exchange
+    /// messages (either direction) but both keep talking to everyone else.
+    Link {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+}
+
+/// A permanent crash-stop failure: `component` dies at `at_ns` and never
+/// recovers (contrast with the transient outage windows, which end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// What dies.
+    pub component: CrashComponent,
+    /// When it dies, ns of sim time.
+    pub at_ns: u64,
+}
+
+impl CrashSpec {
+    /// The node a recovery layer should treat as the *culprit*: the crashed
+    /// node for node/NIC crashes, the lower-numbered endpoint for a link
+    /// crash (a deterministic convention — with only connectivity lost,
+    /// either end could equally be blamed).
+    pub fn culprit(&self) -> u32 {
+        match self.component {
+            CrashComponent::Node(n) | CrashComponent::Nic(n) => n,
+            CrashComponent::Link { a, b } => a.min(b),
+        }
+    }
+}
 
 /// Fault-injection parameters. All-zero (see [`FaultConfig::none`]) disables
 /// injection entirely.
@@ -47,6 +97,9 @@ pub struct FaultConfig {
     /// under-sized horizon cannot silently turn outages off mid-run. Must
     /// be nonzero when `outage_mtbf_ns` is nonzero.
     pub outage_horizon_ns: u64,
+    /// Permanent crash-stop failures, in no particular order. Empty (the
+    /// default) means no component ever dies.
+    pub crashes: Vec<CrashSpec>,
 }
 
 impl FaultConfig {
@@ -59,6 +112,7 @@ impl FaultConfig {
             outage_mtbf_ns: 0,
             outage_duration_ns: 0,
             outage_horizon_ns: 0,
+            crashes: Vec::new(),
         }
     }
 
@@ -71,9 +125,74 @@ impl FaultConfig {
         }
     }
 
+    /// A single whole-node crash at `at_ns`.
+    pub fn crash(node: u32, at_ns: u64) -> Self {
+        FaultConfig::none().with_crash(CrashComponent::Node(node), at_ns)
+    }
+
+    /// A single NIC crash at `at_ns` (the node's compute survives).
+    pub fn crash_nic(node: u32, at_ns: u64) -> Self {
+        FaultConfig::none().with_crash(CrashComponent::Nic(node), at_ns)
+    }
+
+    /// A single undirected link crash at `at_ns`.
+    pub fn crash_link(a: u32, b: u32, at_ns: u64) -> Self {
+        FaultConfig::none().with_crash(CrashComponent::Link { a, b }, at_ns)
+    }
+
+    /// Append one crash-stop failure (builder style, composes with loss).
+    pub fn with_crash(mut self, component: CrashComponent, at_ns: u64) -> Self {
+        self.crashes.push(CrashSpec { component, at_ns });
+        self
+    }
+
     /// True when no fault class is enabled (the default).
     pub fn is_none(&self) -> bool {
-        self.packet_loss == 0.0 && self.message_corruption == 0.0 && self.outage_mtbf_ns == 0
+        self.packet_loss == 0.0
+            && self.message_corruption == 0.0
+            && self.outage_mtbf_ns == 0
+            && self.crashes.is_empty()
+    }
+
+    /// When `node`'s compute (CPU/GPU) dies, if ever: the earliest
+    /// whole-node crash naming it.
+    pub fn node_down_at(&self, node: u32) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.component == CrashComponent::Node(node))
+            .map(|c| c.at_ns)
+            .min()
+    }
+
+    /// When `node` leaves the network, if ever: the earliest whole-node
+    /// *or* NIC crash naming it.
+    pub fn nic_down_at(&self, node: u32) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| {
+                c.component == CrashComponent::Node(node)
+                    || c.component == CrashComponent::Nic(node)
+            })
+            .map(|c| c.at_ns)
+            .min()
+    }
+
+    /// When the `src → dst` path dies, if ever: either endpoint leaving the
+    /// network, or a link crash naming the (undirected) pair.
+    pub fn link_down_at(&self, src: u32, dst: u32) -> Option<u64> {
+        let link = self
+            .crashes
+            .iter()
+            .filter(|c| match c.component {
+                CrashComponent::Link { a, b } => (a, b) == (src, dst) || (a, b) == (dst, src),
+                _ => false,
+            })
+            .map(|c| c.at_ns)
+            .min();
+        [self.nic_down_at(src), self.nic_down_at(dst), link]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Validate invariants; called by [`crate::Fabric::new`].
@@ -153,6 +272,7 @@ impl FaultPlan {
     }
 
     /// Fault counters: `drops`, `packets_dropped`, `outage_drops`,
+    /// `crash_drops` (messages black-holed by a crash-stop failure),
     /// `corruptions`, `messages_judged`, and `past_horizon` (messages
     /// judged after `outage_horizon_ns`, where no outage windows exist).
     pub fn stats(&self) -> &StatSet {
@@ -166,6 +286,15 @@ impl FaultPlan {
             return Delivery::Delivered;
         }
         self.stats.inc("messages_judged");
+
+        // Crash-stop first: a dead component black-holes everything, with
+        // no randomness consumed, so layering a crash onto a seeded-loss
+        // run leaves the loss draws of every *surviving* path untouched.
+        if !self.config.crashes.is_empty() && self.link_dead(now, src, dst) {
+            self.stats.inc("drops");
+            self.stats.inc("crash_drops");
+            return Delivery::Dropped;
+        }
 
         if self.config.outage_mtbf_ns > 0 {
             // The outage schedule only covers [0, outage_horizon_ns):
@@ -215,6 +344,13 @@ impl FaultPlan {
         }
 
         Delivery::Delivered
+    }
+
+    /// Has the `src → dst` path been severed by a crash at or before `now`?
+    pub fn link_dead(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        self.config
+            .link_down_at(src.0, dst.0)
+            .is_some_and(|at| now >= SimTime::from_ns(at))
     }
 
     fn in_outage(&mut self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
@@ -355,6 +491,73 @@ mod tests {
             plan.judge(SimTime::from_ns(60_000 + i), NodeId(0), NodeId(1), 1);
         }
         assert_eq!(plan.stats().counter("past_horizon"), 3);
+    }
+
+    #[test]
+    fn node_crash_black_holes_both_directions_from_its_time() {
+        let mut plan = FaultPlan::new(FaultConfig::crash(1, 5_000));
+        let judge = |plan: &mut FaultPlan, ns, src, dst| {
+            plan.judge(SimTime::from_ns(ns), NodeId(src), NodeId(dst), 4)
+        };
+        assert_eq!(judge(&mut plan, 4_999, 0, 1), Delivery::Delivered);
+        assert_eq!(judge(&mut plan, 5_000, 0, 1), Delivery::Dropped);
+        assert_eq!(judge(&mut plan, 9_000, 1, 0), Delivery::Dropped);
+        // Paths not touching the dead node survive.
+        assert_eq!(judge(&mut plan, 9_000, 0, 2), Delivery::Delivered);
+        assert_eq!(plan.stats().counter("crash_drops"), 2);
+        assert_eq!(plan.stats().counter("drops"), 2);
+    }
+
+    #[test]
+    fn link_crash_kills_only_the_named_pair() {
+        let mut plan = FaultPlan::new(FaultConfig::crash_link(0, 2, 1_000));
+        let judge = |plan: &mut FaultPlan, src, dst| {
+            plan.judge(SimTime::from_ns(2_000), NodeId(src), NodeId(dst), 1)
+        };
+        assert_eq!(judge(&mut plan, 0, 2), Delivery::Dropped);
+        assert_eq!(judge(&mut plan, 2, 0), Delivery::Dropped);
+        assert_eq!(judge(&mut plan, 0, 1), Delivery::Delivered);
+        assert_eq!(judge(&mut plan, 2, 1), Delivery::Delivered);
+    }
+
+    #[test]
+    fn crash_queries_distinguish_nic_from_node() {
+        let cfg = FaultConfig::crash_nic(3, 7_000);
+        // A NIC crash severs the network but leaves compute alive.
+        assert_eq!(cfg.node_down_at(3), None);
+        assert_eq!(cfg.nic_down_at(3), Some(7_000));
+        assert_eq!(cfg.link_down_at(3, 0), Some(7_000));
+        assert_eq!(cfg.link_down_at(0, 3), Some(7_000));
+        assert_eq!(cfg.link_down_at(0, 1), None);
+        let whole = FaultConfig::crash(3, 7_000);
+        assert_eq!(whole.node_down_at(3), Some(7_000));
+        assert_eq!(whole.nic_down_at(3), Some(7_000));
+        // Earliest crash wins when several name the same component.
+        let twice = FaultConfig::crash(3, 9_000).with_crash(CrashComponent::Node(3), 4_000);
+        assert_eq!(twice.node_down_at(3), Some(4_000));
+    }
+
+    #[test]
+    fn crash_layered_on_loss_leaves_surviving_draws_untouched() {
+        // The same seeded loss stream, with and without an added crash on
+        // an *unrelated* pair: verdicts on the surviving pair must match
+        // draw-for-draw (crashes consume no randomness).
+        let mut plain = FaultPlan::new(FaultConfig::loss(9, 0.2));
+        let mut crashed = FaultPlan::new(FaultConfig {
+            crashes: vec![CrashSpec {
+                component: CrashComponent::Node(5),
+                at_ns: 0,
+            }],
+            ..FaultConfig::loss(9, 0.2)
+        });
+        for i in 0..500u64 {
+            let now = SimTime::from_ns(i * 100);
+            assert_eq!(
+                plain.judge(now, NodeId(0), NodeId(1), 4),
+                crashed.judge(now, NodeId(0), NodeId(1), 4),
+                "draw {i} diverged"
+            );
+        }
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod topology;
 
 pub use config::FabricConfig;
 pub use fabric::{Fabric, MessageTiming};
-pub use faults::{Delivery, FaultConfig, FaultPlan};
+pub use faults::{CrashComponent, CrashSpec, Delivery, FaultConfig, FaultPlan};
 pub use topology::Topology;

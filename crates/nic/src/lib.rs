@@ -42,5 +42,5 @@ pub use dynamic::DynFields;
 pub use lookup::LookupKind;
 pub use nic::{Nic, NicEvent, NicNote, NicOutput};
 pub use op::{NetOp, OpId, Tag};
-pub use reliability::{DeliveryFailure, ReliabilityConfig};
+pub use reliability::{DeliveryCause, DeliveryFailure, ReliabilityConfig};
 pub use trigger::{TriggerError, TriggerList};

@@ -31,7 +31,7 @@ use crate::config::NicConfig;
 use crate::cq::{CqDesc, CqKind};
 use crate::dynamic::DynFields;
 use crate::op::{NetOp, Notify, OpId, Tag};
-use crate::reliability::{Accept, DeliveryFailure, Reliability, TimerVerdict};
+use crate::reliability::{Accept, DeliveryCause, DeliveryFailure, Reliability, TimerVerdict};
 use crate::trigger::{TriggerError, TriggerList};
 use bytes::Bytes;
 use gtn_fabric::{Delivery, Fabric};
@@ -181,7 +181,9 @@ pub enum NicNote {
         /// Destination node.
         target: NodeId,
     },
-    /// The retry budget is exhausted; delivery abandoned permanently.
+    /// Delivery abandoned permanently — the retry budget ran out, or the
+    /// failure detector declared the peer dead and pending messages toward
+    /// it were failed fast.
     DeliveryFailed {
         /// Tracked sequence number.
         seq: u64,
@@ -189,6 +191,8 @@ pub enum NicNote {
         target: NodeId,
         /// Total sends attempted.
         attempts: u32,
+        /// Why delivery was abandoned.
+        cause: DeliveryCause,
     },
     /// A trigger registration or tag write was rejected.
     TriggerRejected(TriggerError),
@@ -822,6 +826,7 @@ impl Nic {
                         seq,
                         target: failure.target,
                         attempts: failure.attempts,
+                        cause: failure.cause,
                     },
                 );
                 // The dead message's credit grant will never be refreshed
@@ -831,6 +836,38 @@ impl Nic {
                 out
             }
         }
+    }
+
+    /// The cluster's failure detector declared `peer` dead: abandon every
+    /// pending (unACKed) message toward it immediately — each surfaces as a
+    /// [`CqKind::Error`] entry and a [`NicNote::DeliveryFailed`] with cause
+    /// [`DeliveryCause::PeerDead`] — instead of burning the remaining retry
+    /// budget against a corpse. Credit grants toward the peer are released
+    /// so unrelated queued work cannot wedge behind it. Idempotent: with
+    /// nothing pending toward `peer` this does nothing.
+    pub fn mark_peer_dead(
+        &mut self,
+        now: SimTime,
+        peer: NodeId,
+        mem: &mut MemPool,
+    ) -> Vec<NicOutput> {
+        let failures = self.rel.fail_peer_dead(peer, now);
+        let mut out = Vec::new();
+        for f in &failures {
+            self.stats.inc("peer_dead_failures");
+            out.extend(self.cq_push(CqKind::Error, f.seq, f.bytes, now, mem));
+            self.note(
+                now,
+                NicNote::DeliveryFailed {
+                    seq: f.seq,
+                    target: f.target,
+                    attempts: f.attempts,
+                    cause: f.cause,
+                },
+            );
+            self.rel.release_grant(f.target);
+        }
+        out
     }
 
     // ---- completion queue (bounded discipline) ----------------------------

@@ -160,10 +160,31 @@ pub struct Pending<M> {
     pub attempts: u32,
 }
 
-/// A message abandoned after exhausting its retry budget.
+/// Why a tracked message was abandoned — congestion and death need
+/// different post-mortems (and different recoveries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryCause {
+    /// The retry budget ran out with the peer still presumed alive: the
+    /// path was too lossy (or too slow) for the configured budget.
+    RetriesExhausted,
+    /// The cluster's failure detector declared the peer dead; pending
+    /// messages toward it were failed fast instead of burning retries.
+    PeerDead,
+}
+
+impl std::fmt::Display for DeliveryCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeliveryCause::RetriesExhausted => write!(f, "retries exhausted"),
+            DeliveryCause::PeerDead => write!(f, "peer dead"),
+        }
+    }
+}
+
+/// A message abandoned without confirmation of delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeliveryFailure {
-    /// When the budget ran out.
+    /// When the message was abandoned.
     pub at: SimTime,
     /// Sequence number of the abandoned message.
     pub seq: u64,
@@ -173,6 +194,8 @@ pub struct DeliveryFailure {
     pub attempts: u32,
     /// Payload size.
     pub bytes: u64,
+    /// Why it was abandoned.
+    pub cause: DeliveryCause,
 }
 
 /// Receiver verdict for one tracked arrival: what [`Reliability::accept`]
@@ -355,6 +378,7 @@ impl<M> Reliability<M> {
                 target: p.target,
                 attempts: p.attempts,
                 bytes: p.bytes,
+                cause: DeliveryCause::RetriesExhausted,
             };
             self.failures.push(failure.clone());
             return TimerVerdict::Exhausted(failure);
@@ -417,6 +441,35 @@ impl<M> Reliability<M> {
     /// Messages abandoned after exhausting the retry budget.
     pub fn failures(&self) -> &[DeliveryFailure] {
         &self.failures
+    }
+
+    /// Sender: the failure detector declared `peer` dead — abandon every
+    /// pending message toward it *now* (cause [`DeliveryCause::PeerDead`])
+    /// instead of burning the remaining retry budget against a corpse.
+    /// Returns the failures in sequence order.
+    pub fn fail_peer_dead(&mut self, peer: NodeId, now: SimTime) -> Vec<DeliveryFailure> {
+        let mut seqs: Vec<u64> = self
+            .pending
+            .keys()
+            .filter(|&&(t, _)| t == peer.0)
+            .map(|&(_, seq)| seq)
+            .collect();
+        seqs.sort_unstable();
+        let mut out = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let p = self.pending.remove(&(peer.0, seq)).expect("keyed above");
+            let failure = DeliveryFailure {
+                at: now,
+                seq,
+                target: p.target,
+                attempts: p.attempts,
+                bytes: p.bytes,
+                cause: DeliveryCause::PeerDead,
+            };
+            self.failures.push(failure.clone());
+            out.push(failure);
+        }
+        out
     }
 }
 

@@ -19,7 +19,7 @@
 //! Results are verified against the exact ring-order chain sum (bit-exact
 //! f32), and all nodes must agree.
 
-use crate::harness::{Harness, ScenarioParams, ScenarioResult, Workload};
+use crate::harness::{Harness, JobFailure, ScenarioParams, ScenarioResult, Workload};
 use gtn_core::comm::{self, GpuTnDriver};
 use gtn_core::config::ClusterConfig;
 use gtn_core::Strategy;
@@ -94,15 +94,24 @@ fn input_value(seed: u64, rank: u32, j: u64) -> f32 {
 /// and folds ranks `c+1, c+2, …` in ring order (`acc = v_j + acc`),
 /// matching the distributed arithmetic bit-for-bit.
 pub fn reference(nodes: u32, elems: u64, seed: u64) -> Vec<f32> {
-    let p = nodes;
+    let ranks: Vec<u32> = (0..nodes).collect();
+    reference_ranks(&ranks, elems, seed)
+}
+
+/// [`reference()`] over an explicit rank list: position `k` of the ring
+/// contributes rank `ranks[k]`'s input vector. The rebuild-collective
+/// recovery policy verifies its survivor ring against this — the dead
+/// rank's contribution is (correctly) absent.
+pub fn reference_ranks(ranks: &[u32], elems: u64, seed: u64) -> Vec<f32> {
+    let p = ranks.len() as u32;
     let mut out = vec![0f32; elems as usize];
     for c in 0..p {
         let (off, len) = chunk_range(c, elems, p);
         for j in off..off + len {
-            let mut acc = input_value(seed, c, j);
+            let mut acc = input_value(seed, ranks[c as usize], j);
             for step in 1..p {
-                let rank = (c + step) % p;
-                acc += input_value(seed, rank, j);
+                let pos = (c + step) % p;
+                acc += input_value(seed, ranks[pos as usize], j);
             }
             out[j as usize] = acc;
         }
@@ -136,7 +145,40 @@ pub fn run_with_config(
     params: AllreduceParams,
     mutate: impl FnOnce(&mut ClusterConfig),
 ) -> AllreduceResult {
+    run_inner(params, None, mutate)
+        .unwrap_or_else(|failure| panic!("allreduce did not complete\n{failure}"))
+}
+
+/// [`run_with_config`] with structured failure: a run the failure detector
+/// or watchdog terminated comes back as `Err(JobFailure)`.
+pub fn try_run_with_config(
+    params: AllreduceParams,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> Result<AllreduceResult, JobFailure> {
+    run_inner(params, None, mutate)
+}
+
+/// Run a rebuilt ring: `params.nodes` positions whose inputs are the
+/// original vectors of `ranks` (so a `p−1`-node ring of survivors reduces
+/// exactly the surviving contributions). `ranks.len()` must equal
+/// `params.nodes`. Verify against [`reference_ranks`] with the same list.
+pub fn run_with_ranks(
+    params: AllreduceParams,
+    ranks: &[u32],
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> Result<AllreduceResult, JobFailure> {
+    run_inner(params, Some(ranks), mutate)
+}
+
+fn run_inner(
+    params: AllreduceParams,
+    ranks: Option<&[u32]>,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> Result<AllreduceResult, JobFailure> {
     let p = params.nodes;
+    if let Some(map) = ranks {
+        assert_eq!(map.len(), p as usize, "one original rank per position");
+    }
     assert!(p >= 2, "allreduce needs at least 2 nodes");
     assert!(params.elems >= p as u64, "fewer elements than chunks");
 
@@ -167,9 +209,11 @@ pub fn run_with_config(
                 flag: Addr::base(id, mem.alloc(id, 8, "ar.flag")),
                 comp: Addr::base(id, mem.alloc(id, 8, "ar.comp")),
             };
-            // Fill the input vector.
+            // Fill the input vector (under a rank map, position `node`
+            // carries its original rank's data).
+            let rank = ranks.map_or(node, |m| m[node as usize]);
             let vals: Vec<f32> = (0..params.elems)
-                .map(|j| input_value(params.seed, node, j))
+                .map(|j| input_value(params.seed, rank, j))
                 .collect();
             mem.write_f32s(b.vec, &vals);
             b
@@ -376,7 +420,7 @@ pub fn run_with_config(
         .size(params.elems)
         .seed(params.seed);
     let (cluster, scenario) =
-        Harness::execute("allreduce", &sparams, config, mem, programs, &mut *driver);
+        Harness::try_execute("allreduce", &sparams, config, mem, programs, &mut *driver)?;
 
     // All nodes must agree; return node 0's vector.
     let v0 = cluster.mem().read_f32s(bufs[0].vec, params.elems as usize);
@@ -387,10 +431,10 @@ pub fn run_with_config(
         assert_eq!(v, v0, "node {node} disagrees with node 0");
     }
 
-    AllreduceResult {
+    Ok(AllreduceResult {
         scenario,
         result: v0,
-    }
+    })
 }
 
 /// Fig. 10's workload, adapted to the shared [`Workload`] frame.
@@ -427,6 +471,22 @@ impl Workload for Allreduce {
                 params.strategy
             ));
         }
+        Ok(r.scenario)
+    }
+
+    fn run_lenient(&self, params: &ScenarioParams) -> Result<ScenarioResult, JobFailure> {
+        let patch = params.patch;
+        let r = try_run_with_config(
+            AllreduceParams {
+                nodes: params.node_count(),
+                elems: params.size,
+                strategy: params.strategy,
+                seed: params.seed,
+            },
+            |config| patch.apply(config),
+        )?;
+        let expect = reference(params.node_count(), params.size, params.seed);
+        assert_eq!(r.result, expect, "completed allreduce run diverges");
         Ok(r.scenario)
     }
 }

@@ -1,0 +1,322 @@
+//! Chaos orchestration: run one crash-stop scenario end-to-end under a
+//! recovery policy and report what happened as data.
+//!
+//! A *chaos cell* is a [`ScenarioParams`] whose [`ConfigPatch`] carries a
+//! crash injection (and usually arms the failure detector with a
+//! [`RecoveryPolicy`]). [`run_cell`] executes the cell leniently, then
+//! interprets the outcome:
+//!
+//! - **Completed** — the crash never bit (it landed after the workload
+//!   finished, or severed a link the schedule doesn't use). The result is
+//!   verified like any healthy run.
+//! - **Aborted** — the run terminated with a structured [`JobFailure`]
+//!   (`PeerDead` from the detector, or a watchdog diagnosis when detection
+//!   is off) and the policy is [`RecoveryPolicy::Abort`]: the failure *is*
+//!   the result.
+//! - **Recovered** — the policy re-ran the work around the failure:
+//!   - [`RecoveryPolicy::CheckpointRestart`] restarts from the last
+//!     checkpoint on a clean cluster (the crashed component rebooted).
+//!     Jacobi checkpoints its interiors at the halfway sweep and replays
+//!     the remainder through [`crate::jacobi::run_from_checkpoint`];
+//!     workloads whose inputs are regenerable (allreduce, pingpong) treat
+//!     the inputs as the checkpoint and re-run in full.
+//!   - [`RecoveryPolicy::RebuildCollective`] re-forms the allreduce ring
+//!     from the survivors (NCCL-communicator style) and reduces exactly
+//!     the surviving contributions, verified against
+//!     [`crate::allreduce::reference_ranks`]. Workloads without a
+//!     re-formable ring (pingpong's fixed pair, Jacobi's fixed
+//!     decomposition) degrade to checkpoint-restart.
+//!
+//! Every quantity in the [`ChaosReport`] is an integer, so the chaos
+//! campaign bench can emit it into byte-identical JSON.
+
+use crate::allreduce::{self, AllreduceParams};
+use crate::harness::{JobFailure, ScenarioParams, ScenarioResult, Workload};
+use crate::jacobi::{self, JacobiParams};
+use crate::pingpong::Pingpong;
+use gtn_core::scenario::ConfigPatch;
+use gtn_core::RecoveryPolicy;
+use gtn_fabric::CrashComponent;
+
+/// How a chaos cell ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The run completed (and verified) despite the injection.
+    Completed,
+    /// The run terminated with a structured failure under `Abort`.
+    Aborted,
+    /// A recovery policy re-ran the work and the result verified.
+    Recovered,
+}
+
+impl Verdict {
+    /// Stable lower-case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Completed => "completed",
+            Verdict::Aborted => "aborted",
+            Verdict::Recovered => "recovered",
+        }
+    }
+}
+
+/// The outcome of one chaos cell, integer-valued for deterministic JSON.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// How the cell ended.
+    pub verdict: Verdict,
+    /// Sim time (ns) at which the first run terminated — the time-to-detect
+    /// for aborted/recovered cells, `0` for completed ones.
+    pub detect_ns: u64,
+    /// Sim time (ns) the recovery run took (`0` unless recovered).
+    pub recovery_ns: u64,
+    /// End-to-end sim time (ns): a completed run's total, an aborted run's
+    /// termination time, or detect + recovery for a recovered one.
+    pub total_ns: u64,
+    /// Events the *terminated* run consumed before giving up (`0` for
+    /// completed cells) — the liveness contract bounds this.
+    pub events: u64,
+    /// Whether the surviving result verified against its reference. Always
+    /// `true` for completed/recovered verdicts (mismatches panic — chaos
+    /// may fail a run, it may not corrupt one); `false` for aborts.
+    pub verified: bool,
+    /// The rendered [`JobFailure`] of the terminated run, when there was
+    /// one.
+    pub failure: Option<String>,
+}
+
+/// Integer ns of a sim time.
+fn ns_of(t: gtn_sim::time::SimTime) -> u64 {
+    t.as_ps() / 1000
+}
+
+/// The node a crash component takes down (for survivor-set computation):
+/// the node itself for node/NIC crashes, the lower endpoint for a severed
+/// link (the ring can only be re-formed around one of them).
+pub fn culprit_node(component: CrashComponent) -> u32 {
+    match component {
+        CrashComponent::Node(n) | CrashComponent::Nic(n) => n,
+        CrashComponent::Link { a, b } => a.min(b),
+    }
+}
+
+/// The patch a recovery run uses: same loss/pressure environment, but the
+/// crashed component rebooted (no crash) and detection disarmed (the
+/// recovery run is measured, not chaos-tested).
+fn recovery_patch(patch: ConfigPatch) -> ConfigPatch {
+    ConfigPatch {
+        crash: None,
+        detect: None,
+        ..patch
+    }
+}
+
+/// Run one chaos cell: execute `workload` under `params` (whose patch
+/// carries the injection), and apply the patch's recovery policy to the
+/// outcome. `workload` is a [`crate::harness::all_workloads`] name.
+///
+/// # Panics
+/// Panics on an unknown workload name, or if a completed/recovered run
+/// fails verification (corruption is a bug, not a failure scenario).
+pub fn run_cell(params: &ScenarioParams, workload: &str) -> ChaosReport {
+    let outcome = match workload {
+        "pingpong" => Pingpong.run_lenient(params),
+        "jacobi" => jacobi::Jacobi.run_lenient(params),
+        "allreduce" => allreduce::Allreduce.run_lenient(params),
+        other => panic!("unknown chaos workload {other:?}"),
+    };
+    let failure = match outcome {
+        Ok(result) => {
+            return ChaosReport {
+                verdict: Verdict::Completed,
+                detect_ns: 0,
+                recovery_ns: 0,
+                total_ns: ns_of(result.total),
+                events: 0,
+                verified: true,
+                failure: None,
+            }
+        }
+        Err(failure) => failure,
+    };
+    let detect_ns = ns_of(failure.report.at);
+    let policy = params.patch.detect.unwrap_or(RecoveryPolicy::Abort);
+    let recovered = match policy {
+        RecoveryPolicy::Abort => None,
+        RecoveryPolicy::CheckpointRestart => Some(recover_checkpoint(params, workload)),
+        RecoveryPolicy::RebuildCollective => Some(match workload {
+            "allreduce" if params.node_count() > 3 => recover_rebuild(params),
+            // A 2-node pair or a fixed grid decomposition has no smaller
+            // ring to re-form; restart from the checkpoint instead.
+            _ => recover_checkpoint(params, workload),
+        }),
+    };
+    match recovered {
+        None => ChaosReport {
+            verdict: Verdict::Aborted,
+            detect_ns,
+            recovery_ns: 0,
+            total_ns: detect_ns,
+            events: failure.events,
+            verified: false,
+            failure: Some(failure.to_string()),
+        },
+        Some(recovery) => ChaosReport {
+            verdict: Verdict::Recovered,
+            detect_ns,
+            recovery_ns: recovery,
+            total_ns: detect_ns + recovery,
+            events: failure.events,
+            verified: true,
+            failure: Some(failure.to_string()),
+        },
+    }
+}
+
+/// Checkpoint-restart recovery. Returns the recovery run's total ns.
+///
+/// Jacobi restarts from its halfway-sweep checkpoint (the interiors the
+/// surviving nodes would have persisted) and replays the remaining sweeps
+/// on a clean cluster, verified bit-exactly against the full-run
+/// reference. Allreduce and pingpong regenerate their inputs (the inputs
+/// *are* the checkpoint) and re-run in full.
+fn recover_checkpoint(params: &ScenarioParams, workload: &str) -> u64 {
+    let patch = recovery_patch(params.patch);
+    match workload {
+        "jacobi" => {
+            let ckpt = params.iters / 2;
+            let n = params.size as u32;
+            let snapshot = jacobi::reference(params.rows, params.cols, n, ckpt, params.seed);
+            let jp = JacobiParams::new(
+                params.rows,
+                params.cols,
+                n,
+                params.iters - ckpt,
+                params.strategy,
+                params.seed,
+            );
+            let r = jacobi::run_from_checkpoint(jp, &snapshot, |config| patch.apply(config))
+                .unwrap_or_else(|f| panic!("jacobi recovery run failed\n{f}"));
+            let expect = jacobi::reference(params.rows, params.cols, n, params.iters, params.seed);
+            assert_eq!(r.interiors, expect, "checkpoint restart diverges");
+            ns_of(r.scenario.total)
+        }
+        _ => {
+            let clean = ScenarioParams { patch, ..*params };
+            let result = rerun_clean(&clean, workload);
+            ns_of(result.total)
+        }
+    }
+}
+
+/// Rebuild-collective recovery for allreduce: re-form the ring from the
+/// survivors and reduce exactly their contributions. Returns the recovery
+/// run's total ns.
+fn recover_rebuild(params: &ScenarioParams) -> u64 {
+    let crash = params
+        .patch
+        .crash
+        .expect("rebuild recovery requires a crash cell");
+    let culprit = culprit_node(crash.component);
+    let survivors: Vec<u32> = (0..params.node_count()).filter(|&n| n != culprit).collect();
+    let patch = recovery_patch(params.patch);
+    let ap = AllreduceParams::new(
+        survivors.len() as u32,
+        params.size,
+        params.strategy,
+        params.seed,
+    );
+    let r = allreduce::run_with_ranks(ap, &survivors, |config| patch.apply(config))
+        .unwrap_or_else(|f| panic!("allreduce rebuild run failed\n{f}"));
+    let expect = allreduce::reference_ranks(&survivors, params.size, params.seed);
+    assert_eq!(r.result, expect, "rebuilt ring diverges");
+    ns_of(r.scenario.total)
+}
+
+/// A clean (crash-free) re-run of `workload`, which must complete.
+fn rerun_clean(params: &ScenarioParams, workload: &str) -> ScenarioResult {
+    let lenient: Result<ScenarioResult, JobFailure> = match workload {
+        "pingpong" => Pingpong.run_lenient(params),
+        "allreduce" => allreduce::Allreduce.run_lenient(params),
+        other => panic!("no clean-rerun recovery for {other:?}"),
+    };
+    lenient.unwrap_or_else(|f| panic!("{workload} recovery run failed\n{f}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtn_core::Strategy;
+
+    #[test]
+    fn culprit_extraction_covers_every_component() {
+        assert_eq!(culprit_node(CrashComponent::Node(3)), 3);
+        assert_eq!(culprit_node(CrashComponent::Nic(1)), 1);
+        assert_eq!(culprit_node(CrashComponent::Link { a: 4, b: 2 }), 2);
+    }
+
+    #[test]
+    fn healthy_cell_completes() {
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(3)
+            .size(256)
+            .seed(7)
+            .patch(ConfigPatch::NONE.with_detection(RecoveryPolicy::Abort));
+        let report = run_cell(&params, "allreduce");
+        assert_eq!(report.verdict, Verdict::Completed);
+        assert!(report.verified);
+        assert_eq!(report.detect_ns, 0);
+        assert!(report.total_ns > 0);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn abort_cell_terminates_with_peer_dead() {
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(4)
+            .size(64 * 1024)
+            .seed(7)
+            .patch(ConfigPatch::crash_node(2, 50_000).with_detection(RecoveryPolicy::Abort));
+        let report = run_cell(&params, "allreduce");
+        assert_eq!(report.verdict, Verdict::Aborted);
+        assert!(!report.verified);
+        assert!(report.detect_ns > 50_000, "{}", report.detect_ns);
+        assert_eq!(report.total_ns, report.detect_ns);
+        assert!(report.events > 0);
+        let failure = report.failure.expect("aborts carry the failure");
+        assert!(failure.contains("node 2 declared dead"), "{failure}");
+    }
+
+    #[test]
+    fn rebuild_cell_recovers_on_the_survivor_ring() {
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(4)
+            .size(64 * 1024)
+            .seed(7)
+            .patch(
+                ConfigPatch::crash_node(2, 50_000)
+                    .with_detection(RecoveryPolicy::RebuildCollective),
+            );
+        let report = run_cell(&params, "allreduce");
+        assert_eq!(report.verdict, Verdict::Recovered);
+        assert!(report.verified);
+        assert!(report.recovery_ns > 0);
+        assert_eq!(report.total_ns, report.detect_ns + report.recovery_ns);
+    }
+
+    #[test]
+    fn checkpoint_cell_replays_jacobi_from_the_halfway_sweep() {
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .grid(2, 2)
+            .size(16)
+            .iters(4)
+            .seed(0xA11CE)
+            .patch(
+                ConfigPatch::crash_node(3, 2_000).with_detection(RecoveryPolicy::CheckpointRestart),
+            );
+        let report = run_cell(&params, "jacobi");
+        assert_eq!(report.verdict, Verdict::Recovered);
+        assert!(report.verified);
+        assert!(report.recovery_ns > 0);
+    }
+}

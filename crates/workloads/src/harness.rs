@@ -16,11 +16,32 @@
 use gtn_core::cluster::Cluster;
 use gtn_core::comm::CommDriver;
 use gtn_core::config::ClusterConfig;
-use gtn_core::Strategy;
+use gtn_core::{StallReport, Strategy};
 use gtn_host::HostProgram;
 use gtn_mem::MemPool;
+use std::fmt;
 
 pub use gtn_core::scenario::{ConfigPatch, ResourceLimits, ScenarioParams, ScenarioResult};
+
+/// A run that terminated without completing: the structured diagnosis plus
+/// the event cost of finding out. This is the *expected* outcome of a
+/// chaos scenario under the `Abort` recovery policy — a crash-stop failure
+/// surfaces as data, not as a panic or a hang.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Who is stuck, on what, and why the loop stopped (e.g.
+    /// [`gtn_core::StallReason::PeerDead`] naming the culprit).
+    pub report: StallReport,
+    /// Events the engine processed before giving up (the liveness
+    /// contract: bounded, never a hang).
+    pub events: u64,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (after {} events)", self.report, self.events)
+    }
+}
 
 /// Env var naming a strategy subset for benches, e.g.
 /// `GTN_STRATEGIES=hdn,gpu-tn` (comma- or whitespace-separated, any case
@@ -56,6 +77,17 @@ pub trait Workload {
     /// Run one scenario *and* check functional correctness against the
     /// workload's reference computation, describing any mismatch.
     fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String>;
+
+    /// Run one scenario tolerating structured failure: `Ok` carries a
+    /// completed (and, where the workload supports it, verified) result;
+    /// `Err` carries the [`JobFailure`] of a run the failure detector or
+    /// watchdog terminated. A functional mismatch on a *completed* run
+    /// still panics — that is a bug, not a failure scenario. The default
+    /// covers workloads without crash scenarios (the launch study) by
+    /// delegating to the strict path.
+    fn run_lenient(&self, params: &ScenarioParams) -> Result<ScenarioResult, JobFailure> {
+        Ok(self.run_scenario(params))
+    }
 }
 
 /// Every [`Workload`] the evaluation drives, in figure order.
@@ -107,7 +139,9 @@ impl Harness {
 
     /// Build the cluster, install the driver's cluster-side registrations
     /// (GDS doorbell hooks), run to completion, and snapshot the unified
-    /// result. Panics with a uniform message if the cluster deadlocks.
+    /// result. Panics with the rendered [`StallReport`] if the run does
+    /// not complete — the failure message reads like a diagnosis, not a
+    /// debug dump.
     pub fn execute(
         workload: &'static str,
         params: &ScenarioParams,
@@ -116,17 +150,42 @@ impl Harness {
         programs: Vec<HostProgram>,
         driver: &mut dyn CommDriver,
     ) -> (Cluster, ScenarioResult) {
+        match Self::try_execute(workload, params, config, mem, programs, driver) {
+            Ok(done) => done,
+            Err(failure) => panic!(
+                "{workload} {} P={} did not complete\n{failure}",
+                params.strategy,
+                params.node_count()
+            ),
+        }
+    }
+
+    /// [`Harness::execute`] without the completion assertion: an
+    /// uncompleted run comes back as a structured [`JobFailure`] for the
+    /// chaos/recovery layers to interpret.
+    pub fn try_execute(
+        workload: &'static str,
+        params: &ScenarioParams,
+        config: ClusterConfig,
+        mem: MemPool,
+        programs: Vec<HostProgram>,
+        driver: &mut dyn CommDriver,
+    ) -> Result<(Cluster, ScenarioResult), JobFailure> {
         let mut cluster = Cluster::new(config, mem, programs);
         driver.install(&mut cluster);
         let result = cluster.run();
-        assert!(
-            result.completed,
-            "{workload} {} P={} deadlocked: {result:?}",
-            params.strategy,
-            params.node_count()
-        );
+        if !result.completed {
+            let report = result
+                .stall
+                .clone()
+                .expect("uncompleted runs carry a stall report");
+            return Err(JobFailure {
+                report,
+                events: result.events,
+            });
+        }
         let scenario = ScenarioResult::collect(workload, params, &cluster, &result);
-        (cluster, scenario)
+        Ok((cluster, scenario))
     }
 }
 

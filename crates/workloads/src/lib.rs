@@ -18,6 +18,11 @@
 //!   Allreduce-characteristic models, projected with the paper's
 //!   methodology over simulated collective times.
 //!
+//! The [`chaos`] module is the robustness counterpart: it runs any of the
+//! above under crash-stop injections and interprets the outcome through a
+//! recovery policy (abort / checkpoint-restart / rebuild-collective),
+//! reporting time-to-detect and recovery cost as data.
+//!
 //! The [`harness`] module is the shared frame: unified scenario
 //! parameters/results, the [`harness::Workload`] trait each experiment
 //! implements, and the `GTN_STRATEGIES` strategy filter the benches use.
@@ -28,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allreduce;
+pub mod chaos;
 pub mod deeplearning;
 pub mod harness;
 pub mod jacobi;

@@ -15,7 +15,7 @@
 //! invoke, so the per-strategy duplication lives in `gtn_core::comm`, not
 //! here.
 
-use crate::harness::{Harness, ScenarioParams, ScenarioResult, Workload};
+use crate::harness::{ConfigPatch, Harness, JobFailure, ScenarioParams, ScenarioResult, Workload};
 use gtn_core::cluster::LogKind;
 use gtn_core::comm::{self, GpuTnDriver};
 use gtn_core::config::ClusterConfig;
@@ -148,9 +148,18 @@ const BOUNCE_COPY_NS: u64 = 60;
 /// taxonomy — flavors differ only in the kernel they build and the driver
 /// idiom that launches the put.
 pub fn run_flavor(flavor: Flavor) -> PingResult {
+    try_run_flavor(flavor, ConfigPatch::NONE)
+        .unwrap_or_else(|failure| panic!("pingpong {} did not complete\n{failure}", flavor.name()))
+}
+
+/// [`run_flavor`] with config overrides and structured failure: a crash
+/// scenario (injected via `patch`) comes back as `Err(JobFailure)` instead
+/// of a panic.
+pub fn try_run_flavor(flavor: Flavor, patch: ConfigPatch) -> Result<PingResult, JobFailure> {
     let strategy = flavor.reported_strategy();
-    let params = ScenarioParams::new(strategy).size(PAYLOAD);
-    let config = ClusterConfig::table2(2);
+    let params = ScenarioParams::new(strategy).size(PAYLOAD).patch(patch);
+    let mut config = ClusterConfig::table2(2);
+    patch.apply(&mut config);
     let mut mem = MemPool::new(2);
     // `src` doubles as the GPU Host flavor's bounce buffer: in both roles
     // it is the staging area the NIC reads the payload from.
@@ -267,7 +276,7 @@ pub fn run_flavor(flavor: Flavor) -> PingResult {
     }
 
     let (cluster, mut scenario) =
-        Harness::execute("pingpong", &params, config, mem, vec![p0, p1], &mut *driver);
+        Harness::try_execute("pingpong", &params, config, mem, vec![p0, p1], &mut *driver)?;
     assert_eq!(
         cluster.mem().read(dst, PAYLOAD),
         &[0xC5; PAYLOAD as usize],
@@ -294,12 +303,12 @@ pub fn run_flavor(flavor: Flavor) -> PingResult {
     let trace = decompose_pingpong(cluster.log(), 0, 1, cluster.config());
     scenario.set_total(target_completion);
 
-    PingResult {
+    Ok(PingResult {
         scenario,
         target_completion,
         initiator_kernel_done,
         trace,
-    }
+    })
 }
 
 /// Run all three Fig. 8 strategies.
@@ -337,6 +346,10 @@ impl Workload for Pingpong {
             ));
         }
         Ok(r.scenario)
+    }
+
+    fn run_lenient(&self, params: &ScenarioParams) -> Result<ScenarioResult, JobFailure> {
+        try_run_flavor(Flavor::Std(params.strategy), params.patch).map(|r| r.scenario)
     }
 }
 

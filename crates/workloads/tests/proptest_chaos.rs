@@ -1,0 +1,134 @@
+//! Crash-stop chaos properties, end to end:
+//!
+//! 1. **Bounded termination** — with a peer silently dropped and the
+//!    failure detector *off*, every networked workload under every
+//!    strategy still terminates: either it completes (the crash landed
+//!    after the work) or the stall watchdog/deadlock detector returns a
+//!    structured failure within a bounded event count. Chaos never hangs
+//!    the calendar.
+//! 2. **Detection soundness** — the heartbeat/lease detector at its
+//!    default cadence never declares a live peer dead, no matter what
+//!    seeded packet loss (up to 20%) and NIC resource pressure do to the
+//!    data plane. Losing heartbeats to congestion is not death.
+//! 3. **Detection determinism** — a crash scenario replays bit-identically:
+//!    same verdict, same detection time, same culprit.
+
+use gtn_core::scenario::ConfigPatch;
+use gtn_core::{RecoveryPolicy, StallReason, Strategy};
+use gtn_workloads::harness::Workload;
+use gtn_workloads::harness::{all_workloads, ResourceLimits, ScenarioParams};
+use gtn_workloads::jacobi::Jacobi;
+use proptest::prelude::*;
+
+/// No terminated run may consume more events than this — the liveness
+/// contract the chaos campaign also enforces per cell.
+const EVENT_BUDGET: u64 = 20_000_000;
+
+fn strategy_from(ix: u8) -> Strategy {
+    Strategy::all()[ix as usize % 4]
+}
+
+proptest! {
+    // Every case is several full cluster runs (some of which must spin all
+    // the way into the watchdog); keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Silent crash, detection off: the watchdog (or calendar drain) fires
+    /// within the event budget for every networked workload x strategy,
+    /// and never misattributes the stall to a dead-peer declaration.
+    #[test]
+    fn silent_crash_terminates_every_workload_within_budget(
+        strategy_ix in 0u8..4,
+        crash_at_us in 1u64..50,
+    ) {
+        let strategy = strategy_from(strategy_ix);
+        for w in all_workloads() {
+            if !w.strategies().contains(&strategy) {
+                continue; // launch_study has no peers to kill
+            }
+            let params = w
+                .smoke_scenario(strategy)
+                .patch(ConfigPatch::crash_node(1, crash_at_us * 1_000));
+            match w.run_lenient(&params) {
+                // The crash landed after the workload finished.
+                Ok(r) => prop_assert!(r.total.as_ps() > 0),
+                Err(failure) => {
+                    prop_assert!(
+                        failure.events <= EVENT_BUDGET,
+                        "{} {strategy}: {} events blew the budget",
+                        w.name(), failure.events
+                    );
+                    prop_assert!(
+                        !matches!(failure.report.reason, StallReason::PeerDead { .. }),
+                        "{} {strategy}: PeerDead with detection off",
+                        w.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Detector soundness: seeded loss (up to 20%) plus tiny NIC resources
+    /// may slow or even abandon the data plane, but the default leases
+    /// never declare a live peer dead — heartbeats ride the control lane
+    /// and only a real crash silences them past the lease.
+    #[test]
+    fn loss_and_pressure_never_false_positive_the_detector(
+        strategy_ix in 0u8..4,
+        fault_seed in 0u64..10_000,
+        loss_milli in 1u64..200,
+    ) {
+        let strategy = strategy_from(strategy_ix);
+        let params = ScenarioParams::new(strategy)
+            .grid(2, 2)
+            .size(6)
+            .iters(2)
+            .seed(0xA11CE)
+            .patch(
+                ConfigPatch::loss(fault_seed, loss_milli as f64 / 1000.0)
+                    .with_pressure(ResourceLimits::tiny(2, 4))
+                    .with_detection(RecoveryPolicy::Abort),
+            );
+        match Jacobi.run_lenient(&params) {
+            Ok(_) => {}
+            Err(failure) => prop_assert!(
+                !matches!(failure.report.reason, StallReason::PeerDead { .. }),
+                "{strategy} loss={loss_milli}milli seed={fault_seed}: \
+                 live peer declared dead\n{failure}"
+            ),
+        }
+    }
+
+    /// A detected crash replays bit-identically: same structured reason
+    /// (peer and detector included), same detection time, same event count.
+    #[test]
+    fn detected_crashes_are_replay_deterministic(
+        strategy_ix in 0u8..4,
+        crash_at_us in 10u64..60,
+    ) {
+        let strategy = strategy_from(strategy_ix);
+        let params = ScenarioParams::new(strategy)
+            .nodes(4)
+            .size(64 * 1024)
+            .seed(0xBEEF)
+            .patch(
+                ConfigPatch::crash_node(2, crash_at_us * 1_000)
+                    .with_detection(RecoveryPolicy::Abort),
+            );
+        let a = gtn_workloads::allreduce::Allreduce.run_lenient(&params);
+        let b = gtn_workloads::allreduce::Allreduce.run_lenient(&params);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => prop_assert_eq!(ra.total, rb.total),
+            (Err(fa), Err(fb)) => {
+                prop_assert_eq!(&fa.report.reason, &fb.report.reason);
+                prop_assert_eq!(fa.report.at, fb.report.at);
+                prop_assert_eq!(fa.events, fb.events);
+                prop_assert!(matches!(
+                    fa.report.reason,
+                    StallReason::PeerDead { peer: 2, .. }
+                ), "wrong culprit: {}", fa.report.reason);
+            }
+            _ => prop_assert!(false, "replay changed the verdict"),
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! correctness (every strategy, lossless and under seeded loss), the
 //! paper's qualitative ordering (GPU-TN < GDS < HDN, Figs. 8–10), and
 //! stats-snapshot consistency.
-use gtn_core::Strategy;
+use gtn_core::{RecoveryPolicy, StallReason, Strategy};
+use gtn_workloads::chaos::{self, Verdict};
 use gtn_workloads::harness::{all_workloads, ConfigPatch, ResourceLimits};
 
 #[test]
@@ -117,6 +118,115 @@ fn resource_pressure_degrades_gracefully_never_fatally() {
     // The shrunken CAM must actually have been exercised somewhere.
     assert!(spills > 0, "no workload spilled trigger entries");
     assert!(promotions > 0, "no spilled entry was ever promoted");
+}
+
+#[test]
+fn crash_mid_iteration_aborts_with_a_structured_peer_dead_diagnosis() {
+    // Kill node 1 at ~30% of each workload's healthy runtime with the
+    // failure detector armed under the Abort policy: every networked
+    // workload, under every strategy, must terminate with a structured
+    // PeerDead diagnosis naming the culprit — never a hang, never an
+    // unattributed wedge — within a bounded event count.
+    for w in all_workloads() {
+        if w.strategies().len() < 2 {
+            continue; // launch_study has no peers to kill
+        }
+        for strategy in w.strategies() {
+            let healthy = w.run_scenario(&w.smoke_scenario(strategy));
+            let crash_at_ns = (healthy.total.as_ps() / 1000) * 3 / 10;
+            let params = w.smoke_scenario(strategy).patch(
+                ConfigPatch::crash_node(1, crash_at_ns).with_detection(RecoveryPolicy::Abort),
+            );
+            let failure = w
+                .run_lenient(&params)
+                .expect_err("a mid-run crash under Abort must terminate the job");
+            assert!(
+                matches!(failure.report.reason, StallReason::PeerDead { peer: 1, .. }),
+                "{} {strategy}: wrong diagnosis: {}",
+                w.name(),
+                failure.report.reason
+            );
+            assert!(
+                failure.events < 2_000_000,
+                "{} {strategy}: {} events blew the liveness budget",
+                w.name(),
+                failure.events
+            );
+            // The rendered report reads like a diagnosis.
+            let text = failure.to_string();
+            assert!(
+                text.contains("node 1 declared dead"),
+                "{} {strategy}: {text}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_policies_verify_and_replay_bit_identically() {
+    // The recovering policies on the same mid-run crash: every cell must
+    // come back Recovered with a verified result, and a same-seed rerun
+    // must reproduce the identical report — detection time, recovery
+    // cost, and event count included.
+    let cells: Vec<(&str, gtn_workloads::harness::ScenarioParams)> = vec![
+        (
+            "pingpong",
+            gtn_workloads::harness::ScenarioParams::new(Strategy::GpuTn).seed(3),
+        ),
+        (
+            "jacobi",
+            gtn_workloads::harness::ScenarioParams::new(Strategy::GpuTn)
+                .grid(2, 2)
+                .size(16)
+                .iters(4)
+                .seed(0xA11CE),
+        ),
+        (
+            "allreduce",
+            gtn_workloads::harness::ScenarioParams::new(Strategy::Hdn)
+                .nodes(4)
+                .size(64 * 1024)
+                .seed(0xBEEF),
+        ),
+    ];
+    for (name, base) in cells {
+        for policy in [
+            RecoveryPolicy::CheckpointRestart,
+            RecoveryPolicy::RebuildCollective,
+        ] {
+            let params = base.patch(ConfigPatch::crash_node(1, 2_000).with_detection(policy));
+            let report = chaos::run_cell(&params, name);
+            assert_eq!(
+                report.verdict,
+                Verdict::Recovered,
+                "{name} {}: {:?}",
+                policy.name(),
+                report
+            );
+            assert!(report.verified, "{name} {}", policy.name());
+            assert!(report.detect_ns > 0 && report.recovery_ns > 0);
+            assert_eq!(report.total_ns, report.detect_ns + report.recovery_ns);
+            let again = chaos::run_cell(&params, name);
+            assert_eq!(again.verdict, report.verdict, "{name} {}", policy.name());
+            assert_eq!(
+                (
+                    again.detect_ns,
+                    again.recovery_ns,
+                    again.total_ns,
+                    again.events
+                ),
+                (
+                    report.detect_ns,
+                    report.recovery_ns,
+                    report.total_ns,
+                    report.events
+                ),
+                "{name} {}: recovery is not replay-deterministic",
+                policy.name()
+            );
+        }
+    }
 }
 
 #[test]
