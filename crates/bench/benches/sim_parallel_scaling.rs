@@ -1,0 +1,185 @@
+//! Parallel engine scaling: events/sec of `gtn_sim::shard::ShardedEngine`
+//! versus shard count on a 1024-node event model, with the fabric's
+//! cross-node minimum (200 ns link+switch) as the conservative lookahead.
+//!
+//! The model is built so its event **multiset** is shard-count-invariant:
+//! every event's successors (timing, destination node, payload) derive
+//! only from the event's own content, and results fold commutatively
+//! (wrapping-add/xor), so the per-row `events`/`virtual_ns`/`checksum`
+//! columns in `BENCH_sim_parallel_scaling.json` are bit-identical across
+//! shard counts — CI goldens them. Wall-clock throughput is printed to
+//! stdout only (never into the JSON): it is real parallelism, one worker
+//! thread per shard, and scales with the *host's* cores — a single-core CI
+//! runner will honestly show ~1x.
+
+use gtn_bench::report::{self, obj, Json};
+use gtn_sim::shard::{ShardCtx, ShardRunOutcome, ShardedEngine};
+use gtn_sim::time::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// Simulated nodes, partitioned round-robin (`node % shards`).
+const NODES: u64 = 1024;
+
+/// Fabric minimum cross-node latency (Table 2: 100 ns link + 100 ns
+/// switch) — the same lookahead the cluster layer derives.
+const LOOKAHEAD_NS: u64 = 200;
+
+/// One in `REMOTE_MASK + 1` hops crosses to another node (and usually
+/// another shard), exercising the merge path without drowning out
+/// shard-local work.
+const REMOTE_MASK: u64 = 3;
+
+fn hops() -> u64 {
+    if report::smoke() {
+        150
+    } else {
+        4_000
+    }
+}
+
+/// SplitMix64: the bench's only source of "randomness", seeded purely from
+/// event content so every shard count sees the identical event multiset.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Event payload: which node is acting, hops left in its chain, and the
+/// content-derived salt that makes the successor deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    node: u64,
+    left: u64,
+    salt: u64,
+}
+
+/// Per-shard fold of everything its nodes did; commutative, so the merged
+/// totals cannot depend on dispatch interleaving across shard counts.
+#[derive(Default)]
+struct Fold {
+    events: u64,
+    checksum: u64,
+}
+
+fn handle(ctx: &mut ShardCtx<'_, Hop>, fold: &mut Fold, hop: Hop) {
+    let now = ctx.now();
+    let m = mix64(hop.salt ^ hop.node.rotate_left(17) ^ now.as_ps());
+    fold.events += 1;
+    fold.checksum = fold.checksum.wrapping_add(m ^ m.rotate_left(11));
+    if hop.left == 0 {
+        return;
+    }
+    let next = Hop {
+        node: hop.node,
+        left: hop.left - 1,
+        salt: mix64(m),
+    };
+    if m & REMOTE_MASK == 0 {
+        // Cross-node hop: at least the fabric minimum away, so the send is
+        // always at or beyond the conservative lookahead.
+        let node = (hop.node + 1 + m % (NODES - 1)) % NODES;
+        let at = now + SimDuration::from_ns(LOOKAHEAD_NS + m % 300);
+        let dst = (node % ctx.n_shards() as u64) as usize;
+        ctx.send(dst, at, Hop { node, ..next });
+    } else {
+        // Node-local hop: free of the lookahead constraint.
+        ctx.schedule_after(SimDuration::from_ns(1 + m % 120), next);
+    }
+}
+
+struct RowOut {
+    shards: u64,
+    events: u64,
+    virtual_ns: u64,
+    checksum: u64,
+    wall_ns: u128,
+}
+
+fn run_row(shards: usize) -> RowOut {
+    let lookahead = SimDuration::from_ns(LOOKAHEAD_NS);
+    let mut eng: ShardedEngine<Hop, Fold> =
+        ShardedEngine::new((0..shards).map(|_| Fold::default()).collect(), lookahead);
+    for node in 0..NODES {
+        let shard = (node % shards as u64) as usize;
+        let hop = Hop {
+            node,
+            left: hops(),
+            salt: mix64(node),
+        };
+        eng.schedule_at(shard, SimTime::from_ns(node % 97), hop);
+    }
+    let t0 = Instant::now();
+    let outcome = eng.run(shards, handle);
+    let wall_ns = t0.elapsed().as_nanos();
+    assert_eq!(outcome, ShardRunOutcome::Drained, "{shards} shards");
+    let virtual_ns = (0..shards)
+        .map(|s| eng.shard_clock(s).as_ps())
+        .max()
+        .unwrap_or(0)
+        / 1_000;
+    let (events, checksum) = eng
+        .into_states()
+        .into_iter()
+        .fold((0u64, 0u64), |(e, c), f| {
+            (e + f.events, c.wrapping_add(f.checksum))
+        });
+    RowOut {
+        shards: shards as u64,
+        events,
+        virtual_ns,
+        checksum,
+        wall_ns,
+    }
+}
+
+fn main() {
+    gtn_bench::header(
+        "sim_parallel_scaling — sharded engine events/sec vs shard count",
+        "implementation guardrail (no paper figure)",
+    );
+    println!(
+        "{NODES} nodes x {} hops, {LOOKAHEAD_NS} ns lookahead, one worker thread per shard\n",
+        hops()
+    );
+    println!(
+        "{:>7} {:>12} {:>14} {:>12} {:>14}",
+        "shards", "events", "virtual_ns", "wall_ms", "events/s"
+    );
+    let mut rows = Vec::new();
+    let mut base: Option<RowOut> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let row = run_row(shards);
+        let eps = (row.events as u128 * 1_000_000_000) / row.wall_ns.max(1);
+        println!(
+            "{:>7} {:>12} {:>14} {:>12.3} {:>14}",
+            row.shards,
+            row.events,
+            row.virtual_ns,
+            row.wall_ns as f64 / 1e6,
+            eps
+        );
+        if let Some(b) = &base {
+            assert_eq!(row.events, b.events, "event multiset drifted");
+            assert_eq!(row.virtual_ns, b.virtual_ns, "virtual end time drifted");
+            assert_eq!(row.checksum, b.checksum, "checksum drifted");
+        } else {
+            base = Some(RowOut { wall_ns: 0, ..row });
+        }
+        rows.push(obj(vec![
+            ("shards", Json::U64(row.shards)),
+            ("events", Json::U64(row.events)),
+            ("virtual_ns", Json::U64(row.virtual_ns)),
+            ("checksum", Json::U64(row.checksum)),
+        ]));
+    }
+    println!("\n(wall-clock and events/s depend on host cores; not in the JSON)");
+    let json = obj(vec![
+        ("bench", report::s("sim_parallel_scaling")),
+        ("nodes", Json::U64(NODES)),
+        ("lookahead_ns", Json::U64(LOOKAHEAD_NS)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    report::write("sim_parallel_scaling", &json);
+}

@@ -38,6 +38,12 @@ pub struct ConfigPatch {
     /// cadence). `None` leaves detection off: a crash then surfaces only
     /// through the stall watchdog.
     pub detect: Option<RecoveryPolicy>,
+    /// Pin the engine's calendar shard count (see
+    /// [`ClusterConfig::effective_sim_shards`]). `None` keeps the config
+    /// default (the `GTN_SIM_SHARDS` knob / sequential path). Sharding
+    /// never changes results — this exists so tests can run the same
+    /// scenario at several shard counts and assert bit-identity.
+    pub sim_shards: Option<u32>,
 }
 
 /// One crash-stop injection, `Copy` so it rides [`ConfigPatch`] through
@@ -93,6 +99,7 @@ impl ConfigPatch {
         pressure: None,
         crash: None,
         detect: None,
+        sim_shards: None,
     };
 
     /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
@@ -145,6 +152,12 @@ impl ConfigPatch {
         self
     }
 
+    /// Combine this patch with a pinned calendar shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.sim_shards = Some(shards);
+        self
+    }
+
     /// Apply the overrides to a cluster config (after workload defaults).
     pub fn apply(&self, config: &mut ClusterConfig) {
         if let Some((seed, rate)) = self.loss {
@@ -164,6 +177,9 @@ impl ConfigPatch {
         }
         if let Some(policy) = self.detect {
             config.failure = FailureConfig::with_recovery(policy);
+        }
+        if let Some(shards) = self.sim_shards {
+            config.sim_shards = shards;
         }
         if let Some(limits) = self.pressure {
             if let Some(ways) = limits.trigger_ways {

@@ -43,6 +43,16 @@ impl Default for FabricConfig {
 }
 
 impl FabricConfig {
+    /// Minimum latency of any cross-node interaction, nanoseconds: one
+    /// link hop plus the switch traversal. On the star topology *every*
+    /// cross-node path crosses the switch (actual deliveries pay two link
+    /// hops plus serialization on top), so this is a sound conservative
+    /// lookahead for sharded simulation: nothing a node does at time `t`
+    /// can affect another node before `t + min_cross_node_latency_ns()`.
+    pub fn min_cross_node_latency_ns(&self) -> u64 {
+        self.link_latency_ns + self.switch_latency_ns
+    }
+
     /// Validate invariants; called by [`crate::Fabric::new`].
     pub fn validate(&self) -> Result<(), String> {
         if self.link_gbps <= 0.0 {

@@ -159,7 +159,18 @@ impl<E> Engine<E> {
     }
 
     /// Run until the calendar drains, `stop` is called, or the next event
-    /// would fire strictly after `horizon` (events *at* the horizon fire).
+    /// would fire strictly after `horizon`.
+    ///
+    /// # Horizon semantics (normative)
+    ///
+    /// The horizon is **inclusive**: an event timestamped *exactly* at
+    /// `horizon` fires; the first event strictly after it stays queued and
+    /// the clock parks at `horizon` so back-to-back calls compose. This is
+    /// the single documented semantic shared with the calendar's fused
+    /// [`crate::event::EventQueue::pop_at_most`] hot loop (both of its
+    /// branches) — callers that need an *exclusive* bound, like the sharded
+    /// engine's conservative barrier in [`crate::shard`], pass
+    /// `bound - 1 ps` rather than relying on any off-by-one here.
     pub fn run_until(
         &mut self,
         horizon: SimTime,
@@ -261,6 +272,49 @@ mod tests {
         let outcome = eng.run_until(SimTime::from_ns(30), |_, v| seen.push(v));
         assert_eq!(outcome, RunOutcome::Drained);
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn event_exactly_at_lookahead_horizon_fires_in_both_calendar_branches() {
+        // Regression for the shard-barrier boundary: an event timestamped
+        // exactly at the horizon must fire (inclusive), and one at
+        // horizon + 1 ps must not — through the front-cache branch (single
+        // pending event) and through the tier branch (several pending).
+        let horizon = SimTime::from_ns(200); // a link+switch lookahead
+                                             // Front-cache branch.
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule_at(horizon, "at");
+        let mut seen = Vec::new();
+        assert_eq!(
+            eng.run_until(horizon, |_, v| seen.push(v)),
+            RunOutcome::Drained
+        );
+        assert_eq!(seen, vec!["at"]);
+        // Tier branch, with a strictly-later event that must stay queued.
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule_at(SimTime::from_ns(10), "early");
+        eng.schedule_at(horizon, "at");
+        eng.schedule_at(SimTime::from_ps(horizon.as_ps() + 1), "after");
+        let mut seen = Vec::new();
+        assert_eq!(
+            eng.run_until(horizon, |_, v| seen.push(v)),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(seen, vec!["early", "at"]);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now(), horizon);
+        // The exclusive-bound idiom the sharded barrier uses: bound - 1 ps
+        // leaves the exactly-at-bound event for the next round.
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule_at(horizon, "at-bound");
+        let mut seen = Vec::new();
+        let before = SimTime::from_ps(horizon.as_ps() - 1);
+        assert_eq!(
+            eng.run_until(before, |_, v| seen.push(v)),
+            RunOutcome::HorizonReached
+        );
+        assert!(seen.is_empty());
+        assert_eq!(eng.pending(), 1);
     }
 
     #[test]

@@ -58,6 +58,13 @@ const BUCKET_SHIFT: u32 = 13;
 /// Width of one ladder bucket in picoseconds.
 const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_SHIFT;
 
+/// Total picosecond span of the ladder window. An event at exactly
+/// `window_start + WINDOW_SPAN_PS` is the first timestamp *outside* the
+/// window: it must route to the overflow heap, never wrap into a ring
+/// bucket that still covers older times (`insert` checks `rel < N_BUCKETS`,
+/// and `rel == N_BUCKETS` is precisely this boundary).
+pub const WINDOW_SPAN_PS: u64 = N_BUCKETS as u64 * BUCKET_WIDTH_PS;
+
 /// Words in the bucket-occupancy bitmap.
 const BITMAP_WORDS: usize = N_BUCKETS / 64;
 
@@ -97,6 +104,19 @@ impl Ord for Entry {
 }
 
 /// Result of [`EventQueue::pop_at_most`].
+///
+/// # Horizon semantics (normative)
+///
+/// The horizon is **inclusive**: an event timestamped *exactly* at the
+/// horizon pops; only events *strictly after* it report [`PopAtMost::Later`].
+/// Both branches of the fused hot loop (the front cache and the tier path)
+/// implement this one semantic, [`crate::engine::Engine::run_until`]
+/// inherits it, and the sharded engine's conservative barrier
+/// ([`crate::shard`]) depends on it: a shard granted the window
+/// `[floor, floor + lookahead)` runs it as
+/// `pop_at_most(floor + lookahead - 1 ps)`, so an event at exactly the
+/// lookahead horizon waits for the next round, where a neighbour's
+/// message can still be merged ahead of it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PopAtMost<E> {
     /// No events are pending.
@@ -104,7 +124,7 @@ pub enum PopAtMost<E> {
     /// The earliest pending event fires strictly after the horizon; it
     /// stays queued. Carries its timestamp.
     Later(SimTime),
-    /// The earliest pending event, at or before the horizon.
+    /// The earliest pending event, at or before the horizon (inclusive).
     Popped(SimTime, E),
 }
 
@@ -284,9 +304,17 @@ impl<E> EventQueue<E> {
                 .expect("ladder_len>0 with empty bitmap");
             let advanced = (next + N_BUCKETS - self.cursor) & (N_BUCKETS - 1);
             self.cursor = next;
+            // The advance lands `window_start` on the base of an occupied
+            // bucket, which holds at least one entry with `t >= new start`
+            // (a before-window entry can only sit in the *old* cursor
+            // bucket, and that one is empty or we would not advance) — so
+            // the add cannot exceed `u64::MAX`. A silent `saturating_add`
+            // here would break the `window_start`/bucket alignment and
+            // wrap later inserts into stale buckets; fail loudly instead.
             self.window_start = self
                 .window_start
-                .saturating_add(advanced as u64 * BUCKET_WIDTH_PS);
+                .checked_add(advanced as u64 * BUCKET_WIDTH_PS)
+                .expect("ladder window advanced past u64::MAX ps");
             self.migrate_overflow();
         }
         let cur = &mut self.buckets[self.cursor];
@@ -307,9 +335,14 @@ impl<E> EventQueue<E> {
             let t = top.at.as_ps();
             // Overflow events are strictly beyond the pre-slide window, and
             // the window only moves forward to at most the earliest pending
-            // timestamp, so t can never precede the new window.
-            debug_assert!(t >= self.window_start);
-            let rel = (t.saturating_sub(self.window_start)) >> BUCKET_SHIFT;
+            // timestamp, so t can never precede the new window. If that
+            // invariant ever broke, a wrapping subtraction would scatter the
+            // entry into an arbitrary stale bucket; route it to the cursor
+            // bucket instead (rel = 0), which is sorted before draining and
+            // therefore preserves the global pop order — the same treatment
+            // `insert` gives a before-window push.
+            debug_assert!(t >= self.window_start, "overflow entry precedes window");
+            let rel = t.saturating_sub(self.window_start) >> BUCKET_SHIFT;
             if rel as usize >= N_BUCKETS {
                 break;
             }
@@ -442,6 +475,44 @@ impl<E> EventQueue<E> {
         }
         self.normalize();
         self.buckets[self.cursor].entries.last().map(|e| e.at)
+    }
+
+    /// The earliest pending event's timestamp and a borrow of its payload,
+    /// without removing it. The entry returned is exactly the one the next
+    /// [`EventQueue::pop`] would yield (minimum `(time, seq)`).
+    ///
+    /// Takes `&mut self` for the same reason as [`EventQueue::peek_time`]:
+    /// peeking may slide the ladder window (pending set unchanged).
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        if self.front.is_some() {
+            if self.len > 1 {
+                self.normalize();
+                let tail = *self.buckets[self.cursor]
+                    .entries
+                    .last()
+                    .expect("normalize left cursor empty");
+                let &(fat, fseq, _) = self.front.as_ref().expect("front vanished");
+                if (tail.at, tail.seq) < (fat, fseq) {
+                    let payload = self.payloads[tail.slot as usize]
+                        .as_ref()
+                        .expect("slab slot empty on peek");
+                    return Some((tail.at, payload));
+                }
+            }
+            return self.front.as_ref().map(|(at, _, p)| (*at, p));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.normalize();
+        let tail = *self.buckets[self.cursor]
+            .entries
+            .last()
+            .expect("normalize left cursor empty");
+        let payload = self.payloads[tail.slot as usize]
+            .as_ref()
+            .expect("slab slot empty on peek");
+        Some((tail.at, payload))
     }
 
     /// Number of pending events.
@@ -589,6 +660,110 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn event_at_exact_window_span_boundary_lands_in_overflow() {
+        // Fresh queue: window starts at 0. The first timestamp outside the
+        // ladder is exactly WINDOW_SPAN_PS; it must go to the overflow heap
+        // (rel == N_BUCKETS), never wrap into ring bucket 0.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(0), "filler"); // occupy front cache
+        q.push(SimTime::from_ps(WINDOW_SPAN_PS), "boundary");
+        q.push(SimTime::from_ps(WINDOW_SPAN_PS - 1), "last-in-window");
+        assert_eq!(q.overflow.len(), 1, "boundary event must be in overflow");
+        assert_eq!(q.pop(), Some((SimTime::from_ps(0), "filler")));
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_ps(WINDOW_SPAN_PS - 1), "last-in-window"))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_ps(WINDOW_SPAN_PS), "boundary"))
+        );
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn window_boundary_after_slide_still_routes_to_overflow() {
+        // Slide the window to an arbitrary (unaligned) time first, then
+        // exercise the boundary relative to the *slid* window.
+        let mut q = EventQueue::new();
+        let base = 5_000_000_123u64; // deliberately not bucket-aligned
+        q.push(SimTime::from_ps(base), 0u32);
+        q.push(SimTime::from_ps(base + 10), 1);
+        // Draining the first event jumps the window to the earliest
+        // remaining event: start = base rounded down to a bucket boundary.
+        assert_eq!(q.pop(), Some((SimTime::from_ps(base), 0)));
+        let start = base & !(BUCKET_WIDTH_PS - 1);
+        // The first ps past the slid window is start + WINDOW_SPAN_PS.
+        q.push(SimTime::from_ps(start + WINDOW_SPAN_PS), 2);
+        q.push(SimTime::from_ps(start + WINDOW_SPAN_PS - 1), 3);
+        assert_eq!(q.overflow.len(), 1);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn window_advance_near_u64_max_does_not_wrap() {
+        // Jump the window into the last representable span (its nominal end
+        // lies beyond u64::MAX), then force a cursor *advance* inside it:
+        // the window-start arithmetic must stay exact, not saturate or wrap.
+        let mut q = EventQueue::new();
+        let max = u64::MAX;
+        let w = BUCKET_WIDTH_PS;
+        let f = max - 2000 * w; // front cache (earliest)
+        let a = max - 900 * w; // overflow; the jump target
+        let b = max - (w - 1); // overflow; bucket 900 after the jump
+        q.push(SimTime::from_ps(f), "f");
+        q.push(SimTime::from_ps(a), "a");
+        q.push(SimTime::from_ps(b), "b");
+        q.push(SimTime::MAX, "end");
+        assert_eq!(q.overflow.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_ps(f), "f")));
+        assert_eq!(q.pop(), Some((SimTime::from_ps(a), "a")));
+        // Bucket 0 just drained; this pop advances the cursor ~900 buckets,
+        // landing window_start at max - (w - 1) without overflow.
+        assert_eq!(q.pop(), Some((SimTime::from_ps(b), "b")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "end")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_at_most_horizon_is_inclusive_in_both_branches() {
+        // Front-cache branch: single pending event exactly at the horizon.
+        let mut q = EventQueue::new();
+        let h = SimTime::from_ns(100);
+        q.push(h, "front");
+        assert_eq!(q.pop_at_most(h), PopAtMost::Popped(h, "front"));
+        // Tier branch: several pending events force the ladder path.
+        let mut q = EventQueue::new();
+        q.push(h, "at-horizon");
+        q.push(SimTime::from_ns(200), "after");
+        q.push(SimTime::from_ns(50), "before");
+        assert_eq!(
+            q.pop_at_most(h),
+            PopAtMost::Popped(SimTime::from_ns(50), "before")
+        );
+        assert_eq!(q.pop_at_most(h), PopAtMost::Popped(h, "at-horizon"));
+        // Strictly-after stays queued and is reported with its timestamp.
+        assert_eq!(q.pop_at_most(h), PopAtMost::Later(SimTime::from_ns(200)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_matches_pop_across_tiers_and_ties() {
+        let mut q = EventQueue::new();
+        let times = [7u64, 3, 3, 9_000_000, 3, 12, 9_000_000, 1];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), i);
+        }
+        while !q.is_empty() {
+            let (pt, &pv) = q.peek().expect("non-empty");
+            let (at, v) = q.pop().expect("non-empty");
+            assert_eq!((pt, pv), (at, v));
+        }
+        assert_eq!(q.peek(), None);
     }
 
     #[test]

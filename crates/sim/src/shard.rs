@@ -1,0 +1,905 @@
+//! Sharded calendars: conservative parallel simulation over the two-tier
+//! event calendar.
+//!
+//! One big simulation used to be wall-clock-bound by a single thread
+//! walking a single calendar. This module splits the pending set into
+//! **shards** — each a logical process with its own [`EventQueue`] and its
+//! own clock — and synchronizes them conservatively with a fixed
+//! **lookahead**: the model guarantees that a shard executing at time `t`
+//! can only influence another shard at `t + lookahead` or later (for the
+//! star-fabric cluster, lookahead is the link + switch latency — every
+//! cross-shard event crosses the switch, so nothing travels faster).
+//!
+//! Two cooperating types, one contract:
+//!
+//! - [`ShardedQueue`] is the **deterministic decomposition**: a k-way
+//!   merged multi-calendar that preserves the *exact* global
+//!   `(time, seq)` pop order of a single flat calendar while tracking
+//!   per-shard clocks, cross-shard message counts, and violations of the
+//!   lookahead premise. The cluster's `GTN_SIM_SHARDS` mode steps through
+//!   this, which is why any shard count reproduces the sequential run
+//!   byte-for-byte (handlers there share memory/fabric state, so their
+//!   *application* stays serialized at the merge point).
+//! - [`ShardedEngine`] is the **parallel execution substrate**: shards own
+//!   disjoint state, run on worker threads in conservative rounds, and
+//!   exchange timestamped messages through per-shard outboxes merged
+//!   deterministically between rounds. The `sim_parallel_scaling` bench
+//!   drives a 1024-node cluster model through it.
+//!
+//! ## The conservative barrier
+//!
+//! Let `floor` be the minimum next-event time across all shards. Every
+//! shard may safely execute its events with timestamps in
+//! `[floor, floor + lookahead)`: any message a shard emits while executing
+//! at `t >= floor` arrives at `t + lookahead >= floor + lookahead`, which
+//! is outside every shard's window for this round. The star topology makes
+//! the lookahead graph trivial — all shards are mutual neighbours through
+//! the switch, so the per-shard safe horizon `min(neighbour clocks) +
+//! lookahead` degenerates to `floor + lookahead`.
+//!
+//! The window is **exclusive** at `floor + lookahead`. The calendar's
+//! [`EventQueue::pop_at_most`] horizon is *inclusive* (see
+//! [`crate::event::PopAtMost`]), so a round runs `pop_at_most(floor +
+//! lookahead - 1 ps)` — an event at exactly the lookahead horizon waits
+//! for the next round, where a neighbour's message with the same
+//! timestamp can still be merged ahead of it. When `floor + lookahead`
+//! would exceed `u64::MAX` ps, the round runs unbounded: no message with a
+//! *representable* timestamp can be emitted from such a window (the send
+//! itself would overflow the clock), so draining everything is safe.
+//!
+//! ## The deterministic merge rule
+//!
+//! Outbox messages are merged between rounds in ascending
+//! `(time, source shard, per-source emission index)` order, and each
+//! destination calendar assigns its usual insertion sequence numbers in
+//! that order. Combined with the FIFO tie-break inside each calendar this
+//! fixes a total order that is independent of worker-thread scheduling:
+//! a parallel run is **bit-identical** to the same engine run on one
+//! thread. At equal timestamps, events already scheduled locally precede
+//! newly merged cross-shard messages; concurrent cross-shard messages
+//! order by source shard, then emission order.
+
+use crate::event::{EventQueue, PopAtMost};
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Environment knob selecting the cluster shard count (`GTN_SIM_SHARDS`).
+/// Unset or `1` keeps the sequential single-calendar path.
+pub const SHARDS_ENV: &str = "GTN_SIM_SHARDS";
+
+/// Parse [`SHARDS_ENV`]: `Some(n >= 1)` when set to a valid count.
+pub fn shards_from_env() -> Option<u32> {
+    let v = std::env::var(SHARDS_ENV).ok()?;
+    let n = v.trim().parse::<u32>().ok()?;
+    (n >= 1).then_some(n)
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQueue: deterministic k-way merged multi-calendar.
+// ---------------------------------------------------------------------------
+
+/// A multi-calendar that partitions the pending set into shards while
+/// preserving the **exact** pop order of one flat [`EventQueue`]: globally
+/// ascending `(time, seq)`, with `seq` assigned in schedule order across
+/// all shards.
+///
+/// Equivalence argument: a flat calendar pops the minimum `(time, seq)`
+/// over the whole pending set; partitioning the set and popping the
+/// minimum over the per-shard minima selects the same element (each
+/// shard's head is its own minimum because per-queue insertion order is a
+/// subsequence of the global schedule order, so per-queue `(time, local
+/// seq)` order agrees with `(time, global seq)` order). By induction the
+/// dispatch sequence — and therefore every handler interaction — is
+/// identical. `tests/proptest_shard.rs` pins this against a flat engine.
+///
+/// Alongside the merge it tracks the observables the parallel engine's
+/// premise rests on: per-shard clocks, cross-shard message counts, and
+/// **lookahead violations** (a cross-shard schedule closer than the
+/// declared lookahead — always zero for the star fabric, asserted by
+/// tests rather than assumed).
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    /// Per-shard calendars; payloads carry the global sequence number.
+    queues: Vec<EventQueue<(u64, E)>>,
+    next_seq: u64,
+    now: SimTime,
+    /// Shard of the event currently being dispatched (cross-shard
+    /// accounting); `None` outside a dispatch (initial seeding).
+    current_shard: Option<usize>,
+    clocks: Vec<SimTime>,
+    per_shard_processed: Vec<u64>,
+    processed: u64,
+    clamped_past_events: u64,
+    cross_shard_messages: u64,
+    lookahead: SimDuration,
+    lookahead_violations: u64,
+    len: usize,
+}
+
+impl<E> ShardedQueue<E> {
+    /// A multi-calendar over `n_shards` shards with the model's declared
+    /// minimum cross-shard latency.
+    ///
+    /// # Panics
+    /// Panics if `n_shards == 0` or the lookahead is zero (a zero
+    /// lookahead admits no conservative window at all).
+    pub fn new(n_shards: usize, lookahead: SimDuration) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        ShardedQueue {
+            queues: (0..n_shards).map(|_| EventQueue::new()).collect(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            current_shard: None,
+            clocks: vec![SimTime::ZERO; n_shards],
+            per_shard_processed: vec![0; n_shards],
+            processed: 0,
+            clamped_past_events: 0,
+            cross_shard_messages: 0,
+            lookahead,
+            lookahead_violations: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Current simulated time (of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events dispatched from shard `s`.
+    pub fn shard_processed(&self, s: usize) -> u64 {
+        self.per_shard_processed[s]
+    }
+
+    /// Shard `s`'s clock: the timestamp of its last dispatched event.
+    pub fn shard_clock(&self, s: usize) -> SimTime {
+        self.clocks[s]
+    }
+
+    /// Pending events across all shards.
+    pub fn pending(&self) -> usize {
+        self.len
+    }
+
+    /// Events scheduled with a timestamp in the past (clamped to `now`),
+    /// mirroring [`crate::engine::Engine::clamped_past_events`].
+    pub fn clamped_past_events(&self) -> u64 {
+        self.clamped_past_events
+    }
+
+    /// Events scheduled from a dispatch in one shard onto another shard.
+    pub fn cross_shard_messages(&self) -> u64 {
+        self.cross_shard_messages
+    }
+
+    /// Cross-shard schedules that arrived *closer* than the declared
+    /// lookahead. Always zero when the model's lookahead claim holds; the
+    /// merged dispatch stays correct regardless (it never windows), so
+    /// this is a premise check, not a safety valve.
+    pub fn lookahead_violations(&self) -> u64 {
+        self.lookahead_violations
+    }
+
+    /// Shard `s`'s conservative safe horizon right now: the minimum next
+    /// event time across the *other* shards, plus the lookahead
+    /// (saturating at [`SimTime::MAX`]). Every event this shard dispatches
+    /// before that instant is safe from cross-shard influence.
+    pub fn safe_horizon(&mut self, s: usize) -> SimTime {
+        let mut min_other: Option<SimTime> = None;
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if i == s {
+                continue;
+            }
+            if let Some(t) = q.peek_time() {
+                min_other = Some(min_other.map_or(t, |m| m.min(t)));
+            }
+        }
+        match min_other {
+            Some(t) => SimTime::from_ps(t.as_ps().saturating_add(self.lookahead.as_ps())),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// Schedule `payload` on `shard` at instant `at`. Semantics match
+    /// [`crate::engine::Engine::schedule_at`]: debug-asserts against
+    /// retro-causal timestamps, clamps (and counts) in release.
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        if at < self.now {
+            self.clamped_past_events += 1;
+        }
+        if let Some(cur) = self.current_shard {
+            if cur != shard {
+                self.cross_shard_messages += 1;
+                let safe = self.now.as_ps().saturating_add(self.lookahead.as_ps());
+                if at.as_ps() < safe {
+                    self.lookahead_violations += 1;
+                }
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.queues[shard].push(at.max(self.now), (seq, payload));
+    }
+
+    /// Pop the globally earliest event (minimum `(time, global seq)` over
+    /// every shard's head), advancing the merged clock and the owning
+    /// shard's clock. Costs one head peek per shard.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if let Some((t, &(seq, _))) = q.peek() {
+                let better = match best {
+                    None => true,
+                    Some((bt, bs, _)) => (t, seq) < (bt, bs),
+                };
+                if better {
+                    best = Some((t, seq, i));
+                }
+            }
+        }
+        let (_, _, shard) = best?;
+        let (at, (_, payload)) = self.queues[shard].pop().expect("peeked head vanished");
+        debug_assert!(at >= self.now, "merged calendar went backwards");
+        self.now = at;
+        self.clocks[shard] = at;
+        self.per_shard_processed[shard] += 1;
+        self.processed += 1;
+        self.len -= 1;
+        self.current_shard = Some(shard);
+        Some((at, payload))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine: thread-parallel conservative rounds.
+// ---------------------------------------------------------------------------
+
+/// Why a [`ShardedEngine::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRunOutcome {
+    /// Every shard's calendar drained and no messages were in flight.
+    Drained,
+    /// A handler called [`ShardCtx::stop`]; the run ended at the next
+    /// round boundary (remaining events stay queued).
+    Stopped,
+    /// The event-count safety limit was reached at a round boundary.
+    EventLimit,
+}
+
+/// A cross-shard message in flight between rounds.
+#[derive(Debug)]
+struct OutMsg<E> {
+    at: SimTime,
+    dst: usize,
+    src: usize,
+    /// Emission index within `src`'s outbox this round (merge tie-break).
+    emit: u64,
+    payload: E,
+}
+
+/// One logical process: calendar + clock + private state + outbox.
+#[derive(Debug)]
+struct Shard<E, S> {
+    id: usize,
+    queue: EventQueue<E>,
+    state: S,
+    now: SimTime,
+    processed: u64,
+    outbox: Vec<OutMsg<E>>,
+    stopped: bool,
+}
+
+/// The handler's window into its shard during a round: local scheduling,
+/// cross-shard sends (lookahead-checked), and the clock.
+#[derive(Debug)]
+pub struct ShardCtx<'a, E> {
+    shard: usize,
+    n_shards: usize,
+    now: SimTime,
+    lookahead: SimDuration,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<OutMsg<E>>,
+    stop: &'a mut bool,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total shard count.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// This shard's clock (the firing event's timestamp).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's conservative lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Schedule `payload` on *this* shard at `at` (no lookahead
+    /// constraint: local events may be arbitrarily close, including the
+    /// current instant). Debug-asserts against retro-causal timestamps and
+    /// clamps to `now` in release, like the flat engine.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at.max(self.now), payload);
+    }
+
+    /// Schedule `payload` on this shard `delay` after now.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Send `payload` to shard `dst` at absolute instant `at`. A send to
+    /// the own shard degrades to [`ShardCtx::schedule_at`].
+    ///
+    /// # Panics
+    /// Panics if `at` is closer than the engine's lookahead: that breaks
+    /// the conservative-window guarantee and is always a model bug (the
+    /// window already executed past the point where `at` could safely
+    /// land on the destination).
+    pub fn send(&mut self, dst: usize, at: SimTime, payload: E) {
+        if dst == self.shard {
+            self.schedule_at(at, payload);
+            return;
+        }
+        let safe = self.now.as_ps().saturating_add(self.lookahead.as_ps());
+        assert!(
+            at.as_ps() >= safe,
+            "cross-shard send violates lookahead: {at} < now {} + {}",
+            self.now,
+            self.lookahead,
+        );
+        let emit = self.outbox.len() as u64;
+        self.outbox.push(OutMsg {
+            at,
+            dst,
+            src: self.shard,
+            emit,
+            payload,
+        });
+    }
+
+    /// End the whole run at the next round boundary.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A conservative-lookahead parallel discrete-event engine: `S` is the
+/// per-shard private state, `E` the event payload. See the module docs for
+/// the barrier algorithm and the deterministic merge rule.
+#[derive(Debug)]
+pub struct ShardedEngine<E, S> {
+    shards: Vec<Mutex<Shard<E, S>>>,
+    lookahead: SimDuration,
+    event_limit: u64,
+    rounds: u64,
+    merged_messages: u64,
+}
+
+impl<E, S> ShardedEngine<E, S> {
+    /// An engine with one shard per entry of `states`.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or `lookahead` is zero.
+    pub fn new(states: Vec<S>, lookahead: SimDuration) -> Self {
+        assert!(!states.is_empty(), "need at least one shard");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        ShardedEngine {
+            shards: states
+                .into_iter()
+                .enumerate()
+                .map(|(id, state)| {
+                    Mutex::new(Shard {
+                        id,
+                        queue: EventQueue::new(),
+                        state,
+                        now: SimTime::ZERO,
+                        processed: 0,
+                        outbox: Vec::new(),
+                        stopped: false,
+                    })
+                })
+                .collect(),
+            lookahead,
+            event_limit: crate::engine::Engine::<E>::DEFAULT_EVENT_LIMIT,
+            rounds: 0,
+            merged_messages: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Override the safety event limit (checked at round boundaries, and
+    /// per shard within a round).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Conservative rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cross-shard messages merged so far.
+    pub fn merged_messages(&self) -> u64 {
+        self.merged_messages
+    }
+
+    /// Total events processed across shards.
+    pub fn events_processed(&mut self) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| s.get_mut().expect("shard lock").processed)
+            .sum()
+    }
+
+    /// Shard `s`'s clock (timestamp of its last processed event).
+    pub fn shard_clock(&mut self, s: usize) -> SimTime {
+        self.shards[s].get_mut().expect("shard lock").now
+    }
+
+    /// Borrow shard `s`'s private state.
+    pub fn state(&mut self, s: usize) -> &mut S {
+        &mut self.shards[s].get_mut().expect("shard lock").state
+    }
+
+    /// Consume the engine, returning every shard's final state in order.
+    pub fn into_states(self) -> Vec<S> {
+        self.shards
+            .into_iter()
+            .map(|s| s.into_inner().expect("shard lock").state)
+            .collect()
+    }
+
+    /// Seed shard `shard` with `payload` at absolute instant `at`
+    /// (pre-run setup; dispatch-time scheduling goes through
+    /// [`ShardCtx`]).
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: E) {
+        self.shards[shard]
+            .get_mut()
+            .expect("shard lock")
+            .queue
+            .push(at, payload);
+    }
+
+    /// The inclusive per-round pop horizon for a window starting at
+    /// `floor`: `floor + lookahead - 1 ps`, or [`SimTime::MAX`] when the
+    /// window's nominal end exceeds the representable clock (at which
+    /// point no representable cross-shard message can exist — emitting one
+    /// would overflow the sender's clock first).
+    fn round_horizon(&self, floor: SimTime) -> SimTime {
+        match floor.as_ps().checked_add(self.lookahead.as_ps()) {
+            Some(bound) => SimTime::from_ps(bound - 1),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// Run to completion on up to `threads` worker threads (clamped to the
+    /// shard count; `<= 1` runs the identical algorithm inline). The
+    /// result — final states, clocks, event counts, rounds — is
+    /// bit-identical for every `threads` value.
+    pub fn run<H>(&mut self, threads: usize, handler: H) -> ShardRunOutcome
+    where
+        E: Send,
+        S: Send,
+        H: Fn(&mut ShardCtx<'_, E>, &mut S, E) + Sync,
+    {
+        let workers = threads.clamp(1, self.shards.len());
+        if workers <= 1 {
+            self.run_inline(&handler)
+        } else {
+            self.run_parallel(workers, &handler)
+        }
+    }
+
+    /// Merge phase + round planning, single-threaded (exclusive access).
+    /// Returns the round horizon, or the terminal outcome.
+    fn plan_round(&mut self) -> Result<SimTime, ShardRunOutcome> {
+        let mut msgs: Vec<OutMsg<E>> = Vec::new();
+        let mut total = 0u64;
+        let mut stopped = false;
+        for sh in &mut self.shards {
+            let s = sh.get_mut().expect("shard lock");
+            msgs.append(&mut s.outbox);
+            total += s.processed;
+            stopped |= s.stopped;
+        }
+        msgs.sort_unstable_by_key(|m| (m.at, m.src, m.emit));
+        self.merged_messages += msgs.len() as u64;
+        for m in msgs {
+            self.shards[m.dst]
+                .get_mut()
+                .expect("shard lock")
+                .queue
+                .push(m.at, m.payload);
+        }
+        if stopped {
+            return Err(ShardRunOutcome::Stopped);
+        }
+        let mut floor: Option<SimTime> = None;
+        for sh in &mut self.shards {
+            if let Some(t) = sh.get_mut().expect("shard lock").queue.peek_time() {
+                floor = Some(floor.map_or(t, |f| f.min(t)));
+            }
+        }
+        let Some(floor) = floor else {
+            return Err(ShardRunOutcome::Drained);
+        };
+        if total >= self.event_limit {
+            return Err(ShardRunOutcome::EventLimit);
+        }
+        self.rounds += 1;
+        Ok(self.round_horizon(floor))
+    }
+
+    fn run_inline<H>(&mut self, handler: &H) -> ShardRunOutcome
+    where
+        H: Fn(&mut ShardCtx<'_, E>, &mut S, E),
+    {
+        let (lookahead, limit, n) = (self.lookahead, self.event_limit, self.shards.len());
+        loop {
+            let horizon = match self.plan_round() {
+                Ok(h) => h,
+                Err(outcome) => return outcome,
+            };
+            for sh in &mut self.shards {
+                run_shard_round(
+                    sh.get_mut().expect("shard lock"),
+                    horizon,
+                    lookahead,
+                    n,
+                    limit,
+                    handler,
+                );
+            }
+        }
+    }
+
+    fn run_parallel<H>(&mut self, workers: usize, handler: &H) -> ShardRunOutcome
+    where
+        E: Send,
+        S: Send,
+        H: Fn(&mut ShardCtx<'_, E>, &mut S, E) + Sync,
+    {
+        let (lookahead, limit, n) = (self.lookahead, self.event_limit, self.shards.len());
+        let barrier = Barrier::new(workers + 1);
+        let claim = AtomicUsize::new(0);
+        let horizon_ps = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        // Workers claim shards off an atomic counter each round (the
+        // sweep-runner idiom: per-shard mutexes are uncontended because an
+        // index is claimed exactly once per round; no unsafe anywhere).
+        std::thread::scope(|scope| {
+            let shards = &self.shards;
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let horizon = SimTime::from_ps(horizon_ps.load(Ordering::Acquire));
+                    loop {
+                        let i = claim.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut sh = shards[i].lock().expect("shard lock");
+                        run_shard_round(&mut sh, horizon, lookahead, n, limit, handler);
+                    }
+                    barrier.wait();
+                });
+            }
+            // Coordinator. Workers are parked at the round-start barrier
+            // whenever this code touches the shards, so the locks below
+            // are uncontended; `plan_round`-equivalent logic runs through
+            // them because `self` stays borrowed by the scope.
+            loop {
+                let mut msgs: Vec<OutMsg<E>> = Vec::new();
+                let mut total = 0u64;
+                let mut stopped = false;
+                let mut floor: Option<SimTime> = None;
+                for sh in shards {
+                    let mut s = sh.lock().expect("shard lock");
+                    msgs.append(&mut s.outbox);
+                    total += s.processed;
+                    stopped |= s.stopped;
+                }
+                msgs.sort_unstable_by_key(|m| (m.at, m.src, m.emit));
+                self.merged_messages += msgs.len() as u64;
+                for m in msgs {
+                    shards[m.dst]
+                        .lock()
+                        .expect("shard lock")
+                        .queue
+                        .push(m.at, m.payload);
+                }
+                for sh in shards {
+                    if let Some(t) = sh.lock().expect("shard lock").queue.peek_time() {
+                        floor = Some(floor.map_or(t, |f| f.min(t)));
+                    }
+                }
+                let terminal = if stopped {
+                    Some(ShardRunOutcome::Stopped)
+                } else if floor.is_none() {
+                    Some(ShardRunOutcome::Drained)
+                } else if total >= limit {
+                    Some(ShardRunOutcome::EventLimit)
+                } else {
+                    None
+                };
+                if let Some(outcome) = terminal {
+                    done.store(true, Ordering::Release);
+                    barrier.wait(); // workers observe `done` and exit
+                    return outcome;
+                }
+                self.rounds += 1;
+                let horizon = self.round_horizon(floor.expect("checked above"));
+                claim.store(0, Ordering::Release);
+                horizon_ps.store(horizon.as_ps(), Ordering::Release);
+                barrier.wait(); // release the round
+                barrier.wait(); // wait for every shard to finish it
+            }
+        })
+    }
+}
+
+/// Drain one shard's window `(.. horizon]` (inclusive pops against the
+/// exclusive-window bound already folded into `horizon`; see
+/// [`ShardedEngine::round_horizon`]).
+fn run_shard_round<E, S, H>(
+    shard: &mut Shard<E, S>,
+    horizon: SimTime,
+    lookahead: SimDuration,
+    n_shards: usize,
+    limit: u64,
+    handler: &H,
+) where
+    H: Fn(&mut ShardCtx<'_, E>, &mut S, E),
+{
+    let Shard {
+        id,
+        queue,
+        state,
+        now,
+        processed,
+        outbox,
+        stopped,
+    } = shard;
+    while !*stopped && *processed < limit {
+        match queue.pop_at_most(horizon) {
+            PopAtMost::Empty | PopAtMost::Later(_) => break,
+            PopAtMost::Popped(at, payload) => {
+                *now = at;
+                *processed += 1;
+                let mut ctx = ShardCtx {
+                    shard: *id,
+                    n_shards,
+                    now: at,
+                    lookahead,
+                    queue: &mut *queue,
+                    outbox: &mut *outbox,
+                    stop: &mut *stopped,
+                };
+                handler(&mut ctx, &mut *state, payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    const LOOK: SimDuration = SimDuration::from_ns(200);
+
+    #[test]
+    fn sharded_queue_matches_flat_engine_pop_order() {
+        // Same schedule stream through a flat engine and a 3-shard merged
+        // queue (shard = node % 3): the dispatch sequences must be equal,
+        // ties and all.
+        let times = [5u64, 1, 1, 9, 3, 3, 3, 5_000_000, 2, 5_000_000, 1];
+        let mut flat: Engine<(usize, usize)> = Engine::new();
+        let mut sharded = ShardedQueue::new(3, LOOK);
+        for (i, &t) in times.iter().enumerate() {
+            let node = i % 5;
+            flat.schedule_at(SimTime::from_ns(t), (node, i));
+            sharded.schedule_at(node % 3, SimTime::from_ns(t), (node, i));
+        }
+        loop {
+            let a = flat.step();
+            let b = sharded.step();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(sharded.events_processed(), times.len() as u64);
+        assert_eq!(flat.events_processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn sharded_queue_tracks_clocks_and_cross_shard_traffic() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::new(2, LOOK);
+        q.schedule_at(0, SimTime::from_ns(10), 1);
+        let (at, v) = q.step().expect("event");
+        assert_eq!((at, v), (SimTime::from_ns(10), 1));
+        // Dispatching in shard 0, schedule onto shard 1 beyond lookahead...
+        q.schedule_at(1, SimTime::from_ns(210), 2);
+        // ...and one inside the lookahead (counted as a violation).
+        q.schedule_at(1, SimTime::from_ns(50), 3);
+        assert_eq!(q.cross_shard_messages(), 2);
+        assert_eq!(q.lookahead_violations(), 1);
+        assert_eq!(q.shard_clock(0), SimTime::from_ns(10));
+        assert_eq!(q.shard_clock(1), SimTime::ZERO);
+        // Safe horizon of shard 1: shard 0 has nothing pending -> MAX.
+        assert_eq!(q.safe_horizon(1), SimTime::MAX);
+        // Safe horizon of shard 0: shard 1's head (50ns) + 200ns.
+        assert_eq!(q.safe_horizon(0), SimTime::from_ns(250));
+        q.step();
+        q.step();
+        assert_eq!(q.shard_clock(1), SimTime::from_ns(210));
+        assert_eq!(q.pending(), 0);
+    }
+
+    /// Two-shard ping-pong over the lookahead latency: a token bounces
+    /// between shards, each hop exactly one lookahead apart.
+    fn pingpong_engine(hops: u32) -> ShardedEngine<u32, Vec<u32>> {
+        let mut eng = ShardedEngine::new(vec![Vec::new(), Vec::new()], LOOK);
+        eng.schedule_at(0, SimTime::ZERO, hops);
+        eng
+    }
+
+    fn pingpong_handler(ctx: &mut ShardCtx<'_, u32>, state: &mut Vec<u32>, hops: u32) {
+        state.push(hops);
+        if hops > 0 {
+            let peer = 1 - ctx.shard();
+            ctx.send(peer, ctx.now() + ctx.lookahead(), hops - 1);
+        }
+    }
+
+    #[test]
+    fn pingpong_alternates_shards_and_advances_rounds() {
+        let mut eng = pingpong_engine(7);
+        assert_eq!(eng.run(1, pingpong_handler), ShardRunOutcome::Drained);
+        assert_eq!(eng.events_processed(), 8);
+        assert!(eng.rounds() >= 8, "each hop needs its own round");
+        assert_eq!(eng.merged_messages(), 7);
+        assert_eq!(eng.state(0), &vec![7, 5, 3, 1]);
+        assert_eq!(eng.state(1), &vec![6, 4, 2, 0]);
+        assert_eq!(eng.shard_clock(1), SimTime::from_ns(7 * 200));
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_inline_run() {
+        let mut seq = pingpong_engine(20);
+        let mut par = pingpong_engine(20);
+        assert_eq!(seq.run(1, pingpong_handler), ShardRunOutcome::Drained);
+        assert_eq!(par.run(4, pingpong_handler), ShardRunOutcome::Drained);
+        assert_eq!(seq.rounds(), par.rounds());
+        assert_eq!(seq.merged_messages(), par.merged_messages());
+        assert_eq!(seq.events_processed(), par.events_processed());
+        assert_eq!(seq.shard_clock(0), par.shard_clock(0));
+        assert_eq!(seq.into_states(), par.into_states());
+    }
+
+    #[test]
+    fn event_exactly_at_lookahead_horizon_waits_for_the_next_round() {
+        // Shard 0 fires at t=0 and locally schedules an event at exactly
+        // floor + lookahead; the window is exclusive there, so that event
+        // runs in a *later* round — after shard 1's message at the same
+        // instant (scheduled earlier in global merge order) is available.
+        let mut eng: ShardedEngine<&str, Vec<(&str, u64)>> =
+            ShardedEngine::new(vec![Vec::new(), Vec::new()], LOOK);
+        eng.schedule_at(0, SimTime::ZERO, "start");
+        eng.schedule_at(1, SimTime::ZERO, "peer");
+        let outcome = eng.run(1, |ctx, state, ev| {
+            state.push((ev, ctx.now().as_ps()));
+            match ev {
+                "start" => {
+                    // Lands at exactly the first round's horizon bound.
+                    ctx.schedule_at(ctx.now() + ctx.lookahead(), "at-bound")
+                }
+                "peer" => ctx.send(0, ctx.now() + ctx.lookahead(), "msg"),
+                _ => {}
+            }
+        });
+        assert_eq!(outcome, ShardRunOutcome::Drained);
+        let zero = eng.state(1).clone();
+        assert_eq!(zero, vec![("peer", 0)]);
+        // Both fire at t = lookahead; the merged cross-shard message was
+        // scheduled into the calendar before the local "at-bound" event of
+        // the *next* round began... but "at-bound" was scheduled during
+        // round 1 while "msg" merged after it, so FIFO order holds:
+        let got = eng.state(0).clone();
+        assert_eq!(
+            got,
+            vec![
+                ("start", 0),
+                ("at-bound", LOOK.as_ps()),
+                ("msg", LOOK.as_ps())
+            ]
+        );
+        assert!(eng.rounds() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates lookahead")]
+    fn sub_lookahead_cross_shard_send_panics() {
+        let mut eng: ShardedEngine<(), ()> = ShardedEngine::new(vec![(), ()], LOOK);
+        eng.schedule_at(0, SimTime::ZERO, ());
+        eng.run(1, |ctx, _, ()| {
+            ctx.send(1, ctx.now() + SimDuration::from_ns(1), ());
+        });
+    }
+
+    #[test]
+    fn event_limit_bounds_a_livelocked_shard() {
+        let mut eng: ShardedEngine<(), ()> = ShardedEngine::new(vec![(), ()], LOOK);
+        eng.set_event_limit(1_000);
+        eng.schedule_at(0, SimTime::ZERO, ());
+        let outcome = eng.run(1, |ctx, _, ()| {
+            ctx.schedule_after(SimDuration::from_ps(1), ());
+        });
+        assert_eq!(outcome, ShardRunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn stop_ends_the_run_at_a_round_boundary() {
+        let mut eng: ShardedEngine<u32, ()> = ShardedEngine::new(vec![(), ()], LOOK);
+        for i in 0..10 {
+            eng.schedule_at(0, SimTime::from_us(i as u64), i);
+        }
+        let outcome = eng.run(1, |ctx, _, v| {
+            if v == 3 {
+                ctx.stop();
+            }
+        });
+        assert_eq!(outcome, ShardRunOutcome::Stopped);
+        assert!(eng.events_processed() >= 4);
+        assert!(eng.events_processed() < 10, "stop left events queued");
+    }
+
+    #[test]
+    fn shards_env_parses_sane_values_only() {
+        std::env::remove_var(SHARDS_ENV);
+        assert_eq!(shards_from_env(), None);
+        std::env::set_var(SHARDS_ENV, "8");
+        assert_eq!(shards_from_env(), Some(8));
+        std::env::set_var(SHARDS_ENV, "0");
+        assert_eq!(shards_from_env(), None);
+        std::env::set_var(SHARDS_ENV, "banana");
+        assert_eq!(shards_from_env(), None);
+        std::env::remove_var(SHARDS_ENV);
+    }
+}

@@ -8,7 +8,7 @@
 //! timestamps exercise bucket placement and same-instant ties, large ones
 //! force the overflow tier and the window-jump migration path.
 
-use gtn_sim::event::{EventQueue, PopAtMost};
+use gtn_sim::event::{EventQueue, PopAtMost, WINDOW_SPAN_PS};
 use gtn_sim::time::SimTime;
 use proptest::prelude::*;
 
@@ -153,5 +153,58 @@ proptest! {
             }
         }
         prop_assert!(q.is_empty());
+    }
+}
+
+/// Timestamps clustered on ladder-window boundaries: multiples of the
+/// window span nudged by a few ps either side, plus the top of the u64
+/// range (where the window's nominal end is unrepresentable and the
+/// checked advance arithmetic must stay exact). Regression generator for
+/// the `window_start + WINDOW_SPAN` routing bug class.
+fn boundary_at(k: u64, delta: i64, near_max: bool) -> SimTime {
+    let base = if near_max {
+        u64::MAX - (k % 4) * WINDOW_SPAN_PS
+    } else {
+        (k % 8) * WINDOW_SPAN_PS
+    };
+    let ps = if delta < 0 {
+        base.saturating_sub(delta.unsigned_abs())
+    } else {
+        base.saturating_add(delta as u64)
+    };
+    SimTime::from_ps(ps)
+}
+
+proptest! {
+    /// Interleaved boundary-timestamp pushes and pops match the reference
+    /// pending set exactly: an event at precisely `window_start +
+    /// WINDOW_SPAN` must route to the overflow tier (never wrap into a
+    /// stale ring bucket), and window advances in the last representable
+    /// span must not saturate or reorder.
+    #[test]
+    fn window_boundary_timestamps_match_reference(
+        ops in prop::collection::vec(
+            (0u64..16, -3i64..4, any::<bool>(), any::<bool>()),
+            1..250,
+        ),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = Reference::new();
+        let mut payload = 0usize;
+        for &(k, delta, near_max, is_pop) in &ops {
+            if is_pop {
+                prop_assert_eq!(q.pop(), model.pop());
+            } else {
+                let t = boundary_at(k, delta, near_max);
+                q.push(t, payload);
+                model.push(t, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(q.peek_time(), model.min_key().map(|(t, _)| t));
+        }
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
     }
 }

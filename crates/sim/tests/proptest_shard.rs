@@ -1,0 +1,133 @@
+//! Property tests for the sharded calendars (`gtn_sim::shard`):
+//!
+//! 1. [`ShardedQueue`] == flat [`Engine`]: over arbitrary reactive
+//!    schedules (dispatches spawning local and cross-shard follow-ups,
+//!    same-instant ties, both calendar tiers), the k-way merged
+//!    multi-calendar dispatches the *exact* `(time, seq)` sequence of a
+//!    single flat calendar — the bit-identity the cluster's
+//!    `GTN_SIM_SHARDS` mode rests on.
+//! 2. [`ShardedEngine`] parallel == inline: the conservative-round engine
+//!    produces bit-identical states, clocks, counters, and round counts
+//!    regardless of worker-thread count.
+
+use gtn_sim::shard::{ShardRunOutcome, ShardedEngine, ShardedQueue};
+use gtn_sim::time::{SimDuration, SimTime};
+use gtn_sim::Engine;
+use proptest::prelude::*;
+
+/// The cluster fabric's minimum cross-node latency (link + switch).
+const LOOKAHEAD: SimDuration = SimDuration::from_ns(200);
+
+/// Deterministic reactive rule shared by both executors: a dispatched
+/// payload `p` at time `t` on node `node` of a cluster of `n_nodes`
+/// spawns up to two follow-up events — one strictly local (sub-lookahead
+/// delays are legal on the own node) and one remote (delayed by at least
+/// the lookahead, like any post-switch arrival). Everything derives from
+/// `(p, t, node)` so the two executors see identical demand.
+#[allow(clippy::manual_is_multiple_of)] // `is_multiple_of` is past MSRV 1.75
+fn spawns(p: u64, t: SimTime, node: u64, n_nodes: u64) -> Vec<(u64, SimTime, u64)> {
+    let mut out = Vec::new();
+    if p % 3 == 0 {
+        // Local follow-up on the same node, arbitrarily close in time.
+        let d = SimDuration::from_ps((p * 37) % 5_000);
+        out.push((node, t + d, p * 2 + 1));
+    }
+    if p % 4 == 1 {
+        // Cross-node message: at least one lookahead away, sometimes far
+        // enough to land in the overflow tier.
+        let extra = if p % 8 == 5 {
+            40_000_000
+        } else {
+            (p * 91) % 3_000
+        };
+        let d = SimDuration::from_ps(LOOKAHEAD.as_ps() + extra);
+        out.push(((node + p / 3 + 1) % n_nodes, t + d, p * 2 + 2));
+    }
+    out
+}
+
+proptest! {
+    /// The sharded queue's dispatch sequence is bit-identical to a flat
+    /// engine's over arbitrary seeds, node counts, and shard counts —
+    /// including cross-shard follow-ups scheduled mid-dispatch.
+    #[test]
+    fn sharded_queue_dispatches_identically_to_flat_engine(
+        seeds in prop::collection::vec((0u64..1_000, 0u64..200_000u64), 1..40),
+        n_nodes in 1u64..12,
+        n_shards in 1usize..6,
+    ) {
+        let mut flat: Engine<(u64, u64)> = Engine::new();
+        let mut sharded: ShardedQueue<(u64, u64)> = ShardedQueue::new(n_shards, LOOKAHEAD);
+        let shard_of = |node: u64| (node as usize) % n_shards;
+        for &(p, t_raw) in &seeds {
+            let node = p % n_nodes;
+            let t = SimTime::from_ps(t_raw);
+            flat.schedule_at(t, (node, p));
+            sharded.schedule_at(shard_of(node), t, (node, p));
+        }
+        let mut dispatched = 0u64;
+        loop {
+            let a = flat.step();
+            let b = sharded.step();
+            prop_assert_eq!(a, b);
+            let Some((t, (node, p))) = a else { break };
+            dispatched += 1;
+            prop_assert!(dispatched < 100_000, "runaway spawn chain");
+            for (dst, at, np) in spawns(p, t, node, n_nodes) {
+                flat.schedule_at(at, (dst, np));
+                sharded.schedule_at(shard_of(dst), at, (dst, np));
+            }
+        }
+        prop_assert_eq!(flat.events_processed(), sharded.events_processed());
+        prop_assert_eq!(flat.now(), sharded.now());
+        prop_assert_eq!(sharded.pending(), 0);
+        // The reactive rule never schedules cross-shard closer than the
+        // lookahead — the premise the parallel engine depends on.
+        prop_assert_eq!(sharded.lookahead_violations(), 0);
+    }
+
+    /// The conservative-round engine is bit-identical across thread
+    /// counts: same final per-shard states, clocks, event totals, round
+    /// and merge counts.
+    #[test]
+    fn sharded_engine_parallel_matches_inline(
+        seeds in prop::collection::vec((0u64..1_000, 0u64..500_000u64), 1..30),
+        n_shards in 2usize..6,
+        threads in 2usize..5,
+    ) {
+        let build = || {
+            let mut eng: ShardedEngine<u64, Vec<(u64, u64)>> =
+                ShardedEngine::new(vec![Vec::new(); n_shards], LOOKAHEAD);
+            eng.set_event_limit(100_000);
+            for &(p, t_raw) in &seeds {
+                eng.schedule_at((p as usize) % n_shards, SimTime::from_ps(t_raw), p);
+            }
+            eng
+        };
+        let shards = n_shards as u64;
+        let handler = move |ctx: &mut gtn_sim::ShardCtx<'_, u64>,
+                            state: &mut Vec<(u64, u64)>,
+                            p: u64| {
+            state.push((p, ctx.now().as_ps()));
+            // One shard per "node": the local spawn stays on the own shard
+            // (sub-lookahead delay is fine there), the remote one is at
+            // least a lookahead out by construction.
+            for (dst, at, np) in spawns(p, ctx.now(), ctx.shard() as u64, shards) {
+                ctx.send(dst as usize, at, np);
+            }
+        };
+        let mut seq = build();
+        let mut par = build();
+        let a = seq.run(1, handler);
+        let b = par.run(threads, handler);
+        prop_assert_eq!(a, b);
+        prop_assert!(a == ShardRunOutcome::Drained || a == ShardRunOutcome::EventLimit);
+        prop_assert_eq!(seq.rounds(), par.rounds());
+        prop_assert_eq!(seq.merged_messages(), par.merged_messages());
+        prop_assert_eq!(seq.events_processed(), par.events_processed());
+        for s in 0..n_shards {
+            prop_assert_eq!(seq.shard_clock(s), par.shard_clock(s));
+        }
+        prop_assert_eq!(seq.into_states(), par.into_states());
+    }
+}

@@ -99,6 +99,37 @@ proptest! {
         }
     }
 
+    /// A reached verdict stops the control plane: once the detector
+    /// declares a peer dead (Abort policy), heartbeat/lease probe traffic
+    /// ceases and the calendar drains instead of ticking to the event cap,
+    /// so detected aborts terminate with a wide event-budget headroom.
+    #[test]
+    fn verdicts_leave_event_budget_headroom(
+        crash_at_us in 10u64..60,
+        seed in 0u64..10_000,
+    ) {
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(4)
+            .size(64 * 1024)
+            .seed(seed)
+            .patch(
+                ConfigPatch::crash_node(2, crash_at_us * 1_000)
+                    .with_detection(RecoveryPolicy::Abort),
+            );
+        if let Err(failure) = gtn_workloads::allreduce::Allreduce.run_lenient(&params) {
+            prop_assert!(
+                matches!(failure.report.reason, StallReason::PeerDead { peer: 2, .. }),
+                "wrong diagnosis: {}", failure.report.reason
+            );
+            prop_assert!(
+                failure.events < EVENT_BUDGET / 10,
+                "verdict at {} events — probes kept ticking after the \
+                 verdict instead of draining (budget {})",
+                failure.events, EVENT_BUDGET
+            );
+        }
+    }
+
     /// A detected crash replays bit-identically: same structured reason
     /// (peer and detector included), same detection time, same event count.
     #[test]

@@ -1,0 +1,80 @@
+//! Parallel == sequential, end to end: over random scenarios — workload,
+//! strategy, seed, seeded packet loss, NIC resource pressure, crash-stop
+//! injections with the failure detector armed — a cluster run on sharded
+//! calendars (any shard count) reports results **bit-identical** to the
+//! sequential single-calendar run: same timing, same stats snapshot, and
+//! on failures the same structured report at the same instant with the
+//! same event count. This is the workload-level face of the
+//! `gtn_sim::shard::ShardedQueue` equivalence proptests.
+
+use gtn_core::scenario::ConfigPatch;
+use gtn_core::RecoveryPolicy;
+use gtn_fabric::CrashComponent;
+use gtn_workloads::harness::{all_workloads, ResourceLimits};
+use proptest::prelude::*;
+
+proptest! {
+    // Every case is two full cluster runs; keep the count modest (mirrors
+    // proptest_chaos).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random scenario (workload, strategy, seed, loss, pressure, crash
+    /// with detection) at a random shard count: the sharded run reproduces
+    /// the sequential run exactly — same verdict, and bit-identical
+    /// timing/stats (on completion) or stall report (on failure).
+    #[test]
+    fn sharded_run_is_bit_identical_over_random_scenarios(
+        pick in 0usize..16, // workload (mod 4) x strategy (div 4)
+        shards in 2u32..6,
+        seed in 0u64..10_000,
+        loss_milli in 0u64..100,
+        pressured in any::<bool>(),
+        crash_at_us in 0u64..60, // 0 = healthy run
+    ) {
+        let w = all_workloads().swap_remove(pick % 4);
+        let strategies = w.strategies();
+        let strategy = strategies[(pick / 4) % strategies.len()];
+        let mut patch = ConfigPatch::loss(seed, loss_milli as f64 / 1000.0);
+        if pressured {
+            patch = patch.with_pressure(ResourceLimits::tiny(2, 4));
+        }
+        if crash_at_us > 0 && strategies.len() >= 2 {
+            // launch_study has no peers to kill; everyone else loses node 1
+            // with the detector armed, so some cases exercise cross-shard
+            // lease expiry end to end.
+            patch = patch
+                .with_crash(CrashComponent::Node(1), crash_at_us * 1_000)
+                .with_detection(RecoveryPolicy::Abort);
+        }
+        let base = w.smoke_scenario(strategy).seed(seed);
+        let seq = w.run_lenient(&base.patch(patch.with_shards(1)));
+        let par = w.run_lenient(&base.patch(patch.with_shards(shards)));
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total, b.total, "{} {}", w.name(), strategy);
+                prop_assert_eq!(
+                    format!("{:?}", a.stats),
+                    format!("{:?}", b.stats),
+                    "{} {}: stats diverged at {} shards",
+                    w.name(),
+                    strategy,
+                    shards
+                );
+            }
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(&a.report.reason, &b.report.reason, "{}", w.name());
+                prop_assert_eq!(a.report.at, b.report.at, "{}", w.name());
+                prop_assert_eq!(a.events, b.events, "{}", w.name());
+            }
+            (a, b) => prop_assert!(
+                false,
+                "{} {}: shard count changed the verdict \
+                 (sequential ok={}, sharded ok={})",
+                w.name(),
+                strategy,
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! stats-snapshot consistency.
 use gtn_core::{RecoveryPolicy, StallReason, Strategy};
 use gtn_workloads::chaos::{self, Verdict};
-use gtn_workloads::harness::{all_workloads, ConfigPatch, ResourceLimits};
+use gtn_workloads::harness::{all_workloads, ConfigPatch, ResourceLimits, Workload};
 
 #[test]
 fn every_workload_verifies_on_its_smoke_scenario_under_every_strategy() {
@@ -258,4 +258,66 @@ fn stats_snapshot_is_namespaced_and_agrees_with_summary_counters() {
             assert!(nic.histogram("stage_wire").is_some_and(|h| h.count() > 0));
         }
     }
+}
+
+#[test]
+fn sharded_calendars_reproduce_every_workload_bit_for_bit() {
+    // The tentpole contract: partitioning the calendar into shards
+    // (GTN_SIM_SHARDS / ConfigPatch::with_shards) changes execution
+    // structure only — every workload, under every strategy, reports the
+    // identical timing and the identical stats snapshot at 2 and 8 shards
+    // (clamped to the node count where smaller).
+    for w in all_workloads() {
+        for strategy in w.strategies() {
+            let base = w.smoke_scenario(strategy);
+            let seq = w.run_scenario(&base.patch(ConfigPatch::NONE.with_shards(1)));
+            for shards in [2u32, 8] {
+                let par = w.run_scenario(&base.patch(ConfigPatch::NONE.with_shards(shards)));
+                assert_eq!(
+                    seq.total,
+                    par.total,
+                    "{} {strategy} @ {shards} shards: timing diverged",
+                    w.name()
+                );
+                assert_eq!(
+                    format!("{:?}", seq.stats),
+                    format!("{:?}", par.stats),
+                    "{} {strategy} @ {shards} shards: stats diverged",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_shard_crash_stop_matches_sequential_lease_timing() {
+    // Node 1 dies mid-run with every node on its own shard (4 nodes, 4
+    // shards, node % shards mapping): the death verdict must come from an
+    // observer on a *different* shard, with exactly the sequential run's
+    // lease timing, diagnosis, and event count — sharding partitions the
+    // calendar, not the failure semantics.
+    let base = gtn_workloads::harness::ScenarioParams::new(Strategy::GpuTn)
+        .nodes(4)
+        .size(64 * 1024)
+        .seed(0xBEEF);
+    let crash = ConfigPatch::crash_node(1, 50_000).with_detection(RecoveryPolicy::Abort);
+    let seq = gtn_workloads::allreduce::Allreduce
+        .run_lenient(&base.patch(crash.with_shards(1)))
+        .expect_err("crash under Abort must fail the job");
+    let par = gtn_workloads::allreduce::Allreduce
+        .run_lenient(&base.patch(crash.with_shards(4)))
+        .expect_err("crash under Abort must fail the job");
+    assert_eq!(seq.report.at, par.report.at, "lease timing shifted");
+    assert_eq!(&seq.report.reason, &par.report.reason);
+    assert_eq!(seq.events, par.events);
+    let StallReason::PeerDead { peer, detector } = par.report.reason else {
+        panic!("wrong diagnosis: {}", par.report.reason);
+    };
+    assert_eq!(peer, 1);
+    assert_ne!(
+        detector % 4,
+        peer % 4,
+        "with one node per shard the detector must sit on another shard"
+    );
 }
