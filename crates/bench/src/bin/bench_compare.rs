@@ -3,8 +3,16 @@
 //! ```text
 //! bench_compare manifest <dir>            # dir contents match MANIFEST.json
 //! bench_compare golden <golden> <actual>  # reports bit-identical to goldens
+//! bench_compare diff <golden> <actual>    # two files or two dirs, naming
+//!                                         # the fields that drifted
 //! bench_compare perf <floor> <actual>     # events/sec at or above the floor
 //! ```
+//!
+//! `golden` walks the *golden* dir's manifest (baseline coverage must not
+//! shrink); `diff` walks the *actual* dir's manifest (compare exactly the
+//! subset that ran — e.g. the shard determinism gate). Both name the
+//! differing leaf fields (`points[3].p99_ps: 1200 -> 1350`) when the
+//! drifted report parses as bench JSON.
 //!
 //! Exits non-zero with the reason on stderr when a gate fails, so a bare
 //! invocation is a usable CI step.
@@ -14,6 +22,7 @@ use std::path::Path;
 
 const USAGE: &str = "usage: bench_compare manifest <dir>
        bench_compare golden <golden_dir> <actual_dir>
+       bench_compare diff <golden_dir_or_file> <actual_dir_or_file>
        bench_compare perf <floor_file> <actual_file>";
 
 fn main() {
@@ -24,6 +33,7 @@ fn main() {
             .map(|names| format!("manifest ok: {} reports listed and present", names.len())),
         (Some("golden"), 3) => compare::diff_against_golden(arg(1), arg(2))
             .map(|n| format!("golden ok: {n} reports bit-identical to baselines")),
+        (Some("diff"), 3) => compare::diff_paths(arg(1), arg(2)),
         (Some("perf"), 3) => compare::check_perf_floor(arg(1), arg(2))
             .map(|n| format!("perf ok: {n} rows at or above the recorded floor")),
         _ => Err(USAGE.to_owned()),

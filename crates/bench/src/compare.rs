@@ -16,10 +16,312 @@
 //!   at or above a recorded events/sec floor. The floor is set ~10x below
 //!   measured throughput so runner noise never trips it; an O(n log n) →
 //!   O(n^2) style regression still does.
+//!
+//! When a comparison fails, [`field_diffs`] parses both reports with the
+//! built-in mini JSON reader and names the exact leaf fields that moved
+//! (`points[3].p99_ps: 1200 -> 1350`) instead of a bare "files differ" —
+//! the difference between a CI log that diagnoses a determinism break and
+//! one that just announces it. [`diff_paths`] wraps the same machinery as
+//! a standalone gate over files or whole report dirs.
 
 use crate::report;
 use std::fs;
 use std::path::Path;
+
+/// A parsed JSON value from a bench report. Reports are written by
+/// [`report::Json`] and only ever contain unsigned integers, booleans,
+/// strings, arrays, and objects; anything else (floats, nulls — e.g. a
+/// Chrome trace from another tool) fails to parse and the caller falls
+/// back to byte comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// Unsigned integer.
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<JVal>),
+    /// Object, field order preserved.
+    Obj(Vec<(String, JVal)>),
+}
+
+/// Parse a bench report. Returns `Err` on anything outside the report
+/// subset (see [`JVal`]).
+pub fn parse_json(text: &str) -> Result<JVal, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JVal::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JVal::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JVal::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JVal::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JVal::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JVal::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JVal::Bool(false))
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if matches!(b.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+                return Err(format!("float at byte {start} (reports are integer-only)"));
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .unwrap()
+                .parse()
+                .map(JVal::U64)
+                .map_err(|e| format!("number at byte {start}: {e}"))
+        }
+        _ => Err(format!("unexpected value at byte {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).ok_or("dangling escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u escape: {e}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            c => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Flatten a parsed report into `(leaf path, rendered scalar)` pairs in
+/// document order: `points[3].p99_ps` → `"1350"`.
+pub fn flatten(v: &JVal, prefix: &str, out: &mut Vec<(String, String)>) {
+    match v {
+        JVal::U64(n) => out.push((prefix.to_owned(), n.to_string())),
+        JVal::Bool(x) => out.push((prefix.to_owned(), x.to_string())),
+        JVal::Str(t) => out.push((prefix.to_owned(), format!("{t:?}"))),
+        JVal::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        JVal::Obj(fields) => {
+            for (k, val) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(val, &path, out);
+            }
+        }
+    }
+}
+
+/// How many differing fields a diff names before truncating; past this a
+/// report has not "drifted", it has been rewritten.
+const DIFF_LIMIT: usize = 16;
+
+/// Name the leaf fields that differ between two report texts, most
+/// `golden -> actual`. Returns `None` when either side does not parse as
+/// a report (caller falls back to byte comparison), `Some(vec![])` when
+/// the parsed contents are identical (e.g. trailing-whitespace drift).
+pub fn field_diffs(golden: &str, actual: &str) -> Option<Vec<String>> {
+    let (g, a) = (parse_json(golden).ok()?, parse_json(actual).ok()?);
+    let (mut gf, mut af) = (Vec::new(), Vec::new());
+    flatten(&g, "", &mut gf);
+    flatten(&a, "", &mut af);
+    let mut diffs = Vec::new();
+    let lookup: std::collections::HashMap<&str, &str> =
+        af.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    for (path, want) in &gf {
+        match lookup.get(path.as_str()) {
+            Some(got) if *got == want => {}
+            Some(got) => diffs.push(format!("{path}: {want} -> {got}")),
+            None => diffs.push(format!("{path}: {want} -> (absent)")),
+        }
+    }
+    let known: std::collections::HashSet<&str> = gf.iter().map(|(k, _)| k.as_str()).collect();
+    for (path, got) in &af {
+        if !known.contains(path.as_str()) {
+            diffs.push(format!("{path}: (absent) -> {got}"));
+        }
+    }
+    if diffs.len() > DIFF_LIMIT {
+        let more = diffs.len() - DIFF_LIMIT;
+        diffs.truncate(DIFF_LIMIT);
+        diffs.push(format!("... and {more} more fields"));
+    }
+    Some(diffs)
+}
+
+/// Describe how `actual` drifted from `golden` (both file paths): field
+/// diffs when both sides parse as reports, a byte-level verdict when not.
+fn describe_file_drift(golden: &Path, actual: &Path) -> Result<Option<String>, String> {
+    let want = fs::read(golden).map_err(|e| format!("golden {}: {e}", golden.display()))?;
+    let got = match fs::read(actual) {
+        Ok(b) => b,
+        Err(_) => return Ok(Some(format!("missing from {}", actual.display()))),
+    };
+    if want == got {
+        return Ok(None);
+    }
+    let parsed = match (std::str::from_utf8(&want), std::str::from_utf8(&got)) {
+        (Ok(w), Ok(g)) => field_diffs(w, g),
+        _ => None,
+    };
+    Ok(Some(match parsed {
+        Some(diffs) if diffs.is_empty() => {
+            "parsed contents identical but bytes differ (formatting drift)".to_owned()
+        }
+        Some(diffs) => format!("\n    {}", diffs.join("\n    ")),
+        None => format!(
+            "binary or non-report content differs ({} vs {} bytes)",
+            want.len(),
+            got.len()
+        ),
+    }))
+}
+
+/// Standalone diff gate: compare two report files, or two report dirs
+/// (every file listed in the **actual** dir's manifest — dirs holding a
+/// subset of benches, like the shard gate's, compare exactly what they
+/// ran). Returns a pass description; `Err` names each drifted field.
+pub fn diff_paths(golden: &Path, actual: &Path) -> Result<String, String> {
+    if golden.is_dir() != actual.is_dir() {
+        return Err(format!(
+            "{} and {} must both be files or both be dirs",
+            golden.display(),
+            actual.display()
+        ));
+    }
+    if !golden.is_dir() {
+        return match describe_file_drift(golden, actual)? {
+            None => Ok("diff ok: 1 report identical".into()),
+            Some(drift) => Err(format!(
+                "{} differs from {}: {drift}",
+                actual.display(),
+                golden.display()
+            )),
+        };
+    }
+    let entries = report::manifest_entries(&actual.join(report::MANIFEST));
+    if entries.is_empty() {
+        return Err(format!(
+            "manifest {} is missing or empty",
+            actual.join(report::MANIFEST).display()
+        ));
+    }
+    let mut drifted = Vec::new();
+    for name in &entries {
+        if let Some(drift) = describe_file_drift(&golden.join(name), &actual.join(name))? {
+            drifted.push(format!("{name}: {drift}"));
+        }
+    }
+    if drifted.is_empty() {
+        Ok(format!("diff ok: {} reports identical", entries.len()))
+    } else {
+        Err(format!(
+            "{} of {} reports differ:\n  {}",
+            drifted.len(),
+            entries.len(),
+            drifted.join("\n  ")
+        ))
+    }
+}
 
 /// Validate `<dir>/MANIFEST.json` against the directory contents.
 /// Returns the manifest entries on success.
@@ -64,12 +366,12 @@ pub fn diff_against_golden(golden: &Path, actual: &Path) -> Result<usize, String
     }
     let mut drifted = Vec::new();
     for name in &entries {
-        let want = fs::read(golden.join(name))
-            .map_err(|e| format!("golden {}: {e}", golden.join(name).display()))?;
-        match fs::read(actual.join(name)) {
-            Ok(got) if got == want => {}
-            Ok(_) => drifted.push(format!("{name} differs from golden")),
-            Err(_) => drifted.push(format!("{name} missing from {}", actual.display())),
+        match describe_file_drift(&golden.join(name), &actual.join(name))? {
+            None => {}
+            Some(drift) if drift.starts_with("missing") => {
+                drifted.push(format!("{name} {drift}"));
+            }
+            Some(drift) => drifted.push(format!("{name} differs from golden: {drift}")),
         }
     }
     if drifted.is_empty() {
@@ -244,6 +546,109 @@ mod tests {
         let err = check_perf_floor(&floor, &actual).unwrap_err();
         assert!(err.contains("engine/a: row missing"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_parser_roundtrips_report_output() {
+        let report = obj(vec![
+            ("bench", s("x")),
+            ("ok", Json::Bool(true)),
+            ("name", s("say \"hi\"\n")),
+            ("empty", Json::Arr(vec![])),
+            (
+                "points",
+                Json::Arr(vec![
+                    obj(vec![("p99_ps", Json::U64(1200))]),
+                    obj(vec![("p99_ps", Json::U64(9))]),
+                ]),
+            ),
+        ])
+        .render();
+        let parsed = parse_json(&report).unwrap();
+        let mut leaves = Vec::new();
+        flatten(&parsed, "", &mut leaves);
+        assert_eq!(
+            leaves,
+            [
+                ("bench".into(), "\"x\"".into()),
+                ("ok".into(), "true".into()),
+                ("name".into(), "\"say \\\"hi\\\"\\n\"".into()),
+                ("points[0].p99_ps".into(), "1200".into()),
+                ("points[1].p99_ps".into(), "9".into()),
+            ]
+        );
+        assert!(parse_json("{\"f\": 1.5}").is_err(), "floats rejected");
+        assert!(parse_json("[1,2").is_err(), "truncated rejected");
+        assert!(parse_json("{} junk").is_err(), "trailing rejected");
+    }
+
+    #[test]
+    fn field_diffs_name_exactly_the_drifted_leaves() {
+        let mk = |p99: u64, extra: bool| {
+            let mut points = vec![obj(vec![
+                ("strategy", s("gpu-tn")),
+                ("p99_ps", Json::U64(p99)),
+            ])];
+            if extra {
+                points.push(obj(vec![("strategy", s("cpu"))]));
+            }
+            obj(vec![("points", Json::Arr(points))]).render()
+        };
+        assert_eq!(field_diffs(&mk(5, false), &mk(5, false)), Some(vec![]));
+        let d = field_diffs(&mk(5, false), &mk(7, true)).unwrap();
+        assert_eq!(
+            d,
+            [
+                "points[0].p99_ps: 5 -> 7",
+                "points[1].strategy: (absent) -> \"cpu\""
+            ]
+        );
+        assert!(field_diffs("not json", &mk(5, false)).is_none());
+    }
+
+    #[test]
+    fn diff_paths_compares_files_and_actual_manifest_subsets() {
+        let golden = scratch("diff-golden");
+        let actual = scratch("diff-actual");
+        let report = |v: u64| obj(vec![("total_ps", Json::U64(v))]).render();
+        // File mode.
+        fs::write(golden.join("BENCH_a.json"), report(1)).unwrap();
+        fs::write(actual.join("BENCH_a.json"), report(2)).unwrap();
+        let err =
+            diff_paths(&golden.join("BENCH_a.json"), &actual.join("BENCH_a.json")).unwrap_err();
+        assert!(err.contains("total_ps: 1 -> 2"), "{err}");
+        fs::write(actual.join("BENCH_a.json"), report(1)).unwrap();
+        assert!(diff_paths(&golden.join("BENCH_a.json"), &actual.join("BENCH_a.json")).is_ok());
+        // Dir mode walks the actual dir's manifest: the golden dir may
+        // hold more benches than the subset that ran.
+        fs::write(golden.join("BENCH_extra.json"), report(9)).unwrap();
+        write_manifest(&actual, &["BENCH_a.json"]);
+        assert_eq!(
+            diff_paths(&golden, &actual).unwrap(),
+            "diff ok: 1 reports identical"
+        );
+        fs::write(actual.join("BENCH_a.json"), report(3)).unwrap();
+        let err = diff_paths(&golden, &actual).unwrap_err();
+        assert!(
+            err.contains("BENCH_a.json") && err.contains("total_ps: 1 -> 3"),
+            "{err}"
+        );
+        fs::remove_dir_all(&golden).unwrap();
+        fs::remove_dir_all(&actual).unwrap();
+    }
+
+    #[test]
+    fn golden_diff_quotes_field_level_drift() {
+        let golden = scratch("golden-fields");
+        let actual = scratch("actual-fields");
+        write_manifest(&golden, &["BENCH_a.json"]);
+        let report = |v: u64| obj(vec![("p50_ps", Json::U64(v))]).render();
+        fs::write(golden.join("BENCH_a.json"), report(10)).unwrap();
+        fs::write(actual.join("BENCH_a.json"), report(11)).unwrap();
+        let err = diff_against_golden(&golden, &actual).unwrap_err();
+        assert!(err.contains("p50_ps: 10 -> 11"), "{err}");
+        fs::remove_dir_all(&golden).unwrap();
+        fs::remove_dir_all(&actual).unwrap();
     }
 
     #[test]

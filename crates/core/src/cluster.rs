@@ -584,6 +584,7 @@ impl Cluster {
                     trigger_overflow: nic.triggers().overflow_len(),
                     cq_parked: nic.cq_parked(),
                     flow_queued: nic.flow_queued(),
+                    admission_shed: nic.triggers().admission_shed(),
                 }
             })
             .collect();

@@ -24,6 +24,9 @@
 //!   workload harness drives every evaluation workload through.
 //! - [`stall`] — structured diagnostics for runs that wedge: which nodes
 //!   are stuck, on what, and what their NICs were still retrying.
+//! - [`tenancy`] — multi-tenant serving vocabulary: tenant→trigger-list
+//!   partition mapping encoded in tag low bits, and bounded-queue
+//!   admission control with conservation-checked shed counters.
 //! - [`strategy`] — the four evaluated configurations (§5.1): CPU, HDN,
 //!   GDS, GPU-TN, plus the GDS kernel-boundary doorbell mechanism.
 //! - [`timeline`] — turns the cluster log into Fig. 3/Fig. 8 style latency
@@ -42,6 +45,7 @@ pub mod observe;
 pub mod scenario;
 pub mod stall;
 pub mod strategy;
+pub mod tenancy;
 pub mod timeline;
 
 pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
@@ -50,3 +54,4 @@ pub use membership::{FailureConfig, Liveness, MembershipView, RecoveryPolicy};
 pub use observe::ClusterStats;
 pub use stall::{BlockedOn, NodeStall, StallReason, StallReport};
 pub use strategy::Strategy;
+pub use tenancy::{Admission, TenantMap};

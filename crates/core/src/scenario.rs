@@ -76,6 +76,12 @@ pub struct ResourceLimits {
     /// ARQ reorder-buffer window / flow-control credit pool per peer.
     /// Implies the reliability layer is on.
     pub arq_window: Option<u64>,
+    /// Slice the trigger CAM into this many per-tenant partitions
+    /// (multi-tenant serving; tags map to partition `tag % partitions`).
+    pub trigger_partitions: Option<u32>,
+    /// Per-partition admission depth: active trigger entries past it are
+    /// shed (counted, never a panic). Requires `trigger_partitions`.
+    pub partition_depth: Option<u64>,
 }
 
 impl ResourceLimits {
@@ -88,6 +94,18 @@ impl ResourceLimits {
             cq_capacity: Some(cq),
             cq_drain_ns: None,
             arq_window: None,
+            trigger_partitions: None,
+            partition_depth: None,
+        }
+    }
+
+    /// Partition the trigger CAM into `partitions` tenant shares with an
+    /// optional per-partition admission `depth` (serving scenarios).
+    pub fn partitioned(partitions: u32, depth: Option<u64>) -> Self {
+        ResourceLimits {
+            trigger_partitions: Some(partitions),
+            partition_depth: depth,
+            ..ResourceLimits::default()
         }
     }
 }
@@ -196,6 +214,12 @@ impl ConfigPatch {
             }
             if let Some(window) = limits.arq_window {
                 config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::bounded(window);
+            }
+            if let Some(partitions) = limits.trigger_partitions {
+                config.nic.trigger_partitions = gtn_nic::TriggerPartitions {
+                    partitions,
+                    depth: limits.partition_depth,
+                };
             }
         }
     }
@@ -401,6 +425,8 @@ mod tests {
             cq_capacity: Some(8),
             cq_drain_ns: Some(1_000),
             arq_window: Some(2),
+            trigger_partitions: Some(2),
+            partition_depth: Some(4),
         };
         ConfigPatch::loss(9, 0.1)
             .with_pressure(limits)
@@ -414,11 +440,24 @@ mod tests {
         assert_eq!(config.nic.cq_drain_ns, 1_000);
         assert!(config.nic.reliability.enabled);
         assert_eq!(config.nic.reliability.window, 2);
+        assert_eq!(
+            config.nic.trigger_partitions,
+            gtn_nic::TriggerPartitions {
+                partitions: 2,
+                depth: Some(4),
+            }
+        );
         // tiny() fills only the CAM and CQ bounds.
         let t = ResourceLimits::tiny(2, 4);
         assert_eq!(t.trigger_ways, Some(2));
         assert_eq!(t.cq_capacity, Some(4));
         assert_eq!(t.arq_window, None);
+        assert_eq!(t.trigger_partitions, None);
+        // partitioned() fills only the tenancy bounds.
+        let p = ResourceLimits::partitioned(8, Some(16));
+        assert_eq!(p.trigger_partitions, Some(8));
+        assert_eq!(p.partition_depth, Some(16));
+        assert_eq!(p.trigger_ways, None);
     }
 
     #[test]

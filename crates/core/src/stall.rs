@@ -151,6 +151,11 @@ pub struct NodeStall {
     /// New sends queued for flow-control credit. Nonzero with no in-flight
     /// retries means credits never came back.
     pub flow_queued: usize,
+    /// Trigger-list entries shed by per-partition admission control
+    /// (multi-tenant serving). Nonzero is expected overload shedding, not
+    /// an error — but a stalled node that shed its own completion trigger
+    /// shows up here.
+    pub admission_shed: u64,
 }
 
 impl fmt::Display for NodeStall {
@@ -203,6 +208,14 @@ impl fmt::Display for NodeStall {
                 f,
                 "    credit starvation: {} send(s) queued waiting for flow-control credit",
                 self.flow_queued
+            )?;
+        }
+        if self.admission_shed > 0 {
+            writeln!(
+                f,
+                "    admission control: {} trigger entr{} shed at partition depth",
+                self.admission_shed,
+                if self.admission_shed == 1 { "y" } else { "ies" }
             )?;
         }
         Ok(())
@@ -289,6 +302,7 @@ mod tests {
                 trigger_overflow: 2,
                 cq_parked: 3,
                 flow_queued: 1,
+                admission_shed: 4,
             }],
             clamped_past_events: 2,
             recent: Vec::new(),
@@ -305,6 +319,7 @@ mod tests {
             "2 entries spilled",
             "3 commit(s) parked",
             "1 send(s) queued",
+            "4 trigger entries shed",
             "log disabled",
         ] {
             assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
@@ -350,6 +365,7 @@ mod tests {
             trigger_overflow: 0,
             cq_parked: 0,
             flow_queued: 0,
+            admission_shed: 0,
         };
         let s = stall.to_string();
         assert!(s.contains("ABANDONED (peer dead): seq 2"), "{s}");

@@ -1,0 +1,260 @@
+//! Multi-tenant vocabulary for open-loop serving scenarios.
+//!
+//! Thousands of simulated tenants multiplex small independent jobs onto
+//! one cluster. Two mechanisms keep them honest:
+//!
+//! - **Trigger-list partitions** ([`TenantMap`]): the NIC CAM is sliced
+//!   into [`gtn_nic::TriggerPartitions`] equal shares and every tenant is
+//!   pinned to one of them. The partition index rides in the *low bits*
+//!   of the trigger tag (`tag % partitions`), so the NIC needs no tenant
+//!   table — the tag itself routes.
+//! - **Admission control** ([`Admission`]): an open-loop generator does
+//!   not stop offering work when the cluster saturates, so a bounded
+//!   queue sheds arrivals past a configurable depth. Sheds are counted
+//!   and reported (stats + `StallReport`), never a panic, and the
+//!   counters satisfy strict conservation: every offered job is exactly
+//!   one of completed, shed, or failed.
+
+use gtn_nic::Tag;
+use gtn_sim::stats::StatSet;
+
+/// Maps tenants onto trigger-list partitions and encodes the mapping
+/// into tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantMap {
+    /// Simulated tenant population.
+    pub tenants: u32,
+    /// Trigger-list partitions the NIC is sliced into (>= 1).
+    pub partitions: u32,
+}
+
+impl TenantMap {
+    /// A map of `tenants` tenants over `partitions` partitions.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(tenants: u32, partitions: u32) -> Self {
+        assert!(tenants >= 1, "need at least one tenant");
+        assert!(partitions >= 1, "need at least one partition");
+        TenantMap {
+            tenants,
+            partitions,
+        }
+    }
+
+    /// The partition tenant `tenant` is pinned to (round-robin).
+    pub fn partition_of(&self, tenant: u32) -> u32 {
+        tenant % self.partitions
+    }
+
+    /// Build the trigger tag for `tenant`'s `seq`-th job: the tenant's
+    /// partition in the low bits (`tag % partitions`), the job sequence
+    /// number above. Distinct `(tenant, seq)` pairs of the same partition
+    /// map to distinct tags.
+    pub fn tag(&self, tenant: u32, seq: u64) -> Tag {
+        Tag(seq * u64::from(self.partitions) + u64::from(self.partition_of(tenant)))
+    }
+}
+
+/// Bounded-queue admission control with conservation-checked counters.
+///
+/// Drive it with [`offer`](Admission::offer) on every arrival, then
+/// [`start`](Admission::start) when an admitted job leaves the queue for
+/// service and [`finish`](Admission::finish) when service ends.
+#[derive(Debug, Clone, Default)]
+pub struct Admission {
+    /// Max jobs waiting in queue before new arrivals are shed.
+    pub queue_depth: usize,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    failed: u64,
+    waiting: usize,
+    in_service: usize,
+    peak_waiting: usize,
+}
+
+impl Admission {
+    /// Admission control shedding arrivals once `queue_depth` jobs wait.
+    pub fn new(queue_depth: usize) -> Self {
+        Admission {
+            queue_depth,
+            ..Admission::default()
+        }
+    }
+
+    /// One arrival: admitted into the queue (`true`) or shed (`false`).
+    pub fn offer(&mut self) -> bool {
+        self.offered += 1;
+        if self.waiting >= self.queue_depth {
+            self.shed += 1;
+            return false;
+        }
+        self.admitted += 1;
+        self.waiting += 1;
+        self.peak_waiting = self.peak_waiting.max(self.waiting);
+        true
+    }
+
+    /// Record a shed that happened downstream of the queue (e.g. the
+    /// NIC's per-partition depth): counted as offered-and-shed without
+    /// ever occupying the queue.
+    pub fn offer_shed_downstream(&mut self) {
+        self.offered += 1;
+        self.shed += 1;
+    }
+
+    /// An admitted job is shed after all by a downstream bound (e.g. its
+    /// NIC trigger partition was at depth): it leaves the queue and moves
+    /// from admitted to shed, keeping conservation intact.
+    pub fn shed_admitted(&mut self) {
+        debug_assert!(self.waiting > 0, "shed_admitted without a waiting job");
+        debug_assert!(self.admitted > 0, "shed_admitted without an admission");
+        self.waiting -= 1;
+        self.admitted -= 1;
+        self.shed += 1;
+    }
+
+    /// An admitted job leaves the queue and enters service.
+    pub fn start(&mut self) {
+        debug_assert!(self.waiting > 0, "start without a waiting job");
+        self.waiting -= 1;
+        self.in_service += 1;
+    }
+
+    /// A job in service ends, successfully (`ok`) or not.
+    pub fn finish(&mut self, ok: bool) {
+        debug_assert!(self.in_service > 0, "finish without a job in service");
+        self.in_service -= 1;
+        if ok {
+            self.completed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Jobs offered so far (admitted + shed).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Jobs admitted past the queue-depth check.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Jobs shed (queue full or downstream shed).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Jobs that finished successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Jobs that entered service but failed.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn waiting(&self) -> usize {
+        self.waiting
+    }
+
+    /// High-water mark of the queue.
+    pub fn peak_waiting(&self) -> usize {
+        self.peak_waiting
+    }
+
+    /// Strict count conservation once the system drains:
+    /// `completed + shed + failed == offered` with nothing in flight.
+    pub fn conserved(&self) -> bool {
+        self.waiting == 0
+            && self.in_service == 0
+            && self.completed + self.shed + self.failed == self.offered
+    }
+
+    /// Publish the counters into a stat set (integer counters only, so
+    /// reports built from them stay bit-deterministic).
+    pub fn publish(&self, set: &mut StatSet) {
+        set.add("offered", self.offered);
+        set.add("admitted", self.admitted);
+        set.add("shed", self.shed);
+        set.add("completed", self.completed);
+        set.add("failed", self.failed);
+        set.add("peak_waiting", self.peak_waiting as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_map_routes_partitions_through_tag_low_bits() {
+        let map = TenantMap::new(1000, 16);
+        assert_eq!(map.partition_of(0), 0);
+        assert_eq!(map.partition_of(17), 1);
+        for tenant in [0, 3, 17, 999] {
+            for seq in [0, 1, 42] {
+                let tag = map.tag(tenant, seq);
+                assert_eq!(
+                    tag.0 % u64::from(map.partitions),
+                    u64::from(map.partition_of(tenant)),
+                    "tag low bits must carry the partition"
+                );
+            }
+        }
+        // Same partition, distinct (tenant, seq) -> distinct tags as long
+        // as seqs differ (the serving generator allocates seqs globally).
+        assert_ne!(map.tag(0, 1), map.tag(16, 2));
+    }
+
+    #[test]
+    fn admission_sheds_past_depth_and_conserves_counts() {
+        let mut adm = Admission::new(2);
+        assert!(adm.offer());
+        assert!(adm.offer());
+        assert!(!adm.offer(), "third arrival finds the queue full");
+        assert_eq!((adm.admitted(), adm.shed()), (2, 1));
+        adm.start();
+        assert!(adm.offer(), "a started job freed a queue slot");
+        adm.finish(true);
+        adm.start();
+        adm.finish(false);
+        adm.start();
+        adm.finish(true);
+        adm.offer_shed_downstream();
+        assert!(adm.conserved(), "completed+shed+failed == offered");
+        assert_eq!(adm.offered(), 5);
+        assert_eq!(adm.completed(), 2);
+        assert_eq!(adm.failed(), 1);
+        assert_eq!(adm.shed(), 2);
+        assert_eq!(adm.peak_waiting(), 2);
+    }
+
+    #[test]
+    fn downstream_shed_of_an_admitted_job_conserves() {
+        let mut adm = Admission::new(4);
+        assert!(adm.offer());
+        adm.shed_admitted();
+        assert_eq!((adm.admitted(), adm.shed(), adm.waiting()), (0, 1, 0));
+        assert!(adm.conserved());
+    }
+
+    #[test]
+    fn admission_publishes_integer_counters() {
+        let mut adm = Admission::new(1);
+        adm.offer();
+        adm.start();
+        adm.finish(true);
+        let mut set = StatSet::new();
+        adm.publish(&mut set);
+        assert_eq!(set.counter("offered"), 1);
+        assert_eq!(set.counter("completed"), 1);
+        assert_eq!(set.counter("shed"), 0);
+    }
+}

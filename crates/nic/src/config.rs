@@ -7,6 +7,7 @@
 
 use crate::lookup::LookupKind;
 use crate::reliability::ReliabilityConfig;
+use crate::trigger::TriggerPartitions;
 use serde::{Deserialize, Serialize};
 
 /// Timing and structural parameters of one NIC.
@@ -42,6 +43,11 @@ pub struct NicConfig {
     /// Registrations fail with `CapacityExceeded` only once *both* tiers
     /// are full.
     pub trigger_overflow_capacity: usize,
+    /// Static multi-tenant partitioning of the trigger CAM plus an
+    /// optional per-partition admission depth (entries past it are shed,
+    /// never a panic). The default ([`TriggerPartitions::NONE`]) is
+    /// bit-identical to an unpartitioned list.
+    pub trigger_partitions: TriggerPartitions,
     /// Bounded completion queue: `Some(depth)` makes the cluster glue
     /// attach a `depth`-entry CQ with backpressure to every NIC — a full
     /// ring parks receive commits (the `cq_stall` stage) instead of
@@ -76,6 +82,7 @@ impl Default for NicConfig {
             // than the CAM's parallel compare.
             spill_match_extra_ns: 200,
             trigger_overflow_capacity: crate::trigger::DEFAULT_OVERFLOW_CAPACITY,
+            trigger_partitions: TriggerPartitions::NONE,
             cq_capacity: None,
             cq_drain_ns: 250,
             reliability: ReliabilityConfig::default(),
@@ -95,6 +102,7 @@ impl NicConfig {
         if self.cq_capacity == Some(0) {
             return Err("bounded CQ needs at least one slot".into());
         }
+        self.trigger_partitions.validate()?;
         self.reliability.validate()
     }
 }
@@ -124,6 +132,14 @@ mod tests {
         assert!(c.validate().is_err());
         let c = NicConfig {
             cq_capacity: Some(0),
+            ..NicConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = NicConfig {
+            trigger_partitions: TriggerPartitions {
+                partitions: 0,
+                depth: None,
+            },
             ..NicConfig::default()
         };
         assert!(c.validate().is_err());

@@ -43,4 +43,4 @@ pub use lookup::LookupKind;
 pub use nic::{Nic, NicEvent, NicNote, NicOutput};
 pub use op::{NetOp, OpId, Tag};
 pub use reliability::{DeliveryCause, DeliveryFailure, ReliabilityConfig};
-pub use trigger::{TriggerError, TriggerList};
+pub use trigger::{TriggerError, TriggerList, TriggerPartitions};

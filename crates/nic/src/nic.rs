@@ -267,9 +267,11 @@ pub struct Nic {
     cq_backlog: VecDeque<(SimTime, CqKind, u64, u64)>,
     /// Whether a [`NicEvent::CqDrain`] is already scheduled.
     cq_drain_scheduled: bool,
-    /// Trigger-list spill/promotion totals already folded into `stats`.
+    /// Trigger-list spill/promotion/shed totals already folded into
+    /// `stats`.
     spills_synced: u64,
     promotions_synced: u64,
+    shed_synced: u64,
     /// Journal of fault/reliability activity, drained by the cluster glue.
     notes: Vec<(SimTime, NicNote)>,
 }
@@ -281,7 +283,11 @@ impl Nic {
     /// Panics if the configuration is invalid.
     pub fn new(node: NodeId, config: NicConfig) -> Self {
         config.validate().expect("invalid NIC config");
-        let triggers = TriggerList::with_overflow(config.lookup, config.trigger_overflow_capacity);
+        let triggers = TriggerList::with_partitions(
+            config.lookup,
+            config.trigger_overflow_capacity,
+            config.trigger_partitions,
+        );
         let rel = Reliability::new(config.reliability.clone());
         Nic {
             node,
@@ -303,6 +309,7 @@ impl Nic {
             cq_drain_scheduled: false,
             spills_synced: 0,
             promotions_synced: 0,
+            shed_synced: 0,
             notes: Vec::new(),
         }
     }
@@ -512,6 +519,11 @@ impl Nic {
             self.stats
                 .add("trigger_promotions", promotions - self.promotions_synced);
             self.promotions_synced = promotions;
+        }
+        let shed = self.triggers.admission_shed();
+        if shed > self.shed_synced {
+            self.stats.add("admission_shed", shed - self.shed_synced);
+            self.shed_synced = shed;
         }
     }
 

@@ -22,8 +22,54 @@
 use crate::dynamic::DynFields;
 use crate::lookup::LookupKind;
 use crate::op::{NetOp, Tag};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Static partitioning of the trigger list across tenants.
+///
+/// Multi-tenant serving slices the CAM into `partitions` equal shares
+/// (ways are distributed round-robin, lowest partitions first when they
+/// do not divide evenly) so one tenant's burst cannot evict another
+/// tenant's armed entries. A tag belongs to partition `tag % partitions`
+/// — tenancy layers encode the tenant's partition into the tag's low
+/// bits (see `gtn_core::tenancy`). `depth` is an admission-control bound
+/// on *active* entries (CAM + overflow) per partition: inserts past it
+/// are **shed** — counted, reported, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggerPartitions {
+    /// Number of equal CAM shares (>= 1). `1` means unpartitioned.
+    pub partitions: u32,
+    /// Max active entries per partition before new inserts are shed;
+    /// `None` disables admission control (spill/reject semantics only).
+    pub depth: Option<u64>,
+}
+
+impl TriggerPartitions {
+    /// The unpartitioned configuration: one partition, no admission bound.
+    /// Behavior is bit-identical to a pre-partitioning trigger list.
+    pub const NONE: TriggerPartitions = TriggerPartitions {
+        partitions: 1,
+        depth: None,
+    };
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.partitions == 0 {
+            return Err("trigger partitions must be >= 1".into());
+        }
+        if self.depth == Some(0) {
+            return Err("partition admission depth must be >= 1 (or None)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TriggerPartitions {
+    fn default() -> Self {
+        TriggerPartitions::NONE
+    }
+}
 
 /// One trigger entry (§3.1): "Network Operation, Tag, Counter, Threshold".
 ///
@@ -86,6 +132,18 @@ pub enum TriggerError {
     /// A registration supplied a zero threshold, which would make the
     /// operation fire before any trigger — use a direct post instead.
     ZeroThreshold(Tag),
+    /// The tag's partition is at its admission-control depth
+    /// ([`TriggerPartitions::depth`]): the entry was shed to protect
+    /// already-admitted work. Expected under overload — count it, back
+    /// off, retry later.
+    AdmissionShed {
+        /// The tag that was shed.
+        tag: Tag,
+        /// Partition the tag maps to (`tag % partitions`).
+        partition: u32,
+        /// The configured per-partition depth that was reached.
+        depth: u64,
+    },
 }
 
 impl fmt::Display for TriggerError {
@@ -100,6 +158,14 @@ impl fmt::Display for TriggerError {
             TriggerError::ZeroThreshold(t) => {
                 write!(f, "{t}: threshold must be >= 1 (use a direct post)")
             }
+            TriggerError::AdmissionShed {
+                tag,
+                partition,
+                depth,
+            } => write!(
+                f,
+                "{tag} shed: trigger partition {partition} at admission depth {depth}"
+            ),
         }
     }
 }
@@ -124,10 +190,16 @@ pub struct TriggerList {
     overflow: HashMap<u64, TriggerEntry>,
     overflow_capacity: usize,
     kind: LookupKind,
+    parts: TriggerPartitions,
+    /// CAM-resident entries per partition (indexes `0..parts.partitions`).
+    cam_counts: Vec<usize>,
+    /// Overflow-resident entries per partition.
+    overflow_counts: Vec<usize>,
     fired_total: u64,
     early_allocations: u64,
     spills: u64,
     promotions: u64,
+    shed: u64,
     rejected_capacity: u64,
     rejected_duplicate: u64,
     rejected_zero_threshold: u64,
@@ -143,15 +215,32 @@ impl TriggerList {
     /// An empty list with an explicit overflow-table capacity (tests and
     /// resource-pressure scenarios shrink it to force exhaustion).
     pub fn with_overflow(kind: LookupKind, overflow_capacity: usize) -> Self {
+        Self::with_partitions(kind, overflow_capacity, TriggerPartitions::NONE)
+    }
+
+    /// An empty list whose CAM is statically partitioned (multi-tenant
+    /// serving). With [`TriggerPartitions::NONE`] this is bit-identical
+    /// to [`TriggerList::with_overflow`].
+    pub fn with_partitions(
+        kind: LookupKind,
+        overflow_capacity: usize,
+        parts: TriggerPartitions,
+    ) -> Self {
+        assert!(parts.partitions >= 1, "trigger partitions must be >= 1");
+        let n = parts.partitions as usize;
         TriggerList {
             entries: HashMap::new(),
             overflow: HashMap::new(),
             overflow_capacity,
             kind,
+            parts,
+            cam_counts: vec![0; n],
+            overflow_counts: vec![0; n],
             fired_total: 0,
             early_allocations: 0,
             spills: 0,
             promotions: 0,
+            shed: 0,
             rejected_capacity: 0,
             rejected_duplicate: 0,
             rejected_zero_threshold: 0,
@@ -205,20 +294,47 @@ impl TriggerList {
     }
 
     /// True if matching `tag` would touch the host-memory overflow table:
-    /// either the entry lives there, or the tag is unknown and a full CAM
-    /// would force its allocation to spill. The NIC charges the spill
-    /// surcharge for such matches.
+    /// either the entry lives there, or the tag is unknown and a full
+    /// partition would force its allocation to spill. The NIC charges the
+    /// spill surcharge for such matches.
     pub fn resolves_to_overflow(&self, tag: Tag) -> bool {
         if self.entries.contains_key(&tag.0) {
             return false;
         }
-        self.overflow.contains_key(&tag.0) || self.cam_full()
+        self.overflow.contains_key(&tag.0) || self.cam_full_in(self.partition_of(tag))
     }
 
-    fn cam_full(&self) -> bool {
-        self.kind
-            .capacity()
-            .is_some_and(|cap| self.entries.len() >= cap)
+    /// The partition `tag` maps to: `tag % partitions`.
+    pub fn partition_of(&self, tag: Tag) -> u32 {
+        (tag.0 % u64::from(self.parts.partitions)) as u32
+    }
+
+    /// The partition configuration in effect.
+    pub fn partitions(&self) -> TriggerPartitions {
+        self.parts
+    }
+
+    /// CAM ways assigned to partition `p`: the total ways divided evenly,
+    /// with the first `ways % partitions` partitions taking one extra.
+    /// Unbounded lookup kinds have no CAM tier, so every partition is
+    /// unbounded too.
+    pub fn cam_capacity_of(&self, p: u32) -> usize {
+        match self.kind.capacity() {
+            None => usize::MAX,
+            Some(ways) => {
+                let n = self.parts.partitions as usize;
+                ways / n + usize::from((p as usize) < ways % n)
+            }
+        }
+    }
+
+    /// Active entries (CAM + overflow) currently held by partition `p`.
+    pub fn active_in_partition(&self, p: u32) -> usize {
+        self.cam_counts[p as usize] + self.overflow_counts[p as usize]
+    }
+
+    fn cam_full_in(&self, p: u32) -> bool {
+        self.cam_counts[p as usize] >= self.cam_capacity_of(p)
     }
 
     /// Borrow an entry (tests and diagnostics).
@@ -243,6 +359,14 @@ impl TriggerList {
         self.rejected_capacity + self.rejected_duplicate + self.rejected_zero_threshold
     }
 
+    /// Entries shed by per-partition admission control
+    /// ([`TriggerPartitions::depth`]). Deliberately *not* part of
+    /// [`TriggerList::rejections`]: a shed is expected overload behavior,
+    /// not a resource-model error.
+    pub fn admission_shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Snapshot of the still-pending entries for diagnostics, sorted by
     /// tag: `(tag, counter, threshold, armed)`. A stalled node's list shows
     /// exactly which matches it is still waiting for.
@@ -265,16 +389,30 @@ impl TriggerList {
         }
     }
 
-    /// Place a brand-new entry: CAM while it has room, otherwise spill to
+    /// Place a brand-new entry in its tag's partition: admission check
+    /// first, then CAM while the partition has room, otherwise spill to
     /// the overflow table, otherwise reject.
     fn insert_new(&mut self, tag: Tag, entry: TriggerEntry) -> Result<(), TriggerError> {
-        if !self.cam_full() {
+        let p = self.partition_of(tag);
+        if let Some(depth) = self.parts.depth {
+            if self.active_in_partition(p) as u64 >= depth {
+                self.shed += 1;
+                return Err(TriggerError::AdmissionShed {
+                    tag,
+                    partition: p,
+                    depth,
+                });
+            }
+        }
+        if !self.cam_full_in(p) {
             self.entries.insert(tag.0, entry);
+            self.cam_counts[p as usize] += 1;
             return Ok(());
         }
         if self.overflow.len() < self.overflow_capacity {
             self.spills += 1;
             self.overflow.insert(tag.0, entry);
+            self.overflow_counts[p as usize] += 1;
             return Ok(());
         }
         self.rejected_capacity += 1;
@@ -284,13 +422,22 @@ impl TriggerList {
         })
     }
 
-    /// Retiring a CAM entry frees slots: move overflow entries back into
-    /// the fast tier, lowest tag first (deterministic order).
-    fn promote(&mut self) {
-        while !self.cam_full() && !self.overflow.is_empty() {
-            let tag = *self.overflow.keys().min().expect("overflow non-empty");
+    /// Retiring a CAM entry frees slots in its partition: move that
+    /// partition's overflow entries back into the fast tier, lowest tag
+    /// first (deterministic order).
+    fn promote_in(&mut self, p: u32) {
+        while !self.cam_full_in(p) && self.overflow_counts[p as usize] > 0 {
+            let tag = self
+                .overflow
+                .keys()
+                .copied()
+                .filter(|&t| self.partition_of(Tag(t)) == p)
+                .min()
+                .expect("partition overflow count is non-zero");
             let e = self.overflow.remove(&tag).expect("key just found");
             self.entries.insert(tag, e);
+            self.overflow_counts[p as usize] -= 1;
+            self.cam_counts[p as usize] += 1;
             self.promotions += 1;
         }
     }
@@ -399,12 +546,16 @@ impl TriggerList {
     /// later allocates a fresh counter-only entry). Retiring a CAM entry
     /// promotes waiting overflow entries into the freed slots.
     fn take_fired(&mut self, tag: Tag) -> Fired {
-        let e = self
-            .entries
-            .remove(&tag.0)
-            .or_else(|| self.overflow.remove(&tag.0))
-            .expect("ready entry exists");
-        self.promote();
+        let p = self.partition_of(tag);
+        let e = if let Some(e) = self.entries.remove(&tag.0) {
+            self.cam_counts[p as usize] -= 1;
+            self.promote_in(p);
+            e
+        } else {
+            let e = self.overflow.remove(&tag.0).expect("ready entry exists");
+            self.overflow_counts[p as usize] -= 1;
+            e
+        };
         self.fired_total += 1;
         let mut op = e.op.expect("ready entry has op");
         e.overrides.apply(&mut op);
@@ -603,6 +754,146 @@ mod tests {
         assert_eq!(l.trigger(Tag(1)).unwrap(), None);
         assert_eq!(l.entry(Tag(1)).unwrap().counter, 1);
         assert_eq!(l.entry(Tag(1)).unwrap().op, None);
+    }
+
+    #[test]
+    fn partitioned_cam_splits_ways_and_isolates_tenants() {
+        // 4 ways over 2 partitions: 2 ways each. Even tags -> partition 0,
+        // odd tags -> partition 1.
+        let parts = TriggerPartitions {
+            partitions: 2,
+            depth: None,
+        };
+        let mut l = TriggerList::with_partitions(LookupKind::Associative { ways: 4 }, 64, parts);
+        assert_eq!(l.cam_capacity_of(0), 2);
+        assert_eq!(l.cam_capacity_of(1), 2);
+        // Fill partition 0 (even tags): the third even entry spills even
+        // though partition 1's CAM share is empty — isolation.
+        for t in [0, 2, 4] {
+            l.register(Tag(t), put(), 1).unwrap();
+        }
+        assert_eq!(l.spills(), 1);
+        assert!(l.resolves_to_overflow(Tag(4)));
+        assert_eq!(l.active_in_partition(0), 3);
+        // Partition 1 still has CAM room.
+        l.register(Tag(1), put(), 1).unwrap();
+        assert!(!l.resolves_to_overflow(Tag(1)));
+        assert_eq!(l.spills(), 1);
+        // Retiring a partition-0 CAM entry promotes partition 0's spill.
+        l.trigger(Tag(0)).unwrap().expect("fires");
+        assert_eq!(l.promotions(), 1);
+        assert!(!l.resolves_to_overflow(Tag(4)));
+    }
+
+    #[test]
+    fn uneven_ways_distribute_extra_to_low_partitions() {
+        let parts = TriggerPartitions {
+            partitions: 3,
+            depth: None,
+        };
+        let l = TriggerList::with_partitions(LookupKind::Associative { ways: 16 }, 64, parts);
+        assert_eq!(
+            (
+                l.cam_capacity_of(0),
+                l.cam_capacity_of(1),
+                l.cam_capacity_of(2)
+            ),
+            (6, 5, 5)
+        );
+        assert_eq!(l.partition_of(Tag(7)), 1);
+    }
+
+    #[test]
+    fn admission_depth_sheds_new_entries_never_panics() {
+        let parts = TriggerPartitions {
+            partitions: 2,
+            depth: Some(2),
+        };
+        let mut l = TriggerList::with_partitions(LookupKind::Associative { ways: 4 }, 64, parts);
+        l.register(Tag(0), put(), 2).unwrap();
+        l.register(Tag(2), put(), 1).unwrap();
+        // Partition 0 is at depth: new registrations and early triggers
+        // are shed; partition 1 is unaffected.
+        assert_eq!(
+            l.register(Tag(4), put(), 1),
+            Err(TriggerError::AdmissionShed {
+                tag: Tag(4),
+                partition: 0,
+                depth: 2,
+            })
+        );
+        assert!(matches!(
+            l.trigger(Tag(6)),
+            Err(TriggerError::AdmissionShed { .. })
+        ));
+        assert_eq!(l.admission_shed(), 2);
+        assert_eq!(l.rejections(), (0, 0, 0), "shed is not a rejection");
+        l.register(Tag(1), put(), 1).unwrap();
+        // Writes to *existing* entries are never shed.
+        assert_eq!(l.trigger(Tag(0)).unwrap(), None);
+        // Retiring an entry frees admission room again.
+        l.trigger(Tag(2)).unwrap().expect("fires");
+        assert!(l.register(Tag(4), put(), 1).is_ok());
+    }
+
+    #[test]
+    fn zero_way_partitions_are_spill_only() {
+        // More partitions than ways: partition 2 has no CAM share, so its
+        // entries live (and fire) entirely from the overflow table.
+        let parts = TriggerPartitions {
+            partitions: 3,
+            depth: None,
+        };
+        let mut l = TriggerList::with_partitions(LookupKind::Associative { ways: 2 }, 64, parts);
+        assert_eq!(l.cam_capacity_of(2), 0);
+        l.register(Tag(2), put(), 1).unwrap();
+        assert!(l.resolves_to_overflow(Tag(2)));
+        assert_eq!(l.spills(), 1);
+        let fired = l.trigger(Tag(2)).unwrap().expect("fires from overflow");
+        assert_eq!(fired.tag, Tag(2));
+    }
+
+    #[test]
+    fn single_partition_matches_unpartitioned_behavior() {
+        // TriggerPartitions::NONE must be bit-identical to the plain
+        // constructor across a mixed spill/promote/fire interleaving.
+        let mut a = TriggerList::with_overflow(LookupKind::Associative { ways: 2 }, 4);
+        let mut b = TriggerList::with_partitions(
+            LookupKind::Associative { ways: 2 },
+            4,
+            TriggerPartitions::NONE,
+        );
+        for l in [&mut a, &mut b] {
+            for t in 0..5 {
+                l.register(Tag(t), put(), 1).unwrap();
+            }
+            l.trigger(Tag(0)).unwrap().expect("fires");
+            l.trigger(Tag(3)).unwrap().expect("fires");
+        }
+        assert_eq!(a.pending_entries(), b.pending_entries());
+        assert_eq!(a.spills(), b.spills());
+        assert_eq!(a.promotions(), b.promotions());
+        assert_eq!(
+            (a.cam_len(), a.overflow_len()),
+            (b.cam_len(), b.overflow_len())
+        );
+    }
+
+    #[test]
+    fn partition_config_validation() {
+        assert!(TriggerPartitions::NONE.validate().is_ok());
+        assert!(TriggerPartitions {
+            partitions: 0,
+            depth: None
+        }
+        .validate()
+        .is_err());
+        assert!(TriggerPartitions {
+            partitions: 4,
+            depth: Some(0)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

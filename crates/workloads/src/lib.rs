@@ -18,6 +18,12 @@
 //!   Allreduce-characteristic models, projected with the paper's
 //!   methodology over simulated collective times.
 //!
+//! The [`serving`] module is the production counterpart: an open-loop,
+//! trace-driven multi-tenant serving workload (pingpong-style RPCs plus
+//! small collectives) with seeded Poisson / bounded-Pareto arrivals,
+//! per-tenant trigger-list partitions, admission-control shedding, and
+//! p50/p99/p99.9 + goodput SLO reporting.
+//!
 //! The [`chaos`] module is the robustness counterpart: it runs any of the
 //! above under crash-stop injections and interprets the outcome through a
 //! recovery policy (abort / checkpoint-restart / rebuild-collective),
@@ -39,3 +45,4 @@ pub mod harness;
 pub mod jacobi;
 pub mod launch_study;
 pub mod pingpong;
+pub mod serving;
