@@ -448,6 +448,12 @@ impl Cluster {
         let mut fabric = StatSet::new();
         fabric.absorb(self.fabric.fault_stats());
         fabric.add("messages_sent", self.fabric.messages_sent());
+        // Per-link utilization rollups over the topology graph: the
+        // heaviest link is the congestion hot spot a scaling sweep reports.
+        fabric.add("max_link_bytes", self.fabric.max_link_bytes());
+        fabric.add("max_link_packets", self.fabric.max_link_packets());
+        fabric.add("wire_bytes", self.fabric.total_wire_bytes());
+        fabric.add("links", self.fabric.link_count() as u64);
         out.insert("fabric", &fabric);
         let mut engine = StatSet::new();
         engine.add("events_processed", self.exec.events_processed());

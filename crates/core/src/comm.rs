@@ -76,6 +76,25 @@ pub trait CommDriver {
         let _ = (config, mem, max_msg_bytes);
     }
 
+    /// Like [`setup`](CommDriver::setup), but for workloads that know
+    /// their communication graph up front: only the given directed
+    /// `(src, dst)` pairs get eager channels. At 512 nodes a ring
+    /// Allreduce talks to 2 peers per rank, not 511, so the dense
+    /// `O(P²)` mailbox mesh would dwarf the payload memory. One-sided
+    /// drivers ignore the hint; the default delegates to the dense
+    /// [`setup`](CommDriver::setup) so sparse-aware callers stay correct
+    /// on every driver.
+    fn setup_pairs(
+        &mut self,
+        config: &ClusterConfig,
+        mem: &mut MemPool,
+        max_msg_bytes: u64,
+        pairs: &[(u32, u32)],
+    ) {
+        let _ = pairs;
+        self.setup(config, mem, max_msg_bytes);
+    }
+
     /// Emit a matched two-sided send of `len` bytes from `src` on node
     /// `from` toward `to` into `prog`.
     ///
@@ -154,6 +173,17 @@ impl MpiLane {
         self.host = Some(config.host.clone());
     }
 
+    fn setup_pairs(
+        &mut self,
+        config: &ClusterConfig,
+        mem: &mut MemPool,
+        max_msg_bytes: u64,
+        pairs: &[(u32, u32)],
+    ) {
+        self.world = Some(MpiWorld::for_pairs(mem, pairs, max_msg_bytes));
+        self.host = Some(config.host.clone());
+    }
+
     fn world(&mut self) -> &mut MpiWorld {
         self.world
             .as_mut()
@@ -198,6 +228,16 @@ impl CommDriver for CpuMpiDriver {
         self.lane.setup(config, mem, max_msg_bytes);
     }
 
+    fn setup_pairs(
+        &mut self,
+        config: &ClusterConfig,
+        mem: &mut MemPool,
+        max_msg_bytes: u64,
+        pairs: &[(u32, u32)],
+    ) {
+        self.lane.setup_pairs(config, mem, max_msg_bytes, pairs);
+    }
+
     fn send(&mut self, prog: &mut HostProgram, from: NodeId, to: NodeId, src: Addr, len: u64) {
         self.lane.send(prog, from, to, src, len);
     }
@@ -229,6 +269,16 @@ impl CommDriver for HdnDriver {
 
     fn setup(&mut self, config: &ClusterConfig, mem: &mut MemPool, max_msg_bytes: u64) {
         self.lane.setup(config, mem, max_msg_bytes);
+    }
+
+    fn setup_pairs(
+        &mut self,
+        config: &ClusterConfig,
+        mem: &mut MemPool,
+        max_msg_bytes: u64,
+        pairs: &[(u32, u32)],
+    ) {
+        self.lane.setup_pairs(config, mem, max_msg_bytes, pairs);
     }
 
     fn send(&mut self, prog: &mut HostProgram, from: NodeId, to: NodeId, src: Addr, len: u64) {
@@ -396,6 +446,42 @@ mod tests {
             d.send(&mut p0, NodeId(0), NodeId(1), src, 64);
             d.recv(&mut p1, NodeId(0), NodeId(1), dst, 64);
             assert!(!p0.is_empty() && !p1.is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn sparse_setup_builds_channels_for_named_pairs_only() {
+        let config = ClusterConfig::table2(4);
+        for s in [Strategy::Cpu, Strategy::Hdn] {
+            let mut mem = MemPool::new(4);
+            let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), 64, "t.src"));
+            let mut d = driver(s);
+            d.setup_pairs(&config, &mut mem, 64, &[(0, 1), (1, 0)]);
+            let mut p0 = HostProgram::new();
+            d.send(&mut p0, NodeId(0), NodeId(1), src, 64);
+            assert!(!p0.is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel n0->n2")]
+    fn sparse_setup_panics_on_unnamed_pair() {
+        let config = ClusterConfig::table2(4);
+        let mut mem = MemPool::new(4);
+        let src = Addr::base(NodeId(0), mem.alloc(NodeId(0), 64, "t.src"));
+        let mut d = driver(Strategy::Cpu);
+        d.setup_pairs(&config, &mut mem, 64, &[(0, 1)]);
+        let mut p0 = HostProgram::new();
+        d.send(&mut p0, NodeId(0), NodeId(2), src, 64);
+    }
+
+    #[test]
+    fn one_sided_drivers_accept_the_pair_hint() {
+        let config = ClusterConfig::table2(2);
+        for s in [Strategy::Gds, Strategy::GpuTn] {
+            let mut mem = MemPool::new(2);
+            // Default delegates to the (no-op) dense setup: must not panic.
+            driver(s).setup_pairs(&config, &mut mem, 64, &[(0, 1)]);
         }
     }
 

@@ -44,6 +44,11 @@ pub struct ConfigPatch {
     /// never changes results — this exists so tests can run the same
     /// scenario at several shard counts and assert bit-identity.
     pub sim_shards: Option<u32>,
+    /// Replace the physical interconnect shape (`None` keeps the
+    /// workload's default, the paper's star). The fabric expands the shape
+    /// into an explicit switch/link graph, so the same workload sweeps
+    /// across star / full-mesh / fat-tree / dragonfly fabrics.
+    pub topo: Option<gtn_fabric::Topology>,
 }
 
 /// One crash-stop injection, `Copy` so it rides [`ConfigPatch`] through
@@ -118,6 +123,7 @@ impl ConfigPatch {
         crash: None,
         detect: None,
         sim_shards: None,
+        topo: None,
     };
 
     /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
@@ -158,6 +164,19 @@ impl ConfigPatch {
         ConfigPatch::NONE.with_crash(CrashComponent::Link { a, b }, at_ns)
     }
 
+    /// Sever the undirected topology-graph edge between vertices `a` and
+    /// `b` at `at_ns` (hosts number below switches; only pairs whose
+    /// routes cross the edge lose connectivity).
+    pub fn crash_edge(a: u32, b: u32, at_ns: u64) -> Self {
+        ConfigPatch::NONE.with_crash(CrashComponent::Edge { a, b }, at_ns)
+    }
+
+    /// Combine this patch with a replaced interconnect shape.
+    pub fn with_topology(mut self, topo: gtn_fabric::Topology) -> Self {
+        self.topo = Some(topo);
+        self
+    }
+
     /// Combine this patch with a crash-stop injection.
     pub fn with_crash(mut self, component: CrashComponent, at_ns: u64) -> Self {
         self.crash = Some(CrashCell { component, at_ns });
@@ -178,6 +197,9 @@ impl ConfigPatch {
 
     /// Apply the overrides to a cluster config (after workload defaults).
     pub fn apply(&self, config: &mut ClusterConfig) {
+        if let Some(topo) = self.topo {
+            config.fabric.topology = topo;
+        }
         if let Some((seed, rate)) = self.loss {
             if rate > 0.0 {
                 config.fabric.faults = gtn_fabric::FaultConfig::loss(seed, rate);
@@ -491,6 +513,28 @@ mod tests {
         let q = p; // Copy
         assert_eq!(p, q);
         assert_eq!(p.detect, None);
+    }
+
+    #[test]
+    fn topology_patch_replaces_the_shape() {
+        let mut config = ClusterConfig::table2(16);
+        assert_eq!(config.fabric.topology, gtn_fabric::Topology::Star);
+        ConfigPatch::NONE
+            .with_topology(gtn_fabric::Topology::FatTree { k: 4 })
+            .apply(&mut config);
+        assert_eq!(
+            config.fabric.topology,
+            gtn_fabric::Topology::FatTree { k: 4 }
+        );
+        // The edge-crash shorthand addresses graph vertices.
+        assert_eq!(
+            ConfigPatch::crash_edge(0, 16, 5).crash.unwrap().component,
+            CrashComponent::Edge { a: 0, b: 16 }
+        );
+        // The patch stays Copy + PartialEq with the new knob aboard.
+        let p = ConfigPatch::NONE.with_topology(gtn_fabric::Topology::FullMesh);
+        let q = p;
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct FabricConfig {
     pub header_bytes: u64,
     /// Interconnect shape. The paper evaluates a star (single switch).
     pub topology: Topology,
+    /// Seed for ECMP tie-breaking between equal-cost paths (fat-tree and
+    /// dragonfly; star and full mesh have single-candidate routes and
+    /// ignore it). The same seed reproduces the same flow placement.
+    #[serde(default)]
+    pub ecmp_seed: u64,
     /// Latency of a loopback (self-send) through the local NIC, nanoseconds.
     pub loopback_latency_ns: u64,
     /// Fault-injection plan; [`FaultConfig::none`] (the default) disables
@@ -36,6 +41,7 @@ impl Default for FabricConfig {
             mtu_bytes: 4096,
             header_bytes: 30, // IB-like LRH+BTH+ICRC order of magnitude
             topology: Topology::Star,
+            ecmp_seed: 0,
             loopback_latency_ns: 150,
             faults: FaultConfig::none(),
         }
@@ -43,14 +49,19 @@ impl Default for FabricConfig {
 }
 
 impl FabricConfig {
-    /// Minimum latency of any cross-node interaction, nanoseconds: one
-    /// link hop plus the switch traversal. On the star topology *every*
-    /// cross-node path crosses the switch (actual deliveries pay two link
-    /// hops plus serialization on top), so this is a sound conservative
-    /// lookahead for sharded simulation: nothing a node does at time `t`
-    /// can affect another node before `t + min_cross_node_latency_ns()`.
+    /// Minimum latency of any cross-node interaction, nanoseconds. On every
+    /// switched topology (star, fat-tree, dragonfly) a cross-node path
+    /// crosses at least one link and one switch (actual deliveries pay at
+    /// least two link hops plus serialization on top); the full mesh has no
+    /// switch, so only the wire latency bounds it. This is a sound
+    /// conservative lookahead for sharded simulation: nothing a node does
+    /// at time `t` can affect another node before
+    /// `t + min_cross_node_latency_ns()`.
     pub fn min_cross_node_latency_ns(&self) -> u64 {
-        self.link_latency_ns + self.switch_latency_ns
+        match self.topology {
+            Topology::FullMesh => self.link_latency_ns,
+            _ => self.link_latency_ns + self.switch_latency_ns,
+        }
     }
 
     /// Validate invariants; called by [`crate::Fabric::new`].
@@ -64,6 +75,7 @@ impl FabricConfig {
         if self.mtu_bytes == 0 {
             return Err("mtu_bytes must be nonzero".into());
         }
+        self.topology.validate()?;
         self.faults.validate()
     }
 }

@@ -1,18 +1,21 @@
-//! The assembled interconnect: topology + links + switch.
+//! The assembled interconnect: topology graph + per-edge links.
 //!
 //! [`Fabric::send_message`] is the single entry point the NIC model uses:
-//! it segments the message, walks each packet across the route updating
-//! per-link occupancy, and reports when the first and last packets land at
-//! the destination NIC. Packets of one message pipeline (packet *k+1*
-//! serializes on the uplink while packet *k* crosses the downlink), which is
-//! what lets an 8 MB transfer approach line rate instead of paying per-hop
-//! latency per packet.
+//! it segments the message, walks each packet edge by edge across the
+//! precomputed route updating per-link occupancy, and reports when the
+//! first and last packets land at the destination NIC. Packets of one
+//! message pipeline (packet *k+1* serializes on the first edge while packet
+//! *k* crosses the last), which is what lets an 8 MB transfer approach line
+//! rate instead of paying per-hop latency per packet. Because every
+//! directed edge owns exactly one serializing [`Link`], congestion emerges
+//! wherever routes share an edge — a fat-tree core link or dragonfly
+//! global link contends exactly like the star's downlinks always have.
 
 use crate::config::FabricConfig;
-use crate::faults::{Delivery, FaultPlan};
+use crate::faults::{CrashComponent, Delivery, FaultPlan};
+use crate::graph::FabricGraph;
 use crate::link::Link;
 use crate::packet::segment;
-use crate::topology::{Hop, Topology};
 use gtn_mem::NodeId;
 use gtn_sim::time::{SimDuration, SimTime};
 
@@ -32,12 +35,15 @@ pub struct MessageTiming {
 pub struct Fabric {
     config: FabricConfig,
     n_nodes: usize,
-    /// Star: uplinks[i] carries node i -> switch.
-    uplinks: Vec<Link>,
-    /// Star: downlinks[i] carries switch -> node i.
-    downlinks: Vec<Link>,
-    /// Full mesh: direct[src][dst].
-    direct: Vec<Vec<Link>>,
+    graph: FabricGraph,
+    /// One serializing link per directed graph edge, indexed by edge id.
+    links: Vec<Link>,
+    /// Crash-stop death time per edge (graph-edge faults only); `None`
+    /// everywhere unless the fault plan names [`CrashComponent::Edge`]s.
+    edge_dead_at: Vec<Option<SimTime>>,
+    /// Fast gate: skip the per-message route-death walk entirely when no
+    /// edge crash is configured, keeping the common path byte-identical.
+    has_edge_crashes: bool,
     messages_sent: u64,
     faults: FaultPlan,
 }
@@ -47,32 +53,46 @@ impl Fabric {
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see
-    /// [`FabricConfig::validate`]).
+    /// [`FabricConfig::validate`]), the topology's capacity is below
+    /// `n_nodes`, or a configured [`CrashComponent::Edge`] names an edge
+    /// that does not exist in the expanded graph.
     pub fn new(n_nodes: usize, config: FabricConfig) -> Self {
         config.validate().expect("invalid fabric config");
+        let graph = FabricGraph::build(config.topology, n_nodes, config.ecmp_seed);
         let latency = SimDuration::from_ns(config.link_latency_ns);
-        let mk = || Link::new(config.link_gbps, latency);
-        let (uplinks, downlinks, direct) = match config.topology {
-            Topology::Star => (
-                (0..n_nodes).map(|_| mk()).collect(),
-                (0..n_nodes).map(|_| mk()).collect(),
-                Vec::new(),
-            ),
-            Topology::FullMesh => (
-                Vec::new(),
-                Vec::new(),
-                (0..n_nodes)
-                    .map(|_| (0..n_nodes).map(|_| mk()).collect())
-                    .collect(),
-            ),
-        };
+        let links = (0..graph.edge_count())
+            .map(|_| Link::new(config.link_gbps, latency))
+            .collect();
+
+        let mut edge_dead_at = vec![None; graph.edge_count()];
+        let mut has_edge_crashes = false;
+        for crash in &config.faults.crashes {
+            if let CrashComponent::Edge { a, b } = crash.component {
+                let dead = SimTime::from_ns(crash.at_ns);
+                for (from, to) in [(a, b), (b, a)] {
+                    let e = graph.edge_between(from, to).unwrap_or_else(|| {
+                        panic!(
+                            "CrashComponent::Edge {{ a: {a}, b: {b} }} names no edge of the \
+                             {} graph ({} vertices)",
+                            config.topology.label(),
+                            graph.vertex_count()
+                        )
+                    });
+                    let slot = &mut edge_dead_at[e as usize];
+                    *slot = Some(slot.map_or(dead, |t: SimTime| t.min(dead)));
+                }
+                has_edge_crashes = true;
+            }
+        }
+
         let faults = FaultPlan::new(config.faults.clone());
         Fabric {
             config,
             n_nodes,
-            uplinks,
-            downlinks,
-            direct,
+            graph,
+            links,
+            edge_dead_at,
+            has_edge_crashes,
             messages_sent: 0,
             faults,
         }
@@ -86,6 +106,11 @@ impl Fabric {
     /// Number of nodes attached.
     pub fn node_count(&self) -> usize {
         self.n_nodes
+    }
+
+    /// The expanded topology graph and routing tables.
+    pub fn graph(&self) -> &FabricGraph {
+        &self.graph
     }
 
     /// Messages carried so far.
@@ -120,7 +145,6 @@ impl Fabric {
             };
         }
 
-        let route = self.config.topology.route(src, dst);
         let switch_latency = SimDuration::from_ns(self.config.switch_latency_ns);
         let packets = segment(bytes, self.config.mtu_bytes);
         let n_packets = packets.len() as u64;
@@ -129,27 +153,21 @@ impl Fabric {
         let mut last_arrival = SimTime::ZERO;
         for payload in packets {
             let wire_bytes = payload + self.config.header_bytes;
-            // Walk this packet across the route, store-and-forward.
+            // Walk this packet edge by edge, store-and-forward: each
+            // intermediate vertex is a switch and charges its traversal
+            // latency before the next serialization.
             let mut head = now;
-            for hop in &route {
-                match hop {
-                    Hop::Uplink(n) => {
-                        let (_, arrive) = self.uplinks[n.index()].transmit(head, wire_bytes);
-                        head = arrive;
-                    }
-                    Hop::Switch => {
-                        head += switch_latency;
-                    }
-                    Hop::Downlink(n) => {
-                        let (_, arrive) = self.downlinks[n.index()].transmit(head, wire_bytes);
-                        head = arrive;
-                    }
-                    Hop::Direct(s, d) => {
-                        let (_, arrive) =
-                            self.direct[s.index()][d.index()].transmit(head, wire_bytes);
-                        head = arrive;
-                    }
+            let mut at = src.0;
+            let mut hops = 0u32;
+            while at != dst.0 {
+                let e = self.graph.next_edge(at, src.0, dst.0);
+                if hops > 0 {
+                    head += switch_latency;
                 }
+                let (_, arrive) = self.links[e as usize].transmit(head, wire_bytes);
+                head = arrive;
+                at = self.graph.edge_endpoints(e).1;
+                hops += 1;
             }
             first_arrival = first_arrival.min(head);
             last_arrival = last_arrival.max(head);
@@ -178,8 +196,25 @@ impl Fabric {
         if src == dst {
             return (timing, Delivery::Delivered);
         }
-        let verdict = self.faults.judge(now, src, dst, timing.packets);
+        let route_dead = self.has_edge_crashes && self.route_dead(now, src, dst);
+        let verdict = self
+            .faults
+            .judge_routed(now, src, dst, timing.packets, route_dead);
         (timing, verdict)
+    }
+
+    /// Does the (deterministic) `src -> dst` route cross an edge whose
+    /// crash-stop time is at or before `now`?
+    fn route_dead(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        let mut at = src.0;
+        while at != dst.0 {
+            let e = self.graph.next_edge(at, src.0, dst.0);
+            if self.edge_dead_at[e as usize].is_some_and(|t| now >= t) {
+                return true;
+            }
+            at = self.graph.edge_endpoints(e).1;
+        }
+        false
     }
 
     /// Fault counters (`drops`, `packets_dropped`, `outage_drops`,
@@ -188,22 +223,50 @@ impl Fabric {
         self.faults.stats()
     }
 
-    /// Bytes carried per downlink (diagnostics; indexes by node).
-    pub fn downlink_bytes(&self, node: NodeId) -> u64 {
-        match self.config.topology {
-            Topology::Star => self.downlinks[node.index()].bytes_carried(),
-            Topology::FullMesh => self
-                .direct
-                .iter()
-                .map(|row| row[node.index()].bytes_carried())
-                .sum(),
-        }
+    /// Bytes delivered into `node`: total carried by its in-edges
+    /// (diagnostics; the star's old per-downlink counter generalized).
+    pub fn ingress_bytes(&self, node: NodeId) -> u64 {
+        self.graph
+            .in_edge_ids(node.0)
+            .iter()
+            .map(|&e| self.links[e as usize].bytes_carried())
+            .sum()
+    }
+
+    /// The heaviest link's carried bytes — the congestion hot spot.
+    pub fn max_link_bytes(&self) -> u64 {
+        self.links
+            .iter()
+            .map(Link::bytes_carried)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The heaviest link's carried packets.
+    pub fn max_link_packets(&self) -> u64 {
+        self.links
+            .iter()
+            .map(Link::packets_carried)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total wire bytes (payload + headers) across every link.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.links.iter().map(Link::bytes_carried).sum()
+    }
+
+    /// Number of serializing links (directed graph edges).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
+    use crate::topology::Topology;
 
     fn fabric(n: usize) -> Fabric {
         Fabric::new(n, FabricConfig::default())
@@ -306,12 +369,119 @@ mod tests {
     }
 
     #[test]
-    fn message_counter_and_downlink_stats() {
+    fn message_counter_and_ingress_stats() {
         let mut f = fabric(2);
         f.send_message(SimTime::ZERO, NodeId(0), NodeId(1), 100);
         f.send_message(SimTime::ZERO, NodeId(0), NodeId(1), 100);
         assert_eq!(f.messages_sent(), 2);
-        assert_eq!(f.downlink_bytes(NodeId(1)), 2 * 130);
-        assert_eq!(f.downlink_bytes(NodeId(0)), 0);
+        assert_eq!(f.ingress_bytes(NodeId(1)), 2 * 130);
+        assert_eq!(f.ingress_bytes(NodeId(0)), 0);
+        assert_eq!(f.max_link_bytes(), 2 * 130);
+        assert_eq!(f.max_link_packets(), 2);
+        // Both the uplink and the downlink carried every wire byte.
+        assert_eq!(f.total_wire_bytes(), 2 * 2 * 130);
+        assert_eq!(f.link_count(), 4);
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_is_slower_than_same_edge_switch() {
+        let ft = || {
+            Fabric::new(
+                16,
+                FabricConfig {
+                    topology: Topology::FatTree { k: 4 },
+                    ..FabricConfig::default()
+                },
+            )
+        };
+        let near = ft().send_message(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        let far = ft().send_message(SimTime::ZERO, NodeId(0), NodeId(15), 64);
+        // 2 hops (1 switch) vs 6 hops (5 switches).
+        assert!(far.last_arrival > near.last_arrival);
+        let diff = far.last_arrival.as_ns_f64() - near.last_arrival.as_ns_f64();
+        // 4 extra serializations (7.52 ns each) + 4 wires + 4 switches.
+        assert!((diff - (4.0 * 7.52 + 800.0)).abs() < 0.1, "diff {diff}");
+    }
+
+    #[test]
+    fn shared_core_links_contend_in_a_fat_tree() {
+        // Hosts 0 and 1 share an edge switch; its single uplink pair toward
+        // any other pod serializes when both target the same remote host
+        // region. Compare against disjoint-pod traffic.
+        let mut f = Fabric::new(
+            16,
+            FabricConfig {
+                topology: Topology::FatTree { k: 4 },
+                ..FabricConfig::default()
+            },
+        );
+        let solo = {
+            let mut f2 = Fabric::new(
+                16,
+                FabricConfig {
+                    topology: Topology::FatTree { k: 4 },
+                    ..FabricConfig::default()
+                },
+            );
+            f2.send_message(SimTime::ZERO, NodeId(0), NodeId(15), 1 << 20)
+                .last_arrival
+        };
+        f.send_message(SimTime::ZERO, NodeId(0), NodeId(15), 1 << 20);
+        let b = f.send_message(SimTime::ZERO, NodeId(1), NodeId(15), 1 << 20);
+        assert!(
+            b.last_arrival > solo,
+            "shared path must serialize: {} vs solo {solo}",
+            b.last_arrival
+        );
+    }
+
+    #[test]
+    fn edge_crash_black_holes_routed_pairs_only() {
+        // Star over 4 nodes: sever the undirected edge between the switch
+        // (vertex 4) and host 2 — that is host 2's downlink AND uplink, so
+        // host 2 is fully cut off while every other pair keeps working.
+        let mut f = Fabric::new(
+            4,
+            FabricConfig {
+                faults: FaultConfig::none().with_crash(CrashComponent::Edge { a: 4, b: 2 }, 1_000),
+                ..FabricConfig::default()
+            },
+        );
+        let at = |ns| SimTime::from_ns(ns);
+        assert_eq!(
+            f.send_message_faulty(at(500), NodeId(0), NodeId(2), 64).1,
+            Delivery::Delivered
+        );
+        assert_eq!(
+            f.send_message_faulty(at(2_000), NodeId(0), NodeId(2), 64).1,
+            Delivery::Dropped
+        );
+        assert_eq!(
+            f.send_message_faulty(at(2_000), NodeId(1), NodeId(2), 64).1,
+            Delivery::Dropped
+        );
+        assert_eq!(
+            f.send_message_faulty(at(2_000), NodeId(2), NodeId(1), 64).1,
+            Delivery::Dropped
+        );
+        // Pairs avoiding the dead edge are untouched.
+        assert_eq!(
+            f.send_message_faulty(at(2_000), NodeId(0), NodeId(1), 64).1,
+            Delivery::Delivered
+        );
+        assert_eq!(f.fault_stats().counter("crash_drops"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "names no edge")]
+    fn edge_crash_on_a_missing_edge_panics() {
+        // Star has no host-to-host edge 0<->1.
+        Fabric::new(
+            4,
+            FabricConfig {
+                faults: FaultConfig::none().with_crash(CrashComponent::Edge { a: 0, b: 1 }, 0),
+                ..FabricConfig::default()
+            },
+        );
     }
 }

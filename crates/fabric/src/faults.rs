@@ -49,6 +49,19 @@ pub enum CrashComponent {
         /// The other endpoint.
         b: u32,
     },
+    /// One undirected *graph edge*, addressed by topology-graph vertex ids
+    /// (hosts first, then switches — see [`crate::graph::FabricGraph`]).
+    /// Unlike [`CrashComponent::Link`], which severs a host *pair*
+    /// regardless of routing, an edge crash kills a physical wire: only
+    /// pairs whose routes actually cross it lose connectivity. The fabric
+    /// resolves routes and reports the verdict via
+    /// [`FaultPlan::judge_routed`].
+    Edge {
+        /// One endpoint (graph vertex id).
+        a: u32,
+        /// The other endpoint (graph vertex id).
+        b: u32,
+    },
 }
 
 /// A permanent crash-stop failure: `component` dies at `at_ns` and never
@@ -69,7 +82,7 @@ impl CrashSpec {
     pub fn culprit(&self) -> u32 {
         match self.component {
             CrashComponent::Node(n) | CrashComponent::Nic(n) => n,
-            CrashComponent::Link { a, b } => a.min(b),
+            CrashComponent::Link { a, b } | CrashComponent::Edge { a, b } => a.min(b),
         }
     }
 }
@@ -138,6 +151,11 @@ impl FaultConfig {
     /// A single undirected link crash at `at_ns`.
     pub fn crash_link(a: u32, b: u32, at_ns: u64) -> Self {
         FaultConfig::none().with_crash(CrashComponent::Link { a, b }, at_ns)
+    }
+
+    /// A single undirected graph-edge crash at `at_ns` (vertex ids).
+    pub fn crash_edge(a: u32, b: u32, at_ns: u64) -> Self {
+        FaultConfig::none().with_crash(CrashComponent::Edge { a, b }, at_ns)
     }
 
     /// Append one crash-stop failure (builder style, composes with loss).
@@ -344,6 +362,33 @@ impl FaultPlan {
         }
 
         Delivery::Delivered
+    }
+
+    /// Like [`FaultPlan::judge`], with the fabric's verdict on whether the
+    /// message's *route* crosses a crashed graph edge folded in.
+    /// [`CrashComponent::Edge`] faults live on physical wires the plan
+    /// cannot resolve by itself (routing belongs to the fabric), so the
+    /// fabric walks the route and passes `route_dead`; a dead route is a
+    /// crash drop, consumes no randomness, and — like every crash — takes
+    /// precedence over outage/loss/corruption draws.
+    pub fn judge_routed(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        packets: u64,
+        route_dead: bool,
+    ) -> Delivery {
+        if route_dead {
+            // Edge crashes imply a non-empty crash list, so the plan is
+            // active and counting.
+            debug_assert!(!self.config.is_none());
+            self.stats.inc("messages_judged");
+            self.stats.inc("drops");
+            self.stats.inc("crash_drops");
+            return Delivery::Dropped;
+        }
+        self.judge(now, src, dst, packets)
     }
 
     /// Has the `src → dst` path been severed by a crash at or before `now`?

@@ -2,10 +2,14 @@
 //!
 //! Models the Table 2 network: 100 ns link latency, 100 ns switch latency,
 //! 100 Gbps links, star topology (every node connects to a single central
-//! switch). Messages are segmented into MTU-sized packets that pipeline
-//! across hops; per-link occupancy (`busy_until`) provides FIFO ordering and
-//! bandwidth contention, which is what bends the Allreduce scaling curve of
-//! Fig. 10 once many nodes converge on the same downlink.
+//! switch) by default, with full-mesh, k-ary fat-tree, and dragonfly shapes
+//! available for topology-sensitivity studies. Every [`Topology`] is
+//! expanded into an explicit switch/link graph ([`graph::FabricGraph`])
+//! with precomputed per-destination routing tables and seeded ECMP
+//! tie-breaking. Messages are segmented into MTU-sized packets that
+//! pipeline across hops; per-edge occupancy (`busy_until`) provides FIFO
+//! ordering and bandwidth contention, which is what bends the Allreduce
+//! scaling curve of Fig. 10 once many routes converge on a shared link.
 //!
 //! The crate is sans-IO: [`Fabric::send_message`] advances link occupancy
 //! state and returns the computed delivery time; the NIC model schedules the
@@ -17,6 +21,7 @@
 pub mod config;
 pub mod fabric;
 pub mod faults;
+pub mod graph;
 pub mod link;
 pub mod packet;
 pub mod topology;
@@ -24,4 +29,5 @@ pub mod topology;
 pub use config::FabricConfig;
 pub use fabric::{Fabric, MessageTiming};
 pub use faults::{CrashComponent, CrashSpec, Delivery, FaultConfig, FaultPlan};
+pub use graph::FabricGraph;
 pub use topology::Topology;

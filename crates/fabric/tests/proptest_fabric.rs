@@ -64,7 +64,7 @@ proptest! {
         prop_assert!(t_mesh.last_arrival <= t_star.last_arrival);
     }
 
-    /// Downlink byte accounting equals payload plus per-packet headers.
+    /// Ingress byte accounting equals payload plus per-packet headers.
     #[test]
     fn byte_conservation(msgs in prop::collection::vec(0u64..50_000, 1..10)) {
         let mut f = star(2);
@@ -74,6 +74,6 @@ proptest! {
             let t = f.send_message(SimTime::ZERO, NodeId(0), NodeId(1), m);
             expect += m + t.packets * cfg.header_bytes;
         }
-        prop_assert_eq!(f.downlink_bytes(NodeId(1)), expect);
+        prop_assert_eq!(f.ingress_bytes(NodeId(1)), expect);
     }
 }

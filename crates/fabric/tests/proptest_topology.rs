@@ -1,0 +1,150 @@
+//! Topology-graph invariants, property-tested across shapes, fills, and
+//! ECMP seeds:
+//!
+//! 1. **Route validity** — every generated route is a connected `src ->
+//!    dst` walk over edges that exist in the graph, within the shape's
+//!    diameter bound.
+//! 2. **ECMP determinism** — the same `(topology, n, seed)` rebuilds to
+//!    identical routes for every pair; path choice is a pure function of
+//!    the seed, never of iteration order or hidden state.
+//! 3. **Analytic cross-check** — the generic BFS tables reproduce the
+//!    closed-form routes of the degenerate shapes (star: uplink then
+//!    downlink; full mesh: one direct edge).
+
+use gtn_fabric::{FabricGraph, Topology};
+use gtn_mem::NodeId;
+use proptest::prelude::*;
+
+/// Worst-case hop count per shape: star host-switch-host, mesh direct,
+/// fat-tree host-edge-agg-core-agg-edge-host, dragonfly
+/// host-router-(local)-global-(local)-router-host minus the fact that
+/// source/destination routers absorb two of those hops.
+fn diameter_bound(topo: Topology) -> usize {
+    match topo {
+        Topology::Star => 2,
+        Topology::FullMesh => 1,
+        Topology::FatTree { .. } => 6,
+        Topology::Dragonfly { .. } => 5,
+    }
+}
+
+/// A shape plus a host count within its capacity, decoded from plain
+/// primitives (the offline proptest shim has no `prop_flat_map`). `fill`
+/// picks the host count between 2 and the shape's (clamped) capacity.
+fn shape_of(ix: u8, raw: u64, fill: f64) -> (Topology, usize) {
+    let fill_to = |cap: usize| 2 + ((fill * (cap - 1) as f64) as usize).min(cap - 2);
+    match ix % 4 {
+        0 => (Topology::Star, 2 + (raw % 31) as usize),
+        1 => (Topology::FullMesh, 2 + (raw % 15) as usize),
+        2 => {
+            let k = 2 * (1 + (raw % 3) as u32); // k in {2, 4, 6}
+            let cap = (k as usize).pow(3) / 4;
+            (Topology::FatTree { k }, fill_to(cap))
+        }
+        _ => {
+            let topo = Topology::Dragonfly {
+                routers: 1 + (raw % 2) as u32,
+                hosts: 1 + ((raw >> 8) % 2) as u32,
+                globals: 1 + ((raw >> 16) % 2) as u32,
+            };
+            let cap = (topo.capacity().unwrap() as usize).min(24);
+            (topo, fill_to(cap))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every route is a connected path over existing edges, starts at the
+    /// source host, ends at the destination host, and respects the shape's
+    /// diameter bound. Loopback is empty.
+    #[test]
+    fn routes_are_connected_paths_over_existing_edges(
+        ix in 0u8..4,
+        raw in any::<u64>(),
+        fill in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let (topo, n) = shape_of(ix, raw, fill);
+        let g = FabricGraph::build(topo, n, seed);
+        let bound = diameter_bound(topo);
+        for s in 0..n as u32 {
+            prop_assert!(g.route(NodeId(s), NodeId(s)).is_empty());
+            for d in 0..n as u32 {
+                if s == d {
+                    continue;
+                }
+                let route = g.route(NodeId(s), NodeId(d));
+                prop_assert!(!route.is_empty());
+                prop_assert!(
+                    route.len() <= bound,
+                    "{}: {s}->{d} took {} hops (bound {bound})",
+                    topo.label(),
+                    route.len()
+                );
+                let mut at = s;
+                for &e in &route {
+                    prop_assert!((e as usize) < g.edge_count(), "edge id out of range");
+                    let (from, to) = g.edge_endpoints(e);
+                    prop_assert_eq!(from, at, "route hop does not chain");
+                    prop_assert!(
+                        g.edge_between(from, to) == Some(e)
+                            || g.edge_endpoints(g.edge_between(from, to).unwrap()) == (from, to),
+                        "edge does not exist in the adjacency"
+                    );
+                    at = to;
+                }
+                prop_assert_eq!(at, d, "route does not end at the destination");
+            }
+        }
+    }
+
+    /// Rebuilding the same `(topology, n, seed)` yields identical routes
+    /// for every pair: ECMP choices are a pure function of the seed.
+    #[test]
+    fn ecmp_is_a_pure_function_of_the_seed(
+        ix in 0u8..4,
+        raw in any::<u64>(),
+        fill in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let (topo, n) = shape_of(ix, raw, fill);
+        let a = FabricGraph::build(topo, n, seed);
+        let b = FabricGraph::build(topo, n, seed);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                prop_assert_eq!(
+                    a.route(NodeId(s), NodeId(d)),
+                    b.route(NodeId(s), NodeId(d)),
+                    "{}: {}->{} moved under the same seed",
+                    topo.label(), s, d
+                );
+            }
+        }
+    }
+
+    /// The generic BFS machinery reproduces the analytic routes of the
+    /// degenerate shapes exactly — not just equal lengths, the same edges
+    /// the pre-graph fabric hard-coded.
+    #[test]
+    fn star_and_mesh_match_their_closed_forms(
+        n in 2u32..24,
+        seed in any::<u64>(),
+    ) {
+        let star = FabricGraph::build(Topology::Star, n as usize, seed);
+        let mesh = FabricGraph::build(Topology::FullMesh, n as usize, seed);
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                // Star edge ids: uplink i is edge i, downlink to i is n+i.
+                prop_assert_eq!(star.route(NodeId(s), NodeId(d)), vec![s, n + d]);
+                let direct = mesh.route(NodeId(s), NodeId(d));
+                prop_assert_eq!(direct.len(), 1);
+                prop_assert_eq!(mesh.edge_endpoints(direct[0]), (s, d));
+            }
+        }
+    }
+}

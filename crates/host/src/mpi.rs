@@ -75,47 +75,52 @@ impl MpiWorld {
     /// Allocate channels for every directed pair of `n_nodes` nodes, each
     /// slot holding up to `max_msg_bytes`.
     pub fn new(mem: &mut MemPool, n_nodes: u32, max_msg_bytes: u64) -> Self {
+        let pairs: Vec<(u32, u32)> = (0..n_nodes)
+            .flat_map(|src| (0..n_nodes).map(move |dst| (src, dst)))
+            .filter(|(src, dst)| src != dst)
+            .collect();
+        MpiWorld::for_pairs(mem, &pairs, max_msg_bytes)
+    }
+
+    /// Allocate channels only for the given directed `pairs` (deduplicated,
+    /// in first-seen order). Large collectives talk to a handful of peers
+    /// per rank; allocating the full `P²` channel mesh of [`MpiWorld::new`]
+    /// would cost `O(P²·max_msg_bytes)` mailbox memory for slots that are
+    /// never touched.
+    pub fn for_pairs(mem: &mut MemPool, pairs: &[(u32, u32)], max_msg_bytes: u64) -> Self {
         let mut channels = HashMap::new();
-        for src in 0..n_nodes {
-            for dst in 0..n_nodes {
-                if src == dst {
-                    continue;
-                }
-                let slots_region = mem.alloc(NodeId(dst), max_msg_bytes * SLOTS, "mpi.slots");
-                let flag_region = mem.alloc(NodeId(dst), 8, "mpi.flag");
-                channels.insert(
-                    (src, dst),
-                    Channel {
-                        slots: Addr::base(NodeId(dst), slots_region),
-                        flag: Addr::base(NodeId(dst), flag_region),
-                        slot_bytes: max_msg_bytes,
-                        sent: 0,
-                        received: 0,
-                        rts_flag: Addr::base(
-                            NodeId(dst),
-                            mem.alloc(NodeId(dst), 8, "mpi.rts_flag"),
-                        ),
-                        cts_slots: Addr::base(
-                            NodeId(src),
-                            mem.alloc(NodeId(src), CTS_BYTES * SLOTS, "mpi.cts_slots"),
-                        ),
-                        cts_flag: Addr::base(
-                            NodeId(src),
-                            mem.alloc(NodeId(src), 8, "mpi.cts_flag"),
-                        ),
-                        cts_out: Addr::base(
-                            NodeId(dst),
-                            mem.alloc(NodeId(dst), CTS_BYTES, "mpi.cts_out"),
-                        ),
-                        payload_flag: Addr::base(
-                            NodeId(dst),
-                            mem.alloc(NodeId(dst), 8, "mpi.payload_flag"),
-                        ),
-                        rdv_sent: 0,
-                        rdv_received: 0,
-                    },
-                );
+        for &(src, dst) in pairs {
+            if src == dst || channels.contains_key(&(src, dst)) {
+                continue;
             }
+            let slots_region = mem.alloc(NodeId(dst), max_msg_bytes * SLOTS, "mpi.slots");
+            let flag_region = mem.alloc(NodeId(dst), 8, "mpi.flag");
+            channels.insert(
+                (src, dst),
+                Channel {
+                    slots: Addr::base(NodeId(dst), slots_region),
+                    flag: Addr::base(NodeId(dst), flag_region),
+                    slot_bytes: max_msg_bytes,
+                    sent: 0,
+                    received: 0,
+                    rts_flag: Addr::base(NodeId(dst), mem.alloc(NodeId(dst), 8, "mpi.rts_flag")),
+                    cts_slots: Addr::base(
+                        NodeId(src),
+                        mem.alloc(NodeId(src), CTS_BYTES * SLOTS, "mpi.cts_slots"),
+                    ),
+                    cts_flag: Addr::base(NodeId(src), mem.alloc(NodeId(src), 8, "mpi.cts_flag")),
+                    cts_out: Addr::base(
+                        NodeId(dst),
+                        mem.alloc(NodeId(dst), CTS_BYTES, "mpi.cts_out"),
+                    ),
+                    payload_flag: Addr::base(
+                        NodeId(dst),
+                        mem.alloc(NodeId(dst), 8, "mpi.payload_flag"),
+                    ),
+                    rdv_sent: 0,
+                    rdv_received: 0,
+                },
+            );
         }
         MpiWorld {
             channels,
@@ -312,6 +317,39 @@ mod tests {
         let ch = &w.channels[&(0, 2)];
         assert_eq!(ch.slots.node, NodeId(2));
         assert_eq!(ch.flag.node, NodeId(2));
+    }
+
+    #[test]
+    fn sparse_world_allocates_only_named_pairs() {
+        let mut mem = MemPool::new(4);
+        // Duplicates and self-pairs are ignored.
+        let pairs = [(0, 1), (1, 0), (0, 1), (2, 2), (3, 1)];
+        let w = MpiWorld::for_pairs(&mut mem, &pairs, 512);
+        assert_eq!(w.channels.len(), 3);
+        assert!(w.channels.contains_key(&(3, 1)));
+        assert!(!w.channels.contains_key(&(1, 3)));
+        // Node 2 only appeared as a self-pair: nothing was placed on it.
+        assert!(mem.region_len(NodeId(2), RegionId(0)).is_err());
+    }
+
+    #[test]
+    fn dense_world_matches_sparse_all_pairs_layout() {
+        // `new` delegates to `for_pairs`; the mailbox layout (and therefore
+        // every region id and offset) must be identical for the dense case.
+        let mut mem_a = MemPool::new(3);
+        let a = MpiWorld::new(&mut mem_a, 3, 256);
+        let mut mem_b = MemPool::new(3);
+        let pairs: Vec<(u32, u32)> = (0..3)
+            .flat_map(|s| (0..3).map(move |d| (s, d)))
+            .filter(|(s, d)| s != d)
+            .collect();
+        let b = MpiWorld::for_pairs(&mut mem_b, &pairs, 256);
+        for key in a.channels.keys() {
+            let (ca, cb) = (&a.channels[key], &b.channels[key]);
+            assert_eq!(ca.slots, cb.slots);
+            assert_eq!(ca.flag, cb.flag);
+            assert_eq!(ca.cts_slots, cb.cts_slots);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! Results are verified against the exact ring-order chain sum (bit-exact
 //! f32), and all nodes must agree.
 
+use crate::collective::{self, Collective, CollectiveParams};
 use crate::harness::{Harness, JobFailure, ScenarioParams, ScenarioResult, Workload};
 use gtn_core::comm::{self, GpuTnDriver};
 use gtn_core::config::ClusterConfig;
@@ -85,7 +86,7 @@ struct NodeBufs {
 }
 
 /// Deterministic input element `j` of rank `i`.
-fn input_value(seed: u64, rank: u32, j: u64) -> f32 {
+pub(crate) fn input_value(seed: u64, rank: u32, j: u64) -> f32 {
     let mut rng = SimRng::seeded(seed ^ ((rank as u64) << 40) ^ j);
     rng.range_f32(-1.0, 1.0)
 }
@@ -121,7 +122,7 @@ pub fn reference_ranks(ranks: &[u32], elems: u64, seed: u64) -> Vec<f32> {
 
 /// GPU time to fold one chunk (`dst += src`): ~12 B/element of traffic on
 /// the shared DDR4.
-fn gpu_reduce_time(elems: u64) -> SimDuration {
+pub(crate) fn gpu_reduce_time(elems: u64) -> SimDuration {
     MemHierarchy::table2_gpu().sweep_time(12 * elems) + SimDuration::from_ns(200)
 }
 
@@ -130,7 +131,7 @@ fn gpu_reduce_time(elems: u64) -> SimDuration {
 /// read-modify-write chain over cold eager-buffer data (this constant
 /// places the Fig. 10 HDN/CPU crossover near the paper's ~24 nodes; see
 /// EXPERIMENTS.md).
-fn cpu_reduce_time(cpu: &CpuCompute, elems: u64) -> SimDuration {
+pub(crate) fn cpu_reduce_time(cpu: &CpuCompute, elems: u64) -> SimDuration {
     SimDuration::from_ns_f64(12.0 * elems as f64 / 80.0) + cpu.fork_join()
 }
 
@@ -437,7 +438,68 @@ fn run_inner(
     })
 }
 
+/// The [`collective`] schedule family behind a non-zero scenario variant.
+fn variant_kind(variant: u32) -> Collective {
+    match variant {
+        1 => Collective::TreeAllreduce,
+        2 => Collective::HierAllreduce { group_size: 0 },
+        v => panic!("unknown allreduce variant {v}"),
+    }
+}
+
+fn collective_params(params: &ScenarioParams) -> CollectiveParams {
+    CollectiveParams {
+        nodes: params.node_count(),
+        elems: params.size,
+        strategy: params.strategy,
+        seed: params.seed,
+    }
+}
+
+/// Strict verification of a collective-executor variant: every rank must
+/// reproduce the lock-step replay bit-for-bit.
+fn verify_variant(name: &'static str, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+    let patch = params.patch;
+    let kind = variant_kind(params.variant);
+    let r = collective::run_with_config(name, kind, collective_params(params), |config| {
+        patch.apply(config)
+    });
+    let expect = collective::reference(kind, params.node_count(), params.size, params.seed);
+    for (rank, v) in r.vectors.iter().enumerate() {
+        if v != &expect[rank] {
+            return Err(format!(
+                "{} rank {rank} diverges from the lock-step replay",
+                params.strategy
+            ));
+        }
+    }
+    Ok(r.scenario)
+}
+
+/// Lenient run of a collective-executor variant: structured failures pass
+/// through, completed runs must still be bit-exact.
+fn run_variant_lenient(
+    name: &'static str,
+    params: &ScenarioParams,
+) -> Result<ScenarioResult, JobFailure> {
+    let patch = params.patch;
+    let kind = variant_kind(params.variant);
+    let r = collective::try_run_with_config(name, kind, collective_params(params), |config| {
+        patch.apply(config)
+    })?;
+    let expect = collective::reference(kind, params.node_count(), params.size, params.seed);
+    for (rank, v) in r.vectors.iter().enumerate() {
+        assert_eq!(v, &expect[rank], "completed {kind:?} run diverges");
+    }
+    Ok(r.scenario)
+}
+
 /// Fig. 10's workload, adapted to the shared [`Workload`] frame.
+///
+/// Variant 0 (the default) is the hand-lowered ring of this module — the
+/// Fig. 10 golden path, untouched by the generic executor. Variant 1 runs
+/// the binomial-tree schedule and variant 2 the hierarchical schedule
+/// through [`collective`].
 #[derive(Debug, Default)]
 pub struct Allreduce;
 
@@ -454,6 +516,9 @@ impl Workload for Allreduce {
     }
 
     fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+        if params.variant != 0 {
+            return verify_variant(self.name(), params);
+        }
         let patch = params.patch;
         let r = run_with_config(
             AllreduceParams {
@@ -475,6 +540,9 @@ impl Workload for Allreduce {
     }
 
     fn run_lenient(&self, params: &ScenarioParams) -> Result<ScenarioResult, JobFailure> {
+        if params.variant != 0 {
+            return run_variant_lenient(self.name(), params);
+        }
         let patch = params.patch;
         let r = try_run_with_config(
             AllreduceParams {
@@ -488,6 +556,37 @@ impl Workload for Allreduce {
         let expect = reference(params.node_count(), params.size, params.seed);
         assert_eq!(r.result, expect, "completed allreduce run diverges");
         Ok(r.scenario)
+    }
+}
+
+/// The hierarchical (group-then-leader-ring) Allreduce as a first-class
+/// workload: intra-group binomial reduce, ring Allreduce among the group
+/// leaders, intra-group broadcast. Smoke uses 8 nodes in groups of 2 so
+/// every phase — including a leader ring wider than two — is exercised.
+#[derive(Debug, Default)]
+pub struct HierAllreduce;
+
+impl Workload for HierAllreduce {
+    fn name(&self) -> &'static str {
+        "allreduce_hier"
+    }
+
+    fn smoke_scenario(&self, strategy: Strategy) -> ScenarioParams {
+        ScenarioParams::new(strategy)
+            .nodes(8)
+            .size(4 * 1024)
+            .seed(0xBEEF)
+            .variant(2)
+    }
+
+    fn verify(&self, params: &ScenarioParams) -> Result<ScenarioResult, String> {
+        assert_eq!(params.variant, 2, "allreduce_hier is variant 2");
+        verify_variant(self.name(), params)
+    }
+
+    fn run_lenient(&self, params: &ScenarioParams) -> Result<ScenarioResult, JobFailure> {
+        assert_eq!(params.variant, 2, "allreduce_hier is variant 2");
+        run_variant_lenient(self.name(), params)
     }
 }
 

@@ -92,11 +92,13 @@ fn ns_of(t: gtn_sim::time::SimTime) -> u64 {
 
 /// The node a crash component takes down (for survivor-set computation):
 /// the node itself for node/NIC crashes, the lower endpoint for a severed
-/// link (the ring can only be re-formed around one of them).
+/// link or graph edge (the ring can only be re-formed around one of them;
+/// for a graph edge the lower endpoint is the host side whenever one
+/// endpoint is a host, since hosts number below switches).
 pub fn culprit_node(component: CrashComponent) -> u32 {
     match component {
         CrashComponent::Node(n) | CrashComponent::Nic(n) => n,
-        CrashComponent::Link { a, b } => a.min(b),
+        CrashComponent::Link { a, b } | CrashComponent::Edge { a, b } => a.min(b),
     }
 }
 

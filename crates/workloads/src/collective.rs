@@ -1,0 +1,786 @@
+//! Generic collective executor: any lock-step NBC schedule, all four
+//! strategies.
+//!
+//! The libNBC framing of §5.4.1 says a collective *is* its schedule: rounds
+//! of send / recv / reduce subtasks that "map perfectly to the triggered
+//! operation semantics". This module takes that literally. It consumes the
+//! per-rank [`Schedule`]s emitted by [`gtn_host::nbc`] (ring, binomial
+//! tree, hierarchical Allreduce, ring AllGather — or anything else obeying
+//! the lock-step contract) and lowers them onto the simulated cluster
+//! once, instead of once per collective:
+//!
+//! - Per `(node, round)` the ops are coalesced into **segments**: runs of
+//!   contiguous chunks to/from one peer become a single message. A tree
+//!   round that moves the whole vector is one put, not `n_chunks` puts.
+//! - Each node owns a per-round flag array; every inbound segment's put
+//!   notifies `flags[round]`, so "round r's data is here" is one counter
+//!   compare regardless of schedule shape.
+//! - Incoming `Reduce` segments land in a per-node staging arena (each
+//!   round's segment at its own offset — no slot reuse, no overwrite
+//!   hazard); `Replace` segments land directly in the destination vector.
+//!
+//! Strategy lowerings mirror the ring Allreduce of [`crate::allreduce`]:
+//! CPU/HDN speak matched send/recv over the eager MPI lane (HDN folds in
+//! per-round kernels), GDS pre-registers each round's puts to fire at the
+//! previous round's kernel-boundary doorbell, and GPU-TN runs the whole
+//! schedule inside one persistent kernel that releases triggers, polls the
+//! round flags, and reduces in place.
+//!
+//! Verification is a bit-exact sequential replay ([`replay`]): the same
+//! schedules executed lock-step on plain `f32` vectors, snapshotting sends
+//! at round start. Every strategy must reproduce the replay exactly —
+//! float-for-float, not within a tolerance.
+
+use crate::allreduce::{cpu_reduce_time, gpu_reduce_time, input_value};
+use crate::harness::{Harness, JobFailure, ScenarioParams, ScenarioResult};
+use gtn_core::comm::{self, GpuTnDriver};
+use gtn_core::config::ClusterConfig;
+use gtn_core::Strategy;
+use gtn_gpu::kernel::ProgramBuilder;
+use gtn_gpu::KernelLaunch;
+use gtn_host::compute::CpuCompute;
+use gtn_host::nbc::{self, chunk_range, NbcOp, Schedule};
+use gtn_host::HostProgram;
+use gtn_mem::scope::{MemOrdering, MemScope};
+use gtn_mem::{Addr, MemPool, NodeId};
+use gtn_nic::lookup::LookupKind;
+use gtn_nic::op::{NetOp, Notify};
+use gtn_nic::Tag;
+use gtn_sim::time::SimDuration;
+use std::collections::{HashMap, HashSet};
+
+/// Eager-slot cap for the two-sided lane. Segments above this go through
+/// the MPI rendezvous protocol (RTS/CTS, zero-copy) instead of consuming
+/// `4×` their size in mailbox memory per channel — a whole-vector tree
+/// round at 512 nodes must not allocate gigabytes of eager buffers.
+/// Exchange rounds (a rank both sends and receives) are exempt: their
+/// segments always fit the slot, because a rendezvous cycle (everyone
+/// blocked polling CTS from a peer that is itself blocked) would deadlock.
+const EAGER_CAP: u64 = 16 * 1024;
+
+/// The schedule families the executor knows how to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// [`nbc::ring_allreduce`]: `2(P−1)` rounds of `N/P`-element chunks.
+    RingAllreduce,
+    /// [`nbc::tree_allreduce`]: binomial reduce + broadcast, whole-vector
+    /// moves.
+    TreeAllreduce,
+    /// [`nbc::hierarchical_allreduce`] with the given group size (0 means
+    /// [`nbc::auto_group_size`]).
+    HierAllreduce {
+        /// Ranks per group; must divide the node count (0 = auto).
+        group_size: u32,
+    },
+    /// [`nbc::rhd_allreduce`]: recursive halving-doubling, `2·log₂P`
+    /// pairwise-exchange rounds (power-of-two `P` only).
+    RhdAllreduce,
+    /// [`nbc::ring_allgather`]: `P−1` rounds, rank `i` contributes chunk
+    /// `i`.
+    RingAllgather,
+}
+
+impl Collective {
+    /// The schedule of `rank` among `n` ranks.
+    pub fn schedule(&self, rank: u32, n: u32) -> Schedule {
+        match *self {
+            Collective::RingAllreduce => nbc::ring_allreduce(rank, n),
+            Collective::TreeAllreduce => nbc::tree_allreduce(rank, n),
+            Collective::HierAllreduce { group_size } => {
+                let m = if group_size == 0 {
+                    nbc::auto_group_size(n)
+                } else {
+                    group_size
+                };
+                nbc::hierarchical_allreduce(rank, n, m)
+            }
+            Collective::RhdAllreduce => nbc::rhd_allreduce(rank, n),
+            Collective::RingAllgather => nbc::ring_allgather(rank, n),
+        }
+    }
+
+    /// All ranks' schedules, lock-step checked.
+    pub fn schedules(&self, n: u32) -> Vec<Schedule> {
+        let out: Vec<Schedule> = (0..n).map(|r| self.schedule(r, n)).collect();
+        for s in &out[1..] {
+            assert_eq!(s.rounds.len(), out[0].rounds.len(), "lock-step rounds");
+            assert_eq!(s.n_chunks, out[0].n_chunks, "uniform chunking");
+        }
+        out
+    }
+}
+
+/// Parameters of one collective run.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectiveParams {
+    /// Participating nodes.
+    pub nodes: u32,
+    /// Elements of the f32 vector.
+    pub elems: u64,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Seed for the input vectors.
+    pub seed: u64,
+}
+
+/// Result of one run.
+#[derive(Debug)]
+pub struct CollectiveResult {
+    /// The unified result (total = slowest node's completion).
+    pub scenario: ScenarioResult,
+    /// Final vector of every rank.
+    pub vectors: Vec<Vec<f32>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    Reduce,
+    Replace,
+}
+
+/// One coalesced inbound message: contiguous chunks from one peer, all
+/// with the same commit disposition.
+#[derive(Debug, Clone, Copy)]
+struct InSeg {
+    peer: u32,
+    first_chunk: u32,
+    n_chunks: u32,
+    elem_off: u64,
+    elems: u64,
+    disp: Disposition,
+    /// Byte offset in the staging arena (Reduce segments only).
+    stage_off: u64,
+}
+
+/// One coalesced outbound message.
+#[derive(Debug, Clone, Copy)]
+struct OutSeg {
+    peer: u32,
+    first_chunk: u32,
+    n_chunks: u32,
+    elem_off: u64,
+    elems: u64,
+}
+
+#[derive(Debug, Default)]
+struct RoundPlan {
+    out: Vec<OutSeg>,
+    inb: Vec<InSeg>,
+    /// Total elements folded by this round's Reduce segments.
+    reduce_elems: u64,
+}
+
+#[derive(Debug)]
+struct NodePlan {
+    rounds: Vec<RoundPlan>,
+    /// Total staging arena bytes across all rounds.
+    stage_bytes: u64,
+}
+
+/// Element range `[off, off+len)` covered by chunks `first..first+n`.
+fn seg_range(first: u32, n: u32, elems: u64, n_chunks: u32) -> (u64, u64) {
+    let (off, _) = chunk_range(first, elems, n_chunks);
+    let (last_off, last_len) = chunk_range(first + n - 1, elems, n_chunks);
+    (off, last_off + last_len - off)
+}
+
+/// Compile one rank's schedule into per-round message segments.
+fn plan_node(s: &Schedule, elems: u64) -> NodePlan {
+    let nc = s.n_chunks;
+    let mut stage_bytes = 0u64;
+    let mut rounds = Vec::with_capacity(s.rounds.len());
+    for round in &s.rounds {
+        let mut disp: HashMap<u32, Disposition> = HashMap::new();
+        for op in &round.0 {
+            match *op {
+                NbcOp::Reduce { chunk } => {
+                    disp.insert(chunk, Disposition::Reduce);
+                }
+                NbcOp::Replace { chunk } => {
+                    disp.insert(chunk, Disposition::Replace);
+                }
+                _ => {}
+            }
+        }
+        let mut rp = RoundPlan::default();
+        for op in &round.0 {
+            match *op {
+                NbcOp::Send { peer, chunk } => {
+                    if let Some(last) = rp.out.last_mut() {
+                        if last.peer == peer && last.first_chunk + last.n_chunks == chunk {
+                            last.n_chunks += 1;
+                            continue;
+                        }
+                    }
+                    rp.out.push(OutSeg {
+                        peer,
+                        first_chunk: chunk,
+                        n_chunks: 1,
+                        elem_off: 0,
+                        elems: 0,
+                    });
+                }
+                NbcOp::Recv { peer, chunk } => {
+                    let d = *disp
+                        .get(&chunk)
+                        .expect("recv chunk has no reduce/replace in its round");
+                    if let Some(last) = rp.inb.last_mut() {
+                        if last.peer == peer
+                            && last.first_chunk + last.n_chunks == chunk
+                            && last.disp == d
+                        {
+                            last.n_chunks += 1;
+                            continue;
+                        }
+                    }
+                    rp.inb.push(InSeg {
+                        peer,
+                        first_chunk: chunk,
+                        n_chunks: 1,
+                        elem_off: 0,
+                        elems: 0,
+                        disp: d,
+                        stage_off: 0,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // The MPI channel carries messages in round order; with more than
+        // one segment per (round, peer) the sender's and receiver's
+        // within-round orders could disagree. No generator emits that
+        // shape; fail loudly if one ever does.
+        let mut peers = HashSet::new();
+        for o in &rp.out {
+            assert!(peers.insert(o.peer), "two outbound segments to one peer");
+        }
+        peers.clear();
+        for i in &rp.inb {
+            assert!(peers.insert(i.peer), "two inbound segments from one peer");
+        }
+        for o in &mut rp.out {
+            let (off, len) = seg_range(o.first_chunk, o.n_chunks, elems, nc);
+            o.elem_off = off;
+            o.elems = len;
+        }
+        for i in &mut rp.inb {
+            let (off, len) = seg_range(i.first_chunk, i.n_chunks, elems, nc);
+            i.elem_off = off;
+            i.elems = len;
+            if i.disp == Disposition::Reduce {
+                i.stage_off = stage_bytes;
+                stage_bytes += len * 4;
+                rp.reduce_elems += len;
+            }
+        }
+        rounds.push(rp);
+    }
+    NodePlan {
+        rounds,
+        stage_bytes,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeBufs {
+    vec: Addr,
+    stage: Addr,
+    flags: Addr,
+    comp: Addr,
+}
+
+/// Sequential lock-step replay of `schedules` on plain vectors: the
+/// bit-exact reference every strategy must reproduce. Sends snapshot the
+/// sender's state at round start; reduces fold `local + incoming` in op
+/// order, exactly like the simulated `zip_f32s`.
+pub fn replay(schedules: &[Schedule], inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    assert_eq!(schedules.len(), inputs.len());
+    let nc = schedules[0].n_chunks;
+    let elems = inputs[0].len() as u64;
+    let mut state = inputs.to_vec();
+    for r in 0..schedules[0].rounds.len() {
+        let mut msgs: HashMap<(u32, u32, u32), Vec<f32>> = HashMap::new();
+        for s in schedules {
+            for op in &s.rounds[r].0 {
+                if let NbcOp::Send { peer, chunk } = *op {
+                    let (off, len) = chunk_range(chunk, elems, nc);
+                    let v = state[s.rank as usize][off as usize..(off + len) as usize].to_vec();
+                    msgs.insert((s.rank, peer, chunk), v);
+                }
+            }
+        }
+        for s in schedules {
+            let mut pending: HashMap<u32, Vec<f32>> = HashMap::new();
+            for op in &s.rounds[r].0 {
+                match *op {
+                    NbcOp::Recv { peer, chunk } => {
+                        let m = msgs
+                            .get(&(peer, s.rank, chunk))
+                            .expect("every recv has a matching send")
+                            .clone();
+                        pending.insert(chunk, m);
+                    }
+                    NbcOp::Reduce { chunk } => {
+                        let m = pending.get(&chunk).expect("recv precedes reduce");
+                        let (off, _) = chunk_range(chunk, elems, nc);
+                        for (j, v) in m.iter().enumerate() {
+                            let d = &mut state[s.rank as usize][off as usize + j];
+                            *d += *v;
+                        }
+                    }
+                    NbcOp::Replace { chunk } => {
+                        let m = pending.get(&chunk).expect("recv precedes replace");
+                        let (off, _) = chunk_range(chunk, elems, nc);
+                        state[s.rank as usize][off as usize..off as usize + m.len()]
+                            .copy_from_slice(m);
+                    }
+                    NbcOp::Send { .. } => {}
+                }
+            }
+        }
+    }
+    state
+}
+
+/// The expected per-rank result of `kind` on the deterministic inputs.
+pub fn reference(kind: Collective, nodes: u32, elems: u64, seed: u64) -> Vec<Vec<f32>> {
+    let schedules = kind.schedules(nodes);
+    let inputs: Vec<Vec<f32>> = (0..nodes)
+        .map(|r| (0..elems).map(|j| input_value(seed, r, j)).collect())
+        .collect();
+    replay(&schedules, &inputs)
+}
+
+/// Run `kind`, panicking on structured failure.
+pub fn run_with_config(
+    name: &'static str,
+    kind: Collective,
+    params: CollectiveParams,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> CollectiveResult {
+    try_run_with_config(name, kind, params, mutate)
+        .unwrap_or_else(|failure| panic!("{name} did not complete\n{failure}"))
+}
+
+/// Run `kind` with structured failure: a run the failure detector or
+/// watchdog terminated comes back as `Err(JobFailure)`.
+pub fn try_run_with_config(
+    name: &'static str,
+    kind: Collective,
+    params: CollectiveParams,
+    mutate: impl FnOnce(&mut ClusterConfig),
+) -> Result<CollectiveResult, JobFailure> {
+    let p = params.nodes;
+    assert!(p >= 2, "collectives need at least 2 nodes");
+    let schedules = kind.schedules(p);
+    let nc = schedules[0].n_chunks;
+    let rcount = schedules[0].rounds.len();
+    assert!(params.elems >= nc as u64, "fewer elements than chunks");
+
+    let mut config = ClusterConfig::table2(p);
+    config.log_events = false;
+    config.nic.lookup = LookupKind::HashTable;
+    // Segment flights are microseconds; a 500 ns poll quantum is invisible
+    // in the results and keeps event counts sane at scale.
+    config.gpu.poll_interval_ns = 500;
+    config.host.poll_interval_ns = 500;
+    mutate(&mut config);
+
+    let plans: Vec<NodePlan> = schedules
+        .iter()
+        .map(|s| plan_node(s, params.elems))
+        .collect();
+
+    let mut mem = MemPool::new(p as usize);
+    let bufs: Vec<NodeBufs> = (0..p)
+        .map(|node| {
+            let id = NodeId(node);
+            let b = NodeBufs {
+                vec: Addr::base(id, mem.alloc(id, params.elems * 4, "col.vec")),
+                stage: Addr::base(
+                    id,
+                    mem.alloc(id, plans[node as usize].stage_bytes, "col.stage"),
+                ),
+                flags: Addr::base(id, mem.alloc(id, rcount as u64 * 8, "col.flags")),
+                comp: Addr::base(id, mem.alloc(id, 8, "col.comp")),
+            };
+            let vals: Vec<f32> = (0..params.elems)
+                .map(|j| input_value(params.seed, node, j))
+                .collect();
+            mem.write_f32s(b.vec, &vals);
+            b
+        })
+        .collect();
+
+    // Eager-slot sizing: cap at EAGER_CAP, but exchange rounds (send and
+    // recv in the same round) must stay eager — see the cap's doc.
+    let mut max_seg = 4u64;
+    let mut max_exchange_seg = 0u64;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut seen = HashSet::new();
+    for (node, plan) in plans.iter().enumerate() {
+        for rp in &plan.rounds {
+            for o in &rp.out {
+                max_seg = max_seg.max(o.elems * 4);
+                if !rp.inb.is_empty() {
+                    max_exchange_seg = max_exchange_seg.max(o.elems * 4);
+                }
+                if seen.insert((node as u32, o.peer)) {
+                    pairs.push((node as u32, o.peer));
+                }
+            }
+        }
+    }
+    let slot_bytes = max_seg.min(EAGER_CAP).max(max_exchange_seg);
+
+    let mut driver = comm::driver(params.strategy);
+    driver.setup_pairs(&config, &mut mem, slot_bytes, &pairs);
+    let cpu_model = CpuCompute::new(config.host.clone());
+
+    let mut programs = Vec::with_capacity(p as usize);
+    for node in 0..p {
+        let plan = &plans[node as usize];
+        let b = bufs[node as usize];
+
+        // The put realizing outbound segment `o` of round `r`: destination
+        // and notify flag come from the receiver's mirrored inbound plan.
+        let put_for = |r: usize, o: &OutSeg, completion: bool| -> NetOp {
+            let mirror = plans[o.peer as usize].rounds[r]
+                .inb
+                .iter()
+                .find(|i| i.peer == node)
+                .expect("receiver's schedule mirrors this send");
+            assert_eq!(
+                (mirror.first_chunk, mirror.n_chunks),
+                (o.first_chunk, o.n_chunks),
+                "send/recv segments must mirror"
+            );
+            let pb = bufs[o.peer as usize];
+            let dst = match mirror.disp {
+                Disposition::Reduce => pb.stage.offset_by(mirror.stage_off),
+                Disposition::Replace => pb.vec.offset_by(mirror.elem_off * 4),
+            };
+            NetOp::Put {
+                src: b.vec.offset_by(o.elem_off * 4),
+                len: o.elems * 4,
+                target: NodeId(o.peer),
+                dst,
+                notify: Some(Notify {
+                    flag: pb.flags.offset_by(r as u64 * 8),
+                    add: 1,
+                    chain: None,
+                }),
+                completion: completion.then_some(b.comp),
+            }
+        };
+
+        // The fold list of round `r`: (vec dst, stage src, elements).
+        let reduce_list = |r: usize| -> Vec<(Addr, Addr, u64)> {
+            plan.rounds[r]
+                .inb
+                .iter()
+                .filter(|i| i.disp == Disposition::Reduce)
+                .map(|i| {
+                    (
+                        b.vec.offset_by(i.elem_off * 4),
+                        b.stage.offset_by(i.stage_off),
+                        i.elems,
+                    )
+                })
+                .collect()
+        };
+        let apply_reduces = |mem: &mut MemPool, list: &[(Addr, Addr, u64)]| {
+            for &(dst, src, n) in list {
+                // acc_new = local + incoming (matches `replay`).
+                mem.zip_f32s(dst, src, n as usize, |local, incoming| local + incoming)
+                    .expect("reduce in bounds");
+            }
+        };
+
+        // One tag per outbound segment, unique across the node's schedule
+        // (the trigger list holds one op per tag).
+        let tags: Vec<Vec<Tag>> = {
+            let mut next = 0u64;
+            plan.rounds
+                .iter()
+                .map(|rp| {
+                    rp.out
+                        .iter()
+                        .map(|_| {
+                            next += 1;
+                            Tag(next - 1)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut prog = HostProgram::new();
+        match params.strategy {
+            Strategy::Cpu | Strategy::Hdn => {
+                for r in 0..rcount {
+                    let rp = &plan.rounds[r];
+                    for o in &rp.out {
+                        driver.send(
+                            &mut prog,
+                            NodeId(node),
+                            NodeId(o.peer),
+                            b.vec.offset_by(o.elem_off * 4),
+                            o.elems * 4,
+                        );
+                    }
+                    for i in &rp.inb {
+                        let dst = match i.disp {
+                            Disposition::Reduce => b.stage.offset_by(i.stage_off),
+                            Disposition::Replace => b.vec.offset_by(i.elem_off * 4),
+                        };
+                        driver.recv(&mut prog, NodeId(i.peer), NodeId(node), dst, i.elems * 4);
+                    }
+                    if params.strategy == Strategy::Cpu {
+                        if rp.reduce_elems > 0 {
+                            let list = reduce_list(r);
+                            prog.compute(cpu_reduce_time(&cpu_model, rp.reduce_elems));
+                            prog.func(move |mem| apply_reduces(mem, &list));
+                        }
+                    } else if !rp.inb.is_empty() {
+                        // §5.3: HDN re-enters a kernel every communication
+                        // round, paying the boundary even when the round
+                        // only forwards data.
+                        let label = format!("r{r}");
+                        let builder = if rp.reduce_elems > 0 {
+                            let list = reduce_list(r);
+                            ProgramBuilder::new()
+                                .compute(gpu_reduce_time(rp.reduce_elems))
+                                .func(move |mem, _| apply_reduces(mem, &list))
+                        } else {
+                            ProgramBuilder::new().compute(SimDuration::from_ns(100))
+                        };
+                        let kernel = builder.build().expect("valid kernel");
+                        prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                        prog.wait_kernel(&label);
+                    }
+                }
+            }
+            Strategy::Gds => {
+                // Round 0's sends move initial data: the CPU posts them
+                // directly. Every later round's sends are pre-registered
+                // and fire at the previous round's kernel boundary.
+                for o in &plan.rounds[0].out {
+                    driver.post(&mut prog, put_for(0, o, false));
+                }
+                for r in 0..rcount {
+                    if r + 1 < rcount {
+                        for (o, &tag) in plan.rounds[r + 1].out.iter().zip(&tags[r + 1]) {
+                            driver.register(&mut prog, tag, 1, put_for(r + 1, o, false));
+                        }
+                    }
+                    let rp = &plan.rounds[r];
+                    if !rp.inb.is_empty() {
+                        prog.poll(b.flags.offset_by(r as u64 * 8), rp.inb.len() as u64);
+                    }
+                    let label = format!("k{r}");
+                    let builder = if rp.reduce_elems > 0 {
+                        let list = reduce_list(r);
+                        ProgramBuilder::new()
+                            .compute(gpu_reduce_time(rp.reduce_elems))
+                            .func(move |mem, _| apply_reduces(mem, &list))
+                            .fence(MemScope::System, MemOrdering::Release)
+                    } else {
+                        // Idle or forward round: the kernel exists to give
+                        // the next round's sends their boundary.
+                        ProgramBuilder::new().compute(SimDuration::from_ns(100))
+                    };
+                    let kernel = builder.build().expect("valid kernel");
+                    prog.launch(KernelLaunch::new(kernel, 1, 64, &label));
+                    prog.wait_kernel(&label);
+                    if r + 1 < rcount {
+                        for &tag in &tags[r + 1] {
+                            driver.on_kernel_done(node, &label, tag);
+                        }
+                    }
+                }
+            }
+            Strategy::GpuTn => {
+                // One persistent kernel for the node's whole schedule.
+                let mut builder = ProgramBuilder::new();
+                let mut any = false;
+                for (r, (rp, rtags)) in plan.rounds.iter().zip(&tags).enumerate() {
+                    if !rp.out.is_empty() {
+                        builder = GpuTnDriver::release_triggers(builder, rtags);
+                        any = true;
+                    }
+                    if !rp.inb.is_empty() {
+                        let flag = b.flags.offset_by(r as u64 * 8);
+                        builder = builder.poll(move |_| flag, rp.inb.len() as u64);
+                        any = true;
+                    }
+                    if rp.reduce_elems > 0 {
+                        let list = reduce_list(r);
+                        builder = builder
+                            .compute(gpu_reduce_time(rp.reduce_elems))
+                            .func(move |mem, _| apply_reduces(mem, &list));
+                    }
+                }
+                if any {
+                    let kernel = builder.build().expect("valid persistent kernel");
+                    prog.launch(KernelLaunch::new(kernel, 1, 64, "persistent"));
+                }
+                // Just-in-time posting throttled by local completions.
+                let mut posted = 0u64;
+                for (r, (rp, rtags)) in plan.rounds.iter().zip(&tags).enumerate() {
+                    for (o, &tag) in rp.out.iter().zip(rtags) {
+                        driver.register(&mut prog, tag, 1, put_for(r, o, true));
+                    }
+                    posted += rp.out.len() as u64;
+                    if !rp.out.is_empty() {
+                        prog.poll(b.comp, posted);
+                    }
+                }
+                if any {
+                    prog.wait_kernel("persistent");
+                }
+            }
+        }
+        programs.push(prog);
+    }
+
+    let sparams = ScenarioParams::new(params.strategy)
+        .nodes(p)
+        .size(params.elems)
+        .seed(params.seed);
+    let (cluster, scenario) =
+        Harness::try_execute(name, &sparams, config, mem, programs, &mut *driver)?;
+
+    let vectors: Vec<Vec<f32>> = (0..p)
+        .map(|n| {
+            cluster
+                .mem()
+                .read_f32s(bufs[n as usize].vec, params.elems as usize)
+        })
+        .collect();
+    Ok(CollectiveResult { scenario, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [Collective; 5] = [
+        Collective::RingAllreduce,
+        Collective::TreeAllreduce,
+        Collective::HierAllreduce { group_size: 0 },
+        Collective::RhdAllreduce,
+        Collective::RingAllgather,
+    ];
+
+    #[test]
+    fn replay_of_the_ring_matches_the_specialized_reference() {
+        // The generic replay and the ring workload's chain-sum reference
+        // are independent derivations of the same arithmetic.
+        for (nodes, elems) in [(5u32, 1001u64), (4, 64), (2, 16)] {
+            let got = reference(Collective::RingAllreduce, nodes, elems, 7);
+            let want = crate::allreduce::reference(nodes, elems, 7);
+            for (rank, v) in got.iter().enumerate() {
+                assert_eq!(v, &want, "rank {rank} P={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_kinds_replay_to_rank_identical_results() {
+        for kind in [
+            Collective::RingAllreduce,
+            Collective::TreeAllreduce,
+            Collective::HierAllreduce { group_size: 0 },
+            Collective::RhdAllreduce,
+        ] {
+            let vs = reference(kind, 8, 64, 3);
+            for (rank, v) in vs.iter().enumerate() {
+                assert_eq!(v, &vs[0], "{kind:?} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_replay_collects_every_contribution() {
+        let (nodes, elems, seed) = (5u32, 101u64, 9);
+        let vs = reference(Collective::RingAllgather, nodes, elems, seed);
+        for rank in 0..nodes {
+            for c in 0..nodes {
+                let (off, len) = chunk_range(c, elems, nodes);
+                for j in off..off + len {
+                    assert_eq!(
+                        vs[rank as usize][j as usize],
+                        input_value(seed, c, j),
+                        "rank {rank} chunk {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_and_strategy_reproduces_the_replay_bit_exactly() {
+        // Small configs keep this fast; the smoke-scale runs live in the
+        // workload invariants suite.
+        for kind in KINDS {
+            let (nodes, elems, seed) = (4u32, 256u64, 0xC0FFEE);
+            let expect = reference(kind, nodes, elems, seed);
+            for strategy in Strategy::all() {
+                let r = run_with_config(
+                    "collective_test",
+                    kind,
+                    CollectiveParams {
+                        nodes,
+                        elems,
+                        strategy,
+                        seed,
+                    },
+                    |_| {},
+                );
+                for (rank, v) in r.vectors.iter().enumerate() {
+                    assert_eq!(v, &expect[rank], "{kind:?} {strategy} rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_node_counts_and_ragged_chunks_verify() {
+        for (kind, nodes, elems) in [
+            (Collective::TreeAllreduce, 5u32, 77u64),
+            (Collective::HierAllreduce { group_size: 3 }, 9, 130),
+            (Collective::RhdAllreduce, 8, 77),
+            (Collective::RingAllgather, 3, 31),
+        ] {
+            let expect = reference(kind, nodes, elems, 11);
+            for strategy in [Strategy::Cpu, Strategy::GpuTn] {
+                let r = run_with_config(
+                    "collective_test",
+                    kind,
+                    CollectiveParams {
+                        nodes,
+                        elems,
+                        strategy,
+                        seed: 11,
+                    },
+                    |_| {},
+                );
+                for (rank, v) in r.vectors.iter().enumerate() {
+                    assert_eq!(v, &expect[rank], "{kind:?} {strategy} rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_vector_segments_coalesce_to_one_message() {
+        // Hierarchical phase 1 moves all G chunks to the leader as ONE
+        // put, not G puts.
+        let s = nbc::hierarchical_allreduce(1, 8, 4);
+        let plan = plan_node(&s, 1024);
+        let first = &plan.rounds[0];
+        assert_eq!(first.out.len(), 1, "one coalesced segment");
+        assert_eq!(first.out[0].elems, 1024, "whole vector");
+    }
+}

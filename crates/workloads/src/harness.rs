@@ -97,6 +97,8 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
         Box::new(crate::pingpong::Pingpong),
         Box::new(crate::jacobi::Jacobi),
         Box::new(crate::allreduce::Allreduce),
+        Box::new(crate::allreduce::HierAllreduce),
+        Box::new(crate::allgather::Allgather),
     ]
 }
 
@@ -218,6 +220,16 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_figures() {
         let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
-        assert_eq!(names, ["launch_study", "pingpong", "jacobi", "allreduce"]);
+        assert_eq!(
+            names,
+            [
+                "launch_study",
+                "pingpong",
+                "jacobi",
+                "allreduce",
+                "allreduce_hier",
+                "allgather"
+            ]
+        );
     }
 }

@@ -13,7 +13,11 @@
 //!   with halo exchange, all four strategies, verified against a sequential
 //!   reference sweep.
 //! - [`allreduce`] — Fig. 10: 8 MB ring Allreduce strong scaling, 2–32
-//!   nodes, verified against the exact elementwise sum.
+//!   nodes, verified against the exact elementwise sum. Also hosts the
+//!   tree (variant 1) and hierarchical (variant 2 / `allreduce_hier`)
+//!   schedules, lowered by the generic [`collective`] executor.
+//! - [`allgather`] — ring AllGather: the pure-messaging collective, every
+//!   inbound segment a copy, verified element-exact.
 //! - [`deeplearning`] — Table 3 + Fig. 11: the six CNTK workloads as
 //!   Allreduce-characteristic models, projected with the paper's
 //!   methodology over simulated collective times.
@@ -38,8 +42,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod allgather;
 pub mod allreduce;
 pub mod chaos;
+pub mod collective;
 pub mod deeplearning;
 pub mod harness;
 pub mod jacobi;
