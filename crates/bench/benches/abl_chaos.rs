@@ -252,6 +252,7 @@ fn main() {
                             ("policy", s(cell.policy.name())),
                             ("verdict", s(r.verdict.name())),
                             ("detect_ns", Json::U64(r.detect_ns)),
+                            ("suspect_ns", Json::U64(r.suspect_ns)),
                             ("recovery_ns", Json::U64(r.recovery_ns)),
                             ("total_ns", Json::U64(r.total_ns)),
                             ("events", Json::U64(r.events)),

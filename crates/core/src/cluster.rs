@@ -14,7 +14,7 @@ use crate::config::ClusterConfig;
 use crate::membership::{Liveness, MembershipView};
 use crate::observe::ClusterStats;
 use crate::stall::{BlockedOn, NodeStall, StallReason, StallReport};
-use gtn_fabric::{Delivery, Fabric};
+use gtn_fabric::{CrashComponent, Delivery, Fabric};
 use gtn_gpu::{Gpu, GpuEvent, GpuOutput};
 use gtn_host::{Cpu, CpuEvent, CpuOutput, HostOp, HostProgram};
 use gtn_mem::{MemPool, NodeId};
@@ -256,6 +256,13 @@ pub struct Cluster {
     /// sweep, consumed by the run loop to terminate with
     /// [`StallReason::PeerDead`].
     dead_detected: Option<(u32, u32)>,
+    /// First suspicion: `(peer, when)` — the first lease sweep that saw any
+    /// peer leave [`Liveness::Alive`]. Detection-latency studies read the
+    /// `injection → suspect → dead` timeline from this plus
+    /// [`Cluster::dead_detected`].
+    first_suspect: Option<(u32, SimTime)>,
+    /// When the death verdict was reached, for the same timeline.
+    dead_at: Option<SimTime>,
     /// Precomputed crash schedule: when each node's *compute* (CPU+GPU)
     /// dies, from `config.fabric.faults` Node specs.
     node_down: Vec<Option<SimTime>>,
@@ -348,6 +355,8 @@ impl Cluster {
             finish_times: vec![None; n],
             gds_hooks: HashMap::new(),
             dead_detected: None,
+            first_suspect: None,
+            dead_at: None,
             node_down,
             nic_down,
             crash_suppressed: 0,
@@ -416,10 +425,60 @@ impl Cluster {
         self.dead_detected
     }
 
+    /// The first suspicion, if any: `(peer, when)` — the first lease sweep
+    /// that saw a peer leave `Alive`. Always at or before the death
+    /// verdict; the gap between the two is the detector's confirmation
+    /// time.
+    pub fn first_suspect(&self) -> Option<(u32, SimTime)> {
+        self.first_suspect
+    }
+
+    /// When the death verdict was reached, if any.
+    pub fn dead_at(&self) -> Option<SimTime> {
+        self.dead_at
+    }
+
+    /// Ground truth for a death verdict on `peer`: the injected crash the
+    /// verdict traces back to. Prefers a spec that names the peer directly
+    /// (its node, its NIC, a link or graph edge it terminates); falls back
+    /// to the earliest edge crash — a severed interior wire can partition
+    /// a peer no spec names. `None` when nothing was injected (a detector
+    /// false positive, which the soundness tests assert never happens).
+    pub fn resolve_culprit(&self, peer: u32) -> Option<CrashComponent> {
+        let crashes = &self.config.fabric.faults.crashes;
+        crashes
+            .iter()
+            .find(|c| match c.component {
+                CrashComponent::Node(n) | CrashComponent::Nic(n) => n == peer,
+                CrashComponent::Link { a, b } | CrashComponent::Edge { a, b } => {
+                    a == peer || b == peer
+                }
+            })
+            .or_else(|| {
+                crashes
+                    .iter()
+                    .filter(|c| matches!(c.component, CrashComponent::Edge { .. }))
+                    .min_by_key(|c| c.at_ns)
+            })
+            .map(|c| c.component)
+    }
+
     /// Events dropped because their component had crashed by the time they
     /// fired (a crashed CPU does not step; a crashed NIC does not match).
     pub fn crash_suppressed(&self) -> u64 {
         self.crash_suppressed
+    }
+
+    /// The fabric's route-around log (empty unless `reroute_delay_ns` armed
+    /// failover): one record per `(src, dst)` pair whose route changed when
+    /// a failed edge was withdrawn.
+    pub fn reroutes(&self) -> &[gtn_fabric::RerouteRecord] {
+        self.fabric.reroutes()
+    }
+
+    /// Directed pairs left with no surviving path after withdrawals.
+    pub fn partitioned_pairs(&self) -> u64 {
+        self.fabric.partitioned_pairs()
     }
 
     /// Is node `n`'s compute (CPU + GPU) dead at `now`?
@@ -454,6 +513,12 @@ impl Cluster {
         fabric.add("max_link_packets", self.fabric.max_link_packets());
         fabric.add("wire_bytes", self.fabric.total_wire_bytes());
         fabric.add("links", self.fabric.link_count() as u64);
+        // Failover counters exist only when route-around is armed, so
+        // baseline runs (and their goldens) never see the keys.
+        if self.fabric.reroute_armed() {
+            fabric.add("reroutes", self.fabric.reroutes().len() as u64);
+            fabric.add("partitioned_pairs", self.fabric.partitioned_pairs());
+        }
         out.insert("fabric", &fabric);
         let mut engine = StatSet::new();
         engine.add("events_processed", self.exec.events_processed());
@@ -507,8 +572,13 @@ impl Cluster {
                 // structured verdict. Pending sends toward the corpse are
                 // failed fast so the report names them as PeerDead, not as
                 // mysterious in-flight retries.
+                self.dead_at = Some(now);
                 self.fail_dead_peer(now, peer);
-                abort = Some(StallReason::PeerDead { peer, detector });
+                abort = Some(StallReason::PeerDead {
+                    peer,
+                    detector,
+                    culprit: self.resolve_culprit(peer),
+                });
                 break;
             }
             if self.exec.events_processed() >= 400_000_000 {
@@ -719,13 +789,25 @@ impl Cluster {
         // already finished is left alone: its silence is retirement, not
         // death, and the run can still complete without it.
         if self.dead_detected.is_none() {
-            let dead = (0..self.config.n_nodes).find(|&p| {
-                self.finish_times[p as usize].is_none()
-                    && self.views[s as usize].liveness(p, now, &self.config.failure)
-                        == Liveness::Dead
-            });
-            if let Some(peer) = dead {
-                self.dead_detected = Some((peer, s));
+            for p in 0..self.config.n_nodes {
+                if self.finish_times[p as usize].is_some() {
+                    continue;
+                }
+                match self.views[s as usize].liveness(p, now, &self.config.failure) {
+                    Liveness::Dead => {
+                        if self.first_suspect.is_none() {
+                            self.first_suspect = Some((p, now));
+                        }
+                        self.dead_detected = Some((p, s));
+                        break;
+                    }
+                    Liveness::Suspect => {
+                        if self.first_suspect.is_none() {
+                            self.first_suspect = Some((p, now));
+                        }
+                    }
+                    Liveness::Alive => {}
+                }
             }
         }
         let period = SimDuration::from_ns(self.config.failure.heartbeat_period_ns);
@@ -736,11 +818,12 @@ impl Cluster {
     /// (CQ error entries with cause `PeerDead`). Runs at termination, so
     /// follow-up events the NICs would emit are irrelevant and dropped.
     fn fail_dead_peer(&mut self, now: SimTime, peer: u32) {
+        let culprit = self.resolve_culprit(peer);
         for n in 0..self.config.n_nodes {
             if n == peer || self.nic_is_down(n, now) {
                 continue;
             }
-            let _ = self.nics[n as usize].mark_peer_dead(now, NodeId(peer), &mut self.mem);
+            let _ = self.nics[n as usize].mark_peer_dead(now, NodeId(peer), culprit, &mut self.mem);
             self.drain_nic_notes(n);
         }
     }
@@ -1272,7 +1355,8 @@ mod tests {
             report.reason,
             crate::stall::StallReason::PeerDead {
                 peer: 1,
-                detector: 0
+                detector: 0,
+                culprit: Some(gtn_fabric::CrashComponent::Node(1)),
             }
         );
         // Last probe from node 1 lands just after 0.9 ms; the 2 ms lease
@@ -1281,8 +1365,16 @@ mod tests {
         assert_eq!(report.at, SimTime::from_us(3_000), "{}", report.at);
         assert!(result.events < 100_000, "{}", result.events);
         assert_eq!(cluster.dead_detected(), Some((1, 0)));
+        // The suspicion → death timeline is recorded: suspect strictly
+        // after the injection, death strictly after (or at) suspicion.
+        let (sus_peer, sus_at) = cluster.first_suspect().expect("suspected");
+        assert_eq!(sus_peer, 1);
+        assert!(sus_at > SimTime::from_us(1_000), "{sus_at}");
+        assert_eq!(cluster.dead_at(), Some(report.at));
+        assert!(sus_at <= report.at, "{sus_at} vs {}", report.at);
         let text = report.to_string();
         assert!(text.contains("node 1 declared dead by node 0"), "{text}");
+        assert!(text.contains("culprit node 1"), "{text}");
     }
 
     #[test]

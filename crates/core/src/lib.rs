@@ -50,7 +50,7 @@ pub mod timeline;
 
 pub use cluster::{Cluster, ClusterResult, LogKind, LogRecord};
 pub use config::ClusterConfig;
-pub use membership::{FailureConfig, Liveness, MembershipView, RecoveryPolicy};
+pub use membership::{DetectorKind, FailureConfig, Liveness, MembershipView, RecoveryPolicy};
 pub use observe::ClusterStats;
 pub use stall::{BlockedOn, NodeStall, StallReason, StallReport};
 pub use strategy::Strategy;

@@ -47,6 +47,13 @@ pub enum RecoveryPolicy {
     /// Re-derive the collective's ring/round schedule around the dead rank
     /// and re-run on the surviving membership, NCCL-style.
     RebuildCollective,
+    /// Arm the fabric's route-around failover: a crashed or persistently
+    /// degraded routed edge is withdrawn from the routing tables (after a
+    /// switch-local detection delay) and traffic repairs onto surviving
+    /// equal-cost paths. On multipath topologies a link crash becomes a
+    /// latency blip instead of a job abort; `PeerDead` remains the
+    /// fallback when the surviving graph is truly partitioned.
+    RouteAround,
 }
 
 impl RecoveryPolicy {
@@ -56,6 +63,7 @@ impl RecoveryPolicy {
             RecoveryPolicy::Abort => "abort",
             RecoveryPolicy::CheckpointRestart => "checkpoint-restart",
             RecoveryPolicy::RebuildCollective => "rebuild-collective",
+            RecoveryPolicy::RouteAround => "route-around",
         }
     }
 }
@@ -64,6 +72,24 @@ impl std::fmt::Display for RecoveryPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Which algorithm classifies lease age into [`Liveness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Fixed thresholds: suspect past `suspect_after_ns`, dead past
+    /// `dead_after_ns`, regardless of observed network behaviour.
+    #[default]
+    FixedLease,
+    /// φ-accrual style: each observer keeps a ring of recent probe
+    /// inter-arrival times per peer and computes a suspicion level
+    /// `φ = log10-odds that silence this long is a crash`, scaled by the
+    /// observed mean + σ. Detection latency tracks actual network
+    /// behaviour: a quiet fabric detects in ~φ_dead·scale (well under the
+    /// fixed lease), while jitter/loss inflate the scale and push the
+    /// thresholds out instead of false-positiving. Falls back to the
+    /// fixed lease until `phi_min_samples` intervals have been observed.
+    PhiAccrual,
 }
 
 /// Heartbeat/lease parameters plus the recovery policy. The default (see
@@ -82,6 +108,34 @@ pub struct FailureConfig {
     pub dead_after_ns: u64,
     /// What the run's owner wants done about a detected death.
     pub recovery: RecoveryPolicy,
+    /// Which detection algorithm to run (`serde(default)` keeps configs
+    /// recorded before φ-accrual existed loadable as fixed-lease).
+    #[serde(default)]
+    pub detector: DetectorKind,
+    /// φ level at which a peer turns [`Liveness::Suspect`].
+    #[serde(default = "default_phi_suspect")]
+    pub phi_suspect: f64,
+    /// φ level at which a peer turns [`Liveness::Dead`]. φ = 6 means the
+    /// observed inter-arrival model puts the odds of this much silence
+    /// from a live peer at 10⁻⁶.
+    #[serde(default = "default_phi_dead")]
+    pub phi_dead: f64,
+    /// Observed intervals required before φ replaces the fixed lease
+    /// (warm-up; at most the history ring size of 32).
+    #[serde(default = "default_phi_min_samples")]
+    pub phi_min_samples: u32,
+}
+
+fn default_phi_suspect() -> f64 {
+    2.0
+}
+
+fn default_phi_dead() -> f64 {
+    6.0
+}
+
+fn default_phi_min_samples() -> u32 {
+    8
 }
 
 impl FailureConfig {
@@ -92,6 +146,10 @@ impl FailureConfig {
             suspect_after_ns: 0,
             dead_after_ns: 0,
             recovery: RecoveryPolicy::Abort,
+            detector: DetectorKind::FixedLease,
+            phi_suspect: default_phi_suspect(),
+            phi_dead: default_phi_dead(),
+            phi_min_samples: default_phi_min_samples(),
         }
     }
 
@@ -104,7 +162,21 @@ impl FailureConfig {
             heartbeat_period_ns: 100_000,
             suspect_after_ns: 600_000,
             dead_after_ns: 2_000_000,
-            recovery: RecoveryPolicy::Abort,
+            ..FailureConfig::off()
+        }
+    }
+
+    /// [`FailureConfig::detection`] with the adaptive φ-accrual detector
+    /// selected: same probe cadence and lease *fallback*, but once eight
+    /// inter-arrival samples are in, suspicion follows the observed
+    /// network. On a healthy fabric (scale ≈ the 100 µs period) φ = 6 is
+    /// reached ~1.4 ms into a true silence — strictly inside the 2 ms
+    /// fixed lease — while 20% probe loss inflates the scale ~1.8× and
+    /// pushes a false positive out to ~25 consecutive losses.
+    pub fn phi_accrual() -> Self {
+        FailureConfig {
+            detector: DetectorKind::PhiAccrual,
+            ..FailureConfig::detection()
         }
     }
 
@@ -114,6 +186,12 @@ impl FailureConfig {
             recovery,
             ..FailureConfig::detection()
         }
+    }
+
+    /// This config with a different detector kind.
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
     }
 
     /// True when detection is active.
@@ -131,6 +209,19 @@ impl FailureConfig {
         }
         if self.dead_after_ns <= self.suspect_after_ns {
             return Err("dead_after_ns must exceed suspect_after_ns".into());
+        }
+        if self.detector == DetectorKind::PhiAccrual {
+            if self.phi_suspect <= 0.0 || self.phi_suspect.is_nan() {
+                return Err("phi_suspect must be positive".into());
+            }
+            if self.phi_dead <= self.phi_suspect || self.phi_dead.is_nan() {
+                return Err("phi_dead must exceed phi_suspect".into());
+            }
+            if self.phi_min_samples < 2 || self.phi_min_samples as usize > PHI_RING {
+                return Err(format!(
+                    "phi_min_samples must be in [2, {PHI_RING}] (the history ring size)"
+                ));
+            }
         }
         Ok(())
     }
@@ -154,6 +245,55 @@ pub enum Liveness {
     Dead,
 }
 
+/// History ring size per peer: enough samples for a stable mean/σ, small
+/// enough that behaviour shifts (a degrade window opening) age out fast.
+pub const PHI_RING: usize = 32;
+
+/// Recent probe inter-arrival times from one peer, ns.
+#[derive(Debug, Clone)]
+struct PeerHistory {
+    intervals: [u64; PHI_RING],
+    len: u8,
+    next: u8,
+}
+
+impl PeerHistory {
+    fn new() -> Self {
+        PeerHistory {
+            intervals: [0; PHI_RING],
+            len: 0,
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, interval_ns: u64) {
+        self.intervals[self.next as usize] = interval_ns;
+        self.next = (self.next + 1) % PHI_RING as u8;
+        self.len = (self.len + 1).min(PHI_RING as u8);
+    }
+
+    fn samples(&self) -> u32 {
+        self.len as u32
+    }
+
+    /// Mean and standard deviation of the recorded intervals, ns.
+    fn mean_std(&self) -> (f64, f64) {
+        let n = self.len as usize;
+        debug_assert!(n > 0);
+        let mut sum = 0.0;
+        for &v in &self.intervals[..n] {
+            sum += v as f64;
+        }
+        let mean = sum / n as f64;
+        let mut var = 0.0;
+        for &v in &self.intervals[..n] {
+            let d = v as f64 - mean;
+            var += d * d;
+        }
+        (mean, (var / n as f64).sqrt())
+    }
+}
+
 /// One node's view of everyone else's liveness, driven purely by probe
 /// arrivals — no global knowledge, no oracle.
 #[derive(Debug, Clone)]
@@ -162,6 +302,10 @@ pub struct MembershipView {
     /// Latest probe arrival per peer. A node has trivially "heard from"
     /// itself at all times; the slot for `observer` is unused.
     last_heard: Vec<SimTime>,
+    /// Inter-arrival history per peer, feeding the φ-accrual detector.
+    /// Recorded unconditionally (it is cheap) so the detector kind can be
+    /// compared on identical observations.
+    history: Vec<PeerHistory>,
 }
 
 impl MembershipView {
@@ -172,6 +316,7 @@ impl MembershipView {
         MembershipView {
             observer,
             last_heard: vec![SimTime::ZERO; n_nodes as usize],
+            history: vec![PeerHistory::new(); n_nodes as usize],
         }
     }
 
@@ -184,6 +329,8 @@ impl MembershipView {
     pub fn record_alive(&mut self, peer: u32, now: SimTime) {
         let slot = &mut self.last_heard[peer as usize];
         if now > *slot {
+            let interval = now.since(*slot);
+            self.history[peer as usize].record(interval.as_ps() / 1000);
             *slot = now;
         }
     }
@@ -193,10 +340,44 @@ impl MembershipView {
         self.last_heard[peer as usize]
     }
 
-    /// Classify `peer` by lease age at `now`.
+    /// The φ suspicion level for `peer` at `now`: `0.4343 · age / scale`,
+    /// where `scale = mean + σ` of the observed inter-arrival ring,
+    /// floored at the heartbeat period (a suspiciously regular fabric must
+    /// not make the detector hair-triggered). One σ of headroom keeps the
+    /// detector honest both ways: ordinary queueing jitter widens the
+    /// scale only linearly (so a calm fabric still convicts well inside
+    /// the fixed lease), while genuinely erratic arrivals still push the
+    /// death threshold out with their σ. `None` until `phi_min_samples`
+    /// intervals have been observed — callers fall back to the fixed
+    /// lease during warm-up.
+    pub fn phi(&self, peer: u32, now: SimTime, config: &FailureConfig) -> Option<f64> {
+        let h = &self.history[peer as usize];
+        if h.samples() < config.phi_min_samples {
+            return None;
+        }
+        let (mean, std) = h.mean_std();
+        let scale = (mean + std).max(config.heartbeat_period_ns as f64);
+        let age_ns = now.since(self.last_heard[peer as usize]).as_ps() as f64 / 1000.0;
+        // Exponential-tail model: P(silence ≥ age | alive) = exp(-age/scale),
+        // φ = -log10 of that = age / (scale · ln 10).
+        Some(std::f64::consts::LOG10_E * age_ns / scale)
+    }
+
+    /// Classify `peer` at `now` under the configured detector.
     pub fn liveness(&self, peer: u32, now: SimTime, config: &FailureConfig) -> Liveness {
         if peer == self.observer {
             return Liveness::Alive;
+        }
+        if config.detector == DetectorKind::PhiAccrual {
+            if let Some(phi) = self.phi(peer, now, config) {
+                return if phi >= config.phi_dead {
+                    Liveness::Dead
+                } else if phi >= config.phi_suspect {
+                    Liveness::Suspect
+                } else {
+                    Liveness::Alive
+                };
+            }
         }
         let age = now.since(self.last_heard[peer as usize]);
         if age > SimDuration::from_ns(config.dead_after_ns) {
@@ -277,6 +458,121 @@ mod tests {
             RecoveryPolicy::RebuildCollective.name(),
             "rebuild-collective"
         );
+        assert_eq!(RecoveryPolicy::RouteAround.name(), "route-around");
         assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Abort);
+    }
+
+    /// Feed `n` regular probes at `period_ns` and return the view.
+    fn warm_view(n: u64, period_ns: u64, jitter: impl Fn(u64) -> i64) -> (MembershipView, SimTime) {
+        let mut v = MembershipView::new(0, 2);
+        let mut last = SimTime::ZERO;
+        for i in 1..=n {
+            let t = (i * period_ns) as i64 + jitter(i);
+            last = SimTime::from_ns(t as u64);
+            v.record_alive(1, last);
+        }
+        (v, last)
+    }
+
+    #[test]
+    fn phi_warms_up_on_the_fixed_lease() {
+        let cfg = FailureConfig::phi_accrual();
+        let (v, last) = warm_view(3, 100_000, |_| 0);
+        assert!(v.phi(1, last, &cfg).is_none(), "3 samples < min 8");
+        // Below min samples the fixed lease still classifies.
+        let much_later = last + SimDuration::from_ns(3_000_000);
+        assert_eq!(v.liveness(1, much_later, &cfg), Liveness::Dead);
+    }
+
+    #[test]
+    fn phi_detects_a_true_crash_strictly_faster_than_the_lease() {
+        let phi_cfg = FailureConfig::phi_accrual();
+        let lease_cfg = FailureConfig::detection();
+        let (v, last) = warm_view(20, 100_000, |_| 0);
+        // Regular 100 µs arrivals: scale = period floor, φ = 6 at
+        // ~1.38 ms of silence. The fixed lease needs the full 2 ms.
+        let phi_dead_at = (0..)
+            .map(|k| last + SimDuration::from_ns(k * 10_000))
+            .find(|&t| v.liveness(1, t, &phi_cfg) == Liveness::Dead)
+            .unwrap();
+        let lease_dead_at = (0..)
+            .map(|k| last + SimDuration::from_ns(k * 10_000))
+            .find(|&t| v.liveness(1, t, &lease_cfg) == Liveness::Dead)
+            .unwrap();
+        assert!(
+            phi_dead_at < lease_dead_at,
+            "phi {phi_dead_at} vs lease {lease_dead_at}"
+        );
+        // And the detection latency is in the predicted ~1.4 ms band.
+        let latency_ns = phi_dead_at.since(last).as_ps() / 1000;
+        assert!(
+            (1_300_000..1_500_000).contains(&latency_ns),
+            "latency {latency_ns} ns"
+        );
+    }
+
+    #[test]
+    fn phi_tolerates_the_silence_that_its_history_predicts() {
+        // Erratic arrivals (alternating 100 µs / 500 µs gaps): σ is large,
+        // so a 1.4 ms silence — a sure death sentence on a quiet fabric —
+        // stays below φ_dead here.
+        let cfg = FailureConfig::phi_accrual();
+        let mut v = MembershipView::new(0, 2);
+        let mut t_ns = 0u64;
+        for i in 1..=20u64 {
+            t_ns += if i % 2 == 0 { 100_000 } else { 500_000 };
+            v.record_alive(1, SimTime::from_ns(t_ns));
+        }
+        let last = SimTime::from_ns(t_ns);
+        let probe = last + SimDuration::from_ns(1_400_000);
+        assert_ne!(v.liveness(1, probe, &cfg), Liveness::Dead);
+        // But silence far beyond the observed behaviour still convicts.
+        let long = last + SimDuration::from_ns(20_000_000);
+        assert_eq!(v.liveness(1, long, &cfg), Liveness::Dead);
+    }
+
+    #[test]
+    fn phi_scale_is_floored_at_the_heartbeat_period() {
+        // Implausibly tight arrivals (1 µs apart) must not hair-trigger:
+        // the scale floor keeps φ growth bounded by the configured period.
+        let cfg = FailureConfig::phi_accrual();
+        let (v, last) = warm_view(20, 1_000, |_| 0);
+        let after = last + SimDuration::from_ns(100_000); // 1 period
+        let phi = v.phi(1, after, &cfg).unwrap();
+        assert!(phi < 1.0, "phi {phi} should be ~0.43 at one period");
+    }
+
+    #[test]
+    fn phi_validation_checks_thresholds_and_samples() {
+        let mut c = FailureConfig::phi_accrual();
+        assert!(c.validate().is_ok());
+        c.phi_dead = c.phi_suspect;
+        assert!(c.validate().is_err());
+        let mut c = FailureConfig::phi_accrual();
+        c.phi_suspect = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = FailureConfig::phi_accrual();
+        c.phi_min_samples = 1;
+        assert!(c.validate().is_err());
+        c.phi_min_samples = PHI_RING as u32 + 1;
+        assert!(c.validate().is_err());
+        // The same nonsense is fine on a fixed-lease config (unused).
+        let mut c = FailureConfig::detection();
+        c.phi_suspect = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn phi_presets_share_the_probe_cadence() {
+        let phi = FailureConfig::phi_accrual();
+        let lease = FailureConfig::detection();
+        assert_eq!(phi.heartbeat_period_ns, lease.heartbeat_period_ns);
+        assert_eq!(phi.dead_after_ns, lease.dead_after_ns);
+        assert_eq!(phi.detector, DetectorKind::PhiAccrual);
+        assert_eq!(lease.detector, DetectorKind::FixedLease);
+        assert_eq!(
+            lease.with_detector(DetectorKind::PhiAccrual).detector,
+            DetectorKind::PhiAccrual
+        );
     }
 }

@@ -14,7 +14,7 @@ use crate::config::ClusterConfig;
 use crate::membership::{FailureConfig, RecoveryPolicy};
 use crate::timeline::stage_breakdown;
 use crate::{ClusterStats, Strategy};
-use gtn_fabric::CrashComponent;
+use gtn_fabric::{CrashComponent, DegradeSpec};
 use gtn_sim::time::{SimDuration, SimTime};
 
 /// Declarative cluster-config overrides a scenario carries with it, so
@@ -49,6 +49,20 @@ pub struct ConfigPatch {
     /// into an explicit switch/link graph, so the same workload sweeps
     /// across star / full-mesh / fat-tree / dragonfly fabrics.
     pub topo: Option<gtn_fabric::Topology>,
+    /// A gray-failure injection: one component degrades (latency, jitter,
+    /// loss bursts, flapping) without dying. Layers onto whatever fault
+    /// plan is in place; specs that can *drop* traffic (loss or flap)
+    /// imply the reliability layer, latency-only ones leave it alone.
+    pub degrade: Option<DegradeSpec>,
+    /// Replace the failure-detector tuning wholesale (heartbeat cadence,
+    /// lease thresholds, detector kind, φ thresholds). Composes with
+    /// `detect`: this sets the cadence/detector, `detect` still picks the
+    /// recovery policy on top of it.
+    pub failure: Option<crate::membership::FailureConfig>,
+    /// Arm route-around failover with an explicit switch-local detection
+    /// delay, ns. `None` + `detect == Some(RouteAround)` uses
+    /// [`gtn_fabric::DEFAULT_REROUTE_DELAY_NS`].
+    pub reroute_delay_ns: Option<u64>,
 }
 
 /// One crash-stop injection, `Copy` so it rides [`ConfigPatch`] through
@@ -124,6 +138,9 @@ impl ConfigPatch {
         detect: None,
         sim_shards: None,
         topo: None,
+        degrade: None,
+        failure: None,
+        reroute_delay_ns: None,
     };
 
     /// Seeded packet loss at `rate`, with the NIC reliability layer (ARQ
@@ -189,6 +206,25 @@ impl ConfigPatch {
         self
     }
 
+    /// Combine this patch with a gray-failure injection.
+    pub fn with_degrade(mut self, spec: DegradeSpec) -> Self {
+        self.degrade = Some(spec);
+        self
+    }
+
+    /// Combine this patch with replaced failure-detector tuning (cadence,
+    /// lease thresholds, detector kind).
+    pub fn with_failure(mut self, failure: crate::membership::FailureConfig) -> Self {
+        self.failure = Some(failure);
+        self
+    }
+
+    /// Combine this patch with an explicit route-around detection delay.
+    pub fn with_reroute_delay(mut self, delay_ns: u64) -> Self {
+        self.reroute_delay_ns = Some(delay_ns);
+        self
+    }
+
     /// Combine this patch with a pinned calendar shard count.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.sim_shards = Some(shards);
@@ -215,8 +251,34 @@ impl ConfigPatch {
             });
             config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
         }
+        if let Some(spec) = self.degrade {
+            // Layer the gray failure onto the existing plan (loss keeps its
+            // seed; each degrade owns a forked stream, so healthy-path
+            // draws are untouched). Only specs that can drop traffic need
+            // the ARQ layer — a latency-only straggler must not change the
+            // wire protocol of the run it rides along with.
+            config.fabric.faults.degrades.push(spec);
+            if spec.loss > 0.0 || spec.flap_period_ns > 0 {
+                config.nic.reliability = gtn_nic::reliability::ReliabilityConfig::on();
+            }
+        }
+        if let Some(failure) = self.failure {
+            config.failure = failure;
+        }
         if let Some(policy) = self.detect {
-            config.failure = FailureConfig::with_recovery(policy);
+            if self.failure.is_some() {
+                // Explicit detector tuning keeps its cadence/thresholds;
+                // `detect` only picks the recovery policy on top of it.
+                config.failure.recovery = policy;
+            } else {
+                config.failure = FailureConfig::with_recovery(policy);
+            }
+            if policy == RecoveryPolicy::RouteAround && config.fabric.reroute_delay_ns.is_none() {
+                config.fabric.reroute_delay_ns = Some(gtn_fabric::DEFAULT_REROUTE_DELAY_NS);
+            }
+        }
+        if let Some(delay) = self.reroute_delay_ns {
+            config.fabric.reroute_delay_ns = Some(delay);
         }
         if let Some(shards) = self.sim_shards {
             config.sim_shards = shards;
@@ -535,6 +597,97 @@ mod tests {
         let p = ConfigPatch::NONE.with_topology(gtn_fabric::Topology::FullMesh);
         let q = p;
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn degrade_patch_layers_and_only_drops_imply_arq() {
+        // Latency-only straggler: rides the plan without touching the ARQ.
+        let mut config = ClusterConfig::table2(4);
+        let slow = DegradeSpec::nic(2).latency(5_000).jitter(500);
+        ConfigPatch::NONE.with_degrade(slow).apply(&mut config);
+        assert_eq!(config.fabric.faults.degrades, vec![slow]);
+        assert!(!config.nic.reliability.enabled);
+        assert!(config.validate().is_ok());
+
+        // Lossy degrade implies the reliability layer, and layers onto
+        // seeded loss without replacing it.
+        let mut config = ClusterConfig::table2(4);
+        let lossy = DegradeSpec::edge(1, 4).lossy(0.2, 3);
+        ConfigPatch::loss(7, 0.01)
+            .with_degrade(lossy)
+            .apply(&mut config);
+        assert_eq!(config.fabric.faults.packet_loss, 0.01);
+        assert_eq!(config.fabric.faults.seed, 7);
+        assert_eq!(config.fabric.faults.degrades, vec![lossy]);
+        assert!(config.nic.reliability.enabled);
+
+        // Flapping drops traffic too, so it also arms the ARQ.
+        let mut config = ClusterConfig::table2(4);
+        let flappy = DegradeSpec::edge(0, 4).flapping(100_000, 20_000);
+        ConfigPatch::NONE.with_degrade(flappy).apply(&mut config);
+        assert!(config.nic.reliability.enabled);
+
+        // The patch stays Copy + PartialEq with the new knobs aboard.
+        let p = ConfigPatch::NONE.with_degrade(lossy).with_reroute_delay(5);
+        let q = p;
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn route_around_detection_arms_fabric_failover() {
+        let mut config = ClusterConfig::table2(8);
+        ConfigPatch::crash_edge(2, 8, 50_000)
+            .with_detection(RecoveryPolicy::RouteAround)
+            .apply(&mut config);
+        assert_eq!(config.failure.recovery, RecoveryPolicy::RouteAround);
+        assert_eq!(
+            config.fabric.reroute_delay_ns,
+            Some(gtn_fabric::DEFAULT_REROUTE_DELAY_NS)
+        );
+        assert!(config.validate().is_ok());
+
+        // An explicit delay wins over the default.
+        let mut config = ClusterConfig::table2(8);
+        ConfigPatch::crash_edge(2, 8, 50_000)
+            .with_detection(RecoveryPolicy::RouteAround)
+            .with_reroute_delay(25_000)
+            .apply(&mut config);
+        assert_eq!(config.fabric.reroute_delay_ns, Some(25_000));
+
+        // Other policies leave failover unarmed.
+        let mut config = ClusterConfig::table2(8);
+        ConfigPatch::crash_node(1, 50_000)
+            .with_detection(RecoveryPolicy::Abort)
+            .apply(&mut config);
+        assert_eq!(config.fabric.reroute_delay_ns, None);
+    }
+
+    #[test]
+    fn failure_patch_overrides_cadence_and_composes_with_detect() {
+        use crate::membership::{DetectorKind, FailureConfig};
+        // Wholesale detector tuning: the φ-accrual preset rides the patch
+        // through validation.
+        let mut config = ClusterConfig::table2(4);
+        ConfigPatch::crash_node(2, 1_000_000)
+            .with_failure(FailureConfig::phi_accrual())
+            .with_detection(RecoveryPolicy::RouteAround)
+            .apply(&mut config);
+        assert_eq!(config.failure.detector, DetectorKind::PhiAccrual);
+        assert_eq!(config.failure.recovery, RecoveryPolicy::RouteAround);
+        assert_eq!(
+            config.failure.heartbeat_period_ns,
+            FailureConfig::detection().heartbeat_period_ns,
+            "detect must not clobber the explicit cadence"
+        );
+        assert!(config.validate().is_ok());
+
+        // failure alone keeps its own recovery policy.
+        let mut config = ClusterConfig::table2(4);
+        ConfigPatch::NONE
+            .with_failure(FailureConfig::phi_accrual())
+            .apply(&mut config);
+        assert_eq!(config.failure.recovery, RecoveryPolicy::Abort);
+        assert!(config.failure.enabled());
     }
 
     #[test]

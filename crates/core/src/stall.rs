@@ -50,6 +50,11 @@ pub enum StallReason {
         peer: u32,
         /// The first surviving node whose lease on `peer` expired.
         detector: u32,
+        /// The injected component the death traces back to — ground truth
+        /// resolved from the fault plan (the crashed node/NIC, or the
+        /// severed link/edge that isolated the peer). `None` when no
+        /// injected fault names the peer (e.g. a detector false positive).
+        culprit: Option<gtn_fabric::CrashComponent>,
     },
 }
 
@@ -68,10 +73,20 @@ impl fmt::Display for StallReason {
                 f,
                 "resource starvation (commits parked on exhausted NIC resources)"
             ),
-            StallReason::PeerDead { peer, detector } => write!(
-                f,
-                "peer dead (node {peer} declared dead by node {detector}'s failure detector)"
-            ),
+            StallReason::PeerDead {
+                peer,
+                detector,
+                culprit,
+            } => {
+                write!(
+                    f,
+                    "peer dead (node {peer} declared dead by node {detector}'s failure detector"
+                )?;
+                if let Some(c) = culprit {
+                    write!(f, "; culprit {c}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -178,11 +193,15 @@ impl fmt::Display for NodeStall {
             )?;
         }
         for fail in &self.delivery_failures {
-            writeln!(
+            write!(
                 f,
                 "    ABANDONED ({}): seq {} -> {:?} after {} attempts ({} B) at {}",
                 fail.cause, fail.seq, fail.target, fail.attempts, fail.bytes, fail.at
             )?;
+            if let Some(c) = &fail.culprit {
+                write!(f, " [culprit {c}]")?;
+            }
+            writeln!(f)?;
         }
         if self.trigger_overflow > 0 {
             writeln!(
@@ -298,6 +317,7 @@ mod tests {
                     attempts: 9,
                     bytes: 64,
                     cause: gtn_nic::DeliveryCause::RetriesExhausted,
+                    culprit: None,
                 }],
                 trigger_overflow: 2,
                 cq_parked: 3,
@@ -336,9 +356,22 @@ mod tests {
         let dead = StallReason::PeerDead {
             peer: 3,
             detector: 0,
+            culprit: None,
         }
         .to_string();
         assert!(dead.contains("node 3 declared dead by node 0"), "{dead}");
+        assert!(!dead.contains("culprit"), "{dead}");
+        let blamed = StallReason::PeerDead {
+            peer: 3,
+            detector: 0,
+            culprit: Some(gtn_fabric::CrashComponent::Edge { a: 2, b: 4 }),
+        }
+        .to_string();
+        assert!(
+            blamed.contains("node 3 declared dead by node 0"),
+            "{blamed}"
+        );
+        assert!(blamed.contains("culprit graph edge 2<->4"), "{blamed}");
     }
 
     #[test]
@@ -350,6 +383,7 @@ mod tests {
             attempts: 1,
             bytes: 128,
             cause: gtn_nic::DeliveryCause::PeerDead,
+            culprit: Some(gtn_fabric::CrashComponent::Nic(4)),
         };
         let stall = NodeStall {
             node: 0,
@@ -369,5 +403,6 @@ mod tests {
         };
         let s = stall.to_string();
         assert!(s.contains("ABANDONED (peer dead): seq 2"), "{s}");
+        assert!(s.contains("[culprit nic 4]"), "{s}");
     }
 }

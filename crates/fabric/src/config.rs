@@ -30,7 +30,22 @@ pub struct FabricConfig {
     /// Fault-injection plan; [`FaultConfig::none`] (the default) disables
     /// injection and leaves the lossless path untouched.
     pub faults: FaultConfig,
+    /// Route-around failover: when set, a crashed or persistently degraded
+    /// (`route_around`) graph edge is withdrawn from the routing tables
+    /// this many ns after its failure onset — a switch-local BFD-style
+    /// detection delay, deliberately much shorter than the end-to-end
+    /// heartbeat lease. `None` (the default) disables failover entirely:
+    /// routes are frozen at construction, exactly the pre-gray-failure
+    /// behaviour.
+    #[serde(default)]
+    pub reroute_delay_ns: Option<u64>,
 }
+
+/// Default switch-local failure-detection delay used when the
+/// `RouteAround` recovery policy arms failover without an explicit delay:
+/// 10 µs, an optical-loss/BFD-fast detection scale — far under the
+/// end-to-end heartbeat lease, far over per-hop latencies.
+pub const DEFAULT_REROUTE_DELAY_NS: u64 = 10_000;
 
 impl Default for FabricConfig {
     fn default() -> Self {
@@ -44,6 +59,7 @@ impl Default for FabricConfig {
             ecmp_seed: 0,
             loopback_latency_ns: 150,
             faults: FaultConfig::none(),
+            reroute_delay_ns: None,
         }
     }
 }

@@ -12,7 +12,7 @@
 //! global link contends exactly like the star's downlinks always have.
 
 use crate::config::FabricConfig;
-use crate::faults::{CrashComponent, Delivery, FaultPlan};
+use crate::faults::{CrashComponent, DegradeComponent, DegradeDrop, Delivery, FaultPlan};
 use crate::graph::FabricGraph;
 use crate::link::Link;
 use crate::packet::segment;
@@ -30,6 +30,25 @@ pub struct MessageTiming {
     pub packets: u64,
 }
 
+/// One route repaired by route-around failover: emitted per affected host
+/// pair when a withdrawn edge forces its routing-table row to change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RerouteRecord {
+    /// When the withdrawal took effect (the failure onset plus the
+    /// configured `reroute_delay_ns` — the scheduled time, not the
+    /// discovery time, so records are shard-count invariant).
+    pub at: SimTime,
+    /// Source host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// The edge-id path before the withdrawal.
+    pub old_path: Vec<u32>,
+    /// The repaired path, or `None` when the surviving graph no longer
+    /// connects the pair (truly partitioned — the `PeerDead` fallback).
+    pub new_path: Option<Vec<u32>>,
+}
+
 /// The cluster interconnect.
 #[derive(Debug)]
 pub struct Fabric {
@@ -44,6 +63,31 @@ pub struct Fabric {
     /// Fast gate: skip the per-message route-death walk entirely when no
     /// edge crash is configured, keeping the common path byte-identical.
     has_edge_crashes: bool,
+    /// Degrade-spec indices per directed edge (gray failures riding this
+    /// wire); all empty unless the fault plan names edge degrades.
+    edge_degrades: Vec<Vec<u32>>,
+    /// Degrade-spec indices per host NIC (slow-NIC stragglers).
+    nic_degrades: Vec<Vec<u32>>,
+    /// Fast gate for the gray-failure path.
+    has_degrades: bool,
+    /// Degrade drop verdict of the most recent [`Fabric::send_message`],
+    /// consumed by [`Fabric::send_message_faulty`] (which always calls
+    /// `send_message` first, so the flag can never go stale).
+    last_degrade_drop: Option<DegradeDrop>,
+    /// Did the most recent send find no surviving route (withdrawals
+    /// partitioned the pair)?
+    last_unroutable: bool,
+    /// Scheduled route withdrawals, sorted by (time, edge): edge crashes
+    /// and persistent degrades each withdraw both directed edges at onset
+    /// plus the configured reroute delay. Applied lazily — fabric calls
+    /// arrive in deterministic merged time order, so the first call at or
+    /// past the deadline applies it identically across shard counts.
+    pending_withdrawals: Vec<(SimTime, u32)>,
+    /// Structured failover log, one record per repaired (or partitioned)
+    /// host pair.
+    reroute_log: Vec<RerouteRecord>,
+    /// Host pairs left with no surviving route after withdrawals.
+    partitioned_pairs: u64,
     messages_sent: u64,
     faults: FaultPlan,
 }
@@ -85,6 +129,66 @@ impl Fabric {
             }
         }
 
+        // Resolve gray failures: edge degrades must name real wires (both
+        // directions suffer), NIC degrades must name attached hosts.
+        let mut edge_degrades = vec![Vec::new(); graph.edge_count()];
+        let mut nic_degrades = vec![Vec::new(); n_nodes];
+        let mut has_degrades = false;
+        for (idx, spec) in config.faults.degrades.iter().enumerate() {
+            has_degrades = true;
+            match spec.component {
+                DegradeComponent::Edge { a, b } => {
+                    for (from, to) in [(a, b), (b, a)] {
+                        let e = graph.edge_between(from, to).unwrap_or_else(|| {
+                            panic!(
+                                "DegradeComponent::Edge {{ a: {a}, b: {b} }} names no edge of \
+                                 the {} graph ({} vertices)",
+                                config.topology.label(),
+                                graph.vertex_count()
+                            )
+                        });
+                        edge_degrades[e as usize].push(idx as u32);
+                    }
+                }
+                DegradeComponent::Nic(n) => {
+                    assert!(
+                        (n as usize) < n_nodes,
+                        "DegradeComponent::Nic({n}) names no attached host (n_nodes = {n_nodes})"
+                    );
+                    nic_degrades[n as usize].push(idx as u32);
+                }
+            }
+        }
+
+        // Route-around failover: schedule the withdrawal of every crashed
+        // edge and every persistent (route_around) degraded edge, at the
+        // failure onset plus the switch-local detection delay.
+        let mut pending_withdrawals = Vec::new();
+        if let Some(delay) = config.reroute_delay_ns {
+            let withdraw_at = |onset_ns: u64| SimTime::from_ns(onset_ns.saturating_add(delay));
+            for crash in &config.faults.crashes {
+                if let CrashComponent::Edge { a, b } = crash.component {
+                    for (from, to) in [(a, b), (b, a)] {
+                        let e = graph.edge_between(from, to).expect("resolved above");
+                        pending_withdrawals.push((withdraw_at(crash.at_ns), e));
+                    }
+                }
+            }
+            for spec in &config.faults.degrades {
+                if !spec.route_around {
+                    continue;
+                }
+                if let DegradeComponent::Edge { a, b } = spec.component {
+                    for (from, to) in [(a, b), (b, a)] {
+                        let e = graph.edge_between(from, to).expect("resolved above");
+                        pending_withdrawals.push((withdraw_at(spec.from_ns), e));
+                    }
+                }
+            }
+            pending_withdrawals.sort_unstable();
+            pending_withdrawals.dedup();
+        }
+
         let faults = FaultPlan::new(config.faults.clone());
         Fabric {
             config,
@@ -93,6 +197,14 @@ impl Fabric {
             links,
             edge_dead_at,
             has_edge_crashes,
+            edge_degrades,
+            nic_degrades,
+            has_degrades,
+            last_degrade_drop: None,
+            last_unroutable: false,
+            pending_withdrawals,
+            reroute_log: Vec::new(),
+            partitioned_pairs: 0,
             messages_sent: 0,
             faults,
         }
@@ -130,11 +242,14 @@ impl Fabric {
         assert!(src.index() < self.n_nodes, "src {src} out of range");
         assert!(dst.index() < self.n_nodes, "dst {dst} out of range");
         self.messages_sent += 1;
+        self.last_degrade_drop = None;
+        self.last_unroutable = false;
 
         if src == dst {
             // Loopback through the local NIC: fixed small latency plus a
             // single serialization charge (the DMA engines still move the
-            // bytes).
+            // bytes). Never crosses the fabric, so gray failures (even a
+            // slow local NIC's — a simplification) do not apply.
             let d = SimDuration::from_ns(self.config.loopback_latency_ns)
                 + SimDuration::for_bytes_at_gbps(bytes, self.config.link_gbps);
             let t = now + d;
@@ -143,6 +258,22 @@ impl Fabric {
                 last_arrival: t,
                 packets: 1,
             };
+        }
+
+        if !self.pending_withdrawals.is_empty() {
+            self.apply_due_withdrawals(now);
+        }
+
+        // Gray failures: resolve the specs this message's route crosses,
+        // draw their combined effect once per message (not per packet —
+        // the ARQ layer judges whole messages), and start the walk after
+        // the extra latency. A drop verdict is stashed for the faulty
+        // path; the lossless path models the latency only.
+        let mut inject = now;
+        if self.has_degrades {
+            let effect = self.route_degrade_effect(now, src, dst);
+            self.last_degrade_drop = effect.drop;
+            inject = now + SimDuration::from_ns(effect.extra_ns);
         }
 
         let switch_latency = SimDuration::from_ns(self.config.switch_latency_ns);
@@ -156,11 +287,22 @@ impl Fabric {
             // Walk this packet edge by edge, store-and-forward: each
             // intermediate vertex is a switch and charges its traversal
             // latency before the next serialization.
-            let mut head = now;
+            let mut head = inject;
             let mut at = src.0;
             let mut hops = 0u32;
             while at != dst.0 {
-                let e = self.graph.next_edge(at, src.0, dst.0);
+                let Some(e) = self.graph.try_next_edge(at, src.0, dst.0) else {
+                    // Withdrawals partitioned the pair: nothing transits,
+                    // no link is charged; the faulty path turns this into
+                    // a crash drop and the lossless path cannot get here
+                    // (failover implies the ARQ layer is on).
+                    self.last_unroutable = true;
+                    return MessageTiming {
+                        first_arrival: now,
+                        last_arrival: now,
+                        packets: n_packets,
+                    };
+                };
                 if hops > 0 {
                     head += switch_latency;
                 }
@@ -176,6 +318,78 @@ impl Fabric {
             first_arrival,
             last_arrival,
             packets: n_packets,
+        }
+    }
+
+    /// Combined gray-failure effect on one `src -> dst` message: the
+    /// degrade specs of both endpoint NICs plus every spec riding an edge
+    /// of the (flow-pinned) route.
+    fn route_degrade_effect(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+    ) -> crate::faults::DegradeEffect {
+        let mut specs: Vec<u32> = Vec::new();
+        specs.extend_from_slice(&self.nic_degrades[src.index()]);
+        let mut at = src.0;
+        while at != dst.0 {
+            let Some(e) = self.graph.try_next_edge(at, src.0, dst.0) else {
+                break; // partitioned: the send walk reports it
+            };
+            specs.extend_from_slice(&self.edge_degrades[e as usize]);
+            at = self.graph.edge_endpoints(e).1;
+        }
+        specs.extend_from_slice(&self.nic_degrades[dst.index()]);
+        self.faults.judge_degrades(now, specs)
+    }
+
+    /// Apply every scheduled withdrawal whose deadline has passed,
+    /// rebuilding the routing tables once per deadline group and logging a
+    /// [`RerouteRecord`] for each host pair whose route crossed a
+    /// withdrawn wire.
+    fn apply_due_withdrawals(&mut self, now: SimTime) {
+        while let Some(&(deadline, _)) = self.pending_withdrawals.first() {
+            if now < deadline {
+                return;
+            }
+            let mut due = Vec::new();
+            while let Some(&(at, e)) = self.pending_withdrawals.first() {
+                if at != deadline {
+                    break;
+                }
+                due.push(e);
+                self.pending_withdrawals.remove(0);
+            }
+            // Snapshot the routes that are about to change, then rebuild.
+            let n = self.n_nodes as u32;
+            let mut affected = Vec::new();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    if let Some(old) = self.graph.try_route(NodeId(s), NodeId(d)) {
+                        if old.iter().any(|e| due.contains(e)) {
+                            affected.push((s, d, old));
+                        }
+                    }
+                }
+            }
+            self.graph.withdraw_edges(due);
+            for (src, dst, old_path) in affected {
+                let new_path = self.graph.try_route(NodeId(src), NodeId(dst));
+                if new_path.is_none() {
+                    self.partitioned_pairs += 1;
+                }
+                self.reroute_log.push(RerouteRecord {
+                    at: deadline,
+                    src,
+                    dst,
+                    old_path,
+                    new_path,
+                });
+            }
         }
     }
 
@@ -196,25 +410,53 @@ impl Fabric {
         if src == dst {
             return (timing, Delivery::Delivered);
         }
-        let route_dead = self.has_edge_crashes && self.route_dead(now, src, dst);
-        let verdict = self
-            .faults
-            .judge_routed(now, src, dst, timing.packets, route_dead);
+        // A pair the withdrawals partitioned black-holes like a crash (the
+        // `PeerDead` fallback); otherwise walk the (possibly repaired)
+        // route against the edge-crash times.
+        let route_dead =
+            self.last_unroutable || (self.has_edge_crashes && self.route_dead(now, src, dst));
+        let verdict = self.faults.judge_degraded(
+            now,
+            src,
+            dst,
+            timing.packets,
+            route_dead,
+            self.last_degrade_drop,
+        );
         (timing, verdict)
     }
 
     /// Does the (deterministic) `src -> dst` route cross an edge whose
-    /// crash-stop time is at or before `now`?
+    /// crash-stop time is at or before `now`? (A withdrawn-route partition
+    /// is caught earlier, by the send walk itself.)
     fn route_dead(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
         let mut at = src.0;
         while at != dst.0 {
-            let e = self.graph.next_edge(at, src.0, dst.0);
+            let Some(e) = self.graph.try_next_edge(at, src.0, dst.0) else {
+                return true;
+            };
             if self.edge_dead_at[e as usize].is_some_and(|t| now >= t) {
                 return true;
             }
             at = self.graph.edge_endpoints(e).1;
         }
         false
+    }
+
+    /// Is route-around failover armed (a reroute delay configured)?
+    pub fn reroute_armed(&self) -> bool {
+        self.config.reroute_delay_ns.is_some()
+    }
+
+    /// The structured failover log: one record per host pair whose route
+    /// a withdrawal changed (or severed).
+    pub fn reroutes(&self) -> &[RerouteRecord] {
+        &self.reroute_log
+    }
+
+    /// Host pairs left unroutable by withdrawals so far.
+    pub fn partitioned_pairs(&self) -> u64 {
+        self.partitioned_pairs
     }
 
     /// Fault counters (`drops`, `packets_dropped`, `outage_drops`,
@@ -470,6 +712,164 @@ mod tests {
             Delivery::Delivered
         );
         assert_eq!(f.fault_stats().counter("crash_drops"), 3);
+    }
+
+    #[test]
+    fn degraded_edge_adds_latency_and_heals_outside_its_window() {
+        use crate::faults::DegradeSpec;
+        let degraded = |spec| {
+            Fabric::new(
+                4,
+                FabricConfig {
+                    faults: FaultConfig::degrade(1, spec),
+                    ..FabricConfig::default()
+                },
+            )
+        };
+        // Star: vertex 4 is the switch; degrade host 1's downlink wire.
+        let spec = DegradeSpec::edge(4, 1).latency(5_000).window(1_000, 10_000);
+        let mut f = degraded(spec);
+        let mut clean = fabric(4);
+        let base = clean
+            .send_message(SimTime::ZERO, NodeId(0), NodeId(1), 64)
+            .last_arrival;
+        // Before the window: unaffected.
+        let t0 = f.send_message(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        assert_eq!(t0.last_arrival, base);
+        // Inside: the route crosses the sick wire and pays the 5 µs.
+        let t1 = f.send_message(SimTime::from_ns(2_000), NodeId(0), NodeId(1), 64);
+        let shift = t1.last_arrival.as_ns_f64() - 2_000.0 - base.as_ns_f64();
+        assert!((shift - 5_000.0).abs() < 0.1, "shift {shift}");
+        // A pair avoiding the wire entirely is untouched (the degrade is
+        // undirected, so 1 -> 0 would cross it via host 1's uplink)...
+        let t2 = f.send_message(SimTime::from_ns(2_000), NodeId(2), NodeId(3), 64);
+        assert_eq!(
+            t2.last_arrival,
+            SimTime::from_ns(2_000) + (base - SimTime::ZERO)
+        );
+        // ...and the window closing heals the pair.
+        let t3 = f.send_message(SimTime::from_ns(20_000), NodeId(0), NodeId(1), 64);
+        assert_eq!(
+            t3.last_arrival,
+            SimTime::from_ns(20_000) + (base - SimTime::ZERO)
+        );
+        assert_eq!(f.fault_stats().counter("degraded_messages"), 1);
+    }
+
+    #[test]
+    fn slow_nic_straggles_both_directions_but_not_third_parties() {
+        use crate::faults::DegradeSpec;
+        // Fresh fabric per send so link contention cannot muddy the
+        // comparison against the clean baseline.
+        let send = |s: u32, d: u32| {
+            let mut f = Fabric::new(
+                4,
+                FabricConfig {
+                    faults: FaultConfig::degrade(1, DegradeSpec::nic(2).latency(1_000)),
+                    ..FabricConfig::default()
+                },
+            );
+            f.send_message(SimTime::ZERO, NodeId(s), NodeId(d), 64)
+                .last_arrival
+        };
+        let base = fabric(4)
+            .send_message(SimTime::ZERO, NodeId(0), NodeId(1), 64)
+            .last_arrival;
+        assert_eq!(send(0, 1), base);
+        for t in [send(0, 2), send(2, 1)] {
+            let shift = t.as_ns_f64() - base.as_ns_f64();
+            assert!((shift - 1_000.0).abs() < 0.1, "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn degrade_drops_surface_only_through_the_faulty_path() {
+        use crate::faults::DegradeSpec;
+        let mut f = Fabric::new(
+            4,
+            FabricConfig {
+                faults: FaultConfig::degrade(1, DegradeSpec::edge(0, 4).lossy(1.0, 0)),
+                ..FabricConfig::default()
+            },
+        );
+        let (_, verdict) = f.send_message_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        assert_eq!(verdict, Delivery::Dropped);
+        assert_eq!(f.fault_stats().counter("degrade_drops"), 1);
+        // A pair avoiding host 0's (undirected) wire is untouched.
+        let (_, verdict) = f.send_message_faulty(SimTime::ZERO, NodeId(1), NodeId(2), 64);
+        assert_eq!(verdict, Delivery::Delivered);
+    }
+
+    #[test]
+    fn fat_tree_edge_crash_reroutes_after_the_convergence_window() {
+        // Crash the aggregation uplink the 0 -> 4 flow actually uses and
+        // arm failover: drops during the 10 µs convergence window, then a
+        // repaired route that avoids the dead wire.
+        let ft_config = FabricConfig {
+            topology: Topology::FatTree { k: 4 },
+            ..FabricConfig::default()
+        };
+        let probe = Fabric::new(8, ft_config.clone());
+        let route = probe.graph().route(NodeId(0), NodeId(4));
+        let (a, b) = probe.graph().edge_endpoints(route[1]); // edge-sw -> agg
+        let mut f = Fabric::new(
+            8,
+            FabricConfig {
+                faults: FaultConfig::none().with_crash(CrashComponent::Edge { a, b }, 5_000),
+                reroute_delay_ns: Some(10_000),
+                ..ft_config
+            },
+        );
+        assert!(f.reroute_armed());
+        let send = |f: &mut Fabric, ns| {
+            f.send_message_faulty(SimTime::from_ns(ns), NodeId(0), NodeId(4), 64)
+                .1
+        };
+        assert_eq!(send(&mut f, 1_000), Delivery::Delivered);
+        assert_eq!(send(&mut f, 6_000), Delivery::Dropped); // converging
+        assert_eq!(send(&mut f, 14_999), Delivery::Dropped);
+        assert_eq!(send(&mut f, 15_000), Delivery::Delivered); // repaired
+        assert_eq!(f.partitioned_pairs(), 0);
+        let log = f.reroutes();
+        assert!(!log.is_empty());
+        for r in log {
+            assert_eq!(r.at, SimTime::from_ns(15_000));
+            assert!(r.old_path.iter().any(|&e| {
+                let ep = f.graph().edge_endpoints(e);
+                ep == (a, b) || ep == (b, a)
+            }));
+            let new = r.new_path.as_ref().expect("fat-tree never partitions here");
+            assert!(new.iter().all(|&e| {
+                let ep = f.graph().edge_endpoints(e);
+                ep != (a, b) && ep != (b, a)
+            }));
+        }
+        // The repaired flow must include the 0 -> 4 pair itself.
+        assert!(log.iter().any(|r| (r.src, r.dst) == (0, 4)));
+    }
+
+    #[test]
+    fn star_edge_crash_with_failover_partitions_the_host() {
+        // A star has no alternate path: failover withdraws the wire and
+        // honestly reports the partition instead of inventing a route.
+        let mut f = Fabric::new(
+            4,
+            FabricConfig {
+                faults: FaultConfig::none().with_crash(CrashComponent::Edge { a: 2, b: 4 }, 1_000),
+                reroute_delay_ns: Some(10_000),
+                ..FabricConfig::default()
+            },
+        );
+        let send = |f: &mut Fabric, ns, s, d| {
+            f.send_message_faulty(SimTime::from_ns(ns), NodeId(s), NodeId(d), 64)
+                .1
+        };
+        assert_eq!(send(&mut f, 20_000, 0, 2), Delivery::Dropped);
+        assert_eq!(send(&mut f, 20_000, 2, 0), Delivery::Dropped);
+        assert_eq!(send(&mut f, 20_000, 0, 1), Delivery::Delivered);
+        // 3 pairs each way lost their only route.
+        assert_eq!(f.partitioned_pairs(), 6);
+        assert!(f.reroutes().iter().all(|r| r.new_path.is_none()));
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub enum CrashComponent {
     },
 }
 
+impl std::fmt::Display for CrashComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashComponent::Node(n) => write!(f, "node {n}"),
+            CrashComponent::Nic(n) => write!(f, "nic {n}"),
+            CrashComponent::Link { a, b } => write!(f, "link {a}<->{b}"),
+            CrashComponent::Edge { a, b } => write!(f, "graph edge {a}<->{b}"),
+        }
+    }
+}
+
 /// A permanent crash-stop failure: `component` dies at `at_ns` and never
 /// recovers (contrast with the transient outage windows, which end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -85,6 +96,196 @@ impl CrashSpec {
             CrashComponent::Link { a, b } | CrashComponent::Edge { a, b } => a.min(b),
         }
     }
+}
+
+/// Which component a gray failure degrades (without killing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeComponent {
+    /// One undirected *graph edge* (topology vertex ids, like
+    /// [`CrashComponent::Edge`]): every message whose route crosses the
+    /// wire suffers the degradation, in either direction.
+    Edge {
+        /// One endpoint (graph vertex id).
+        a: u32,
+        /// The other endpoint (graph vertex id).
+        b: u32,
+    },
+    /// One node's NIC is a straggler: every non-loopback message it sends
+    /// *or* receives suffers the degradation (slow DMA engine, overheating
+    /// SerDes — the component is sick, not dead).
+    Nic(u32),
+}
+
+/// A gray failure: the component stays up but misbehaves — elevated
+/// latency, seeded jitter, loss bursts, periodic flapping. All effects are
+/// optional and compose; an all-zero spec is a no-op. Deterministic under
+/// the plan seed: each spec owns a forked [`SimRng`] stream, so adding a
+/// degrade never reshuffles the loss/corruption draws of healthy paths
+/// (and two degrades never reshuffle each other).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeSpec {
+    /// What is sick.
+    pub component: DegradeComponent,
+    /// When the degradation starts, ns of sim time.
+    pub from_ns: u64,
+    /// When it ends (exclusive), ns. Zero means it never recovers.
+    pub until_ns: u64,
+    /// Fixed extra latency added to every affected message, ns.
+    pub extra_latency_ns: u64,
+    /// Uniform jitter bound: each affected message additionally waits
+    /// `U[0, jitter_ns)` drawn from the spec's own seeded stream.
+    pub jitter_ns: u64,
+    /// Per-message loss probability in `[0, 1]` while degraded.
+    pub loss: f64,
+    /// Burst length: once a loss draw fires, the next `burst_len - 1`
+    /// affected messages are dropped without drawing (correlated loss).
+    /// Zero or one means i.i.d. losses.
+    pub burst_len: u64,
+    /// Flap period, ns: the component cycles up for
+    /// `flap_period_ns - flap_down_ns`, then hard-down for `flap_down_ns`
+    /// (drops everything, no randomness), phase-locked to `from_ns`.
+    /// Zero disables flapping.
+    pub flap_period_ns: u64,
+    /// Down portion of each flap period, ns.
+    pub flap_down_ns: u64,
+    /// Advertise this degrade to the routing layer as *persistent*: a
+    /// fabric with route-around armed withdraws the edge from its
+    /// candidate tables (at the degrade onset plus the reroute delay)
+    /// instead of routing through the sick wire forever. Ignored for NIC
+    /// degrades — there is no alternate path to a host's own NIC.
+    pub route_around: bool,
+}
+
+impl DegradeSpec {
+    /// A no-op degrade of graph edge `a — b`; chain effect builders.
+    pub fn edge(a: u32, b: u32) -> Self {
+        DegradeSpec {
+            component: DegradeComponent::Edge { a, b },
+            from_ns: 0,
+            until_ns: 0,
+            extra_latency_ns: 0,
+            jitter_ns: 0,
+            loss: 0.0,
+            burst_len: 0,
+            flap_period_ns: 0,
+            flap_down_ns: 0,
+            route_around: false,
+        }
+    }
+
+    /// A no-op slow-NIC degrade of `node`; chain effect builders.
+    pub fn nic(node: u32) -> Self {
+        DegradeSpec {
+            component: DegradeComponent::Nic(node),
+            ..DegradeSpec::edge(0, 0)
+        }
+    }
+
+    /// Add fixed extra latency per affected message.
+    pub fn latency(mut self, extra_ns: u64) -> Self {
+        self.extra_latency_ns = extra_ns;
+        self
+    }
+
+    /// Add seeded uniform jitter in `[0, jitter_ns)` per affected message.
+    pub fn jitter(mut self, jitter_ns: u64) -> Self {
+        self.jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Add bursty loss: probability `loss` per message, each hit extending
+    /// into a burst of `burst_len` consecutive drops.
+    pub fn lossy(mut self, loss: f64, burst_len: u64) -> Self {
+        self.loss = loss;
+        self.burst_len = burst_len;
+        self
+    }
+
+    /// Flap: up for `period_ns - down_ns`, hard-down for `down_ns`.
+    pub fn flapping(mut self, period_ns: u64, down_ns: u64) -> Self {
+        self.flap_period_ns = period_ns;
+        self.flap_down_ns = down_ns;
+        self
+    }
+
+    /// Restrict the degradation to `[from_ns, until_ns)` (until 0 = ∞).
+    pub fn window(mut self, from_ns: u64, until_ns: u64) -> Self {
+        self.from_ns = from_ns;
+        self.until_ns = until_ns;
+        self
+    }
+
+    /// Mark the degrade persistent for the route-around layer.
+    pub fn persistent(mut self) -> Self {
+        self.route_around = true;
+        self
+    }
+
+    /// Is the degrade window open at `now_ns`?
+    pub fn active_at(&self, now_ns: u64) -> bool {
+        now_ns >= self.from_ns && (self.until_ns == 0 || now_ns < self.until_ns)
+    }
+
+    /// Is the component flap-down at `now_ns`? (Requires the window open.)
+    pub fn flap_down_at(&self, now_ns: u64) -> bool {
+        if self.flap_period_ns == 0 || self.flap_down_ns == 0 {
+            return false;
+        }
+        let phase = (now_ns - self.from_ns) % self.flap_period_ns;
+        phase >= self.flap_period_ns - self.flap_down_ns
+    }
+
+    /// The component a failure report should blame, in crash vocabulary.
+    pub fn as_crash_component(&self) -> CrashComponent {
+        match self.component {
+            DegradeComponent::Edge { a, b } => CrashComponent::Edge { a, b },
+            DegradeComponent::Nic(n) => CrashComponent::Nic(n),
+        }
+    }
+
+    /// Validate invariants; called from [`FaultConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("degrade loss must be in [0,1], got {}", self.loss));
+        }
+        if self.until_ns != 0 && self.until_ns <= self.from_ns {
+            return Err(format!(
+                "degrade window empty: until_ns {} <= from_ns {}",
+                self.until_ns, self.from_ns
+            ));
+        }
+        if self.flap_down_ns > 0 && self.flap_period_ns <= self.flap_down_ns {
+            return Err(format!(
+                "flap_down_ns {} must be < flap_period_ns {} (the link must \
+                 come up between flaps; use a crash for a permanent cut)",
+                self.flap_down_ns, self.flap_period_ns
+            ));
+        }
+        if self.flap_period_ns > 0 && self.flap_down_ns == 0 {
+            return Err("flap_period_ns without flap_down_ns never flaps".into());
+        }
+        Ok(())
+    }
+}
+
+/// Why a degraded message was dropped — flap-down windows are
+/// deterministic (no randomness), loss/burst drops are seeded draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeDrop {
+    /// The component was in a flap-down window.
+    Flap,
+    /// A loss draw (or the burst it started) fired.
+    Loss,
+}
+
+/// Combined gray-failure effect on one message, accumulated over every
+/// spec that applies to its route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradeEffect {
+    /// Total extra latency (fixed + jitter) across applicable specs, ns.
+    pub extra_ns: u64,
+    /// The first drop verdict, if any spec dropped the message.
+    pub drop: Option<DegradeDrop>,
 }
 
 /// Fault-injection parameters. All-zero (see [`FaultConfig::none`]) disables
@@ -113,6 +314,11 @@ pub struct FaultConfig {
     /// Permanent crash-stop failures, in no particular order. Empty (the
     /// default) means no component ever dies.
     pub crashes: Vec<CrashSpec>,
+    /// Gray failures: components that stay up but misbehave. Empty (the
+    /// default) means nothing is degraded. `serde(default)` keeps configs
+    /// recorded before gray failures existed loadable.
+    #[serde(default)]
+    pub degrades: Vec<DegradeSpec>,
 }
 
 impl FaultConfig {
@@ -126,6 +332,7 @@ impl FaultConfig {
             outage_duration_ns: 0,
             outage_horizon_ns: 0,
             crashes: Vec::new(),
+            degrades: Vec::new(),
         }
     }
 
@@ -164,12 +371,33 @@ impl FaultConfig {
         self
     }
 
+    /// Append one gray failure (builder style, composes with everything).
+    pub fn with_degrade(mut self, spec: DegradeSpec) -> Self {
+        self.degrades.push(spec);
+        self
+    }
+
+    /// A single degraded graph edge, seeded (for seeded jitter/loss draws).
+    pub fn degrade(seed: u64, spec: DegradeSpec) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::none()
+        }
+        .with_degrade(spec)
+    }
+
     /// True when no fault class is enabled (the default).
     pub fn is_none(&self) -> bool {
         self.packet_loss == 0.0
             && self.message_corruption == 0.0
             && self.outage_mtbf_ns == 0
             && self.crashes.is_empty()
+            && self.degrades.is_empty()
+    }
+
+    /// True when any gray failure is configured.
+    pub fn has_degrades(&self) -> bool {
+        !self.degrades.is_empty()
     }
 
     /// When `node`'s compute (CPU/GPU) dies, if ever: the earliest
@@ -231,6 +459,9 @@ impl FaultConfig {
         {
             return Err("outages need nonzero outage_duration_ns and outage_horizon_ns".into());
         }
+        for spec in &self.degrades {
+            spec.validate()?;
+        }
         Ok(())
     }
 }
@@ -263,6 +494,12 @@ pub struct FaultPlan {
     /// Outage windows per directed pair, generated lazily and cached so a
     /// pair's schedule does not depend on which other pairs ever talk.
     outages: HashMap<(u32, u32), Vec<(SimTime, SimTime)>>,
+    /// One seeded stream per [`DegradeSpec`] (index-aligned with
+    /// `config.degrades`), so degrades never reshuffle each other's draws
+    /// or the loss/corruption streams.
+    degrade_rngs: Vec<SimRng>,
+    /// Remaining forced drops of an in-progress loss burst, per spec.
+    degrade_burst: Vec<u64>,
     stats: StatSet,
     /// One-shot latch for the past-horizon warning, so a long run prints
     /// the diagnosis once instead of once per message.
@@ -273,10 +510,16 @@ impl FaultPlan {
     /// Build a plan from its configuration.
     pub fn new(config: FaultConfig) -> Self {
         let root = SimRng::seeded(config.seed);
+        let degrade_root = root.fork(4);
+        let degrade_rngs = (0..config.degrades.len())
+            .map(|i| degrade_root.fork(i as u64))
+            .collect();
         FaultPlan {
             packet_rng: root.fork(1),
             message_rng: root.fork(2),
             outage_root: root.fork(3),
+            degrade_rngs,
+            degrade_burst: vec![0; config.degrades.len()],
             config,
             outages: HashMap::new(),
             stats: StatSet::new(),
@@ -291,10 +534,69 @@ impl FaultPlan {
 
     /// Fault counters: `drops`, `packets_dropped`, `outage_drops`,
     /// `crash_drops` (messages black-holed by a crash-stop failure),
-    /// `corruptions`, `messages_judged`, and `past_horizon` (messages
-    /// judged after `outage_horizon_ns`, where no outage windows exist).
+    /// `corruptions`, `messages_judged`, `past_horizon` (messages judged
+    /// after `outage_horizon_ns`, where no outage windows exist), and the
+    /// gray-failure family: `degraded_messages` (messages that crossed an
+    /// active degrade, delivered or not), `degrade_extra_ns` (total added
+    /// latency), `degrade_drops` (seeded loss/burst drops), `flap_drops`
+    /// (deterministic flap-down drops).
     pub fn stats(&self) -> &StatSet {
         &self.stats
+    }
+
+    /// Judge one message against every degrade spec in `spec_idxs`
+    /// (indices into `config.degrades`, resolved by the fabric from the
+    /// message's route). Accumulates extra latency across specs; the
+    /// first drop verdict wins but later specs still draw, so verdicts on
+    /// one spec never depend on another's outcome. Counts
+    /// `degraded_messages`/`degrade_extra_ns` here; drop counting is
+    /// deferred to [`FaultPlan::judge_degraded`], because the lossless
+    /// fabric path applies latency only and must not count drops it does
+    /// not take.
+    pub fn judge_degrades(
+        &mut self,
+        now: SimTime,
+        spec_idxs: impl IntoIterator<Item = u32>,
+    ) -> DegradeEffect {
+        let now_ns = now.as_ps() / 1000;
+        let mut effect = DegradeEffect::default();
+        let mut touched = false;
+        for idx in spec_idxs {
+            let idx = idx as usize;
+            let spec = self.config.degrades[idx];
+            if !spec.active_at(now_ns) {
+                continue;
+            }
+            touched = true;
+            if spec.flap_down_at(now_ns) {
+                // Hard-down window: deterministic, no randomness consumed,
+                // and no latency charged (nothing transits).
+                effect.drop = effect.drop.or(Some(DegradeDrop::Flap));
+                continue;
+            }
+            if self.degrade_burst[idx] > 0 {
+                self.degrade_burst[idx] -= 1;
+                effect.drop = effect.drop.or(Some(DegradeDrop::Loss));
+                continue;
+            }
+            if spec.loss > 0.0 && self.degrade_rngs[idx].unit_f64() < spec.loss {
+                self.degrade_burst[idx] = spec.burst_len.saturating_sub(1);
+                effect.drop = effect.drop.or(Some(DegradeDrop::Loss));
+                continue;
+            }
+            let mut extra = spec.extra_latency_ns;
+            if spec.jitter_ns > 0 {
+                extra += (self.degrade_rngs[idx].unit_f64() * spec.jitter_ns as f64) as u64;
+            }
+            effect.extra_ns += extra;
+        }
+        if touched {
+            self.stats.inc("degraded_messages");
+            if effect.extra_ns > 0 {
+                self.stats.add("degrade_extra_ns", effect.extra_ns);
+            }
+        }
+        effect
     }
 
     /// Judge one non-loopback message of `packets` packets sent at `now`.
@@ -379,6 +681,22 @@ impl FaultPlan {
         packets: u64,
         route_dead: bool,
     ) -> Delivery {
+        self.judge_degraded(now, src, dst, packets, route_dead, None)
+    }
+
+    /// Full verdict: crash (route or pair) first, then a gray-failure drop
+    /// the fabric already drew via [`FaultPlan::judge_degrades`], then the
+    /// outage/loss/corruption draws. Degrade randomness was consumed when
+    /// the effect was drawn, so precedence here is pure bookkeeping.
+    pub fn judge_degraded(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        packets: u64,
+        route_dead: bool,
+        degrade_drop: Option<DegradeDrop>,
+    ) -> Delivery {
         if route_dead {
             // Edge crashes imply a non-empty crash list, so the plan is
             // active and counting.
@@ -386,6 +704,22 @@ impl FaultPlan {
             self.stats.inc("messages_judged");
             self.stats.inc("drops");
             self.stats.inc("crash_drops");
+            return Delivery::Dropped;
+        }
+        if let Some(kind) = degrade_drop {
+            if !self.config.crashes.is_empty() && self.link_dead(now, src, dst) {
+                // A crashed pair outranks its own degrade for counting.
+                self.stats.inc("messages_judged");
+                self.stats.inc("drops");
+                self.stats.inc("crash_drops");
+                return Delivery::Dropped;
+            }
+            self.stats.inc("messages_judged");
+            self.stats.inc("drops");
+            self.stats.inc(match kind {
+                DegradeDrop::Flap => "flap_drops",
+                DegradeDrop::Loss => "degrade_drops",
+            });
             return Delivery::Dropped;
         }
         self.judge(now, src, dst, packets)
@@ -603,6 +937,153 @@ mod tests {
                 "draw {i} diverged"
             );
         }
+    }
+
+    #[test]
+    fn degrade_effects_are_seed_deterministic() {
+        let spec = DegradeSpec::edge(8, 16).latency(500).jitter(2_000);
+        let cfg = FaultConfig::degrade(17, spec);
+        let mut a = FaultPlan::new(cfg.clone());
+        let mut b = FaultPlan::new(cfg);
+        let draw = |plan: &mut FaultPlan| {
+            (0..500)
+                .map(|i| plan.judge_degrades(SimTime::from_ns(i * 300), [0u32]))
+                .collect::<Vec<_>>()
+        };
+        let ea = draw(&mut a);
+        assert_eq!(ea, draw(&mut b));
+        // Fixed latency is a floor; jitter stays under its bound.
+        assert!(ea.iter().all(|e| e.drop.is_none()));
+        assert!(ea.iter().all(|e| (500..2_500).contains(&e.extra_ns)));
+        assert!(ea.iter().any(|e| e.extra_ns > 500), "jitter never fired");
+        assert_eq!(a.stats().counter("degraded_messages"), 500);
+    }
+
+    #[test]
+    fn flap_windows_are_phase_locked_and_random_free() {
+        // 10 µs period, last 2 µs down, starting at 1 µs.
+        let spec = DegradeSpec::edge(1, 2)
+            .flapping(10_000, 2_000)
+            .window(1_000, 0);
+        let mut plan = FaultPlan::new(FaultConfig::degrade(0, spec));
+        let down = |plan: &mut FaultPlan, ns: u64| {
+            plan.judge_degrades(SimTime::from_ns(ns), [0u32]).drop == Some(DegradeDrop::Flap)
+        };
+        assert!(!down(&mut plan, 500)); // before the window opens
+        assert!(!down(&mut plan, 1_000)); // phase 0: up
+        assert!(!down(&mut plan, 8_999)); // phase 7999: still up
+        assert!(down(&mut plan, 9_000)); // phase 8000: down
+        assert!(down(&mut plan, 10_999)); // phase 9999: down
+        assert!(!down(&mut plan, 11_000)); // next period, up again
+        assert!(down(&mut plan, 19_000)); // and down again
+        assert_eq!(plan.stats().counter("degraded_messages"), 6);
+    }
+
+    #[test]
+    fn loss_bursts_extend_a_hit_into_consecutive_drops() {
+        let spec = DegradeSpec::edge(1, 2).lossy(0.05, 4);
+        let mut plan = FaultPlan::new(FaultConfig::degrade(23, spec));
+        let drops: Vec<bool> = (0..4_000u64)
+            .map(|i| {
+                plan.judge_degrades(SimTime::from_ns(i * 100), [0u32])
+                    .drop
+                    .is_some()
+            })
+            .collect();
+        // Every drop run is a multiple-of-burst length (back-to-back
+        // bursts merge, so check divisibility, not equality).
+        let mut run = 0u64;
+        let mut total = 0u64;
+        for &d in drops.iter().chain([false].iter()) {
+            if d {
+                run += 1;
+                total += 1;
+            } else {
+                assert_eq!(run % 4, 0, "burst of length {run}");
+                run = 0;
+            }
+        }
+        // ~5% trigger × 4-long bursts ≈ 18% drop rate; allow wide slack.
+        assert!((400..=1_200).contains(&total), "dropped {total}");
+        assert_eq!(plan.stats().counter("degraded_messages"), 4_000);
+    }
+
+    #[test]
+    fn degrade_window_closes_and_the_link_heals() {
+        let spec = DegradeSpec::edge(1, 2).latency(1_000).window(2_000, 5_000);
+        let mut plan = FaultPlan::new(FaultConfig::degrade(0, spec));
+        let extra = |plan: &mut FaultPlan, ns: u64| {
+            plan.judge_degrades(SimTime::from_ns(ns), [0u32]).extra_ns
+        };
+        assert_eq!(extra(&mut plan, 1_999), 0);
+        assert_eq!(extra(&mut plan, 2_000), 1_000);
+        assert_eq!(extra(&mut plan, 4_999), 1_000);
+        assert_eq!(extra(&mut plan, 5_000), 0);
+    }
+
+    #[test]
+    fn degrades_do_not_reshuffle_loss_draws_on_healthy_paths() {
+        // Same loss seed, one plan with an added (never-routed-over)
+        // degrade: verdicts on the healthy pair must match draw-for-draw,
+        // because each degrade owns a forked stream.
+        let mut plain = FaultPlan::new(FaultConfig::loss(9, 0.2));
+        let mut degraded = FaultPlan::new(
+            FaultConfig::loss(9, 0.2).with_degrade(DegradeSpec::edge(3, 4).jitter(5_000)),
+        );
+        for i in 0..500u64 {
+            let now = SimTime::from_ns(i * 100);
+            // The degraded plan keeps drawing jitter on its own stream...
+            degraded.judge_degrades(now, [0u32]);
+            // ...while the shared pair's loss verdicts stay identical.
+            assert_eq!(
+                plain.judge(now, NodeId(0), NodeId(1), 4),
+                degraded.judge(now, NodeId(0), NodeId(1), 4),
+                "draw {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_drop_verdicts_count_by_kind_and_crash_outranks() {
+        let cfg = FaultConfig::degrade(0, DegradeSpec::edge(1, 2).lossy(1.0, 0))
+            .with_crash(CrashComponent::Node(5), 1_000);
+        let mut plan = FaultPlan::new(cfg);
+        let now = SimTime::from_ns(2_000);
+        // Degrade drop on a surviving pair: counted as degrade_drops.
+        let effect = plan.judge_degrades(now, [0u32]);
+        assert_eq!(effect.drop, Some(DegradeDrop::Loss));
+        assert_eq!(
+            plan.judge_degraded(now, NodeId(0), NodeId(1), 1, false, effect.drop),
+            Delivery::Dropped
+        );
+        assert_eq!(plan.stats().counter("degrade_drops"), 1);
+        // Same drop verdict on a crashed pair: the crash takes the blame.
+        assert_eq!(
+            plan.judge_degraded(now, NodeId(0), NodeId(5), 1, false, effect.drop),
+            Delivery::Dropped
+        );
+        assert_eq!(plan.stats().counter("crash_drops"), 1);
+        assert_eq!(plan.stats().counter("degrade_drops"), 1);
+        // Flap drops are tallied separately.
+        assert_eq!(
+            plan.judge_degraded(now, NodeId(0), NodeId(1), 1, false, Some(DegradeDrop::Flap)),
+            Delivery::Dropped
+        );
+        assert_eq!(plan.stats().counter("flap_drops"), 1);
+        assert_eq!(plan.stats().counter("drops"), 3);
+    }
+
+    #[test]
+    fn degrade_validation_rejects_bad_specs() {
+        let ok = |s: DegradeSpec| FaultConfig::none().with_degrade(s).validate();
+        assert!(ok(DegradeSpec::edge(0, 1).latency(100).jitter(50)).is_ok());
+        assert!(ok(DegradeSpec::nic(3).lossy(0.2, 8)).is_ok());
+        assert!(ok(DegradeSpec::edge(0, 1).flapping(1_000, 200)).is_ok());
+        assert!(ok(DegradeSpec::edge(0, 1).lossy(1.5, 0)).is_err());
+        assert!(ok(DegradeSpec::edge(0, 1).window(500, 500)).is_err());
+        // Down ≥ period would be a permanent cut wearing a flap costume.
+        assert!(ok(DegradeSpec::edge(0, 1).flapping(200, 200)).is_err());
+        assert!(ok(DegradeSpec::edge(0, 1).flapping(200, 0)).is_err());
     }
 
     #[test]

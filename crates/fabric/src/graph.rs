@@ -41,6 +41,10 @@ pub struct FabricGraph {
     /// `cands[cand_off[d*n_vertices+v]..cand_off[d*n_vertices+v+1]]`.
     cand_off: Vec<u32>,
     cands: Vec<u32>,
+    /// Edges withdrawn from routing (diagnosed dead or persistently
+    /// degraded). Withdrawn edges keep their ids — links and stats stay
+    /// index-aligned — but no candidate table row ever names them.
+    dead: Vec<bool>,
     ecmp_seed: u64,
 }
 
@@ -73,6 +77,7 @@ impl FabricGraph {
         };
         let (out_off, out_edges) = adjacency(n_vertices, &edges, |e| e.0);
         let (in_off, in_edges) = adjacency(n_vertices, &edges, |e| e.1);
+        let dead = vec![false; edges.len()];
         let mut g = FabricGraph {
             n_nodes: n,
             n_vertices,
@@ -83,6 +88,7 @@ impl FabricGraph {
             in_edges,
             cand_off: Vec::new(),
             cands: Vec::new(),
+            dead,
             ecmp_seed,
         };
         g.build_candidates();
@@ -90,10 +96,16 @@ impl FabricGraph {
     }
 
     /// Fill the per-destination candidate tables by reverse BFS from every
-    /// destination host: an out-edge `v -> u` is a candidate for `dst` iff
-    /// `dist(u, dst) == dist(v, dst) - 1`.
+    /// destination host over the *surviving* (non-withdrawn) edges: an
+    /// out-edge `v -> u` is a candidate for `dst` iff
+    /// `dist(u, dst) == dist(v, dst) - 1`. On an intact graph every host
+    /// pair must be connected (a construction bug otherwise); once edges
+    /// have been withdrawn, partition is a legitimate outcome — the
+    /// affected rows simply go empty and [`FabricGraph::try_next_edge`]
+    /// reports `None`.
     fn build_candidates(&mut self) {
         let nv = self.n_vertices as usize;
+        let intact = !self.dead.iter().any(|&d| d);
         let mut cand_off = Vec::with_capacity(self.n_nodes as usize * nv + 1);
         cand_off.push(0u32);
         let mut cands = Vec::new();
@@ -110,6 +122,9 @@ impl FabricGraph {
                 head += 1;
                 let du = dist[u as usize];
                 for &e in self.in_edge_ids(u) {
+                    if self.dead[e as usize] {
+                        continue;
+                    }
                     let v = self.edges[e as usize].0;
                     if dist[v as usize] == u32::MAX {
                         dist[v as usize] = du + 1;
@@ -120,6 +135,9 @@ impl FabricGraph {
             for v in 0..self.n_vertices {
                 if v != dst && dist[v as usize] != u32::MAX {
                     for &e in self.out_edge_ids(v) {
+                        if self.dead[e as usize] {
+                            continue;
+                        }
                         let u = self.edges[e as usize].1;
                         if dist[u as usize] == dist[v as usize].wrapping_sub(1) {
                             cands.push(e);
@@ -128,15 +146,47 @@ impl FabricGraph {
                 }
                 cand_off.push(cands.len() as u32);
             }
-            for host in 0..self.n_nodes {
-                assert!(
-                    dist[host as usize] != u32::MAX,
-                    "host {host} cannot reach host {dst}: disconnected topology"
-                );
+            if intact {
+                for host in 0..self.n_nodes {
+                    assert!(
+                        dist[host as usize] != u32::MAX,
+                        "host {host} cannot reach host {dst}: disconnected topology"
+                    );
+                }
             }
         }
         self.cand_off = cand_off;
         self.cands = cands;
+    }
+
+    /// Withdraw directed edges from routing and rebuild the candidate
+    /// tables over the survivors — the route-around primitive. The rerun
+    /// BFS uses the same deterministic order and the same ECMP seed as
+    /// construction, so the repaired tables are a pure function of
+    /// (topology, seed, withdrawn set): bit-identical across reruns and
+    /// shard counts. Withdrawing an already-withdrawn edge is a no-op;
+    /// the rebuild is skipped when nothing changed.
+    pub fn withdraw_edges(&mut self, edge_ids: impl IntoIterator<Item = u32>) {
+        let mut changed = false;
+        for e in edge_ids {
+            if !self.dead[e as usize] {
+                self.dead[e as usize] = true;
+                changed = true;
+            }
+        }
+        if changed {
+            self.build_candidates();
+        }
+    }
+
+    /// Has edge `e` been withdrawn from routing?
+    pub fn edge_withdrawn(&self, e: u32) -> bool {
+        self.dead[e as usize]
+    }
+
+    /// Number of withdrawn edges.
+    pub fn withdrawn_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
     }
 
     /// Number of hosts.
@@ -202,15 +252,54 @@ impl FabricGraph {
         }
     }
 
+    /// Like [`FabricGraph::next_edge`] but `None` when no surviving edge
+    /// leads toward `dst` — the partitioned case after withdrawals.
+    #[inline]
+    pub fn try_next_edge(&self, at: u32, src: u32, dst: u32) -> Option<u32> {
+        let idx = dst as usize * self.n_vertices as usize + at as usize;
+        let lo = self.cand_off[idx] as usize;
+        let hi = self.cand_off[idx + 1] as usize;
+        if hi == lo {
+            return None;
+        }
+        if hi - lo == 1 {
+            Some(self.cands[lo])
+        } else {
+            let h = ecmp_hash(self.ecmp_seed, src, dst, at);
+            Some(self.cands[lo + (h % (hi - lo) as u64) as usize])
+        }
+    }
+
+    /// Can `src` still reach `dst` over the surviving edges? Loopback is
+    /// always reachable.
+    pub fn has_route(&self, src: u32, dst: u32) -> bool {
+        if src == dst {
+            return true;
+        }
+        let idx = dst as usize * self.n_vertices as usize + src as usize;
+        self.cand_off[idx + 1] > self.cand_off[idx]
+    }
+
     /// The full edge-id route `src -> dst` under the current ECMP seed.
     /// Diagnostics/tests only — the send hot path never materializes it.
     /// Loopback (`src == dst`) is the empty route.
+    ///
+    /// # Panics
+    /// Panics when the pair is partitioned (use [`FabricGraph::try_route`]
+    /// after withdrawals).
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<u32> {
+        self.try_route(src, dst)
+            .unwrap_or_else(|| panic!("no route from {} to {}", src.0, dst.0))
+    }
+
+    /// [`FabricGraph::route`], returning `None` when the surviving graph
+    /// no longer connects the pair.
+    pub fn try_route(&self, src: NodeId, dst: NodeId) -> Option<Vec<u32>> {
         let (s, d) = (src.0, dst.0);
         let mut route = Vec::new();
         let mut v = s;
         while v != d {
-            let e = self.next_edge(v, s, d);
+            let e = self.try_next_edge(v, s, d)?;
             route.push(e);
             v = self.edges[e as usize].1;
             assert!(
@@ -218,7 +307,7 @@ impl FabricGraph {
                 "routing loop from {s} to {d}"
             );
         }
-        route
+        Some(route)
     }
 }
 
@@ -469,6 +558,66 @@ mod tests {
             }
         }
         assert!(any_seed_diff, "a different seed should move some flow");
+    }
+
+    #[test]
+    fn withdrawing_a_fat_tree_uplink_reroutes_around_it() {
+        // k=4, 8 hosts: host 0 hangs off edge switch 8, which uplinks to
+        // aggs 16 and 17. Withdraw both directions of the 8 <-> 16 wire:
+        // every route must avoid it, and everyone stays connected.
+        let mut g = FabricGraph::build(Topology::FatTree { k: 4 }, 8, 42);
+        let up = g.edge_between(8, 16).unwrap();
+        let down = g.edge_between(16, 8).unwrap();
+        g.withdraw_edges([up, down]);
+        assert_eq!(g.withdrawn_count(), 2);
+        for s in 0..8 {
+            for d in 0..8 {
+                if s == d {
+                    continue;
+                }
+                let r = g
+                    .try_route(NodeId(s), NodeId(d))
+                    .unwrap_or_else(|| panic!("{s} -> {d} partitioned"));
+                assert!(
+                    r.iter().all(|&e| e != up && e != down),
+                    "{s} -> {d} still crosses the withdrawn wire"
+                );
+                assert!(r.len() <= 6, "{s} -> {d} blew the diameter");
+            }
+        }
+    }
+
+    #[test]
+    fn withdrawing_a_star_uplink_partitions_only_that_host() {
+        let mut g = FabricGraph::build(Topology::Star, 4, 0);
+        // Edge 0 is host 0's uplink; no alternate path exists on a star.
+        g.withdraw_edges([0u32]);
+        assert!(!g.has_route(0, 3));
+        assert!(g.has_route(3, 0)); // the downlink is still up
+        assert!(g.has_route(1, 2));
+        assert_eq!(g.try_route(NodeId(0), NodeId(3)), None);
+        assert!(g.try_route(NodeId(3), NodeId(0)).is_some());
+        assert_eq!(g.try_next_edge(0, 0, 3), None);
+    }
+
+    #[test]
+    fn withdrawal_is_idempotent_and_deterministic() {
+        let build = || {
+            let mut g = FabricGraph::build(Topology::FatTree { k: 4 }, 8, 7);
+            let up = g.edge_between(8, 16).unwrap();
+            let down = g.edge_between(16, 8).unwrap();
+            g.withdraw_edges([up, down, up]); // repeat entries are no-ops
+            g
+        };
+        let (a, b) = (build(), build());
+        for s in 0..8 {
+            for d in 0..8 {
+                assert_eq!(
+                    a.try_route(NodeId(s), NodeId(d)),
+                    b.try_route(NodeId(s), NodeId(d))
+                );
+            }
+        }
     }
 
     #[test]

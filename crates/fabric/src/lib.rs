@@ -26,8 +26,11 @@ pub mod link;
 pub mod packet;
 pub mod topology;
 
-pub use config::FabricConfig;
-pub use fabric::{Fabric, MessageTiming};
-pub use faults::{CrashComponent, CrashSpec, Delivery, FaultConfig, FaultPlan};
+pub use config::{FabricConfig, DEFAULT_REROUTE_DELAY_NS};
+pub use fabric::{Fabric, MessageTiming, RerouteRecord};
+pub use faults::{
+    CrashComponent, CrashSpec, DegradeComponent, DegradeDrop, DegradeEffect, DegradeSpec, Delivery,
+    FaultConfig, FaultPlan,
+};
 pub use graph::FabricGraph;
 pub use topology::Topology;

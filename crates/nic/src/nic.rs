@@ -855,15 +855,18 @@ impl Nic {
     /// [`CqKind::Error`] entry and a [`NicNote::DeliveryFailed`] with cause
     /// [`DeliveryCause::PeerDead`] — instead of burning the remaining retry
     /// budget against a corpse. Credit grants toward the peer are released
-    /// so unrelated queued work cannot wedge behind it. Idempotent: with
-    /// nothing pending toward `peer` this does nothing.
+    /// so unrelated queued work cannot wedge behind it. `culprit` is the
+    /// injected component the detector blamed (stamped onto every
+    /// failure). Idempotent: with nothing pending toward `peer` this does
+    /// nothing.
     pub fn mark_peer_dead(
         &mut self,
         now: SimTime,
         peer: NodeId,
+        culprit: Option<gtn_fabric::CrashComponent>,
         mem: &mut MemPool,
     ) -> Vec<NicOutput> {
-        let failures = self.rel.fail_peer_dead(peer, now);
+        let failures = self.rel.fail_peer_dead(peer, now, culprit);
         let mut out = Vec::new();
         for f in &failures {
             self.stats.inc("peer_dead_failures");

@@ -59,6 +59,7 @@
 //! all timing/fabric effects — so budget and backoff arithmetic is unit
 //! testable in isolation.
 
+use gtn_fabric::CrashComponent;
 use gtn_mem::NodeId;
 use gtn_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -196,6 +197,11 @@ pub struct DeliveryFailure {
     pub bytes: u64,
     /// Why it was abandoned.
     pub cause: DeliveryCause,
+    /// The injected fault the abandonment traces back to, when the caller
+    /// knows it (`PeerDead` failures carry the crashed component the
+    /// cluster blamed; timer exhaustion cannot name one — the path was
+    /// merely lossy).
+    pub culprit: Option<CrashComponent>,
 }
 
 /// Receiver verdict for one tracked arrival: what [`Reliability::accept`]
@@ -379,6 +385,7 @@ impl<M> Reliability<M> {
                 attempts: p.attempts,
                 bytes: p.bytes,
                 cause: DeliveryCause::RetriesExhausted,
+                culprit: None,
             };
             self.failures.push(failure.clone());
             return TimerVerdict::Exhausted(failure);
@@ -446,8 +453,16 @@ impl<M> Reliability<M> {
     /// Sender: the failure detector declared `peer` dead — abandon every
     /// pending message toward it *now* (cause [`DeliveryCause::PeerDead`])
     /// instead of burning the remaining retry budget against a corpse.
-    /// Returns the failures in sequence order.
-    pub fn fail_peer_dead(&mut self, peer: NodeId, now: SimTime) -> Vec<DeliveryFailure> {
+    /// `culprit` is the injected component the detector blamed (ground
+    /// truth from the fault plan), stamped onto every failure so stall
+    /// reports can name the broken hardware. Returns the failures in
+    /// sequence order.
+    pub fn fail_peer_dead(
+        &mut self,
+        peer: NodeId,
+        now: SimTime,
+        culprit: Option<CrashComponent>,
+    ) -> Vec<DeliveryFailure> {
         let mut seqs: Vec<u64> = self
             .pending
             .keys()
@@ -465,6 +480,7 @@ impl<M> Reliability<M> {
                 attempts: p.attempts,
                 bytes: p.bytes,
                 cause: DeliveryCause::PeerDead,
+                culprit,
             };
             self.failures.push(failure.clone());
             out.push(failure);

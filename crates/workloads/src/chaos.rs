@@ -26,6 +26,14 @@
 //!     [`crate::allreduce::reference_ranks`]. Workloads without a
 //!     re-formable ring (pingpong's fixed pair, Jacobi's fixed
 //!     decomposition) degrade to checkpoint-restart.
+//!   - [`RecoveryPolicy::RouteAround`] arms the *fabric's* failover
+//!     instead of re-running anything: a crashed edge is withdrawn from
+//!     the routing tables after a switch-local detection delay, and on a
+//!     multipath topology the run simply completes over the surviving
+//!     wires (verdict `Recovered`, `recovery_ns = 0`, `reroutes > 0`).
+//!     When no surviving path exists (a star uplink, a partitioned pair),
+//!     the end-to-end detector still fires and the cell reports `Aborted`
+//!     — route-around cannot invent wires.
 //!
 //! Every quantity in the [`ChaosReport`] is an integer, so the chaos
 //! campaign bench can emit it into byte-identical JSON.
@@ -66,8 +74,17 @@ pub struct ChaosReport {
     /// How the cell ended.
     pub verdict: Verdict,
     /// Sim time (ns) at which the first run terminated — the time-to-detect
-    /// for aborted/recovered cells, `0` for completed ones.
+    /// for aborted/recovered cells, `0` for completed ones (including
+    /// route-around recoveries, which never terminate the run).
     pub detect_ns: u64,
+    /// Sim time (ns) at which the detector first saw a peer leave `Alive`
+    /// (`0` when nothing was suspected or the run completed). With
+    /// `injected_ns` and `detect_ns` this is the
+    /// `injection → suspect → dead` detection-latency timeline.
+    pub suspect_ns: u64,
+    /// When the injected fault bites, ns of sim time (`0` when the cell
+    /// carries no injection): the crash instant, or the degrade onset.
+    pub injected_ns: u64,
     /// Sim time (ns) the recovery run took (`0` unless recovered).
     pub recovery_ns: u64,
     /// End-to-end sim time (ns): a completed run's total, an aborted run's
@@ -76,6 +93,9 @@ pub struct ChaosReport {
     /// Events the *terminated* run consumed before giving up (`0` for
     /// completed cells) — the liveness contract bounds this.
     pub events: u64,
+    /// Routing-table rows the fabric's route-around failover rewired
+    /// (`0` unless the patch armed failover and a withdrawal bit).
+    pub reroutes: u64,
     /// Whether the surviving result verified against its reference. Always
     /// `true` for completed/recovered verdicts (mismatches panic — chaos
     /// may fail a run, it may not corrupt one); `false` for aborts.
@@ -127,24 +147,42 @@ pub fn run_cell(params: &ScenarioParams, workload: &str) -> ChaosReport {
         "allreduce" => allreduce::Allreduce.run_lenient(params),
         other => panic!("unknown chaos workload {other:?}"),
     };
+    let injected_ns = injection_onset_ns(&params.patch);
+    let policy = params.patch.detect.unwrap_or(RecoveryPolicy::Abort);
     let failure = match outcome {
         Ok(result) => {
+            // A completed run under `RouteAround` whose fabric actually
+            // rewired routes *is* the recovery: the work finished over the
+            // surviving wires with no re-run (`recovery_ns = 0`).
+            let reroutes = result.stats.counter("fabric", "reroutes");
+            let verdict = if policy == RecoveryPolicy::RouteAround && reroutes > 0 {
+                Verdict::Recovered
+            } else {
+                Verdict::Completed
+            };
             return ChaosReport {
-                verdict: Verdict::Completed,
+                verdict,
                 detect_ns: 0,
+                suspect_ns: 0,
+                injected_ns,
                 recovery_ns: 0,
                 total_ns: ns_of(result.total),
                 events: 0,
+                reroutes,
                 verified: true,
                 failure: None,
-            }
+            };
         }
         Err(failure) => failure,
     };
     let detect_ns = ns_of(failure.report.at);
-    let policy = params.patch.detect.unwrap_or(RecoveryPolicy::Abort);
+    let suspect_ns = failure.suspect_ns.unwrap_or(0);
     let recovered = match policy {
         RecoveryPolicy::Abort => None,
+        // Failover was armed but the run still died: the withdrawal left
+        // the pair partitioned (no surviving path). The structured abort
+        // is the honest verdict — route-around cannot invent wires.
+        RecoveryPolicy::RouteAround => None,
         RecoveryPolicy::CheckpointRestart => Some(recover_checkpoint(params, workload)),
         RecoveryPolicy::RebuildCollective => Some(match workload {
             "allreduce" if params.node_count() > 3 => recover_rebuild(params),
@@ -157,21 +195,41 @@ pub fn run_cell(params: &ScenarioParams, workload: &str) -> ChaosReport {
         None => ChaosReport {
             verdict: Verdict::Aborted,
             detect_ns,
+            suspect_ns,
+            injected_ns,
             recovery_ns: 0,
             total_ns: detect_ns,
             events: failure.events,
+            reroutes: 0,
             verified: false,
             failure: Some(failure.to_string()),
         },
         Some(recovery) => ChaosReport {
             verdict: Verdict::Recovered,
             detect_ns,
+            suspect_ns,
+            injected_ns,
             recovery_ns: recovery,
             total_ns: detect_ns + recovery,
             events: failure.events,
+            reroutes: 0,
             verified: true,
             failure: Some(failure.to_string()),
         },
+    }
+}
+
+/// When the cell's injected fault starts to bite: the crash instant, or
+/// the degrade onset, whichever the patch carries (the earlier of the two
+/// when both ride along). `0` for injection-free cells.
+fn injection_onset_ns(patch: &ConfigPatch) -> u64 {
+    let crash = patch.crash.map(|c| c.at_ns);
+    let degrade = patch.degrade.map(|d| d.from_ns);
+    match (crash, degrade) {
+        (Some(c), Some(d)) => c.min(d),
+        (Some(c), None) => c,
+        (None, Some(d)) => d,
+        (None, None) => 0,
     }
 }
 
@@ -285,8 +343,75 @@ mod tests {
         assert!(report.detect_ns > 50_000, "{}", report.detect_ns);
         assert_eq!(report.total_ns, report.detect_ns);
         assert!(report.events > 0);
+        // Detection-latency timeline: injection, then suspicion, then the
+        // death verdict, in order.
+        assert_eq!(report.injected_ns, 50_000);
+        assert!(report.suspect_ns > report.injected_ns, "{report:?}");
+        assert!(report.suspect_ns <= report.detect_ns, "{report:?}");
         let failure = report.failure.expect("aborts carry the failure");
         assert!(failure.contains("node 2 declared dead"), "{failure}");
+        assert!(failure.contains("culprit node 2"), "{failure}");
+    }
+
+    #[test]
+    fn route_around_cell_survives_a_fat_tree_edge_crash() {
+        use gtn_fabric::{Fabric, FabricConfig, Topology};
+        // Discover the aggregation uplink the 1 -> 2 ring flow uses (hosts
+        // 1 and 2 sit under different edge switches of pod 0 in a k = 4
+        // fat-tree, so the route crosses an ECMP-chosen aggregation hop).
+        let ft = Topology::FatTree { k: 4 };
+        let probe = Fabric::new(
+            8,
+            FabricConfig {
+                topology: ft,
+                ..FabricConfig::default()
+            },
+        );
+        let route = probe.graph().route(gtn_mem::NodeId(1), gtn_mem::NodeId(2));
+        let (a, b) = probe.graph().edge_endpoints(route[1]); // edge-sw -> agg
+        let cell = |policy| {
+            ScenarioParams::new(Strategy::GpuTn)
+                .nodes(8)
+                .size(64 * 1024)
+                .seed(7)
+                .patch(
+                    ConfigPatch::crash_edge(a, b, 50_000)
+                        .with_topology(ft)
+                        .with_detection(policy),
+                )
+        };
+        // Same injection, policy the only variable: route-around completes
+        // the collective over the surviving wires...
+        let survived = run_cell(&cell(RecoveryPolicy::RouteAround), "allreduce");
+        assert_eq!(survived.verdict, Verdict::Recovered, "{survived:?}");
+        assert!(survived.verified);
+        assert!(survived.reroutes > 0, "{survived:?}");
+        assert_eq!(survived.recovery_ns, 0, "no re-run: the fabric healed");
+        assert!(survived.failure.is_none());
+        // ...while Abort rides the dead wire into a PeerDead verdict.
+        let aborted = run_cell(&cell(RecoveryPolicy::Abort), "allreduce");
+        assert_eq!(aborted.verdict, Verdict::Aborted, "{aborted:?}");
+        let failure = aborted.failure.expect("aborts carry the failure");
+        assert!(failure.contains("declared dead"), "{failure}");
+        assert!(failure.contains("culprit graph edge"), "{failure}");
+    }
+
+    #[test]
+    fn route_around_cannot_save_a_partitioned_star_host() {
+        // A star host's uplink is its only wire: withdrawal under
+        // route-around leaves the pair partitioned and the end-to-end
+        // detector still aborts the run. 4 hosts: vertex 4 is the switch.
+        let params = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(4)
+            .size(64 * 1024)
+            .seed(7)
+            .patch(
+                ConfigPatch::crash_edge(2, 4, 20_000).with_detection(RecoveryPolicy::RouteAround),
+            );
+        let report = run_cell(&params, "allreduce");
+        assert_eq!(report.verdict, Verdict::Aborted, "{report:?}");
+        assert!(!report.verified);
+        assert!(report.failure.is_some());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct JobFailure {
     /// Events the engine processed before giving up (the liveness
     /// contract: bounded, never a hang).
     pub events: u64,
+    /// When the failure detector first saw a peer leave `Alive`, sim ns
+    /// (`None` when detection is off or nothing was ever suspected). With
+    /// the report's termination time this gives the
+    /// `injection → suspect → dead` detection-latency timeline.
+    pub suspect_ns: Option<u64>,
 }
 
 impl fmt::Display for JobFailure {
@@ -184,6 +189,7 @@ impl Harness {
             return Err(JobFailure {
                 report,
                 events: result.events,
+                suspect_ns: cluster.first_suspect().map(|(_, at)| at.as_ps() / 1000),
             });
         }
         let scenario = ScenarioResult::collect(workload, params, &cluster, &result);

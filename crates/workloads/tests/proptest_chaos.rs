@@ -163,3 +163,99 @@ proptest! {
         }
     }
 }
+
+// Gray-failure properties: the degraded (but alive) end of the spectrum,
+// with the adaptive detector armed, plus engine-structure invariance of
+// the route-around failover path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Gray degradations — extra latency, jitter, bursty loss, flapping —
+    /// under an armed φ-accrual detector running hot (10 µs probes, so the
+    /// adaptive path is past warm-up and under live fire mid-run): the run
+    /// may slow, but a limping peer must never be declared dead, and a
+    /// same-seed rerun reproduces the identical result.
+    #[test]
+    fn gray_degradations_never_false_positive_the_phi_detector(
+        strategy_ix in 0u8..4,
+        target_nic in 0u8..2,
+        latency_us in 0u64..5,
+        jitter_us in 0u64..3,
+        loss_milli in 0u64..80,
+        flap_sel in 0u8..2,
+    ) {
+        use gtn_core::membership::FailureConfig;
+        use gtn_fabric::DegradeSpec;
+        let strategy = strategy_from(strategy_ix);
+        // Star of 4 hosts (switch vertex 4): degrade either host 1's NIC
+        // or host 2's uplink edge, composing every gray effect drawn.
+        let mut spec = if target_nic == 0 {
+            DegradeSpec::nic(1)
+        } else {
+            DegradeSpec::edge(2, 4)
+        };
+        spec = spec
+            .latency(latency_us * 1_000)
+            .jitter(jitter_us * 1_000)
+            .lossy(loss_milli as f64 / 1000.0, 2);
+        if flap_sel == 1 {
+            spec = spec.flapping(70_000, 12_000);
+        }
+        let phi_hot = FailureConfig {
+            heartbeat_period_ns: 10_000,
+            suspect_after_ns: 60_000,
+            dead_after_ns: 200_000,
+            ..FailureConfig::phi_accrual()
+        };
+        let params = ScenarioParams::new(strategy)
+            .nodes(4)
+            .size(256 * 1024)
+            .seed(0xF1A6)
+            .patch(ConfigPatch::NONE.with_degrade(spec).with_failure(phi_hot));
+        let w = gtn_workloads::allreduce::Allreduce;
+        match w.run_lenient(&params) {
+            Ok(r) => {
+                let again = w.run_lenient(&params).expect("rerun verdict flipped");
+                prop_assert_eq!(r.total, again.total, "gray rerun diverged");
+            }
+            Err(failure) => prop_assert!(
+                !matches!(failure.report.reason, StallReason::PeerDead { .. }),
+                "{strategy} lat={latency_us}us jit={jitter_us}us \
+                 loss={loss_milli}milli flap={flap_sel}: \
+                 limping peer declared dead\n{failure}"
+            ),
+        }
+    }
+
+    /// Route-around failover is engine-structure-invariant: the same
+    /// fat-tree aggregation-edge crash reports the identical verdict,
+    /// end-to-end time, and reroute count at 1, 2, and 8 calendar shards.
+    #[test]
+    fn route_around_recovery_is_shard_invariant(
+        crash_at_us in 20u64..45,
+        seed in 0u64..1_000,
+    ) {
+        use gtn_fabric::{Fabric, FabricConfig, Topology};
+        use gtn_workloads::chaos::{self, Verdict};
+        let ft = Topology::FatTree { k: 4 };
+        let probe = Fabric::new(8, FabricConfig { topology: ft, ..FabricConfig::default() });
+        let route = probe.graph().route(gtn_mem::NodeId(1), gtn_mem::NodeId(2));
+        let (a, b) = probe.graph().edge_endpoints(route[1]);
+        let base = ScenarioParams::new(Strategy::GpuTn)
+            .nodes(8)
+            .size(64 * 1024)
+            .seed(seed);
+        let patch = ConfigPatch::crash_edge(a, b, crash_at_us * 1_000)
+            .with_topology(ft)
+            .with_detection(RecoveryPolicy::RouteAround);
+        let seq = chaos::run_cell(&base.patch(patch.with_shards(1)), "allreduce");
+        prop_assert_eq!(seq.verdict, Verdict::Recovered, "fat tree did not survive");
+        prop_assert!(seq.reroutes > 0 && seq.verified);
+        for shards in [2u32, 8] {
+            let par = chaos::run_cell(&base.patch(patch.with_shards(shards)), "allreduce");
+            prop_assert_eq!(par.verdict, seq.verdict, "verdict diverged @ {} shards", shards);
+            prop_assert_eq!(par.total_ns, seq.total_ns, "timing diverged @ {} shards", shards);
+            prop_assert_eq!(par.reroutes, seq.reroutes, "reroutes diverged @ {} shards", shards);
+        }
+    }
+}

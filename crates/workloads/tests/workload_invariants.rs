@@ -311,10 +311,16 @@ fn cross_shard_crash_stop_matches_sequential_lease_timing() {
     assert_eq!(seq.report.at, par.report.at, "lease timing shifted");
     assert_eq!(&seq.report.reason, &par.report.reason);
     assert_eq!(seq.events, par.events);
-    let StallReason::PeerDead { peer, detector } = par.report.reason else {
+    let StallReason::PeerDead {
+        peer,
+        detector,
+        culprit,
+    } = par.report.reason
+    else {
         panic!("wrong diagnosis: {}", par.report.reason);
     };
     assert_eq!(peer, 1);
+    assert_eq!(culprit, Some(gtn_fabric::CrashComponent::Node(1)));
     assert_ne!(
         detector % 4,
         peer % 4,
